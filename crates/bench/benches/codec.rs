@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the wire codec — the per-request
+//! serialization cost on the Fig. 4/5 hot path.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use norns_proto::{
+    encode_frame, CtlRequest, FrameReader, ResourceDesc, TaskOp, TaskSpec, Wire,
+};
+
+fn submit_request() -> CtlRequest {
+    CtlRequest::SubmitTask {
+        job_id: 42,
+        spec: TaskSpec {
+            op: TaskOp::Copy,
+            input: ResourceDesc::PosixPath {
+                nsid: "lustre".into(),
+                path: "inputs/mesh.dat".into(),
+            },
+            output: Some(ResourceDesc::PosixPath {
+                nsid: "pmdk0".into(),
+                path: "work/mesh.dat".into(),
+            }),
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let req = submit_request();
+    let encoded = req.to_bytes();
+
+    c.bench_function("encode_submit_request", |b| {
+        b.iter(|| black_box(submit_request().to_bytes()))
+    });
+
+    c.bench_function("decode_submit_request", |b| {
+        b.iter(|| CtlRequest::from_bytes(black_box(encoded.clone())).unwrap())
+    });
+
+    let framed = encode_frame(&encoded);
+    c.bench_function("frame_roundtrip", |b| {
+        b.iter(|| {
+            let mut reader = FrameReader::new();
+            reader.extend(black_box(&framed));
+            reader.next_frame().unwrap().unwrap()
+        })
+    });
+
+    let payload: Bytes = encoded.clone();
+    c.bench_function("encode_frame_only", |b| b.iter(|| encode_frame(black_box(&payload))));
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

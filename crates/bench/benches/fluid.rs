@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the fluid bandwidth engine — the
+//! simulator's hot loop (rate recomputation on every flow event).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use simcore::{FlowSpec, FluidNetwork, SimTime};
+
+fn build_network(flows: usize) -> FluidNetwork {
+    let mut net = FluidNetwork::new();
+    let core = net.add_resource(1e12, "core");
+    let links: Vec<_> = (0..32).map(|i| net.add_resource(12.5e9, format!("nic{i}"))).collect();
+    for f in 0..flows {
+        let a = links[f % 32];
+        let b = links[(f * 7 + 3) % 32];
+        net.start_flow(
+            SimTime::ZERO,
+            FlowSpec::new(1e12, vec![a, core, b]).with_cap(1.8e9),
+        );
+    }
+    net.recompute();
+    net
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_recompute");
+    for flows in [8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            let mut net = build_network(flows);
+            b.iter(|| net.recompute());
+        });
+    }
+    group.finish();
+
+    c.bench_function("flow_churn_64", |b| {
+        b.iter_batched(
+            || build_network(64),
+            |mut net| {
+                let done = net.next_completion().expect("fresh network has flows");
+                net.advance(done);
+                net.recompute();
+                net.take_completed().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_fluid);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark of the real daemon's request path: the
+//! per-request cost behind Fig. 4 (submit → validate → enqueue →
+//! respond, over a real AF_UNIX socket).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
+use norns_proto::{BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec};
+
+fn bench_request_rate(c: &mut Criterion) {
+    let root = std::env::temp_dir().join(format!("norns-bench-rr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let daemon =
+        UrdDaemon::spawn(DaemonConfig { socket_dir: root.join("sockets"), workers: 2 }).unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    ctl.register_dataspace(DataspaceDesc {
+        nsid: "tmp0".into(),
+        kind: BackendKind::Tmpfs,
+        mount: root.join("tmp0").to_string_lossy().into_owned(),
+        quota: 0,
+        tracked: false,
+    })
+    .unwrap();
+
+    c.bench_function("daemon_ping_rtt", |b| b.iter(|| ctl.ping().unwrap()));
+
+    let spec = TaskSpec {
+        op: TaskOp::Remove,
+        input: ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "missing".into() },
+        output: None,
+    };
+    c.bench_function("daemon_submit_rtt", |b| {
+        b.iter(|| ctl.submit(0, spec.clone(), None).unwrap())
+    });
+
+    c.bench_function("daemon_status_rtt", |b| b.iter(|| ctl.status().unwrap()));
+}
+
+criterion_group!(benches, bench_request_rate);
+criterion_main!(benches);

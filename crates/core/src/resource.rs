@@ -1,0 +1,125 @@
+//! Data resources: the endpoints of an I/O task.
+//!
+//! Matches the paper's `NORNS_MEMORY_REGION` / `NORNS_POSIX_PATH`
+//! resource constructors plus remote paths reachable through the urd
+//! network manager.
+
+use simnet::NodeId;
+
+/// One endpoint of an I/O task, normalized so the handling urd always
+/// knows which node the data lives on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceRef {
+    /// A region of the submitting process' memory (on the urd's node).
+    Memory { size: u64 },
+    /// A path inside a dataspace on the urd's own node.
+    Local { nsid: String, path: String },
+    /// A path inside a dataspace on another node.
+    Remote { node: NodeId, nsid: String, path: String },
+}
+
+impl ResourceRef {
+    pub fn memory(size: u64) -> Self {
+        ResourceRef::Memory { size }
+    }
+
+    pub fn local(nsid: impl Into<String>, path: impl Into<String>) -> Self {
+        ResourceRef::Local { nsid: nsid.into(), path: path.into() }
+    }
+
+    pub fn remote(node: NodeId, nsid: impl Into<String>, path: impl Into<String>) -> Self {
+        ResourceRef::Remote { node, nsid: nsid.into(), path: path.into() }
+    }
+
+    /// Parse a `"scheme://path"` string the way the batch-script
+    /// options name resources (e.g. `lustre://in/mesh.dat`).
+    pub fn parse_local(s: &str) -> Option<Self> {
+        let (nsid, path) = s.split_once("://")?;
+        if nsid.is_empty() {
+            return None;
+        }
+        Some(ResourceRef::local(nsid, path))
+    }
+
+    pub fn is_memory(&self) -> bool {
+        matches!(self, ResourceRef::Memory { .. })
+    }
+
+    pub fn is_remote(&self) -> bool {
+        matches!(self, ResourceRef::Remote { .. })
+    }
+
+    /// The dataspace id, if the resource is path-based.
+    pub fn nsid(&self) -> Option<&str> {
+        match self {
+            ResourceRef::Memory { .. } => None,
+            ResourceRef::Local { nsid, .. } | ResourceRef::Remote { nsid, .. } => Some(nsid),
+        }
+    }
+
+    pub fn path(&self) -> Option<&str> {
+        match self {
+            ResourceRef::Memory { .. } => None,
+            ResourceRef::Local { path, .. } | ResourceRef::Remote { path, .. } => Some(path),
+        }
+    }
+
+    /// The node the data lives on, given the handling urd's own node.
+    pub fn data_node(&self, local_node: NodeId) -> NodeId {
+        match self {
+            ResourceRef::Memory { .. } | ResourceRef::Local { .. } => local_node,
+            ResourceRef::Remote { node, .. } => *node,
+        }
+    }
+
+    /// Render like the paper's dataspace ids.
+    pub fn display(&self) -> String {
+        match self {
+            ResourceRef::Memory { size } => format!("mem[{size}B]"),
+            ResourceRef::Local { nsid, path } => format!("{nsid}://{path}"),
+            ResourceRef::Remote { node, nsid, path } => format!("{nsid}://{path}@node{node}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scheme_paths() {
+        let r = ResourceRef::parse_local("lustre://in/mesh.dat").unwrap();
+        assert_eq!(r, ResourceRef::local("lustre", "in/mesh.dat"));
+        assert_eq!(r.nsid(), Some("lustre"));
+        assert_eq!(r.path(), Some("in/mesh.dat"));
+        assert!(ResourceRef::parse_local("no-scheme").is_none());
+        assert!(ResourceRef::parse_local("://missing").is_none());
+        // Empty path (whole dataspace) is legal — persist ops use it.
+        assert_eq!(
+            ResourceRef::parse_local("pmdk0://").unwrap(),
+            ResourceRef::local("pmdk0", "")
+        );
+    }
+
+    #[test]
+    fn data_node_resolution() {
+        assert_eq!(ResourceRef::memory(10).data_node(3), 3);
+        assert_eq!(ResourceRef::local("a", "b").data_node(3), 3);
+        assert_eq!(ResourceRef::remote(7, "a", "b").data_node(3), 7);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(ResourceRef::memory(1).is_memory());
+        assert!(!ResourceRef::memory(1).is_remote());
+        assert!(ResourceRef::remote(0, "n", "p").is_remote());
+        assert_eq!(ResourceRef::memory(1).nsid(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ResourceRef::memory(64).display(), "mem[64B]");
+        assert_eq!(ResourceRef::local("nvme0", "x/y").display(), "nvme0://x/y");
+        assert_eq!(ResourceRef::remote(2, "pmdk0", "d").display(), "pmdk0://d@node2");
+    }
+}

@@ -1,0 +1,220 @@
+//! Blocking client libraries for the real daemon: [`CtlClient`]
+//! (the `nornsctl` API) and [`UserClient`] (the `norns` API).
+//!
+//! Each client owns one connection; spawn one per thread to model
+//! concurrent processes (as the Fig. 4 benchmark does).
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use bytes::{Bytes, BytesMut};
+
+use norns_proto::{
+    encode_frame, CtlRequest, DaemonCommand, DaemonStatus, DataspaceDesc, ErrorCode, FrameReader,
+    JobDesc, Response, TaskSpec, TaskStats, UserRequest, Wire,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Protocol(String),
+    /// The daemon replied with an error response.
+    Remote { code: ErrorCode, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Remote { code, message } => write!(f, "daemon error {code:?}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+pub type ClientResult<T> = Result<T, ClientError>;
+
+struct Connection {
+    stream: UnixStream,
+    reader: FrameReader,
+}
+
+impl Connection {
+    fn connect(path: &Path) -> ClientResult<Self> {
+        Ok(Connection { stream: UnixStream::connect(path)?, reader: FrameReader::new() })
+    }
+
+    fn call(&mut self, request: Bytes, payload: Option<&[u8]>) -> ClientResult<Response> {
+        let mut body = BytesMut::from(&request[..]);
+        if let Some(p) = payload {
+            body.extend_from_slice(p);
+        }
+        let framed = encode_frame(&body);
+        self.stream.write_all(&framed)?;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if let Some(frame) = self
+                .reader
+                .next_frame()
+                .map_err(|e| ClientError::Protocol(e.to_string()))?
+            {
+                return Response::from_bytes(frame)
+                    .map_err(|e| ClientError::Protocol(e.to_string()));
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("daemon closed the connection".into()));
+            }
+            self.reader.extend(&buf[..n]);
+        }
+    }
+}
+
+fn expect_ok(r: Response) -> ClientResult<()> {
+    match r {
+        Response::Ok => Ok(()),
+        Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+        other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+    }
+}
+
+fn expect_task_id(r: Response) -> ClientResult<u64> {
+    match r {
+        Response::TaskSubmitted { task_id } => Ok(task_id),
+        Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+        other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+    }
+}
+
+fn expect_stats(r: Response) -> ClientResult<TaskStats> {
+    match r {
+        Response::TaskStatus(stats) => Ok(stats),
+        Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+        other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+    }
+}
+
+/// The administrative (`nornsctl`) client.
+pub struct CtlClient(Connection);
+
+impl CtlClient {
+    pub fn connect(path: &Path) -> ClientResult<Self> {
+        Ok(CtlClient(Connection::connect(path)?))
+    }
+
+    fn call(&mut self, req: &CtlRequest, payload: Option<&[u8]>) -> ClientResult<Response> {
+        self.0.call(req.to_bytes(), payload)
+    }
+
+    pub fn ping(&mut self) -> ClientResult<()> {
+        expect_ok(self.call(&CtlRequest::SendCommand(DaemonCommand::Ping), None)?)
+    }
+
+    pub fn send_command(&mut self, cmd: DaemonCommand) -> ClientResult<()> {
+        expect_ok(self.call(&CtlRequest::SendCommand(cmd), None)?)
+    }
+
+    pub fn status(&mut self) -> ClientResult<DaemonStatus> {
+        match self.call(&CtlRequest::Status, None)? {
+            Response::Status(s) => Ok(s),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    pub fn register_dataspace(&mut self, desc: DataspaceDesc) -> ClientResult<()> {
+        expect_ok(self.call(&CtlRequest::RegisterDataspace(desc), None)?)
+    }
+
+    pub fn unregister_dataspace(&mut self, nsid: &str) -> ClientResult<()> {
+        expect_ok(
+            self.call(&CtlRequest::UnregisterDataspace { nsid: nsid.to_string() }, None)?,
+        )
+    }
+
+    pub fn register_job(&mut self, job: JobDesc) -> ClientResult<()> {
+        expect_ok(self.call(&CtlRequest::RegisterJob(job), None)?)
+    }
+
+    pub fn unregister_job(&mut self, job_id: u64) -> ClientResult<()> {
+        expect_ok(self.call(&CtlRequest::UnregisterJob { job_id }, None)?)
+    }
+
+    pub fn add_process(&mut self, job_id: u64, pid: u64, uid: u32, gid: u32) -> ClientResult<()> {
+        expect_ok(self.call(&CtlRequest::AddProcess { job_id, pid, uid, gid }, None)?)
+    }
+
+    /// Submit a task; `payload` carries the buffer for
+    /// memory-region inputs.
+    pub fn submit(
+        &mut self,
+        job_id: u64,
+        spec: TaskSpec,
+        payload: Option<&[u8]>,
+    ) -> ClientResult<u64> {
+        expect_task_id(self.call(&CtlRequest::SubmitTask { job_id, spec }, payload)?)
+    }
+
+    pub fn wait(&mut self, task_id: u64, timeout_usec: u64) -> ClientResult<TaskStats> {
+        expect_stats(self.call(&CtlRequest::WaitTask { task_id, timeout_usec }, None)?)
+    }
+
+    pub fn query(&mut self, task_id: u64) -> ClientResult<TaskStats> {
+        expect_stats(self.call(&CtlRequest::QueryTask { task_id }, None)?)
+    }
+}
+
+/// The application (`norns`) client.
+pub struct UserClient {
+    conn: Connection,
+    pid: u64,
+}
+
+impl UserClient {
+    pub fn connect(path: &Path) -> ClientResult<Self> {
+        Ok(UserClient { conn: Connection::connect(path)?, pid: std::process::id() as u64 })
+    }
+
+    pub fn with_pid(path: &Path, pid: u64) -> ClientResult<Self> {
+        Ok(UserClient { conn: Connection::connect(path)?, pid })
+    }
+
+    fn call(&mut self, req: &UserRequest, payload: Option<&[u8]>) -> ClientResult<Response> {
+        self.conn.call(req.to_bytes(), payload)
+    }
+
+    /// `norns_get_dataspace_info`.
+    pub fn dataspaces(&mut self) -> ClientResult<Vec<DataspaceDesc>> {
+        match self.call(&UserRequest::GetDataspaceInfo, None)? {
+            Response::Dataspaces(d) => Ok(d),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// `norns_submit` (Listing 2).
+    pub fn submit(&mut self, spec: TaskSpec, payload: Option<&[u8]>) -> ClientResult<u64> {
+        let pid = self.pid;
+        expect_task_id(self.call(&UserRequest::SubmitTask { pid, spec }, payload)?)
+    }
+
+    /// `norns_wait`.
+    pub fn wait(&mut self, task_id: u64, timeout_usec: u64) -> ClientResult<TaskStats> {
+        expect_stats(self.call(&UserRequest::WaitTask { task_id, timeout_usec }, None)?)
+    }
+
+    /// `norns_error` (status/stats query).
+    pub fn query(&mut self, task_id: u64) -> ClientResult<TaskStats> {
+        expect_stats(self.call(&UserRequest::QueryTask { task_id }, None)?)
+    }
+}

@@ -1,0 +1,240 @@
+//! The real `urd` daemon: two `AF_UNIX` listeners (control + user,
+//! with different filesystem permissions, §IV-B), an accept thread per
+//! socket, per-connection reader threads feeding the shared
+//! [`Engine`], and framed request/response messaging.
+
+use std::io::{Read, Write};
+use std::os::unix::fs::PermissionsExt;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use norns_proto::{
+    encode_frame, CtlRequest, DaemonCommand, ErrorCode, FrameReader, Response, UserRequest, Wire,
+};
+
+use crate::engine::Engine;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Directory for `urd.ctl.sock` and `urd.user.sock`.
+    pub socket_dir: PathBuf,
+    /// Worker threads executing transfers.
+    pub workers: usize,
+}
+
+impl DaemonConfig {
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        DaemonConfig { socket_dir: dir.into(), workers: 4 }
+    }
+}
+
+/// A running daemon; dropping it shuts the listeners down.
+pub struct UrdDaemon {
+    pub control_path: PathBuf,
+    pub user_path: PathBuf,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl UrdDaemon {
+    /// Bind both sockets and start serving.
+    pub fn spawn(config: DaemonConfig) -> std::io::Result<UrdDaemon> {
+        std::fs::create_dir_all(&config.socket_dir)?;
+        let control_path = config.socket_dir.join("urd.ctl.sock");
+        let user_path = config.socket_dir.join("urd.user.sock");
+        let _ = std::fs::remove_file(&control_path);
+        let _ = std::fs::remove_file(&user_path);
+
+        let engine = Engine::new(config.workers);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let ctl_listener = UnixListener::bind(&control_path)?;
+        let user_listener = UnixListener::bind(&user_path)?;
+        // "two separate 'control' and 'user' sockets are created with
+        // differing file system permissions" — owner-only for control,
+        // group/world-usable for the user socket.
+        let _ = std::fs::set_permissions(&control_path, std::fs::Permissions::from_mode(0o600));
+        let _ = std::fs::set_permissions(&user_path, std::fs::Permissions::from_mode(0o666));
+
+        spawn_acceptor(ctl_listener, Arc::clone(&engine), Arc::clone(&shutdown), true);
+        spawn_acceptor(user_listener, Arc::clone(&engine), Arc::clone(&shutdown), false);
+
+        Ok(UrdDaemon { control_path, user_path, engine, shutdown })
+    }
+
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stop accepting and wake the acceptor threads.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept() calls.
+        let _ = UnixStream::connect(&self.control_path);
+        let _ = UnixStream::connect(&self.user_path);
+    }
+}
+
+impl Drop for UrdDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+        let _ = std::fs::remove_file(&self.control_path);
+        let _ = std::fs::remove_file(&self.user_path);
+    }
+}
+
+fn spawn_acceptor(
+    listener: UnixListener,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    control: bool,
+) {
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve_connection(stream, engine, shutdown, control));
+        }
+    });
+}
+
+fn serve_connection(
+    mut stream: UnixStream,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    control: bool,
+) {
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        reader.extend(&buf[..n]);
+        loop {
+            match reader.next_frame() {
+                Ok(Some(frame)) => {
+                    let response = if control {
+                        handle_ctl(&engine, &shutdown, frame)
+                    } else {
+                        handle_user(&engine, frame)
+                    };
+                    let framed = encode_frame(&response.to_bytes());
+                    if stream.write_all(&framed).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return, // protocol violation: drop the client
+            }
+        }
+    }
+}
+
+fn err_response(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error { code, message: message.into() }
+}
+
+fn from_engine(r: Result<(), (ErrorCode, String)>) -> Response {
+    match r {
+        Ok(()) => Response::Ok,
+        Err((code, message)) => Response::Error { code, message },
+    }
+}
+
+fn handle_ctl(engine: &Arc<Engine>, shutdown: &Arc<AtomicBool>, frame: Bytes) -> Response {
+    let mut b = frame;
+    let req = match CtlRequest::decode(&mut b) {
+        Ok(r) => r,
+        Err(e) => return err_response(ErrorCode::BadArgs, e.to_string()),
+    };
+    // Any bytes after the request are an inline memory payload.
+    let payload = if b.is_empty() { None } else { Some(b.to_vec()) };
+    match req {
+        CtlRequest::SendCommand(cmd) => match cmd {
+            DaemonCommand::Ping => Response::Ok,
+            DaemonCommand::PauseAccepting => {
+                engine.set_accepting(false);
+                Response::Ok
+            }
+            DaemonCommand::ResumeAccepting => {
+                engine.set_accepting(true);
+                Response::Ok
+            }
+            DaemonCommand::ClearCompletions => {
+                engine.clear_completions();
+                Response::Ok
+            }
+            DaemonCommand::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                Response::Ok
+            }
+        },
+        CtlRequest::Status => Response::Status(engine.status()),
+        CtlRequest::RegisterDataspace(d) => from_engine(engine.register_dataspace(d)),
+        CtlRequest::UpdateDataspace(d) => from_engine(engine.update_dataspace(d)),
+        CtlRequest::UnregisterDataspace { nsid } => {
+            from_engine(engine.unregister_dataspace(&nsid))
+        }
+        CtlRequest::RegisterJob(j) => from_engine(engine.register_job(j)),
+        CtlRequest::UpdateJob(j) => from_engine(engine.update_job(j)),
+        CtlRequest::UnregisterJob { job_id } => from_engine(engine.unregister_job(job_id)),
+        CtlRequest::AddProcess { job_id, pid, .. } => from_engine(engine.add_process(job_id, pid)),
+        CtlRequest::RemoveProcess { job_id, pid } => {
+            from_engine(engine.remove_process(job_id, pid))
+        }
+        CtlRequest::SubmitTask { spec, .. } => match engine.submit(spec, payload) {
+            Ok(task_id) => Response::TaskSubmitted { task_id },
+            Err((code, message)) => Response::Error { code, message },
+        },
+        CtlRequest::WaitTask { task_id, timeout_usec } => {
+            match engine.wait(task_id, timeout_usec) {
+                Some(stats) => Response::TaskStatus(stats),
+                None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
+            }
+        }
+        CtlRequest::QueryTask { task_id } => match engine.query(task_id) {
+            Some(stats) => Response::TaskStatus(stats),
+            None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
+        },
+    }
+}
+
+fn handle_user(engine: &Arc<Engine>, frame: Bytes) -> Response {
+    let mut b = frame;
+    let req = match UserRequest::decode(&mut b) {
+        Ok(r) => r,
+        Err(e) => return err_response(ErrorCode::BadArgs, e.to_string()),
+    };
+    let payload = if b.is_empty() { None } else { Some(b.to_vec()) };
+    match req {
+        UserRequest::GetDataspaceInfo => Response::Dataspaces(engine.dataspaces()),
+        UserRequest::SubmitTask { spec, .. } => match engine.submit(spec, payload) {
+            Ok(task_id) => Response::TaskSubmitted { task_id },
+            Err((code, message)) => Response::Error { code, message },
+        },
+        UserRequest::WaitTask { task_id, timeout_usec } => {
+            match engine.wait(task_id, timeout_usec) {
+                Some(stats) => Response::TaskStatus(stats),
+                None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
+            }
+        }
+        UserRequest::QueryTask { task_id } => match engine.query(task_id) {
+            Some(stats) => Response::TaskStatus(stats),
+            None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
+        },
+    }
+}

@@ -1,0 +1,24 @@
+//! # norns-ipc — the real urd daemon
+//!
+//! While the `norns` crate models the service inside the cluster
+//! simulator, this crate is a *real* implementation of the daemon's
+//! local path: actual `AF_UNIX` sockets with split control/user
+//! permissions, an accept loop, framed protobuf-style messages
+//! (`norns-proto`), a crossbeam worker pool and genuine filesystem
+//! transfers. It backs the Fig. 4 request-rate benchmark (local
+//! clients hammering one urd) and the quickstart/memory-offload
+//! examples.
+//!
+//! * [`engine::Engine`] — registries, validation, FIFO queue, worker
+//!   pool, completion table with condvar-based `wait`.
+//! * [`daemon::UrdDaemon`] — socket lifecycle and request dispatch.
+//! * [`client::CtlClient`] / [`client::UserClient`] — blocking client
+//!   libraries mirroring `nornsctl` / `norns`.
+
+pub mod client;
+pub mod daemon;
+pub mod engine;
+
+pub use client::{ClientError, ClientResult, CtlClient, UserClient};
+pub use daemon::{DaemonConfig, UrdDaemon};
+pub use engine::Engine;

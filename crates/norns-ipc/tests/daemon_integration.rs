@@ -1,0 +1,199 @@
+//! Integration tests against a live daemon over real sockets.
+
+use std::path::PathBuf;
+
+use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon, UserClient};
+use norns_proto::{
+    BackendKind, DaemonCommand, DataspaceDesc, ErrorCode, JobDesc, ResourceDesc, TaskOp,
+    TaskSpec, TaskState,
+};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("norns-ipcd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(tag: &str) -> (UrdDaemon, PathBuf) {
+    let root = temp_root(tag);
+    let daemon = UrdDaemon::spawn(DaemonConfig::in_dir(root.join("sockets"))).unwrap();
+    (daemon, root)
+}
+
+fn setup_dataspace(ctl: &mut CtlClient, root: &PathBuf) {
+    ctl.register_dataspace(DataspaceDesc {
+        nsid: "tmp0".into(),
+        kind: BackendKind::Tmpfs,
+        mount: root.join("tmp0").to_string_lossy().into_owned(),
+        quota: 0,
+        tracked: false,
+    })
+    .unwrap();
+}
+
+#[test]
+fn listing2_flow_over_real_sockets() {
+    let (daemon, root) = start("listing2");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    ctl.register_job(JobDesc { job_id: 42, hosts: vec!["localhost".into()], limits: vec![] })
+        .unwrap();
+    ctl.add_process(42, 777, 1000, 1000).unwrap();
+
+    // The Listing 2 pattern: offload a buffer asynchronously, then
+    // wait and check the status.
+    let mut user = UserClient::with_pid(&daemon.user_path, 777).unwrap();
+    let buffer = vec![0xabu8; 256 * 1024];
+    let task = user
+        .submit(
+            TaskSpec {
+                op: TaskOp::Copy,
+                input: ResourceDesc::MemoryRegion { addr: 0x1000, size: buffer.len() as u64 },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "path/to/output".into(),
+                }),
+            },
+            Some(&buffer),
+        )
+        .unwrap();
+    let stats = user.wait(task, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(stats.bytes_moved, buffer.len() as u64);
+    let written = std::fs::read(root.join("tmp0/path/to/output")).unwrap();
+    assert_eq!(written, buffer);
+}
+
+#[test]
+fn user_socket_reports_dataspaces() {
+    let (daemon, root) = start("dsinfo");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    let mut user = UserClient::connect(&daemon.user_path).unwrap();
+    let ds = user.dataspaces().unwrap();
+    assert_eq!(ds.len(), 1);
+    assert_eq!(ds[0].nsid, "tmp0");
+}
+
+#[test]
+fn copy_between_paths_via_control_api() {
+    let (daemon, root) = start("copy");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    std::fs::write(root.join("tmp0/input.dat"), vec![3u8; 4096]).unwrap();
+    let task = ctl
+        .submit(
+            0,
+            TaskSpec {
+                op: TaskOp::Copy,
+                input: ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "input.dat".into() },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "staged/input.dat".into(),
+                }),
+            },
+            None,
+        )
+        .unwrap();
+    let stats = ctl.wait(task, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(stats.bytes_moved, 4096);
+    assert!(root.join("tmp0/staged/input.dat").exists());
+}
+
+#[test]
+fn errors_propagate_to_clients() {
+    let (daemon, root) = start("errors");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    // Unknown dataspace.
+    let err = ctl.submit(
+        0,
+        TaskSpec {
+            op: TaskOp::Remove,
+            input: ResourceDesc::PosixPath { nsid: "ghost".into(), path: "x".into() },
+            output: None,
+        },
+        None,
+    );
+    match err {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound)
+        }
+        other => panic!("expected remote NotFound, got {other:?}"),
+    }
+    // Task that fails at execution.
+    let task = ctl
+        .submit(
+            0,
+            TaskSpec {
+                op: TaskOp::Copy,
+                input: ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "absent".into() },
+                output: Some(ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "y".into() }),
+            },
+            None,
+        )
+        .unwrap();
+    let stats = ctl.wait(task, 0).unwrap();
+    assert_eq!(stats.state, TaskState::FinishedWithError);
+    assert_eq!(stats.error, ErrorCode::NotFound);
+}
+
+#[test]
+fn pause_and_resume_via_commands() {
+    let (daemon, root) = start("pause");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    ctl.send_command(DaemonCommand::PauseAccepting).unwrap();
+    let err = ctl.submit(
+        0,
+        TaskSpec {
+            op: TaskOp::Remove,
+            input: ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "x".into() },
+            output: None,
+        },
+        None,
+    );
+    assert!(err.is_err());
+    ctl.send_command(DaemonCommand::ResumeAccepting).unwrap();
+    let st = ctl.status().unwrap();
+    assert!(st.accepting);
+}
+
+#[test]
+fn concurrent_clients_hammer_ping() {
+    // A miniature of the Fig. 4 benchmark: 8 threads × 500 pings.
+    let (daemon, _root) = start("hammer");
+    let ctl_path = daemon.control_path.clone();
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let path = ctl_path.clone();
+            std::thread::spawn(move || {
+                let mut c = CtlClient::connect(&path).unwrap();
+                for _ in 0..500 {
+                    c.ping().unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    assert!(ctl.status().is_ok());
+}
+
+#[test]
+fn wait_with_timeout_returns_inflight_state() {
+    let (daemon, root) = start("timeout");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    // Query an unknown task: clean remote error.
+    match ctl.wait(4242, 1000) {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound)
+        }
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+}

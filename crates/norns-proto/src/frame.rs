@@ -1,0 +1,218 @@
+//! Stream framing.
+//!
+//! Messages travel over byte streams (AF_UNIX sockets) as frames:
+//!
+//! ```text
+//! +----------+---------+------------------+
+//! | len: u32 | ver: u8 | payload (len-1)  |
+//! +----------+---------+------------------+
+//! ```
+//!
+//! `len` is little-endian and counts the version byte plus payload.
+//! [`FrameReader`] is an incremental decoder that accepts arbitrary
+//! chunk boundaries (short reads, coalesced frames) — required because
+//! the daemon's accept loop reads whatever the kernel buffered.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::wire::WireError;
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frames larger than this are rejected outright (a corrupt or hostile
+/// peer must not make the daemon allocate gigabytes).
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Wrap a payload in a frame.
+pub fn encode_frame(payload: &[u8]) -> Bytes {
+    let len = payload.len() as u32 + 1;
+    assert!(len <= MAX_FRAME_LEN, "frame too large");
+    let mut buf = BytesMut::with_capacity(4 + len as usize);
+    buf.put_u32_le(len);
+    buf.put_u8(PROTOCOL_VERSION);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Errors surfaced by the incremental reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    TooLarge(u32),
+    BadVersion(u8),
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: BytesMut,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed freshly read bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to pop one complete frame payload. `Ok(None)` means "need
+    /// more bytes".
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge(len));
+        }
+        if self.buf.len() < 4 + len as usize {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let mut frame = self.buf.split_to(len as usize).freeze();
+        let ver = frame.get_u8();
+        if ver != PROTOCOL_VERSION {
+            return Err(FrameError::BadVersion(ver));
+        }
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_frame_roundtrip() {
+        let payload = b"hello urd";
+        let framed = encode_frame(payload);
+        let mut reader = FrameReader::new();
+        reader.extend(&framed);
+        let got = reader.next_frame().unwrap().unwrap();
+        assert_eq!(&got[..], payload);
+        assert_eq!(reader.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let framed = encode_frame(b"slow drip");
+        let mut reader = FrameReader::new();
+        let mut out = None;
+        for b in framed.iter() {
+            reader.extend(&[*b]);
+            if let Some(f) = reader.next_frame().unwrap() {
+                out = Some(f);
+            }
+        }
+        assert_eq!(&out.unwrap()[..], b"slow drip");
+    }
+
+    #[test]
+    fn coalesced_frames_split_correctly() {
+        let mut all = Vec::new();
+        for p in [b"one".as_slice(), b"two".as_slice(), b"three".as_slice()] {
+            all.extend_from_slice(&encode_frame(p));
+        }
+        let mut reader = FrameReader::new();
+        reader.extend(&all);
+        assert_eq!(&reader.next_frame().unwrap().unwrap()[..], b"one");
+        assert_eq!(&reader.next_frame().unwrap().unwrap()[..], b"two");
+        assert_eq!(&reader.next_frame().unwrap().unwrap()[..], b"three");
+        assert_eq!(reader.next_frame().unwrap(), None);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let framed = encode_frame(b"");
+        let mut reader = FrameReader::new();
+        reader.extend(&framed);
+        let got = reader.next_frame().unwrap().unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut reader = FrameReader::new();
+        reader.extend(&[0, 0, 0, 0]);
+        assert!(matches!(reader.next_frame(), Err(FrameError::TooLarge(0))));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_buffering() {
+        let mut reader = FrameReader::new();
+        let bad_len = (MAX_FRAME_LEN + 1).to_le_bytes();
+        reader.extend(&bad_len);
+        assert!(matches!(reader.next_frame(), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_u8(99); // bad version
+        buf.put_u8(0);
+        let mut reader = FrameReader::new();
+        reader.extend(&buf);
+        assert!(matches!(reader.next_frame(), Err(FrameError::BadVersion(99))));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_any_payload(payload: Vec<u8>) {
+            let framed = encode_frame(&payload);
+            let mut reader = FrameReader::new();
+            reader.extend(&framed);
+            let got = reader.next_frame().unwrap().unwrap();
+            prop_assert_eq!(got.to_vec(), payload);
+        }
+
+        #[test]
+        fn prop_roundtrip_with_random_chunking(
+            payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+            chunk in 1usize..17,
+        ) {
+            let mut stream = Vec::new();
+            for p in &payloads {
+                stream.extend_from_slice(&encode_frame(p));
+            }
+            let mut reader = FrameReader::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                reader.extend(piece);
+                while let Some(f) = reader.next_frame().unwrap() {
+                    got.push(f.to_vec());
+                }
+            }
+            prop_assert_eq!(got, payloads);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # norns-proto — the NORNS wire protocol
+//!
+//! The paper's urd daemon talks to its clients by "sending messages
+//! serialized with Google's Protocol Buffers through local `AF_UNIX`
+//! sockets" (§IV-B). This crate is the from-scratch equivalent:
+//!
+//! * [`wire`] — protobuf-inspired varint codec (LEB128, zigzag,
+//!   length-delimited strings) with hard allocation caps.
+//! * [`messages`] — the full request/response set for both the
+//!   `nornsctl` control API and the `norns` user API (Table I).
+//! * [`frame`] — length-prefixed, versioned stream framing with an
+//!   incremental reader tolerant of arbitrary chunk boundaries.
+//!
+//! Used by `norns-ipc` (the real daemon over real sockets) and by the
+//! protocol-level benchmarks.
+
+pub mod frame;
+pub mod messages;
+pub mod wire;
+
+pub use frame::{encode_frame, FrameError, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use messages::{
+    BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataspaceDesc, ErrorCode, JobDesc,
+    ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats, UserRequest,
+};
+pub use wire::{Wire, WireError};

@@ -1,0 +1,777 @@
+//! The NORNS message set.
+//!
+//! Mirrors Table I of the paper: the administrative `nornsctl` surface
+//! (daemon management, dataspace/job/process registration, task
+//! control) and the user `norns` surface (dataspace queries, task
+//! submission/monitoring). Each API speaks over its own socket; both
+//! share [`Response`].
+
+use bytes::{Bytes, BytesMut};
+
+use crate::wire::{
+    get_bool, get_str, get_varint, get_vec, put_bool, put_str, put_varint, put_vec, Wire,
+    WireError,
+};
+
+/// Storage backend kinds a dataspace can be backed by (paper §IV-A:
+/// "lustre://", "nvme0://", "pmdk0://" ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    PosixFilesystem,
+    Lustre,
+    NvmeSsd,
+    NvmDax,
+    Tmpfs,
+    BurstBuffer,
+}
+
+impl BackendKind {
+    fn to_u64(self) -> u64 {
+        match self {
+            BackendKind::PosixFilesystem => 0,
+            BackendKind::Lustre => 1,
+            BackendKind::NvmeSsd => 2,
+            BackendKind::NvmDax => 3,
+            BackendKind::Tmpfs => 4,
+            BackendKind::BurstBuffer => 5,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => BackendKind::PosixFilesystem,
+            1 => BackendKind::Lustre,
+            2 => BackendKind::NvmeSsd,
+            3 => BackendKind::NvmDax,
+            4 => BackendKind::Tmpfs,
+            5 => BackendKind::BurstBuffer,
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// A dataspace visible to jobs on a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataspaceDesc {
+    /// Dataspace id, e.g. `pmdk0`.
+    pub nsid: String,
+    pub kind: BackendKind,
+    /// Backing mount point or root path on the node.
+    pub mount: String,
+    /// Byte quota granted to the owning job (0 = unlimited).
+    pub quota: u64,
+    /// Whether Slurm asked NORNS to "track" this dataspace (check
+    /// emptiness at node release; paper §IV-A).
+    pub tracked: bool,
+}
+
+impl Wire for DataspaceDesc {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.nsid);
+        put_varint(buf, self.kind.to_u64());
+        put_str(buf, &self.mount);
+        put_varint(buf, self.quota);
+        put_bool(buf, self.tracked);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(DataspaceDesc {
+            nsid: get_str(buf)?,
+            kind: BackendKind::from_u64(get_varint(buf)?)?,
+            mount: get_str(buf)?,
+            quota: get_varint(buf)?,
+            tracked: get_bool(buf)?,
+        })
+    }
+}
+
+/// One end of an I/O task (paper Listing 2: `NORNS_MEMORY_REGION`,
+/// `NORNS_POSIX_PATH`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceDesc {
+    /// A region of the calling process' memory.
+    MemoryRegion { addr: u64, size: u64 },
+    /// A path inside a dataspace on this node.
+    PosixPath { nsid: String, path: String },
+    /// A path inside a dataspace on a remote node.
+    RemotePath { host: String, nsid: String, path: String },
+}
+
+impl Wire for ResourceDesc {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ResourceDesc::MemoryRegion { addr, size } => {
+                put_varint(buf, 0);
+                put_varint(buf, *addr);
+                put_varint(buf, *size);
+            }
+            ResourceDesc::PosixPath { nsid, path } => {
+                put_varint(buf, 1);
+                put_str(buf, nsid);
+                put_str(buf, path);
+            }
+            ResourceDesc::RemotePath { host, nsid, path } => {
+                put_varint(buf, 2);
+                put_str(buf, host);
+                put_str(buf, nsid);
+                put_str(buf, path);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_varint(buf)? {
+            0 => ResourceDesc::MemoryRegion { addr: get_varint(buf)?, size: get_varint(buf)? },
+            1 => ResourceDesc::PosixPath { nsid: get_str(buf)?, path: get_str(buf)? },
+            2 => ResourceDesc::RemotePath {
+                host: get_str(buf)?,
+                nsid: get_str(buf)?,
+                path: get_str(buf)?,
+            },
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// Task operation (`iotask_init(type, input, output)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOp {
+    Copy,
+    Move,
+    Remove,
+}
+
+impl TaskOp {
+    fn to_u64(self) -> u64 {
+        match self {
+            TaskOp::Copy => 0,
+            TaskOp::Move => 1,
+            TaskOp::Remove => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => TaskOp::Copy,
+            1 => TaskOp::Move,
+            2 => TaskOp::Remove,
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// A full I/O task description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    pub op: TaskOp,
+    pub input: ResourceDesc,
+    /// Absent for `Remove`.
+    pub output: Option<ResourceDesc>,
+}
+
+impl Wire for TaskSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.op.to_u64());
+        self.input.encode(buf);
+        match &self.output {
+            Some(o) => {
+                put_bool(buf, true);
+                o.encode(buf);
+            }
+            None => put_bool(buf, false),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let op = TaskOp::from_u64(get_varint(buf)?)?;
+        let input = ResourceDesc::decode(buf)?;
+        let output = if get_bool(buf)? { Some(ResourceDesc::decode(buf)?) } else { None };
+        Ok(TaskSpec { op, input, output })
+    }
+}
+
+/// Task lifecycle states (paper: pending queue → workers → completion
+/// list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    Pending,
+    InProgress,
+    Finished,
+    FinishedWithError,
+}
+
+impl TaskState {
+    fn to_u64(self) -> u64 {
+        match self {
+            TaskState::Pending => 0,
+            TaskState::InProgress => 1,
+            TaskState::Finished => 2,
+            TaskState::FinishedWithError => 3,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => TaskState::Pending,
+            1 => TaskState::InProgress,
+            2 => TaskState::Finished,
+            3 => TaskState::FinishedWithError,
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// Error codes, after the C API's `NORNS_*` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    Success,
+    TaskError,
+    NotFound,
+    PermissionDenied,
+    BadArgs,
+    NoSpace,
+    Timeout,
+    NotRegistered,
+    SystemError,
+}
+
+impl ErrorCode {
+    fn to_u64(self) -> u64 {
+        match self {
+            ErrorCode::Success => 0,
+            ErrorCode::TaskError => 1,
+            ErrorCode::NotFound => 2,
+            ErrorCode::PermissionDenied => 3,
+            ErrorCode::BadArgs => 4,
+            ErrorCode::NoSpace => 5,
+            ErrorCode::Timeout => 6,
+            ErrorCode::NotRegistered => 7,
+            ErrorCode::SystemError => 8,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => ErrorCode::Success,
+            1 => ErrorCode::TaskError,
+            2 => ErrorCode::NotFound,
+            3 => ErrorCode::PermissionDenied,
+            4 => ErrorCode::BadArgs,
+            5 => ErrorCode::NoSpace,
+            6 => ErrorCode::Timeout,
+            7 => ErrorCode::NotRegistered,
+            8 => ErrorCode::SystemError,
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// Completion statistics (`norns_error(&tsk, &stats)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskStats {
+    pub state: TaskState,
+    pub error: ErrorCode,
+    pub bytes_total: u64,
+    pub bytes_moved: u64,
+    pub elapsed_usec: u64,
+}
+
+impl Wire for TaskStats {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.state.to_u64());
+        put_varint(buf, self.error.to_u64());
+        put_varint(buf, self.bytes_total);
+        put_varint(buf, self.bytes_moved);
+        put_varint(buf, self.elapsed_usec);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(TaskStats {
+            state: TaskState::from_u64(get_varint(buf)?)?,
+            error: ErrorCode::from_u64(get_varint(buf)?)?,
+            bytes_total: get_varint(buf)?,
+            bytes_moved: get_varint(buf)?,
+            elapsed_usec: get_varint(buf)?,
+        })
+    }
+}
+
+/// Job registration payload (`job_init(hosts, limits)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobDesc {
+    pub job_id: u64,
+    pub hosts: Vec<String>,
+    /// Per-dataspace byte quotas: (nsid, bytes).
+    pub limits: Vec<(String, u64)>,
+}
+
+impl Wire for JobDesc {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.job_id);
+        put_varint(buf, self.hosts.len() as u64);
+        for h in &self.hosts {
+            put_str(buf, h);
+        }
+        put_varint(buf, self.limits.len() as u64);
+        for (nsid, quota) in &self.limits {
+            put_str(buf, nsid);
+            put_varint(buf, *quota);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let job_id = get_varint(buf)?;
+        let nh = get_varint(buf)?;
+        let mut hosts = Vec::with_capacity((nh as usize).min(1024));
+        for _ in 0..nh {
+            hosts.push(get_str(buf)?);
+        }
+        let nl = get_varint(buf)?;
+        let mut limits = Vec::with_capacity((nl as usize).min(1024));
+        for _ in 0..nl {
+            limits.push((get_str(buf)?, get_varint(buf)?));
+        }
+        Ok(JobDesc { job_id, hosts, limits })
+    }
+}
+
+/// Daemon-level commands (`nornsctl_send_command`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonCommand {
+    Ping,
+    PauseAccepting,
+    ResumeAccepting,
+    ClearCompletions,
+    Shutdown,
+}
+
+impl DaemonCommand {
+    fn to_u64(self) -> u64 {
+        match self {
+            DaemonCommand::Ping => 0,
+            DaemonCommand::PauseAccepting => 1,
+            DaemonCommand::ResumeAccepting => 2,
+            DaemonCommand::ClearCompletions => 3,
+            DaemonCommand::Shutdown => 4,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => DaemonCommand::Ping,
+            1 => DaemonCommand::PauseAccepting,
+            2 => DaemonCommand::ResumeAccepting,
+            3 => DaemonCommand::ClearCompletions,
+            4 => DaemonCommand::Shutdown,
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// Requests accepted on the *control* socket (Table I, top half).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlRequest {
+    SendCommand(DaemonCommand),
+    Status,
+    RegisterDataspace(DataspaceDesc),
+    UpdateDataspace(DataspaceDesc),
+    UnregisterDataspace { nsid: String },
+    RegisterJob(JobDesc),
+    UpdateJob(JobDesc),
+    UnregisterJob { job_id: u64 },
+    AddProcess { job_id: u64, pid: u64, uid: u32, gid: u32 },
+    RemoveProcess { job_id: u64, pid: u64 },
+    SubmitTask { job_id: u64, spec: TaskSpec },
+    WaitTask { task_id: u64, timeout_usec: u64 },
+    QueryTask { task_id: u64 },
+}
+
+impl Wire for CtlRequest {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CtlRequest::SendCommand(c) => {
+                put_varint(buf, 0);
+                put_varint(buf, c.to_u64());
+            }
+            CtlRequest::Status => put_varint(buf, 1),
+            CtlRequest::RegisterDataspace(d) => {
+                put_varint(buf, 2);
+                d.encode(buf);
+            }
+            CtlRequest::UpdateDataspace(d) => {
+                put_varint(buf, 3);
+                d.encode(buf);
+            }
+            CtlRequest::UnregisterDataspace { nsid } => {
+                put_varint(buf, 4);
+                put_str(buf, nsid);
+            }
+            CtlRequest::RegisterJob(j) => {
+                put_varint(buf, 5);
+                j.encode(buf);
+            }
+            CtlRequest::UpdateJob(j) => {
+                put_varint(buf, 6);
+                j.encode(buf);
+            }
+            CtlRequest::UnregisterJob { job_id } => {
+                put_varint(buf, 7);
+                put_varint(buf, *job_id);
+            }
+            CtlRequest::AddProcess { job_id, pid, uid, gid } => {
+                put_varint(buf, 8);
+                put_varint(buf, *job_id);
+                put_varint(buf, *pid);
+                put_varint(buf, *uid as u64);
+                put_varint(buf, *gid as u64);
+            }
+            CtlRequest::RemoveProcess { job_id, pid } => {
+                put_varint(buf, 9);
+                put_varint(buf, *job_id);
+                put_varint(buf, *pid);
+            }
+            CtlRequest::SubmitTask { job_id, spec } => {
+                put_varint(buf, 10);
+                put_varint(buf, *job_id);
+                spec.encode(buf);
+            }
+            CtlRequest::WaitTask { task_id, timeout_usec } => {
+                put_varint(buf, 11);
+                put_varint(buf, *task_id);
+                put_varint(buf, *timeout_usec);
+            }
+            CtlRequest::QueryTask { task_id } => {
+                put_varint(buf, 12);
+                put_varint(buf, *task_id);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_varint(buf)? {
+            0 => CtlRequest::SendCommand(DaemonCommand::from_u64(get_varint(buf)?)?),
+            1 => CtlRequest::Status,
+            2 => CtlRequest::RegisterDataspace(DataspaceDesc::decode(buf)?),
+            3 => CtlRequest::UpdateDataspace(DataspaceDesc::decode(buf)?),
+            4 => CtlRequest::UnregisterDataspace { nsid: get_str(buf)? },
+            5 => CtlRequest::RegisterJob(JobDesc::decode(buf)?),
+            6 => CtlRequest::UpdateJob(JobDesc::decode(buf)?),
+            7 => CtlRequest::UnregisterJob { job_id: get_varint(buf)? },
+            8 => CtlRequest::AddProcess {
+                job_id: get_varint(buf)?,
+                pid: get_varint(buf)?,
+                uid: get_varint(buf)? as u32,
+                gid: get_varint(buf)? as u32,
+            },
+            9 => CtlRequest::RemoveProcess { job_id: get_varint(buf)?, pid: get_varint(buf)? },
+            10 => CtlRequest::SubmitTask { job_id: get_varint(buf)?, spec: TaskSpec::decode(buf)? },
+            11 => CtlRequest::WaitTask {
+                task_id: get_varint(buf)?,
+                timeout_usec: get_varint(buf)?,
+            },
+            12 => CtlRequest::QueryTask { task_id: get_varint(buf)? },
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// Requests accepted on the *user* socket (Table I, bottom half).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserRequest {
+    GetDataspaceInfo,
+    SubmitTask { pid: u64, spec: TaskSpec },
+    WaitTask { task_id: u64, timeout_usec: u64 },
+    QueryTask { task_id: u64 },
+}
+
+impl Wire for UserRequest {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            UserRequest::GetDataspaceInfo => put_varint(buf, 0),
+            UserRequest::SubmitTask { pid, spec } => {
+                put_varint(buf, 1);
+                put_varint(buf, *pid);
+                spec.encode(buf);
+            }
+            UserRequest::WaitTask { task_id, timeout_usec } => {
+                put_varint(buf, 2);
+                put_varint(buf, *task_id);
+                put_varint(buf, *timeout_usec);
+            }
+            UserRequest::QueryTask { task_id } => {
+                put_varint(buf, 3);
+                put_varint(buf, *task_id);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_varint(buf)? {
+            0 => UserRequest::GetDataspaceInfo,
+            1 => UserRequest::SubmitTask { pid: get_varint(buf)?, spec: TaskSpec::decode(buf)? },
+            2 => UserRequest::WaitTask {
+                task_id: get_varint(buf)?,
+                timeout_usec: get_varint(buf)?,
+            },
+            3 => UserRequest::QueryTask { task_id: get_varint(buf)? },
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// Daemon status snapshot (`nornsctl_status`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonStatus {
+    pub accepting: bool,
+    pub pending_tasks: u64,
+    pub running_tasks: u64,
+    pub completed_tasks: u64,
+    pub registered_jobs: u64,
+    pub registered_dataspaces: u64,
+}
+
+impl Wire for DaemonStatus {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_bool(buf, self.accepting);
+        put_varint(buf, self.pending_tasks);
+        put_varint(buf, self.running_tasks);
+        put_varint(buf, self.completed_tasks);
+        put_varint(buf, self.registered_jobs);
+        put_varint(buf, self.registered_dataspaces);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(DaemonStatus {
+            accepting: get_bool(buf)?,
+            pending_tasks: get_varint(buf)?,
+            running_tasks: get_varint(buf)?,
+            completed_tasks: get_varint(buf)?,
+            registered_jobs: get_varint(buf)?,
+            registered_dataspaces: get_varint(buf)?,
+        })
+    }
+}
+
+/// Responses shared by both sockets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    Ok,
+    Error { code: ErrorCode, message: String },
+    Status(DaemonStatus),
+    Dataspaces(Vec<DataspaceDesc>),
+    TaskSubmitted { task_id: u64 },
+    TaskStatus(TaskStats),
+}
+
+impl Wire for Response {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Response::Ok => put_varint(buf, 0),
+            Response::Error { code, message } => {
+                put_varint(buf, 1);
+                put_varint(buf, code.to_u64());
+                put_str(buf, message);
+            }
+            Response::Status(s) => {
+                put_varint(buf, 2);
+                s.encode(buf);
+            }
+            Response::Dataspaces(list) => {
+                put_varint(buf, 3);
+                put_vec(buf, list);
+            }
+            Response::TaskSubmitted { task_id } => {
+                put_varint(buf, 4);
+                put_varint(buf, *task_id);
+            }
+            Response::TaskStatus(stats) => {
+                put_varint(buf, 5);
+                stats.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_varint(buf)? {
+            0 => Response::Ok,
+            1 => Response::Error {
+                code: ErrorCode::from_u64(get_varint(buf)?)?,
+                message: get_str(buf)?,
+            },
+            2 => Response::Status(DaemonStatus::decode(buf)?),
+            3 => Response::Dataspaces(get_vec(buf)?),
+            4 => Response::TaskSubmitted { task_id: get_varint(buf)? },
+            5 => Response::TaskStatus(TaskStats::decode(buf)?),
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn dataspace_roundtrip() {
+        roundtrip(DataspaceDesc {
+            nsid: "pmdk0".into(),
+            kind: BackendKind::NvmDax,
+            mount: "/mnt/pmem0".into(),
+            quota: 1 << 40,
+            tracked: true,
+        });
+    }
+
+    #[test]
+    fn resource_variants_roundtrip() {
+        roundtrip(ResourceDesc::MemoryRegion { addr: 0xdead_beef, size: 4096 });
+        roundtrip(ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "path/to/out".into() });
+        roundtrip(ResourceDesc::RemotePath {
+            host: "node07".into(),
+            nsid: "pmdk0".into(),
+            path: "job42/mesh.dat".into(),
+        });
+    }
+
+    #[test]
+    fn taskspec_with_and_without_output() {
+        roundtrip(TaskSpec {
+            op: TaskOp::Copy,
+            input: ResourceDesc::MemoryRegion { addr: 1, size: 2 },
+            output: Some(ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "o".into() }),
+        });
+        roundtrip(TaskSpec {
+            op: TaskOp::Remove,
+            input: ResourceDesc::PosixPath { nsid: "lustre".into(), path: "x".into() },
+            output: None,
+        });
+    }
+
+    #[test]
+    fn all_ctl_requests_roundtrip() {
+        let reqs = vec![
+            CtlRequest::SendCommand(DaemonCommand::Ping),
+            CtlRequest::SendCommand(DaemonCommand::Shutdown),
+            CtlRequest::Status,
+            CtlRequest::RegisterDataspace(DataspaceDesc {
+                nsid: "lustre".into(),
+                kind: BackendKind::Lustre,
+                mount: "/lustre".into(),
+                quota: 0,
+                tracked: false,
+            }),
+            CtlRequest::UnregisterDataspace { nsid: "lustre".into() },
+            CtlRequest::RegisterJob(JobDesc {
+                job_id: 42,
+                hosts: vec!["n0".into(), "n1".into()],
+                limits: vec![("pmdk0".into(), 1 << 30)],
+            }),
+            CtlRequest::UpdateJob(JobDesc { job_id: 42, hosts: vec![], limits: vec![] }),
+            CtlRequest::UnregisterJob { job_id: 42 },
+            CtlRequest::AddProcess { job_id: 42, pid: 4242, uid: 1000, gid: 1000 },
+            CtlRequest::RemoveProcess { job_id: 42, pid: 4242 },
+            CtlRequest::SubmitTask {
+                job_id: 42,
+                spec: TaskSpec {
+                    op: TaskOp::Move,
+                    input: ResourceDesc::PosixPath { nsid: "pmdk0".into(), path: "a".into() },
+                    output: Some(ResourceDesc::PosixPath {
+                        nsid: "lustre".into(),
+                        path: "b".into(),
+                    }),
+                },
+            },
+            CtlRequest::WaitTask { task_id: 7, timeout_usec: 1_000_000 },
+            CtlRequest::QueryTask { task_id: 7 },
+        ];
+        for r in reqs {
+            let b = r.to_bytes();
+            assert_eq!(CtlRequest::from_bytes(b).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn all_user_requests_roundtrip() {
+        let reqs = vec![
+            UserRequest::GetDataspaceInfo,
+            UserRequest::SubmitTask {
+                pid: 99,
+                spec: TaskSpec {
+                    op: TaskOp::Copy,
+                    input: ResourceDesc::MemoryRegion { addr: 0, size: 1 << 20 },
+                    output: Some(ResourceDesc::PosixPath {
+                        nsid: "tmp0".into(),
+                        path: "ckpt".into(),
+                    }),
+                },
+            },
+            UserRequest::WaitTask { task_id: 3, timeout_usec: 0 },
+            UserRequest::QueryTask { task_id: 3 },
+        ];
+        for r in reqs {
+            let b = r.to_bytes();
+            assert_eq!(UserRequest::from_bytes(b).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        let resps = vec![
+            Response::Ok,
+            Response::Error { code: ErrorCode::PermissionDenied, message: "denied".into() },
+            Response::Status(DaemonStatus {
+                accepting: true,
+                pending_tasks: 1,
+                running_tasks: 2,
+                completed_tasks: 3,
+                registered_jobs: 4,
+                registered_dataspaces: 5,
+            }),
+            Response::Dataspaces(vec![DataspaceDesc {
+                nsid: "nvme0".into(),
+                kind: BackendKind::NvmeSsd,
+                mount: "/nvme".into(),
+                quota: 7,
+                tracked: false,
+            }]),
+            Response::TaskSubmitted { task_id: 1234 },
+            Response::TaskStatus(TaskStats {
+                state: TaskState::Finished,
+                error: ErrorCode::Success,
+                bytes_total: 100,
+                bytes_moved: 100,
+                elapsed_usec: 555,
+            }),
+        ];
+        for r in resps {
+            let b = r.to_bytes();
+            assert_eq!(Response::from_bytes(b).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_error_not_panic() {
+        for len in 0..64 {
+            let garbage: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let _ = CtlRequest::from_bytes(Bytes::from(garbage.clone()));
+            let _ = UserRequest::from_bytes(Bytes::from(garbage.clone()));
+            let _ = Response::from_bytes(Bytes::from(garbage));
+        }
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 99);
+        assert!(matches!(
+            Response::from_bytes(buf.freeze()),
+            Err(WireError::BadDiscriminant(99))
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+//! Glue between [`FluidNetwork`] and [`Sim`].
+//!
+//! A model that owns a fluid network implements [`FluidModel`]; the
+//! free functions here keep exactly one pending completion event armed
+//! and deliver [`CompletedFlow`]s to the model's handler. All flow
+//! mutations must go through these functions (or through
+//! [`with_fluid`]) so the pending event stays consistent.
+
+use crate::fluid::{CompletedFlow, FlowId, FlowSpec, FluidNetwork};
+use crate::sim::{EventId, Sim};
+
+/// A fluid network plus the id of its armed completion event.
+#[derive(Debug)]
+pub struct FluidSystem {
+    pub net: FluidNetwork,
+    pending: EventId,
+}
+
+impl Default for FluidSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FluidSystem {
+    pub fn new() -> Self {
+        FluidSystem { net: FluidNetwork::new(), pending: EventId::NONE }
+    }
+}
+
+/// Implemented by simulation models that own a [`FluidSystem`].
+pub trait FluidModel: Sized + 'static {
+    fn fluid_mut(&mut self) -> &mut FluidSystem;
+
+    /// Called once per completed flow, in completion order.
+    fn on_flow_complete(sim: &mut Sim<Self>, done: CompletedFlow);
+}
+
+/// Start a flow and (re)arm the completion event.
+pub fn start_flow<M: FluidModel>(sim: &mut Sim<M>, spec: FlowSpec) -> FlowId {
+    let now = sim.now();
+    let fs = sim.model.fluid_mut();
+    fs.net.advance(now);
+    let id = fs.net.start_flow(now, spec);
+    fs.net.recompute();
+    rearm_and_deliver(sim);
+    id
+}
+
+/// Cancel a flow; returns the bytes it had left.
+pub fn cancel_flow<M: FluidModel>(sim: &mut Sim<M>, flow: FlowId) -> Option<f64> {
+    let now = sim.now();
+    let fs = sim.model.fluid_mut();
+    fs.net.advance(now);
+    let left = fs.net.cancel_flow(flow);
+    fs.net.recompute();
+    rearm_and_deliver(sim);
+    left
+}
+
+/// Apply an arbitrary mutation (capacity change, batch of starts...)
+/// with correct advance/recompute/rearm sequencing.
+pub fn with_fluid<M: FluidModel, R>(
+    sim: &mut Sim<M>,
+    f: impl FnOnce(&mut FluidNetwork) -> R,
+) -> R {
+    let now = sim.now();
+    let fs = sim.model.fluid_mut();
+    fs.net.advance(now);
+    let out = f(&mut fs.net);
+    fs.net.recompute();
+    rearm_and_deliver(sim);
+    out
+}
+
+fn on_tick<M: FluidModel>(sim: &mut Sim<M>) {
+    let now = sim.now();
+    let fs = sim.model.fluid_mut();
+    fs.pending = EventId::NONE;
+    fs.net.advance(now);
+    fs.net.recompute();
+    rearm_and_deliver(sim);
+}
+
+/// Re-arm the single completion event and deliver any completions that
+/// accumulated (zero-byte flows, advance() past completion, ...).
+/// Delivery happens *after* rearming so handlers can start new flows.
+fn rearm_and_deliver<M: FluidModel>(sim: &mut Sim<M>) {
+    let fs = sim.model.fluid_mut();
+    let old = std::mem::replace(&mut fs.pending, EventId::NONE);
+    sim.cancel(old);
+
+    let fs = sim.model.fluid_mut();
+    let next = fs.net.next_completion();
+    if let Some(t) = next {
+        let id = sim.schedule_at(t, on_tick::<M>);
+        sim.model.fluid_mut().pending = id;
+    }
+
+    let done = sim.model.fluid_mut().net.take_completed();
+    for d in done {
+        M::on_flow_complete(sim, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    struct Model {
+        fluid: FluidSystem,
+        completions: Vec<(u64, SimTime)>,
+        chain: bool,
+        link: crate::fluid::ResourceId,
+    }
+
+    impl FluidModel for Model {
+        fn fluid_mut(&mut self) -> &mut FluidSystem {
+            &mut self.fluid
+        }
+        fn on_flow_complete(sim: &mut Sim<Self>, done: CompletedFlow) {
+            let t = sim.now();
+            sim.model.completions.push((done.tag, t));
+            if sim.model.chain && done.tag < 3 {
+                let link = sim.model.link;
+                let tag = done.tag + 1;
+                start_flow(sim, FlowSpec::new(100.0, vec![link]).with_tag(tag));
+            }
+        }
+    }
+
+    fn new_sim(chain: bool) -> Sim<Model> {
+        let mut fluid = FluidSystem::new();
+        let link = fluid.net.add_resource(100.0, "link");
+        Sim::new(Model { fluid, completions: Vec::new(), chain, link }, 0)
+    }
+
+    #[test]
+    fn completion_event_fires_at_the_right_time() {
+        let mut sim = new_sim(false);
+        let link = sim.model.link;
+        start_flow(&mut sim, FlowSpec::new(500.0, vec![link]).with_tag(1));
+        sim.run();
+        assert_eq!(sim.model.completions.len(), 1);
+        let (tag, t) = sim.model.completions[0];
+        assert_eq!(tag, 1);
+        assert!((t.as_secs_f64() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staggered_flows_rebalance_and_complete_in_order() {
+        let mut sim = new_sim(false);
+        let link = sim.model.link;
+        // Flow 1 alone for 2s (200 B done), then shares with flow 2.
+        start_flow(&mut sim, FlowSpec::new(400.0, vec![link]).with_tag(1));
+        sim.schedule_at(SimTime::from_secs(2), move |sim| {
+            start_flow(sim, FlowSpec::new(400.0, vec![link]).with_tag(2));
+        });
+        sim.run();
+        // Flow1: 200B left at t=2, at 50B/s → t=6. Flow2: 400B at 50,
+        // then alone at 100 from t=6 with 200 left → t=8.
+        assert_eq!(sim.model.completions.len(), 2);
+        assert_eq!(sim.model.completions[0].0, 1);
+        assert!((sim.model.completions[0].1.as_secs_f64() - 6.0).abs() < 1e-6);
+        assert_eq!(sim.model.completions[1].0, 2);
+        assert!((sim.model.completions[1].1.as_secs_f64() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handlers_can_chain_new_flows() {
+        let mut sim = new_sim(true);
+        let link = sim.model.link;
+        start_flow(&mut sim, FlowSpec::new(100.0, vec![link]).with_tag(1));
+        sim.run();
+        // 1 → 2 → 3, each 1s on a 100 B/s link.
+        let tags: Vec<u64> = sim.model.completions.iter().map(|c| c.0).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert!((sim.model.completions[2].1.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_flow_delivers_immediately() {
+        let mut sim = new_sim(false);
+        let link = sim.model.link;
+        start_flow(&mut sim, FlowSpec::new(0.0, vec![link]).with_tag(9));
+        assert_eq!(sim.model.completions.len(), 1);
+        assert_eq!(sim.model.completions[0].0, 9);
+    }
+
+    #[test]
+    fn cancel_prevents_completion() {
+        let mut sim = new_sim(false);
+        let link = sim.model.link;
+        let f = start_flow(&mut sim, FlowSpec::new(500.0, vec![link]).with_tag(1));
+        let left = cancel_flow(&mut sim, f).unwrap();
+        assert!((left - 500.0).abs() < 1e-9);
+        sim.run();
+        assert!(sim.model.completions.is_empty());
+    }
+
+    #[test]
+    fn with_fluid_capacity_change_reschedules() {
+        let mut sim = new_sim(false);
+        let link = sim.model.link;
+        start_flow(&mut sim, FlowSpec::new(1000.0, vec![link]).with_tag(1));
+        sim.schedule_at(SimTime::from_secs(5), move |sim| {
+            // After 5s (500B done), drop capacity to 25 B/s → 20 more s.
+            with_fluid(sim, |net| net.set_capacity(link, 25.0));
+        });
+        sim.run();
+        assert_eq!(sim.model.completions.len(), 1);
+        assert!((sim.model.completions[0].1.as_secs_f64() - 25.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,327 @@
+//! Measurement utilities: counters, summaries, histograms and
+//! time-weighted statistics, plus a tiny CSV writer used by the
+//! experiment binaries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// Incrementing counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter(u64);
+
+impl Counter {
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming summary of scalar samples: count/mean/min/max/variance
+/// (Welford) plus exact quantiles from retained samples.
+#[derive(Debug, Default, Clone)]
+pub struct Summary {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        let n = self.samples.len() as f64;
+        let delta = x - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.samples.len() < 2 {
+            0.0
+        } else {
+            self.m2 / (self.samples.len() - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Exact quantile via nearest-rank on a sorted copy; `q` in [0,1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Log-2-bucketed histogram for latency-style values.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: f64) {
+        assert!(value >= 0.0);
+        let bucket = if value < 1.0 { 0 } else { value.log2().floor() as u32 + 1 };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile.
+    pub fn quantile_bound(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= target.max(1) {
+                return if *bucket == 0 { 1.0 } else { 2f64.powi(*bucket as i32) };
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue
+/// depth, nodes busy).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted { last_time: start, last_value: initial, weighted_sum: 0.0, start }
+    }
+
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = (now - self.last_time).as_secs_f64();
+        self.weighted_sum += self.last_value * dt;
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.last_value + delta;
+        self.set(now, v);
+    }
+
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    pub fn average(&self, now: SimTime) -> f64 {
+        let dt_tail = (now - self.last_time).as_secs_f64();
+        let total = (now - self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_value;
+        }
+        (self.weighted_sum + self.last_value * dt_tail) / total
+    }
+}
+
+/// Minimal CSV table builder used by the experiment binaries.
+#[derive(Debug, Default, Clone)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        CsvTable { header: columns.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.138).abs() < 1e-3);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.median() - 4.0).abs() < 1.01);
+    }
+
+    #[test]
+    fn summary_quantiles_monotone() {
+        let mut s = Summary::new();
+        for i in 0..100 {
+            s.record(i as f64);
+        }
+        assert!(s.quantile(0.1) <= s.quantile(0.5));
+        assert!(s.quantile(0.5) <= s.quantile(0.9));
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 99.0);
+    }
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::new();
+        assert!(s.mean().is_nan());
+        assert!(s.median().is_nan());
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 26.25).abs() < 1e-9);
+        assert!(h.quantile_bound(0.99) >= 100.0);
+        assert!(h.quantile_bound(0.25) <= 2.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(10), 4.0); // 0 for 10s
+        tw.set(SimTime::from_secs(20), 0.0); // 4 for 10s
+        let avg = tw.average(SimTime::from_secs(20));
+        assert!((avg - 2.0).abs() < 1e-12);
+        // add() applies deltas
+        tw.add(SimTime::from_secs(30), 6.0);
+        assert_eq!(tw.current(), 6.0);
+    }
+
+    #[test]
+    fn csv_escaping_and_shape() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["1", "plain"]);
+        t.row(["2", "with,comma"]);
+        t.row(["3", "with\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn csv_arity_checked() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

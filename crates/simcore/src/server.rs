@@ -1,0 +1,233 @@
+//! A FIFO queueing server with bounded concurrency.
+//!
+//! Models request-serving components with a fixed service capacity: the
+//! PFS metadata server, an RPC handler pool, a staging worker pool.
+//! Like [`crate::fluid::FluidNetwork`] it is a passive state machine;
+//! the owner schedules one event per service completion.
+//!
+//! Jobs are identified by a caller-chosen `u64` tag. The server tracks
+//! queueing and service; on completion the owner gets the tag back
+//! along with waiting/service times.
+
+use std::collections::VecDeque;
+
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Job {
+    tag: u64,
+    arrived: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InService {
+    tag: u64,
+    arrived: SimTime,
+    started: SimTime,
+    finishes: SimTime,
+}
+
+/// Completion record for one served job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Served {
+    pub tag: u64,
+    pub arrived: SimTime,
+    pub started: SimTime,
+    pub finished: SimTime,
+}
+
+impl Served {
+    pub fn wait(&self) -> SimDuration {
+        self.started - self.arrived
+    }
+
+    pub fn service(&self) -> SimDuration {
+        self.finished - self.started
+    }
+
+    pub fn sojourn(&self) -> SimDuration {
+        self.finished - self.arrived
+    }
+}
+
+/// FIFO multi-server queue.
+#[derive(Debug)]
+pub struct FifoServer {
+    servers: usize,
+    queue: VecDeque<Job>,
+    in_service: Vec<InService>,
+}
+
+impl FifoServer {
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0);
+        FifoServer { servers, queue: VecDeque::new(), in_service: Vec::new() }
+    }
+
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn busy(&self) -> usize {
+        self.in_service.len()
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_service.is_empty()
+    }
+
+    /// Submit a job; `service_time` is sampled by the caller (so the
+    /// caller's RNG controls determinism). Returns true if the job
+    /// started immediately.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        tag: u64,
+        service_time: SimDuration,
+        pending_service: &mut Vec<(u64, SimDuration)>,
+    ) -> bool {
+        self.queue.push_back(Job { tag, arrived: now });
+        pending_service.push((tag, service_time));
+        self.try_start(now, pending_service)
+    }
+
+    /// Start queued jobs while servers are free. Returns whether
+    /// anything started. The caller then re-arms its completion event
+    /// at [`FifoServer::next_completion`].
+    pub fn try_start(
+        &mut self,
+        now: SimTime,
+        pending_service: &mut Vec<(u64, SimDuration)>,
+    ) -> bool {
+        let mut any = false;
+        while self.in_service.len() < self.servers {
+            let Some(job) = self.queue.pop_front() else { break };
+            let idx = pending_service
+                .iter()
+                .position(|(t, _)| *t == job.tag)
+                .expect("service time for queued job");
+            let (_, svc) = pending_service.remove(idx);
+            self.in_service.push(InService {
+                tag: job.tag,
+                arrived: job.arrived,
+                started: now,
+                finishes: now + svc,
+            });
+            any = true;
+        }
+        any
+    }
+
+    /// Earliest in-service completion.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.in_service.iter().map(|j| j.finishes).min()
+    }
+
+    /// Pop all jobs that finish at or before `now`.
+    pub fn complete_due(&mut self, now: SimTime) -> Vec<Served> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.in_service.len() {
+            if self.in_service[i].finishes <= now {
+                let j = self.in_service.swap_remove(i);
+                done.push(Served {
+                    tag: j.tag,
+                    arrived: j.arrived,
+                    started: j.started,
+                    finished: j.finishes,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        // Deterministic delivery order.
+        done.sort_by_key(|s| (s.finished, s.tag));
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        let mut srv = FifoServer::new(1);
+        let mut pend = Vec::new();
+        assert!(srv.submit(t(0), 1, d(5), &mut pend));
+        assert!(!srv.submit(t(0), 2, d(5), &mut pend), "second job must queue");
+        assert_eq!(srv.queue_len(), 1);
+        assert_eq!(srv.next_completion(), Some(t(5)));
+
+        let done = srv.complete_due(t(5));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+        assert_eq!(done[0].wait(), SimDuration::ZERO);
+
+        srv.try_start(t(5), &mut pend);
+        let done = srv.complete_due(t(10));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
+        assert_eq!(done[0].wait(), d(5));
+        assert!(srv.is_idle());
+    }
+
+    #[test]
+    fn multi_server_runs_concurrently() {
+        let mut srv = FifoServer::new(3);
+        let mut pend = Vec::new();
+        for tag in 0..3 {
+            srv.submit(t(0), tag, d(4), &mut pend);
+        }
+        assert_eq!(srv.busy(), 3);
+        assert_eq!(srv.queue_len(), 0);
+        let done = srv.complete_due(t(4));
+        assert_eq!(done.len(), 3);
+        for s in done {
+            assert_eq!(s.sojourn(), d(4));
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_respected() {
+        let mut srv = FifoServer::new(1);
+        let mut pend = Vec::new();
+        srv.submit(t(0), 10, d(1), &mut pend);
+        srv.submit(t(0), 20, d(1), &mut pend);
+        srv.submit(t(0), 30, d(1), &mut pend);
+        let mut order = Vec::new();
+        let mut now = t(0);
+        while !srv.is_idle() {
+            let next = srv.next_completion().unwrap();
+            now = next;
+            for s in srv.complete_due(now) {
+                order.push(s.tag);
+            }
+            srv.try_start(now, &mut pend);
+        }
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn completion_time_accounts_for_queueing() {
+        let mut srv = FifoServer::new(1);
+        let mut pend = Vec::new();
+        srv.submit(t(0), 1, d(3), &mut pend);
+        srv.submit(t(1), 2, d(3), &mut pend);
+        let done = srv.complete_due(t(3));
+        assert_eq!(done[0].tag, 1);
+        srv.try_start(t(3), &mut pend);
+        let done = srv.complete_due(t(6));
+        assert_eq!(done[0].tag, 2);
+        assert_eq!(done[0].wait(), d(2));
+        assert_eq!(done[0].sojourn(), SimDuration::from_secs(5));
+    }
+}

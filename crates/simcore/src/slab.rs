@@ -1,0 +1,264 @@
+//! A small generational slab.
+//!
+//! Entries are addressed by a [`Key`] that embeds a generation counter,
+//! so a key left dangling after `remove` can never alias a later
+//! insertion in the same slot. This is the backing store for flows,
+//! resources, sockets and any other frequently churning simulation
+//! entity.
+
+use std::fmt;
+
+/// Opaque handle into a [`Slab`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    index: u32,
+    generation: u32,
+}
+
+impl Key {
+    /// A key that is never valid for any slab.
+    pub const DANGLING: Key = Key { index: u32::MAX, generation: u32::MAX };
+
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({}v{})", self.index, self.generation)
+    }
+}
+
+#[derive(Debug)]
+enum Slot<T> {
+    Vacant { next_free: Option<u32> },
+    Occupied { generation: u32, value: T },
+}
+
+/// Generational arena with O(1) insert/remove and stable keys.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    generations: Vec<u32>,
+    free_head: Option<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Slab { slots: Vec::new(), generations: Vec::new(), free_head: None, len: 0 }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            generations: Vec::with_capacity(cap),
+            free_head: None,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn insert(&mut self, value: T) -> Key {
+        self.len += 1;
+        match self.free_head {
+            Some(idx) => {
+                let generation = self.generations[idx as usize];
+                match std::mem::replace(
+                    &mut self.slots[idx as usize],
+                    Slot::Occupied { generation, value },
+                ) {
+                    Slot::Vacant { next_free } => {
+                        self.free_head = next_free;
+                    }
+                    Slot::Occupied { .. } => unreachable!("free list pointed at occupied slot"),
+                }
+                Key { index: idx, generation }
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot::Occupied { generation: 0, value });
+                self.generations.push(0);
+                Key { index: idx, generation: 0 }
+            }
+        }
+    }
+
+    pub fn get(&self, key: Key) -> Option<&T> {
+        match self.slots.get(key.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == key.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut T> {
+        match self.slots.get_mut(key.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == key.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn remove(&mut self, key: Key) -> Option<T> {
+        match self.slots.get_mut(key.index as usize) {
+            Some(slot @ Slot::Occupied { .. }) => {
+                if let Slot::Occupied { generation, .. } = slot {
+                    if *generation != key.generation {
+                        return None;
+                    }
+                }
+                let old = std::mem::replace(slot, Slot::Vacant { next_free: self.free_head });
+                self.free_head = Some(key.index);
+                // Bump the generation so stale keys cannot resolve.
+                self.generations[key.index as usize] =
+                    self.generations[key.index as usize].wrapping_add(1);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &T)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied { generation, value } => {
+                Some((Key { index: i as u32, generation: *generation }, value))
+            }
+            Slot::Vacant { .. } => None,
+        })
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Key, &mut T)> + '_ {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied { generation, value } => {
+                Some((Key { index: i as u32, generation: *generation }, value))
+            }
+            Slot::Vacant { .. } => None,
+        })
+    }
+
+    pub fn keys(&self) -> Vec<Key> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.generations.clear();
+        self.free_head = None;
+        self.len = 0;
+    }
+}
+
+impl<T> std::ops::Index<Key> for Slab<T> {
+    type Output = T;
+    fn index(&self, key: Key) -> &T {
+        self.get(key).expect("stale or invalid slab key")
+    }
+}
+
+impl<T> std::ops::IndexMut<Key> for Slab<T> {
+    fn index_mut(&mut self, key: Key) -> &mut T {
+        self.get_mut(key).expect("stale or invalid slab key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab[a], "a");
+        assert_eq!(slab[b], "b");
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert!(slab.get(a).is_none());
+    }
+
+    #[test]
+    fn generation_prevents_aliasing() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1u32);
+        slab.remove(a);
+        let b = slab.insert(2u32);
+        // The slot is reused but with a new generation.
+        assert_eq!(b.index(), a.index());
+        assert!(slab.get(a).is_none(), "stale key must not resolve");
+        assert_eq!(slab[b], 2);
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab[b], 2);
+    }
+
+    #[test]
+    fn free_list_reuse_order() {
+        let mut slab = Slab::new();
+        let keys: Vec<_> = (0..8).map(|i| slab.insert(i)).collect();
+        for k in &keys {
+            slab.remove(*k);
+        }
+        assert!(slab.is_empty());
+        // All slots should be reused rather than growing the backing Vec.
+        for i in 0..8 {
+            slab.insert(i + 100);
+        }
+        assert_eq!(slab.slots.len(), 8);
+        assert_eq!(slab.len(), 8);
+    }
+
+    #[test]
+    fn iteration_visits_only_live_entries() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let _b = slab.insert(2);
+        let c = slab.insert(3);
+        slab.remove(a);
+        slab.remove(c);
+        let values: Vec<_> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![2]);
+    }
+
+    #[test]
+    fn iter_mut_allows_updates() {
+        let mut slab = Slab::new();
+        let k = slab.insert(10);
+        for (_, v) in slab.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(slab[k], 11);
+    }
+
+    #[test]
+    fn dangling_key_never_resolves() {
+        let mut slab: Slab<u8> = Slab::new();
+        slab.insert(1);
+        assert!(slab.get(Key::DANGLING).is_none());
+    }
+}

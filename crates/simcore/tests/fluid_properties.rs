@@ -1,0 +1,129 @@
+//! Property-based tests of the fluid max-min allocator: for arbitrary
+//! topologies and flow sets, the computed allocation must respect
+//! every capacity, every per-flow cap, and max-min efficiency
+//! (no resource that could serve more is left idle while a flow on it
+//! is unsaturated).
+
+use proptest::prelude::*;
+use simcore::{FlowSpec, FluidNetwork, SimTime};
+
+#[derive(Debug, Clone)]
+struct Topo {
+    capacities: Vec<f64>,
+    // (path resource indices, cap)
+    flows: Vec<(Vec<usize>, f64)>,
+}
+
+fn topo_strategy() -> impl Strategy<Value = Topo> {
+    let caps = proptest::collection::vec(1.0f64..1000.0, 1..8);
+    caps.prop_flat_map(|capacities| {
+        let n = capacities.len();
+        let flow = (
+            proptest::collection::btree_set(0..n, 1..=n.min(4)),
+            prop_oneof![Just(f64::INFINITY), 0.5f64..500.0],
+        )
+            .prop_map(|(path, cap)| (path.into_iter().collect::<Vec<_>>(), cap));
+        (Just(capacities), proptest::collection::vec(flow, 1..12))
+    })
+    .prop_map(|(capacities, flows)| Topo { capacities, flows })
+}
+
+fn build(topo: &Topo) -> (FluidNetwork, Vec<simcore::ResourceId>, Vec<simcore::FlowId>) {
+    let mut net = FluidNetwork::new();
+    let rids: Vec<_> = topo
+        .capacities
+        .iter()
+        .enumerate()
+        .map(|(i, c)| net.add_resource(*c, format!("r{i}")))
+        .collect();
+    let fids: Vec<_> = topo
+        .flows
+        .iter()
+        .map(|(path, cap)| {
+            let path: Vec<_> = path.iter().map(|i| rids[*i]).collect();
+            net.start_flow(SimTime::ZERO, FlowSpec::new(1e9, path).with_cap(*cap))
+        })
+        .collect();
+    net.recompute();
+    (net, rids, fids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rates_respect_capacities_and_caps(topo in topo_strategy()) {
+        let (net, rids, fids) = build(&topo);
+        // Per-flow cap respected.
+        for (fid, (_, cap)) in fids.iter().zip(&topo.flows) {
+            let rate = net.flow_rate(*fid).unwrap();
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate <= cap * (1.0 + 1e-9) + 1e-6, "rate {rate} > cap {cap}");
+        }
+        // Per-resource capacity respected (counting multiplicity for
+        // flows that cross a resource more than once — our builder
+        // uses sets, so each flow crosses each resource at most once).
+        for (ri, rid) in rids.iter().enumerate() {
+            let mut used = 0.0;
+            for (fid, (path, _)) in fids.iter().zip(&topo.flows) {
+                if path.contains(&ri) {
+                    used += net.flow_rate(*fid).unwrap();
+                }
+            }
+            let cap = topo.capacities[ri];
+            prop_assert!(
+                used <= cap * (1.0 + 1e-6) + 1e-6,
+                "resource {ri}: used {used} > cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_is_maximal(topo in topo_strategy()) {
+        // Max-min implies Pareto efficiency: every flow is blocked by
+        // either its own cap or a saturated resource on its path.
+        let (net, rids, fids) = build(&topo);
+        let mut usage = vec![0.0f64; rids.len()];
+        for (fid, (path, _)) in fids.iter().zip(&topo.flows) {
+            for ri in path {
+                usage[*ri] += net.flow_rate(*fid).unwrap();
+            }
+        }
+        for (fid, (path, cap)) in fids.iter().zip(&topo.flows) {
+            let rate = net.flow_rate(*fid).unwrap();
+            let at_cap = rate >= cap - 1e-6;
+            let blocked = path.iter().any(|ri| {
+                usage[*ri] >= topo.capacities[*ri] * (1.0 - 1e-6)
+            });
+            prop_assert!(
+                at_cap || blocked,
+                "flow {fid:?} at {rate} is neither capped ({cap}) nor blocked"
+            );
+        }
+    }
+
+    #[test]
+    fn conservation_through_time(topo in topo_strategy(), dt in 0.001f64..100.0) {
+        // Advancing time never creates bytes: total moved equals
+        // sum(rate × dt) within float tolerance, and remaining bytes
+        // never go negative.
+        let (mut net, _rids, fids) = build(&topo);
+        let before: Vec<f64> =
+            fids.iter().map(|f| net.flow_remaining(*f).unwrap_or(0.0)).collect();
+        let rates: Vec<f64> = fids.iter().map(|f| net.flow_rate(*f).unwrap_or(0.0)).collect();
+        net.advance(SimTime::from_secs_f64(dt));
+        for ((fid, b), r) in fids.iter().zip(&before).zip(&rates) {
+            match net.flow_remaining(*fid) {
+                Some(after) => {
+                    prop_assert!(after >= -1e-6);
+                    let moved = b - after;
+                    prop_assert!((moved - r * dt).abs() <= 1e-3 * (1.0 + r * dt));
+                }
+                None => {
+                    // Completed: it must have had enough rate to drain.
+                    prop_assert!(r * dt >= b - 1e-3, "flow finished early");
+                }
+            }
+        }
+    }
+}

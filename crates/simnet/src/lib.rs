@@ -1,0 +1,23 @@
+//! # simnet — flow-level interconnect model
+//!
+//! Models the cluster fabric the NORNS network manager runs over
+//! (Omni-Path in the NEXTGenIO prototype, driven through Mercury's
+//! Network Abstraction layer in the paper). Bandwidth is shared through
+//! `simcore`'s fluid max-min model; this crate contributes:
+//!
+//! * [`fabric::Fabric`] — per-node NIC resources, fabric core, and per
+//!   client↔target *session* resources that carry the protocol's
+//!   per-stream saturation cap.
+//! * [`protocol::Protocol`] — `ofi+tcp` / `ofi+psm2` plugin parameters
+//!   (session caps calibrated to the paper's measurements, RPC
+//!   latencies).
+//! * [`rpc`] — small-message RPC timing helpers used by the simulated
+//!   urd network manager.
+
+pub mod fabric;
+pub mod protocol;
+pub mod rpc;
+
+pub use fabric::{Fabric, FabricParams, NodeId};
+pub use protocol::{Direction, Protocol};
+pub use rpc::RpcTiming;

@@ -1,0 +1,90 @@
+//! Small-message RPC timing.
+//!
+//! The urd network manager exchanges control RPCs (task submissions,
+//! dataspace queries, completion notifications) before bulk data moves.
+//! These are far below the fluid model's granularity, so they are
+//! modelled as latency + size-proportional overhead rather than flows.
+
+use simcore::{SimDuration, SimRng};
+
+use crate::protocol::Protocol;
+
+/// Timing model for control-plane messages.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcTiming {
+    pub protocol: Protocol,
+    /// Relative jitter applied to each latency sample (0.1 = ±10%).
+    pub jitter: f64,
+}
+
+impl RpcTiming {
+    pub fn new(protocol: Protocol) -> Self {
+        RpcTiming { protocol, jitter: 0.10 }
+    }
+
+    /// One-way delivery time for a message of `payload` bytes.
+    pub fn one_way(&self, payload: usize, rng: &mut SimRng) -> SimDuration {
+        let base = self.protocol.one_way_latency();
+        let per_byte = self.protocol.per_byte_overhead();
+        let raw = base + SimDuration::from_nanos(per_byte.as_nanos() * payload as u64);
+        self.apply_jitter(raw, rng)
+    }
+
+    /// Request/response round trip carrying `req` and `resp` bytes.
+    pub fn round_trip(&self, req: usize, resp: usize, rng: &mut SimRng) -> SimDuration {
+        self.one_way(req, rng) + self.one_way(resp, rng)
+    }
+
+    fn apply_jitter(&self, d: SimDuration, rng: &mut SimRng) -> SimDuration {
+        if self.jitter <= 0.0 {
+            return d;
+        }
+        let k = rng.truncated_normal(1.0, self.jitter / 2.0, 1.0 - self.jitter, 1.0 + self.jitter);
+        d.mul_f64(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_way_close_to_base_latency() {
+        let timing = RpcTiming::new(Protocol::OfiTcp);
+        let mut rng = SimRng::seed_from_u64(1);
+        let base = Protocol::OfiTcp.one_way_latency().as_nanos() as f64;
+        for _ in 0..100 {
+            let d = timing.one_way(64, &mut rng).as_nanos() as f64;
+            assert!(d > base * 0.85 && d < base * 1.2, "latency {d} vs base {base}");
+        }
+    }
+
+    #[test]
+    fn payload_size_adds_cost_on_tcp() {
+        let timing = RpcTiming { protocol: Protocol::OfiTcp, jitter: 0.0 };
+        let mut rng = SimRng::seed_from_u64(2);
+        let small = timing.one_way(16, &mut rng);
+        let large = timing.one_way(64 * 1024, &mut rng);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn round_trip_is_two_one_ways() {
+        let timing = RpcTiming { protocol: Protocol::OfiPsm2, jitter: 0.0 };
+        let mut rng = SimRng::seed_from_u64(3);
+        let ow = timing.one_way(0, &mut rng);
+        let rt = timing.round_trip(0, 0, &mut rng);
+        assert_eq!(rt.as_nanos(), 2 * ow.as_nanos());
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let timing = RpcTiming { protocol: Protocol::OfiTcp, jitter: 0.2 };
+        let mut rng = SimRng::seed_from_u64(4);
+        let base = Protocol::OfiTcp.one_way_latency().as_nanos() as f64;
+        for _ in 0..500 {
+            let d = timing.one_way(0, &mut rng).as_nanos() as f64;
+            assert!(d >= base * 0.8 - 1.0 && d <= base * 1.2 + 1.0);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # simstore — the storage substrate
+//!
+//! Everything the paper's storage hierarchy needs, modeled on
+//! `simcore`'s fluid bandwidth engine:
+//!
+//! * [`namespace::Namespace`] — capacity-bounded in-memory file tree
+//!   with POSIX-ish permissions; every tier tracks which data lives
+//!   where (dataspace validation, `persist`, tracked-dataspace checks).
+//! * [`pfs::PfsModel`] — Lustre/GPFS-like PFS: OST lanes, striping,
+//!   server ingress, per-node client limits, MDS costs and the
+//!   cross-application interference behind Fig. 1.
+//! * [`local::LocalDeviceClass`] — node-local NVM (DCPMM) and NVMe SSD
+//!   lanes whose aggregate scales with node count (Fig. 8).
+//! * [`bb::BurstBufferModel`] — shared DataWarp-like appliance
+//!   (extension: the paper lists BB transfer plugins as future work).
+//! * [`system::StorageSystem`] — the registry gluing tiers, namespaces
+//!   and I/O shard planning together for the NORNS service.
+
+pub mod bb;
+pub mod local;
+pub mod namespace;
+pub mod pfs;
+pub mod system;
+
+pub use bb::{BurstBufferModel, BurstBufferParams};
+pub use local::{LocalDeviceClass, LocalParams};
+pub use namespace::{Access, Cred, Gid, Mode, Namespace, NsError, Stat, Uid};
+pub use pfs::{Interference, IoDir, PfsModel, PfsParams};
+pub use system::{IoShard, StorageSystem, TierKind, TierRef};

@@ -1,0 +1,158 @@
+//! Node-local storage models: NVM (Intel DCPMM-like) and NVMe SSD.
+//!
+//! These are the devices the paper's whole approach leans on: every
+//! compute node contributes its own bandwidth, so application-observed
+//! I/O performance scales with the number of nodes (Section II, items
+//! 1–4; Fig. 8). Each node gets independent read/write lanes plus a
+//! DIMM/PCIe bus coupling resource so mixed traffic contends.
+
+use simcore::{FluidNetwork, ResourceId, SimDuration};
+
+use crate::pfs::IoDir;
+
+/// Static parameters of a node-local device class.
+#[derive(Debug, Clone)]
+pub struct LocalParams {
+    pub read_bps: f64,
+    pub write_bps: f64,
+    /// Per-file setup cost (fallocate+mmap in the paper's plugins).
+    pub file_setup: SimDuration,
+    /// Byte capacity per node.
+    pub capacity: u64,
+}
+
+impl LocalParams {
+    /// Intel DCPMM in App Direct mode, 3 TB per node (NEXTGenIO).
+    pub fn dcpmm() -> Self {
+        LocalParams {
+            read_bps: simcore::units::gib_per_s(8.0),
+            write_bps: simcore::units::gib_per_s(5.0),
+            file_setup: SimDuration::from_micros(15),
+            capacity: 3 * simcore::units::TB,
+        }
+    }
+
+    /// A node-local NVMe SSD (MareNostrum-IV-like burst device).
+    pub fn nvme_ssd() -> Self {
+        LocalParams {
+            read_bps: simcore::units::gib_per_s(3.2),
+            write_bps: simcore::units::gib_per_s(1.8),
+            file_setup: SimDuration::from_micros(40),
+            capacity: 2 * simcore::units::TB,
+        }
+    }
+
+    /// A RAM-backed tmpfs staging area.
+    pub fn tmpfs(capacity: u64) -> Self {
+        LocalParams {
+            read_bps: simcore::units::gib_per_s(20.0),
+            write_bps: simcore::units::gib_per_s(16.0),
+            file_setup: SimDuration::from_micros(2),
+            capacity,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DeviceLanes {
+    read: ResourceId,
+    write: ResourceId,
+    bus: ResourceId,
+}
+
+/// One device class instantiated on every node.
+#[derive(Debug)]
+pub struct LocalDeviceClass {
+    pub params: LocalParams,
+    lanes: Vec<DeviceLanes>,
+}
+
+impl LocalDeviceClass {
+    pub fn build(net: &mut FluidNetwork, name: &str, nodes: usize, params: LocalParams) -> Self {
+        let lanes = (0..nodes)
+            .map(|n| DeviceLanes {
+                read: net.add_resource(params.read_bps, format!("{name}.{n}.r")),
+                write: net.add_resource(params.write_bps, format!("{name}.{n}.w")),
+                bus: net.add_resource(
+                    params.read_bps.max(params.write_bps),
+                    format!("{name}.{n}.bus"),
+                ),
+            })
+            .collect();
+        LocalDeviceClass { params, lanes }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The resource path for I/O against this node's device.
+    pub fn path(&self, node: usize, dir: IoDir) -> Vec<ResourceId> {
+        let l = &self.lanes[node];
+        let lane = match dir {
+            IoDir::Read => l.read,
+            IoDir::Write => l.write,
+        };
+        vec![lane, l.bus]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{FlowSpec, SimTime};
+
+    #[test]
+    fn independent_nodes_do_not_contend() {
+        let mut net = FluidNetwork::new();
+        let dev = LocalDeviceClass::build(&mut net, "pmdk0", 4, LocalParams::dcpmm());
+        for n in 0..4 {
+            net.start_flow(
+                SimTime::ZERO,
+                FlowSpec::new(1e9, dev.path(n, IoDir::Read)),
+            );
+        }
+        net.recompute();
+        // All four flows run at the full per-node read rate.
+        let secs = net.next_completion().unwrap().as_secs_f64();
+        let rate = 1e9 / secs;
+        assert!((rate - dev.params.read_bps).abs() / dev.params.read_bps < 1e-6);
+    }
+
+    #[test]
+    fn same_node_flows_share_the_lane() {
+        let mut net = FluidNetwork::new();
+        let dev = LocalDeviceClass::build(&mut net, "pmdk0", 1, LocalParams::dcpmm());
+        for _ in 0..2 {
+            net.start_flow(SimTime::ZERO, FlowSpec::new(1e9, dev.path(0, IoDir::Read)));
+        }
+        net.recompute();
+        let secs = net.next_completion().unwrap().as_secs_f64();
+        let per_flow = 1e9 / secs;
+        assert!((per_flow - dev.params.read_bps / 2.0).abs() / dev.params.read_bps < 1e-6);
+    }
+
+    #[test]
+    fn mixed_read_write_couples_on_the_bus() {
+        let mut net = FluidNetwork::new();
+        let dev = LocalDeviceClass::build(&mut net, "pmdk0", 1, LocalParams::dcpmm());
+        net.start_flow(SimTime::ZERO, FlowSpec::new(1e12, dev.path(0, IoDir::Read)));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(1e12, dev.path(0, IoDir::Write)));
+        net.recompute();
+        // Bus capacity = max(read, write) = 8 GiB/s; fair share 4/4,
+        // write lane allows 5 so write gets 4; read gets 4.
+        let bus_cap = dev.params.read_bps;
+        let secs = net.next_completion().unwrap().as_secs_f64();
+        let per_flow = 1e12 / secs;
+        assert!((per_flow - bus_cap / 2.0).abs() / bus_cap < 1e-6);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let dcpmm = LocalParams::dcpmm();
+        let ssd = LocalParams::nvme_ssd();
+        assert!(dcpmm.read_bps > ssd.read_bps);
+        assert!(dcpmm.write_bps > ssd.write_bps);
+        assert!(dcpmm.file_setup < ssd.file_setup);
+    }
+}

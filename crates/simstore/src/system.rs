@@ -1,0 +1,401 @@
+//! Registry of storage tiers in a simulated cluster.
+//!
+//! A [`StorageSystem`] owns every tier model plus its namespace(s):
+//! shared tiers (PFS, burst buffer) have one namespace, node-local
+//! classes have one namespace per node. Tier names follow the paper's
+//! dataspace-id convention (`lustre://`, `nvme0://`, `pmdk0://`): the
+//! scheme part is the tier name here.
+
+use std::collections::HashMap;
+
+use simcore::{FluidNetwork, ResourceId, SimDuration, SimRng};
+
+use crate::bb::{BurstBufferModel, BurstBufferParams};
+use crate::local::{LocalDeviceClass, LocalParams};
+use crate::namespace::Namespace;
+use crate::pfs::{IoDir, PfsModel, PfsParams};
+
+/// Coarse classification of a tier, used by the scheduler to decide
+/// what counts as "node-local storage" for persist/stage operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierKind {
+    Pfs,
+    NodeLocalNvm,
+    NodeLocalSsd,
+    Tmpfs,
+    BurstBuffer,
+}
+
+impl TierKind {
+    pub fn is_node_local(self) -> bool {
+        matches!(self, TierKind::NodeLocalNvm | TierKind::NodeLocalSsd | TierKind::Tmpfs)
+    }
+}
+
+/// Opaque reference to a registered tier class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierRef {
+    Pfs(usize),
+    Local(usize),
+    Bb(usize),
+}
+
+/// One shard of a planned I/O: move `bytes` across `path`.
+#[derive(Debug, Clone)]
+pub struct IoShard {
+    pub path: Vec<ResourceId>,
+    pub bytes: u64,
+}
+
+struct PfsEntry {
+    name: String,
+    model: PfsModel,
+    ns: Namespace,
+}
+
+struct LocalEntry {
+    name: String,
+    kind: TierKind,
+    class: LocalDeviceClass,
+    per_node_ns: Vec<Namespace>,
+}
+
+struct BbEntry {
+    name: String,
+    model: BurstBufferModel,
+    ns: Namespace,
+    /// Object placement: path → server index (flat namespace).
+    placement: HashMap<String, usize>,
+}
+
+/// All storage in the cluster.
+#[derive(Default)]
+pub struct StorageSystem {
+    pfs: Vec<PfsEntry>,
+    locals: Vec<LocalEntry>,
+    bbs: Vec<BbEntry>,
+    by_name: HashMap<String, TierRef>,
+}
+
+impl StorageSystem {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_pfs(
+        &mut self,
+        net: &mut FluidNetwork,
+        name: &str,
+        nodes: usize,
+        params: PfsParams,
+        capacity: u64,
+    ) -> TierRef {
+        let model = PfsModel::build(net, name, nodes, params);
+        let r = TierRef::Pfs(self.pfs.len());
+        self.pfs.push(PfsEntry {
+            name: name.to_string(),
+            model,
+            ns: Namespace::new(capacity),
+        });
+        self.by_name.insert(name.to_string(), r);
+        r
+    }
+
+    pub fn add_local_class(
+        &mut self,
+        net: &mut FluidNetwork,
+        name: &str,
+        nodes: usize,
+        params: LocalParams,
+        kind: TierKind,
+    ) -> TierRef {
+        assert!(kind.is_node_local(), "kind must be node-local");
+        let capacity = params.capacity;
+        let class = LocalDeviceClass::build(net, name, nodes, params);
+        let r = TierRef::Local(self.locals.len());
+        self.locals.push(LocalEntry {
+            name: name.to_string(),
+            kind,
+            class,
+            per_node_ns: (0..nodes).map(|_| Namespace::new(capacity)).collect(),
+        });
+        self.by_name.insert(name.to_string(), r);
+        r
+    }
+
+    pub fn add_burst_buffer(
+        &mut self,
+        net: &mut FluidNetwork,
+        name: &str,
+        params: BurstBufferParams,
+    ) -> TierRef {
+        let capacity = params.capacity;
+        let model = BurstBufferModel::build(net, name, params);
+        let r = TierRef::Bb(self.bbs.len());
+        self.bbs.push(BbEntry {
+            name: name.to_string(),
+            model,
+            ns: Namespace::new(capacity),
+            placement: HashMap::new(),
+        });
+        self.by_name.insert(name.to_string(), r);
+        r
+    }
+
+    pub fn resolve(&self, name: &str) -> Option<TierRef> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn tier_name(&self, tier: TierRef) -> &str {
+        match tier {
+            TierRef::Pfs(i) => &self.pfs[i].name,
+            TierRef::Local(i) => &self.locals[i].name,
+            TierRef::Bb(i) => &self.bbs[i].name,
+        }
+    }
+
+    pub fn kind(&self, tier: TierRef) -> TierKind {
+        match tier {
+            TierRef::Pfs(_) => TierKind::Pfs,
+            TierRef::Local(i) => self.locals[i].kind,
+            TierRef::Bb(_) => TierKind::BurstBuffer,
+        }
+    }
+
+    /// Namespace for a tier; node-local tiers require `node`.
+    pub fn ns(&self, tier: TierRef, node: Option<usize>) -> &Namespace {
+        match tier {
+            TierRef::Pfs(i) => &self.pfs[i].ns,
+            TierRef::Bb(i) => &self.bbs[i].ns,
+            TierRef::Local(i) => {
+                let n = node.expect("node-local tier requires a node");
+                &self.locals[i].per_node_ns[n]
+            }
+        }
+    }
+
+    pub fn ns_mut(&mut self, tier: TierRef, node: Option<usize>) -> &mut Namespace {
+        match tier {
+            TierRef::Pfs(i) => &mut self.pfs[i].ns,
+            TierRef::Bb(i) => &mut self.bbs[i].ns,
+            TierRef::Local(i) => {
+                let n = node.expect("node-local tier requires a node");
+                &mut self.locals[i].per_node_ns[n]
+            }
+        }
+    }
+
+    /// Plan the tier-side resource shards for moving `bytes` between
+    /// compute node `node` and this tier. `stripe` is honoured only by
+    /// PFS tiers. Fabric resources are *not* included — callers add
+    /// them when source and sink live on different nodes.
+    pub fn plan_io(
+        &mut self,
+        tier: TierRef,
+        node: usize,
+        dir: IoDir,
+        bytes: u64,
+        stripe: Option<usize>,
+    ) -> Vec<IoShard> {
+        match tier {
+            TierRef::Pfs(i) => {
+                let entry = &mut self.pfs[i];
+                entry
+                    .model
+                    .plan_shards(bytes, stripe)
+                    .into_iter()
+                    .map(|(ost, b)| IoShard {
+                        path: entry.model.shard_path(node, ost, dir),
+                        bytes: b,
+                    })
+                    .collect()
+            }
+            TierRef::Local(i) => {
+                let entry = &mut self.locals[i];
+                vec![IoShard { path: entry.class.path(node, dir), bytes }]
+            }
+            TierRef::Bb(i) => {
+                let entry = &mut self.bbs[i];
+                vec![IoShard { path: entry.model.alloc_path(dir), bytes }]
+            }
+        }
+    }
+
+    /// Plan I/O against a *fixed* OST allocation (shared-file
+    /// semantics). Non-PFS tiers fall back to [`StorageSystem::plan_io`].
+    pub fn plan_io_fixed(
+        &mut self,
+        tier: TierRef,
+        node: usize,
+        dir: IoDir,
+        bytes: u64,
+        osts: &[usize],
+    ) -> Vec<IoShard> {
+        match tier {
+            TierRef::Pfs(i) => {
+                let entry = &mut self.pfs[i];
+                entry
+                    .model
+                    .plan_shards_at(bytes, osts)
+                    .into_iter()
+                    .map(|(ost, b)| IoShard {
+                        path: entry.model.shard_path(node, ost, dir),
+                        bytes: b,
+                    })
+                    .collect()
+            }
+            _ => self.plan_io(tier, node, dir, bytes, None),
+        }
+    }
+
+    /// Allocate the OST set for a new shared striped file.
+    pub fn allocate_osts(&mut self, tier: TierRef, stripe: Option<usize>) -> Vec<usize> {
+        match tier {
+            TierRef::Pfs(i) => self.pfs[i].model.allocate_osts(stripe),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Setup cost before the data moves: metadata ops on a PFS,
+    /// fallocate+mmap on local devices, allocation calls on a BB.
+    pub fn setup_cost(&self, tier: TierRef, files: u64) -> SimDuration {
+        match tier {
+            TierRef::Pfs(i) => self.pfs[i].model.mds_cost(files),
+            TierRef::Local(i) => {
+                let per = self.locals[i].class.params.file_setup;
+                SimDuration::from_nanos(per.as_nanos() * files)
+            }
+            TierRef::Bb(i) => {
+                let per = self.bbs[i].model.params.setup;
+                SimDuration::from_nanos(per.as_nanos() * files)
+            }
+        }
+    }
+
+    /// Resample PFS interference (call periodically under `with_fluid`).
+    pub fn resample_interference(&mut self, net: &mut FluidNetwork, rng: &mut SimRng) {
+        for entry in &mut self.pfs {
+            entry.model.resample_interference(net, rng);
+        }
+    }
+
+    /// All registered tier names.
+    pub fn tier_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.by_name.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Record which BB server holds an object (set after a write
+    /// lands), so later reads hit the same server.
+    pub fn bb_place(&mut self, tier: TierRef, path: &str, server: usize) {
+        if let TierRef::Bb(i) = tier {
+            self.bbs[i].placement.insert(path.to_string(), server);
+        }
+    }
+
+    pub fn bb_lookup(&self, tier: TierRef, path: &str) -> Option<usize> {
+        match tier {
+            TierRef::Bb(i) => self.bbs[i].placement.get(path).copied(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::{Cred, Mode};
+
+    fn system() -> (FluidNetwork, StorageSystem) {
+        let mut net = FluidNetwork::new();
+        let mut sys = StorageSystem::new();
+        sys.add_pfs(&mut net, "lustre", 4, PfsParams::nextgenio_lustre(), 14 * simcore::units::TB);
+        sys.add_local_class(
+            &mut net,
+            "pmdk0",
+            4,
+            LocalParams::dcpmm(),
+            TierKind::NodeLocalNvm,
+        );
+        sys.add_burst_buffer(&mut net, "bb0", BurstBufferParams::datawarp_like());
+        (net, sys)
+    }
+
+    #[test]
+    fn resolution_and_kinds() {
+        let (_, sys) = system();
+        let lustre = sys.resolve("lustre").unwrap();
+        let pmdk = sys.resolve("pmdk0").unwrap();
+        let bb = sys.resolve("bb0").unwrap();
+        assert_eq!(sys.kind(lustre), TierKind::Pfs);
+        assert_eq!(sys.kind(pmdk), TierKind::NodeLocalNvm);
+        assert_eq!(sys.kind(bb), TierKind::BurstBuffer);
+        assert!(sys.kind(pmdk).is_node_local());
+        assert!(!sys.kind(lustre).is_node_local());
+        assert!(sys.resolve("nope").is_none());
+        assert_eq!(sys.tier_names(), vec!["bb0", "lustre", "pmdk0"]);
+    }
+
+    #[test]
+    fn node_local_namespaces_are_independent() {
+        let (_, mut sys) = system();
+        let pmdk = sys.resolve("pmdk0").unwrap();
+        let cred = Cred::new(1000, 1000);
+        sys.ns_mut(pmdk, Some(0))
+            .create_file("job1/out.dat", 100, &cred, Mode(0o644))
+            .unwrap();
+        assert!(sys.ns(pmdk, Some(0)).exists("job1/out.dat"));
+        assert!(!sys.ns(pmdk, Some(1)).exists("job1/out.dat"));
+    }
+
+    #[test]
+    fn pfs_planning_stripes_local_planning_does_not() {
+        let (_, mut sys) = system();
+        let lustre = sys.resolve("lustre").unwrap();
+        let pmdk = sys.resolve("pmdk0").unwrap();
+        let pfs_shards = sys.plan_io(lustre, 0, IoDir::Write, 1 << 30, Some(4));
+        assert_eq!(pfs_shards.len(), 4);
+        let total: u64 = pfs_shards.iter().map(|s| s.bytes).sum();
+        assert_eq!(total, 1 << 30);
+        let local_shards = sys.plan_io(pmdk, 2, IoDir::Write, 1 << 30, Some(4));
+        assert_eq!(local_shards.len(), 1);
+        assert_eq!(local_shards[0].bytes, 1 << 30);
+    }
+
+    #[test]
+    fn setup_costs_scale_with_file_count() {
+        let (_, sys) = system();
+        let lustre = sys.resolve("lustre").unwrap();
+        let one = sys.setup_cost(lustre, 1);
+        let many = sys.setup_cost(lustre, 768);
+        assert_eq!(many.as_nanos(), 768 * one.as_nanos());
+    }
+
+    #[test]
+    fn bb_placement_roundtrip() {
+        let (_, mut sys) = system();
+        let bb = sys.resolve("bb0").unwrap();
+        assert!(sys.bb_lookup(bb, "obj1").is_none());
+        sys.bb_place(bb, "obj1", 2);
+        assert_eq!(sys.bb_lookup(bb, "obj1"), Some(2));
+        // Non-BB tiers ignore placement.
+        let lustre = sys.resolve("lustre").unwrap();
+        assert!(sys.bb_lookup(lustre, "obj1").is_none());
+    }
+
+    #[test]
+    fn interference_resample_is_safe_with_active_flows() {
+        let (mut net, mut sys) = system();
+        let lustre = sys.resolve("lustre").unwrap();
+        let shards = sys.plan_io(lustre, 0, IoDir::Read, 1 << 30, None);
+        for s in &shards {
+            net.start_flow(simcore::SimTime::ZERO, simcore::FlowSpec::new(s.bytes as f64, s.path.clone()));
+        }
+        net.recompute();
+        let mut rng = SimRng::seed_from_u64(5);
+        sys.resample_interference(&mut net, &mut rng);
+        net.recompute();
+        assert!(net.next_completion().is_some());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the namespace: under arbitrary operation
+//! sequences, byte accounting stays consistent and capacity is never
+//! exceeded — the invariants quota enforcement and tracked-dataspace
+//! checks depend on.
+
+use proptest::prelude::*;
+use simstore::{Cred, Mode, Namespace, NsError};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { slot: u8, size: u32 },
+    Overwrite { slot: u8, size: u32 },
+    Remove { slot: u8 },
+    Mkdir { slot: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u32..5_000_000).prop_map(|(slot, size)| Op::Create { slot, size }),
+        (any::<u8>(), 0u32..5_000_000).prop_map(|(slot, size)| Op::Overwrite { slot, size }),
+        any::<u8>().prop_map(|slot| Op::Remove { slot }),
+        any::<u8>().prop_map(|slot| Op::Mkdir { slot }),
+    ]
+}
+
+fn path_for(slot: u8) -> String {
+    // A small tree: 16 dirs × 16 files.
+    format!("d{}/f{}", slot / 16, slot % 16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn accounting_stays_consistent(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let capacity = 64_000_000u64;
+        let mut ns = Namespace::new(capacity);
+        let cred = Cred::new(1000, 1000);
+        // Shadow model: slot → size.
+        let mut model: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Create { slot, size } => {
+                    let res = ns.create_file(&path_for(slot), size as u64, &cred, Mode(0o644));
+                    match res {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&slot), "create over existing");
+                            model.insert(slot, size as u64);
+                        }
+                        Err(NsError::AlreadyExists(_)) => {
+                            prop_assert!(model.contains_key(&slot));
+                        }
+                        Err(NsError::NoSpace { .. }) => {
+                            let used: u64 = model.values().sum();
+                            prop_assert!(used + size as u64 > capacity);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error: {e}"),
+                    }
+                }
+                Op::Overwrite { slot, size } => {
+                    let res = ns.write_file(&path_for(slot), size as u64, &cred, Mode(0o644));
+                    match res {
+                        Ok(_) => {
+                            model.insert(slot, size as u64);
+                        }
+                        Err(NsError::NoSpace { .. }) => {
+                            let used: u64 = model.values().sum();
+                            let old = model.get(&slot).copied().unwrap_or(0);
+                            prop_assert!(used - old + size as u64 > capacity);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error: {e}"),
+                    }
+                }
+                Op::Remove { slot } => {
+                    let res = ns.remove(&path_for(slot), &cred, false);
+                    match res {
+                        Ok(freed) => {
+                            let expected = model.remove(&slot);
+                            prop_assert_eq!(expected, Some(freed), "freed bytes mismatch");
+                        }
+                        Err(NsError::NotFound(_)) => {
+                            prop_assert!(!model.contains_key(&slot));
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error: {e}"),
+                    }
+                }
+                Op::Mkdir { slot } => {
+                    // Directories are free; they may collide with file
+                    // components, which must error, not corrupt.
+                    let _ = ns.mkdir_p(&format!("d{}", slot / 16), &cred, Mode(0o755));
+                }
+            }
+            // Core invariants after every step.
+            let used: u64 = model.values().sum();
+            prop_assert_eq!(ns.used(), used, "used() diverged from model");
+            prop_assert!(ns.used() <= ns.capacity());
+            prop_assert_eq!(ns.available(), capacity - used);
+        }
+
+        // Tree bytes agree with the sum of files.
+        let total = ns.tree_bytes("", &cred).unwrap_or(0);
+        let used: u64 = model.values().sum();
+        prop_assert_eq!(total, used);
+        // walk_files sees exactly the model's live files.
+        let files = ns.walk_files("", &cred).unwrap();
+        prop_assert_eq!(files.len(), model.len());
+    }
+
+    #[test]
+    fn permissions_never_leak_across_users(
+        mode_bits in 0u16..0o1000,
+        owner_uid in 1u32..5,
+        other_uid in 5u32..10,
+    ) {
+        let mut ns = Namespace::new(1 << 30);
+        let owner = Cred::new(owner_uid, owner_uid);
+        let other = Cred::new(other_uid, other_uid);
+        ns.create_file("f", 10, &owner, Mode(mode_bits)).unwrap();
+        let other_can_read = ns.check_access("f", &other, simstore::Access::Read).is_ok();
+        let world_read = mode_bits & 0o4 != 0;
+        prop_assert_eq!(other_can_read, world_read,
+            "mode {:o}: other-read must equal the world-read bit", mode_bits);
+        // Root always passes.
+        prop_assert!(ns.check_access("f", &Cred::root(), simstore::Access::Write).is_ok());
+    }
+}

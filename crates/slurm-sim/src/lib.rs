@@ -1,0 +1,39 @@
+//! # slurm-sim — the paper's Slurm extensions, on a simulated cluster
+//!
+//! A from-scratch batch scheduler reproducing the workflow and
+//! data-staging extensions of §III:
+//!
+//! * [`script`] — submission-script parsing: `#SBATCH` options, the
+//!   new workflow options (`--workflow-start`, `--workflow-end`,
+//!   `--workflow-prior-dependency`) and the `#NORNS` directives of
+//!   Listing 1 (`stage_in`, `stage_out`, `persist` with
+//!   store/delete/share/unshare).
+//! * [`workflow`] — workflow IDs, membership, dependency closure,
+//!   persisted-data records, cancel-on-failure.
+//! * [`job`] — job records with the extended lifecycle
+//!   (Pending → StagingIn → Running → StagingOut → terminal).
+//! * [`ctld`] — `slurmctld`: priority queue (age + workflow boost),
+//!   FCFS with skip-ahead backfill, data-affinity node selection,
+//!   mapping-aware staging through the NORNS control API, stage-in
+//!   timeouts with cleanup, stage-out failure recovery semantics and
+//!   tracked-dataspace checks at node release.
+//!
+//! The scheduler is generic over any model that embeds a
+//! [`norns::NornsWorld`] and a [`ctld::Slurmctld`] (see
+//! [`ctld::HasSlurm`]); workload models drive job bodies through
+//! [`ctld::JobEvent`] notifications.
+
+pub mod ctld;
+pub mod job;
+pub mod script;
+pub mod workflow;
+
+pub use ctld::{
+    app_finished, handle_task_complete, makespan, submit, submit_script, HasSlurm, JobEvent,
+    SchedConfig, Slurmctld,
+};
+pub use job::{Job, JobBody, JobState, SlurmJobId, StagePurpose};
+pub use script::{
+    JobScript, Mapping, PersistDirective, PersistOp, ScriptError, StageDirective, WorkflowPos,
+};
+pub use workflow::{PersistedData, Workflow, WorkflowError, WorkflowId, WorkflowRegistry};

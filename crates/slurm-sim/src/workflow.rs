@@ -1,0 +1,307 @@
+//! Workflow registry.
+//!
+//! §III: "the scheduling algorithms of the Slurm job scheduler
+//! consider all jobs that are part of a workflow as a unit. … Each
+//! workflow is assigned a unique Workflow ID enabling users to enquire
+//! about the overall status of a workflow and obtain a list of all
+//! jobs and their status. If a workflow job fails; then all subsequent
+//! jobs are cancelled."
+//!
+//! The registry also records *persisted data*: node-local locations a
+//! `persist store` directive asked NORNS to maintain, which later
+//! workflow phases consume in place (or pull node-to-node).
+
+use std::collections::HashMap;
+
+use simnet::NodeId;
+
+use crate::job::SlurmJobId;
+
+/// Unique workflow identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkflowId(pub u64);
+
+/// A node-local dataset kept alive across workflow phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedData {
+    /// Dataspace id (`pmdk0`).
+    pub nsid: String,
+    /// Path within the dataspace.
+    pub path: String,
+    /// Nodes that hold (a shard of) the data.
+    pub holders: Vec<NodeId>,
+    /// Owning user name.
+    pub owner: String,
+    /// Users granted access via `persist share`.
+    pub shared_with: Vec<String>,
+}
+
+#[derive(Debug)]
+pub struct Workflow {
+    pub id: WorkflowId,
+    /// Jobs in submission order.
+    pub jobs: Vec<SlurmJobId>,
+    by_name: HashMap<String, SlurmJobId>,
+    /// Dependencies: job → prerequisite jobs.
+    deps: HashMap<SlurmJobId, Vec<SlurmJobId>>,
+    pub failed: bool,
+    /// Set once a `--workflow-end` job is attached.
+    pub closed: bool,
+    pub persisted: Vec<PersistedData>,
+}
+
+impl Workflow {
+    pub fn job_named(&self, name: &str) -> Option<SlurmJobId> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn dependencies(&self, job: SlurmJobId) -> &[SlurmJobId] {
+        self.deps.get(&job).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Jobs that (transitively) depend on `job`.
+    pub fn downstream_of(&self, job: SlurmJobId) -> Vec<SlurmJobId> {
+        let mut out = Vec::new();
+        let mut frontier = vec![job];
+        while let Some(j) = frontier.pop() {
+            for (candidate, deps) in &self.deps {
+                if deps.contains(&j) && !out.contains(candidate) {
+                    out.push(*candidate);
+                    frontier.push(*candidate);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Find persisted data matching a dataspace-qualified location.
+    pub fn persisted(&self, nsid: &str, path: &str) -> Option<&PersistedData> {
+        self.persisted.iter().find(|p| p.nsid == nsid && p.path == path)
+    }
+}
+
+/// Errors from workflow membership operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    UnknownDependency(String),
+    WorkflowClosed,
+    DuplicateJobName(String),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::UnknownDependency(n) => {
+                write!(f, "workflow dependency on unknown job: {n}")
+            }
+            WorkflowError::WorkflowClosed => write!(f, "workflow already ended"),
+            WorkflowError::DuplicateJobName(n) => write!(f, "duplicate job name in workflow: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// All workflows known to the controller.
+#[derive(Debug, Default)]
+pub struct WorkflowRegistry {
+    workflows: HashMap<u64, Workflow>,
+    next: u64,
+}
+
+impl WorkflowRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn get(&self, id: WorkflowId) -> Option<&Workflow> {
+        self.workflows.get(&id.0)
+    }
+
+    pub fn get_mut(&mut self, id: WorkflowId) -> Option<&mut Workflow> {
+        self.workflows.get_mut(&id.0)
+    }
+
+    pub fn count(&self) -> usize {
+        self.workflows.len()
+    }
+
+    /// `--workflow-start`: open a new workflow with this first job.
+    pub fn start(&mut self, job: SlurmJobId, name: &str) -> WorkflowId {
+        self.next += 1;
+        let id = WorkflowId(self.next);
+        let mut by_name = HashMap::new();
+        by_name.insert(name.to_string(), job);
+        self.workflows.insert(
+            id.0,
+            Workflow {
+                id,
+                jobs: vec![job],
+                by_name,
+                deps: HashMap::new(),
+                failed: false,
+                closed: false,
+                persisted: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Attach a dependent job: find the open workflow containing *all*
+    /// named dependencies.
+    pub fn attach(
+        &mut self,
+        job: SlurmJobId,
+        name: &str,
+        dep_names: &[String],
+        closes: bool,
+    ) -> Result<WorkflowId, WorkflowError> {
+        // Deterministic search order.
+        let mut ids: Vec<u64> = self.workflows.keys().copied().collect();
+        ids.sort_unstable();
+        let found = ids.into_iter().find(|id| {
+            let wf = &self.workflows[id];
+            !wf.closed && dep_names.iter().all(|d| wf.by_name.contains_key(d))
+        });
+        let Some(wf_id) = found else {
+            return Err(WorkflowError::UnknownDependency(
+                dep_names.first().cloned().unwrap_or_default(),
+            ));
+        };
+        let wf = self.workflows.get_mut(&wf_id).unwrap();
+        if wf.by_name.contains_key(name) {
+            return Err(WorkflowError::DuplicateJobName(name.to_string()));
+        }
+        let deps: Vec<SlurmJobId> = dep_names.iter().map(|d| wf.by_name[d]).collect();
+        wf.jobs.push(job);
+        wf.by_name.insert(name.to_string(), job);
+        wf.deps.insert(job, deps);
+        if closes {
+            wf.closed = true;
+        }
+        Ok(WorkflowId(wf_id))
+    }
+
+    pub fn record_persist(&mut self, id: WorkflowId, data: PersistedData) {
+        if let Some(wf) = self.workflows.get_mut(&id.0) {
+            // Replace an existing entry for the same location.
+            wf.persisted.retain(|p| !(p.nsid == data.nsid && p.path == data.path));
+            wf.persisted.push(data);
+        }
+    }
+
+    pub fn remove_persist(&mut self, id: WorkflowId, nsid: &str, path: &str) -> bool {
+        if let Some(wf) = self.workflows.get_mut(&id.0) {
+            let before = wf.persisted.len();
+            wf.persisted.retain(|p| !(p.nsid == nsid && p.path == path));
+            return wf.persisted.len() != before;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(n: u64) -> SlurmJobId {
+        SlurmJobId(n)
+    }
+
+    #[test]
+    fn start_attach_and_lookup() {
+        let mut reg = WorkflowRegistry::new();
+        let wf = reg.start(j(1), "producer");
+        let wf2 = reg
+            .attach(j(2), "consumer", &["producer".to_string()], false)
+            .unwrap();
+        assert_eq!(wf, wf2);
+        let w = reg.get(wf).unwrap();
+        assert_eq!(w.jobs, vec![j(1), j(2)]);
+        assert_eq!(w.job_named("consumer"), Some(j(2)));
+        assert_eq!(w.dependencies(j(2)), &[j(1)]);
+        assert!(w.dependencies(j(1)).is_empty());
+    }
+
+    #[test]
+    fn attach_unknown_dependency_fails() {
+        let mut reg = WorkflowRegistry::new();
+        reg.start(j(1), "a");
+        let err = reg.attach(j(2), "b", &["ghost".to_string()], false);
+        assert!(matches!(err, Err(WorkflowError::UnknownDependency(_))));
+    }
+
+    #[test]
+    fn closing_prevents_further_attach() {
+        let mut reg = WorkflowRegistry::new();
+        reg.start(j(1), "a");
+        reg.attach(j(2), "z", &["a".to_string()], true).unwrap();
+        let err = reg.attach(j(3), "late", &["a".to_string()], false);
+        assert!(matches!(err, Err(WorkflowError::UnknownDependency(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut reg = WorkflowRegistry::new();
+        reg.start(j(1), "a");
+        let err = reg.attach(j(2), "a", &["a".to_string()], false);
+        assert!(matches!(err, Err(WorkflowError::DuplicateJobName(_))));
+    }
+
+    #[test]
+    fn downstream_closure() {
+        let mut reg = WorkflowRegistry::new();
+        let wf = reg.start(j(1), "a");
+        reg.attach(j(2), "b", &["a".to_string()], false).unwrap();
+        reg.attach(j(3), "c", &["b".to_string()], false).unwrap();
+        reg.attach(j(4), "d", &["a".to_string()], false).unwrap();
+        let w = reg.get(wf).unwrap();
+        assert_eq!(w.downstream_of(j(1)), vec![j(2), j(3), j(4)]);
+        assert_eq!(w.downstream_of(j(2)), vec![j(3)]);
+        assert!(w.downstream_of(j(3)).is_empty());
+    }
+
+    #[test]
+    fn two_workflows_are_disjoint() {
+        let mut reg = WorkflowRegistry::new();
+        let w1 = reg.start(j(1), "phase1");
+        let w2 = reg.start(j(10), "phase1");
+        assert_ne!(w1, w2);
+        // Attach binds to the first (lowest-id) workflow containing
+        // the dependency name.
+        let bound = reg.attach(j(2), "phase2", &["phase1".to_string()], false).unwrap();
+        assert_eq!(bound, w1);
+    }
+
+    #[test]
+    fn persist_records_replace_and_remove() {
+        let mut reg = WorkflowRegistry::new();
+        let wf = reg.start(j(1), "p");
+        reg.record_persist(
+            wf,
+            PersistedData {
+                nsid: "pmdk0".into(),
+                path: "case".into(),
+                holders: vec![0],
+                owner: "alice".into(),
+                shared_with: vec![],
+            },
+        );
+        reg.record_persist(
+            wf,
+            PersistedData {
+                nsid: "pmdk0".into(),
+                path: "case".into(),
+                holders: vec![0, 1],
+                owner: "alice".into(),
+                shared_with: vec!["bob".into()],
+            },
+        );
+        let w = reg.get(wf).unwrap();
+        assert_eq!(w.persisted.len(), 1, "same location replaces");
+        assert_eq!(w.persisted("pmdk0", "case").unwrap().holders, vec![0, 1]);
+        assert!(reg.remove_persist(wf, "pmdk0", "case"));
+        assert!(!reg.remove_persist(wf, "pmdk0", "case"));
+    }
+}

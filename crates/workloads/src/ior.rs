@@ -1,0 +1,163 @@
+//! IOR-like I/O benchmark model.
+//!
+//! Mirrors how the paper uses IOR (Fig. 1b, Fig. 8): every core of
+//! every node creates an independent file, then reads/writes it
+//! sequentially with a fixed transfer size, with file sizes chosen to
+//! defeat the page cache. The model issues the aggregate per-node byte
+//! stream against the target tier and reports achieved aggregate
+//! bandwidth.
+
+use norns::sim::ops;
+use simcore::{Sim, SimTime};
+use simstore::IoDir;
+
+use crate::world::{wait_tokens, BenchWorld};
+
+/// One IOR invocation.
+#[derive(Debug, Clone)]
+pub struct IorConfig {
+    /// Target tier name (`lustre`, `pmdk0`, ...).
+    pub tier: String,
+    /// Processes per node, each with its own file.
+    pub procs_per_node: usize,
+    /// Bytes per process.
+    pub bytes_per_proc: u64,
+    /// Read or write phase.
+    pub dir: IoDir,
+    /// Stripe count hint (PFS tiers only).
+    pub stripe: Option<usize>,
+}
+
+impl IorConfig {
+    /// The Fig. 8 configuration: 48 procs/node, 512 KiB transfers,
+    /// file sizes large enough to exceed the 192 GiB of node RAM.
+    pub fn fig8(tier: &str, dir: IoDir) -> Self {
+        IorConfig {
+            tier: tier.to_string(),
+            procs_per_node: 48,
+            // 4.2 GiB per proc × 48 ≈ 201 GiB per node > 192 GiB RAM.
+            bytes_per_proc: (42u64 << 30) / 10,
+            dir,
+            stripe: None,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct IorResult {
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub total_bytes: u64,
+}
+
+impl IorResult {
+    /// Aggregate bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        let secs = (self.finished - self.started).as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.total_bytes as f64 / secs
+    }
+
+    /// Bandwidth in MB/s (decimal, as IOR reports).
+    pub fn mb_per_s(&self) -> f64 {
+        self.bandwidth() / 1e6
+    }
+}
+
+/// Run one IOR phase across `nodes` and block until it completes.
+pub fn run(sim: &mut Sim<BenchWorld>, nodes: &[usize], cfg: &IorConfig) -> IorResult {
+    let started = sim.now();
+    let per_node = cfg.bytes_per_proc * cfg.procs_per_node as u64;
+    let tokens: Vec<u64> = nodes
+        .iter()
+        .map(|&n| {
+            ops::app_io(
+                sim,
+                n,
+                &cfg.tier,
+                cfg.dir,
+                per_node,
+                cfg.procs_per_node as u64,
+                cfg.stripe,
+            )
+            .expect("app_io submission")
+        })
+        .collect();
+    let finished = wait_tokens(sim, &tokens);
+    IorResult { started, finished, total_bytes: per_node * nodes.len() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::register_tiers;
+
+    fn world(nodes: usize) -> Sim<BenchWorld> {
+        let tb = cluster::nextgenio_quiet(nodes);
+        let mut sim = Sim::new(BenchWorld::new(tb.world), 3);
+        register_tiers(&mut sim);
+        sim
+    }
+
+    #[test]
+    fn nvm_bandwidth_scales_with_nodes() {
+        let cfg = IorConfig {
+            tier: "pmdk0".into(),
+            procs_per_node: 48,
+            bytes_per_proc: 64 << 20,
+            dir: IoDir::Write,
+            stripe: None,
+        };
+        let one = {
+            let mut sim = world(1);
+            run(&mut sim, &[0], &cfg).bandwidth()
+        };
+        let four = {
+            let mut sim = world(4);
+            run(&mut sim, &(0..4).collect::<Vec<_>>(), &cfg).bandwidth()
+        };
+        assert!(
+            (four / one - 4.0).abs() < 0.05,
+            "node-local scales linearly: {one} vs {four}"
+        );
+    }
+
+    #[test]
+    fn lustre_bandwidth_saturates() {
+        let cfg = IorConfig {
+            tier: "lustre".into(),
+            procs_per_node: 48,
+            bytes_per_proc: 64 << 20,
+            dir: IoDir::Write,
+            stripe: Some(6),
+        };
+        let one = {
+            let mut sim = world(1);
+            run(&mut sim, &[0], &cfg).bandwidth()
+        };
+        let eight = {
+            let mut sim = world(8);
+            run(&mut sim, &(0..8).collect::<Vec<_>>(), &cfg).bandwidth()
+        };
+        // Shared PFS: 8 nodes gain far less than 8×.
+        assert!(eight < one * 4.0, "pfs must saturate: 1 node {one}, 8 nodes {eight}");
+    }
+
+    #[test]
+    fn read_faster_than_write_on_nvm() {
+        let mk = |dir| IorConfig {
+            tier: "pmdk0".into(),
+            procs_per_node: 8,
+            bytes_per_proc: 256 << 20,
+            dir,
+            stripe: None,
+        };
+        let mut sim = world(1);
+        let w = run(&mut sim, &[0], &mk(IoDir::Write)).bandwidth();
+        let r = run(&mut sim, &[0], &mk(IoDir::Read)).bandwidth();
+        assert!(r > w, "DCPMM reads outpace writes: r={r} w={w}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # workloads — application models for the evaluation
+//!
+//! The paper's evaluation exercises NORNS + Slurm with four
+//! application-shaped load generators; this crate reproduces each as a
+//! parameterised model over the simulated cluster:
+//!
+//! * [`ior`] — IOR-like file-per-process sequential I/O (Fig. 1b and
+//!   Fig. 8 sweeps).
+//! * [`mpiio`] — collective MPI-IO single-file writes with Lustre
+//!   striping options (Fig. 1a, ARCHER).
+//! * [`prodcons`] — the synthetic producer/consumer workflow
+//!   (Tables III & IV).
+//! * [`hpcg`] — HPCG-like memory-bound compute whose runtime stretches
+//!   under co-located staging (Table IV).
+//! * [`openfoam`] — the decompose → solver CFD pipeline with
+//!   directory-per-process output (Table V).
+//!
+//! [`world::BenchWorld`] / [`world::SlurmWorld`] are the ready-made
+//! simulation models the runners drive.
+
+pub mod hpcg;
+pub mod ior;
+pub mod mpiio;
+pub mod openfoam;
+pub mod prodcons;
+pub mod world;
+
+pub use world::{register_tiers, wait_task_completions, wait_tokens, BenchWorld, SlurmWorld};

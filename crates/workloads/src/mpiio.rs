@@ -1,0 +1,120 @@
+//! Collective MPI-IO write benchmark (the ARCHER Fig. 1a workload).
+//!
+//! "The benchmark writes to a single file across all processes using
+//! collective MPI-I/O functions … using two different Lustre striping
+//! options (either the default stripe, which used 4 OSTs, or using all
+//! the OSTs in the filesystem)."
+
+use norns::sim::ops;
+use simcore::{Sim, SimDuration, SimTime};
+use simstore::IoDir;
+
+use crate::world::{wait_tokens, BenchWorld};
+
+#[derive(Debug, Clone)]
+pub struct MpiIoConfig {
+    pub tier: String,
+    /// Writer processes per node.
+    pub writers_per_node: usize,
+    /// Bytes written per writer (paper: 100 MB).
+    pub bytes_per_writer: u64,
+    /// Stripe count: `Some(4)` for the default, `None` → full stripe.
+    pub stripe: Option<usize>,
+    /// Two-phase collective buffering adds a synchronization cost per
+    /// writer wave.
+    pub collective_overhead: SimDuration,
+}
+
+impl MpiIoConfig {
+    pub fn archer(stripe: Option<usize>) -> Self {
+        MpiIoConfig {
+            tier: "lustre".into(),
+            writers_per_node: 24,
+            bytes_per_writer: 100 * 1000 * 1000,
+            stripe,
+            collective_overhead: SimDuration::from_millis(30),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct MpiIoResult {
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub total_bytes: u64,
+}
+
+impl MpiIoResult {
+    pub fn bandwidth(&self) -> f64 {
+        let secs = (self.finished - self.started).as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.total_bytes as f64 / secs
+    }
+
+    pub fn mb_per_s(&self) -> f64 {
+        self.bandwidth() / 1e6
+    }
+}
+
+/// Run one collective write and block until completion.
+pub fn run(sim: &mut Sim<BenchWorld>, nodes: &[usize], cfg: &MpiIoConfig) -> MpiIoResult {
+    let started = sim.now();
+    let per_node = cfg.bytes_per_writer * cfg.writers_per_node as u64;
+    // Collective buffering: one aggregated stream per node into the
+    // single shared file; the stripe allocation is made once, so all
+    // writers contend on the same OST set. `None` = full stripe
+    // (`lfs setstripe -c -1`): usize::MAX clamps to every OST.
+    let stripe = Some(cfg.stripe.unwrap_or(usize::MAX));
+    let tokens = ops::app_shared_io(sim, nodes, &cfg.tier, IoDir::Write, per_node, stripe)
+        .expect("shared io submission");
+    let io_done = wait_tokens(sim, &tokens);
+    // Collective close/sync barrier.
+    let finished = io_done + cfg.collective_overhead;
+    sim.run_until(finished);
+    MpiIoResult { started, finished, total_bytes: per_node * nodes.len() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::register_tiers;
+
+    fn archer_sim(nodes: usize, seed: u64) -> Sim<BenchWorld> {
+        let tb = cluster::archer(nodes);
+        let mut sim = Sim::new(BenchWorld::new(tb.world), seed);
+        register_tiers(&mut sim);
+        sim
+    }
+
+    #[test]
+    fn full_stripe_beats_default_stripe_at_scale() {
+        // With 16 nodes the default 4-OST stripe is OST-bound while the
+        // full 48-OST stripe can use the whole server side.
+        let mut sim = archer_sim(16, 5);
+        let slim = run(&mut sim, &(0..16).collect::<Vec<_>>(), &MpiIoConfig::archer(Some(4)));
+        let mut sim = archer_sim(16, 5);
+        let wide = run(&mut sim, &(0..16).collect::<Vec<_>>(), &MpiIoConfig::archer(None));
+        assert!(
+            wide.bandwidth() > slim.bandwidth() * 1.5,
+            "full stripe {} vs default {}",
+            wide.mb_per_s(),
+            slim.mb_per_s()
+        );
+    }
+
+    #[test]
+    fn bandwidth_grows_with_writers_then_saturates() {
+        let bw = |nodes: usize| {
+            let mut sim = archer_sim(nodes, 9);
+            run(&mut sim, &(0..nodes).collect::<Vec<_>>(), &MpiIoConfig::archer(None))
+                .bandwidth()
+        };
+        let b1 = bw(1);
+        let b8 = bw(8);
+        let b32 = bw(32);
+        assert!(b8 > b1 * 2.0, "more writers, more bandwidth: {b1} → {b8}");
+        assert!(b32 < b8 * 4.0, "server side saturates: {b8} → {b32}");
+    }
+}

@@ -1,0 +1,200 @@
+//! OpenFOAM-like CFD workflow model (Table V).
+//!
+//! The paper runs "a low-Reynolds number laminar-turbulent transition
+//! modeling simulation of the flow over the surface of an aircraft,
+//! using a mesh with ≈43 million mesh points … decomposed over 16
+//! nodes enabling 768 MPI processes … The decomposition step is
+//! serial, takes 1105 seconds, and requires 30 GB of memory … The
+//! solver produces 160 GB of output data when run in this
+//! configuration, with a directory per process."
+
+use norns::sim::ops;
+use norns::HasNorns;
+use simcore::{Sim, SimDuration, SimTime};
+use simstore::{Cred, IoDir, Mode};
+
+use crate::world::{wait_tokens, BenchWorld};
+
+#[derive(Debug, Clone)]
+pub struct OpenFoamConfig {
+    /// MPI ranks for the solver (= processor directories).
+    pub ranks: usize,
+    pub solver_nodes: usize,
+    /// Serial decomposition compute time (memory-bound mesh work).
+    pub decompose_compute: SimDuration,
+    /// Decomposed mesh volume written by the decomposition.
+    pub mesh_bytes: u64,
+    /// Solver compute for the 20-timestep benchmark run.
+    pub solver_compute: SimDuration,
+    /// Solver output volume (dir per process).
+    pub output_bytes: u64,
+}
+
+impl Default for OpenFoamConfig {
+    fn default() -> Self {
+        OpenFoamConfig {
+            ranks: 768,
+            solver_nodes: 16,
+            decompose_compute: SimDuration::from_secs(1075),
+            mesh_bytes: 30 * simcore::units::GB,
+            solver_compute: SimDuration::from_secs(55),
+            output_bytes: 160 * simcore::units::GB,
+        }
+    }
+}
+
+/// Outcome of one workflow phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseResult {
+    pub started: SimTime,
+    pub finished: SimTime,
+}
+
+impl PhaseResult {
+    pub fn runtime(&self) -> SimDuration {
+        self.finished - self.started
+    }
+}
+
+/// Create the decomposed case directory (one `processor<i>` dir per
+/// rank) in a namespace, so staging and the solver see real files.
+pub fn materialize_case<M: HasNorns>(
+    sim: &mut Sim<M>,
+    tier_name: &str,
+    node: Option<usize>,
+    case_path: &str,
+    cfg: &OpenFoamConfig,
+) {
+    let world = sim.model.norns_mut();
+    let tier = world.storage.resolve(tier_name).expect("tier exists");
+    let per_rank = cfg.mesh_bytes / cfg.ranks as u64;
+    let cred = Cred::new(1000, 1000);
+    for r in 0..cfg.ranks {
+        world
+            .storage
+            .ns_mut(tier, node)
+            .write_file(
+                &format!("{case_path}/processor{r}/constant/polyMesh"),
+                per_rank,
+                &cred,
+                Mode(0o644),
+            )
+            .expect("materialize processor dir");
+    }
+}
+
+/// Serial mesh decomposition on `node`, writing the decomposed case to
+/// `tier`. Blocks until done; also materializes the case directory.
+pub fn decompose(
+    sim: &mut Sim<BenchWorld>,
+    node: usize,
+    tier: &str,
+    case_path: &str,
+    cfg: &OpenFoamConfig,
+) -> PhaseResult {
+    let started = sim.now();
+    sim.run_until(started + cfg.decompose_compute);
+    // Write the decomposed mesh: ranks × several field files each.
+    let token = ops::app_io(
+        sim,
+        node,
+        tier,
+        IoDir::Write,
+        cfg.mesh_bytes,
+        cfg.ranks as u64 * 8,
+        None,
+    )
+    .expect("decompose io");
+    let finished = wait_tokens(sim, &[token]);
+    let node_arg = node_arg(sim, tier, node);
+    materialize_case(sim, tier, node_arg, case_path, cfg);
+    PhaseResult { started, finished }
+}
+
+fn node_arg(sim: &mut Sim<BenchWorld>, tier: &str, node: usize) -> Option<usize> {
+    let world = sim.model.norns_mut();
+    let t = world.storage.resolve(tier).expect("tier");
+    if world.storage.kind(t).is_node_local() {
+        Some(node)
+    } else {
+        None
+    }
+}
+
+/// The 20-timestep picoFoam solver run over `nodes`, reading the case
+/// from `tier` and writing output there (dir per process). Blocks
+/// until every node finished its compute + output wave.
+pub fn solver(
+    sim: &mut Sim<BenchWorld>,
+    nodes: &[usize],
+    tier: &str,
+    cfg: &OpenFoamConfig,
+) -> PhaseResult {
+    let started = sim.now();
+    // Compute phase (parallel, synchronized by collectives).
+    sim.run_until(started + cfg.solver_compute);
+    // Output wave: each node writes its ranks' directories.
+    let per_node = cfg.output_bytes / nodes.len() as u64;
+    let dirs_per_node = (cfg.ranks / nodes.len()) as u64;
+    let tokens: Vec<u64> = nodes
+        .iter()
+        .map(|&n| {
+            ops::app_io(sim, n, tier, IoDir::Write, per_node, dirs_per_node, None)
+                .expect("solver io")
+        })
+        .collect();
+    let finished = wait_tokens(sim, &tokens);
+    PhaseResult { started, finished }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::register_tiers;
+
+    fn world(nodes: usize) -> Sim<BenchWorld> {
+        let tb = cluster::nextgenio_quiet(nodes);
+        let mut sim = Sim::new(BenchWorld::new(tb.world), 31);
+        register_tiers(&mut sim);
+        sim
+    }
+
+    #[test]
+    fn decompose_writes_the_case_tree() {
+        let cfg = OpenFoamConfig { ranks: 16, ..Default::default() };
+        let mut sim = world(1);
+        let res = decompose(&mut sim, 0, "pmdk0", "case", &cfg);
+        assert!(res.runtime() >= cfg.decompose_compute);
+        let t = sim.model.world.storage.resolve("pmdk0").unwrap();
+        let ns = sim.model.world.storage.ns(t, Some(0));
+        assert!(ns.exists("case/processor0/constant/polyMesh"));
+        assert!(ns.exists("case/processor15/constant/polyMesh"));
+    }
+
+    #[test]
+    fn solver_is_faster_on_node_local_storage() {
+        let cfg = OpenFoamConfig::default();
+        let nodes: Vec<usize> = (0..16).collect();
+        let lustre = {
+            let mut sim = world(16);
+            solver(&mut sim, &nodes, "lustre", &cfg).runtime().as_secs_f64()
+        };
+        let nvm = {
+            let mut sim = world(16);
+            solver(&mut sim, &nodes, "pmdk0", &cfg).runtime().as_secs_f64()
+        };
+        // Paper: 123 s vs 66 s (≈1.9×). Require a clear win.
+        assert!(
+            lustre > nvm * 1.3,
+            "solver lustre {lustre} vs nvm {nvm} — node-local must win"
+        );
+        assert!((55.0..80.0).contains(&nvm), "nvm solver ≈66 s, got {nvm}");
+    }
+
+    #[test]
+    fn decompose_dominates_the_workflow() {
+        // Sanity on the Table V structure: decomposition >> solver.
+        let cfg = OpenFoamConfig::default();
+        assert!(cfg.decompose_compute.as_secs_f64() > 10.0 * cfg.solver_compute.as_secs_f64());
+    }
+}

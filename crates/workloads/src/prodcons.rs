@@ -1,0 +1,163 @@
+//! The synthetic producer/consumer workflow (Tables III & IV).
+//!
+//! "We created a synthetic workflow benchmark that has a producer and
+//! a consumer of data, configurable to produce a range of files with a
+//! range of different sizes." Each phase is compute followed by an I/O
+//! wave; runtimes are calibrated so the NVM/Lustre split reproduces
+//! Table III's shape (producer 96 s → 64 s, consumer 74 s → 30 s for
+//! 100 GB).
+
+use norns::sim::ops;
+use norns::HasNorns;
+use simcore::{Sim, SimDuration};
+use simstore::{Cred, IoDir, Mode};
+
+use crate::world::{wait_tokens, BenchWorld};
+
+/// One workflow component (producer or consumer).
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Pure compute before the I/O wave.
+    pub compute: SimDuration,
+    /// Bytes written (producer) or read (consumer).
+    pub bytes: u64,
+    /// Number of files produced/consumed.
+    pub files: u64,
+    pub dir: IoDir,
+}
+
+/// The benchmark configuration (100 GB as in the paper).
+#[derive(Debug, Clone)]
+pub struct ProdConsConfig {
+    pub data_bytes: u64,
+    pub files: u64,
+    pub producer_compute: SimDuration,
+    pub consumer_compute: SimDuration,
+}
+
+impl Default for ProdConsConfig {
+    fn default() -> Self {
+        ProdConsConfig {
+            data_bytes: 100 * simcore::units::GB,
+            files: 100,
+            producer_compute: SimDuration::from_secs(45),
+            consumer_compute: SimDuration::from_secs(18),
+        }
+    }
+}
+
+impl ProdConsConfig {
+    pub fn producer(&self) -> Phase {
+        Phase {
+            compute: self.producer_compute,
+            bytes: self.data_bytes,
+            files: self.files,
+            dir: IoDir::Write,
+        }
+    }
+
+    pub fn consumer(&self) -> Phase {
+        Phase {
+            compute: self.consumer_compute,
+            bytes: self.data_bytes,
+            files: self.files,
+            dir: IoDir::Read,
+        }
+    }
+}
+
+/// Create the produced dataset in a tier namespace (so later staging
+/// tasks have real files to move).
+pub fn materialize_output<M: HasNorns>(
+    sim: &mut Sim<M>,
+    tier_name: &str,
+    node: Option<usize>,
+    dir_path: &str,
+    cfg: &ProdConsConfig,
+) {
+    let world = sim.model.norns_mut();
+    let tier = world.storage.resolve(tier_name).expect("tier exists");
+    let per_file = cfg.data_bytes / cfg.files;
+    let cred = Cred::new(1000, 1000);
+    for i in 0..cfg.files {
+        world
+            .storage
+            .ns_mut(tier, node)
+            .write_file(&format!("{dir_path}/part{i:04}"), per_file, &cred, Mode(0o644))
+            .expect("materialize file");
+    }
+}
+
+/// Run one phase to completion on a single node against `tier`.
+/// Returns the phase wall time.
+pub fn run_phase(
+    sim: &mut Sim<BenchWorld>,
+    node: usize,
+    tier: &str,
+    phase: &Phase,
+) -> SimDuration {
+    let started = sim.now();
+    // Compute part.
+    let compute_end = started + phase.compute;
+    sim.run_until(compute_end);
+    // I/O wave.
+    let token = ops::app_io(sim, node, tier, phase.dir, phase.bytes, phase.files, None)
+        .expect("phase io");
+    let finished = wait_tokens(sim, &[token]);
+    finished - started
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::register_tiers;
+
+    fn world() -> Sim<BenchWorld> {
+        let tb = cluster::nextgenio_quiet(2);
+        let mut sim = Sim::new(BenchWorld::new(tb.world), 21);
+        register_tiers(&mut sim);
+        sim
+    }
+
+    #[test]
+    fn nvm_phases_match_table_iii_shape() {
+        let cfg = ProdConsConfig::default();
+        let mut sim = world();
+        let p = run_phase(&mut sim, 0, "pmdk0", &cfg.producer()).as_secs_f64();
+        let c = run_phase(&mut sim, 0, "pmdk0", &cfg.consumer()).as_secs_f64();
+        // Paper: producer 64 s, consumer 30 s on NVM.
+        assert!((p - 64.0).abs() < 6.0, "producer on NVM took {p}");
+        assert!((c - 30.0).abs() < 5.0, "consumer on NVM took {c}");
+    }
+
+    #[test]
+    fn lustre_phases_are_slower_than_nvm() {
+        let cfg = ProdConsConfig::default();
+        let mut sim = world();
+        let p_nvm = run_phase(&mut sim, 0, "pmdk0", &cfg.producer()).as_secs_f64();
+        let c_nvm = run_phase(&mut sim, 0, "pmdk0", &cfg.consumer()).as_secs_f64();
+        let p_pfs = run_phase(&mut sim, 0, "lustre", &cfg.producer()).as_secs_f64();
+        let c_pfs = run_phase(&mut sim, 1, "lustre", &cfg.consumer()).as_secs_f64();
+        assert!(p_pfs > p_nvm * 1.2, "producer: lustre {p_pfs} vs nvm {p_nvm}");
+        assert!(c_pfs > c_nvm * 1.5, "consumer: lustre {c_pfs} vs nvm {c_nvm}");
+        // Whole-workflow improvement ≈46% in the paper; require the
+        // same direction with at least 25%.
+        let lustre_total = p_pfs + c_pfs;
+        let nvm_total = p_nvm + c_nvm;
+        assert!(nvm_total < lustre_total * 0.75, "workflow: {lustre_total} → {nvm_total}");
+    }
+
+    #[test]
+    fn materialized_output_is_stageable() {
+        let cfg = ProdConsConfig { files: 4, ..Default::default() };
+        let mut sim = world();
+        materialize_output(&mut sim, "pmdk0", Some(0), "wfout", &cfg);
+        let t = sim.model.world.storage.resolve("pmdk0").unwrap();
+        let ns = sim.model.world.storage.ns(t, Some(0));
+        assert_eq!(ns.file_count("wfout", &Cred::new(1000, 1000)).unwrap(), 4);
+        assert_eq!(
+            ns.tree_bytes("wfout", &Cred::new(1000, 1000)).unwrap(),
+            cfg.data_bytes / 4 * 4
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Ready-made simulation models for workload drivers.
+//!
+//! [`BenchWorld`] is the minimal model for NORNS-level experiments
+//! (Fig. 1, 4–8): a [`NornsWorld`] plus completion ledgers. The
+//! workload runners in this crate drive it directly.
+//!
+//! [`SlurmWorld`] adds a [`Slurmctld`] and routes staging-task
+//! completions to the scheduler — the model behind the workflow
+//! experiments (Tables III–V).
+
+use std::collections::HashMap;
+
+use norns::{HasNorns, NornsWorld, RpcReply, TaskCompletion};
+use simcore::{CompletedFlow, FluidModel, FluidSystem, Sim, SimTime};
+use slurm_sim::{HasSlurm, JobEvent, SchedConfig, Slurmctld};
+
+/// Minimal benchmark model.
+pub struct BenchWorld {
+    pub world: NornsWorld,
+    pub app_done: HashMap<u64, SimTime>,
+    pub completions: Vec<TaskCompletion>,
+    pub replies: Vec<RpcReply>,
+    pub reply_times: Vec<(u64, SimTime)>,
+}
+
+impl BenchWorld {
+    pub fn new(world: NornsWorld) -> Self {
+        BenchWorld {
+            world,
+            app_done: HashMap::new(),
+            completions: Vec::new(),
+            replies: Vec::new(),
+            reply_times: Vec::new(),
+        }
+    }
+}
+
+impl FluidModel for BenchWorld {
+    fn fluid_mut(&mut self) -> &mut FluidSystem {
+        &mut self.world.fluid
+    }
+    fn on_flow_complete(sim: &mut Sim<Self>, done: CompletedFlow) {
+        norns::handle_flow_complete(sim, done);
+    }
+}
+
+impl HasNorns for BenchWorld {
+    fn norns_mut(&mut self) -> &mut NornsWorld {
+        &mut self.world
+    }
+    fn on_task_complete(sim: &mut Sim<Self>, completion: TaskCompletion) {
+        sim.model.completions.push(completion);
+    }
+    fn on_app_io_complete(sim: &mut Sim<Self>, token: u64) {
+        let now = sim.now();
+        sim.model.app_done.insert(token, now);
+    }
+    fn on_rpc_reply(sim: &mut Sim<Self>, reply: RpcReply) {
+        let now = sim.now();
+        sim.model.reply_times.push((reply.token, now));
+        sim.model.replies.push(reply);
+    }
+}
+
+/// Step the simulation until all `tokens` have completed (or events
+/// run out). Returns the finish time of the last one.
+pub fn wait_tokens(sim: &mut Sim<BenchWorld>, tokens: &[u64]) -> SimTime {
+    while !tokens.iter().all(|t| sim.model.app_done.contains_key(t)) {
+        if !sim.step() {
+            panic!("simulation drained before all app I/O completed");
+        }
+    }
+    tokens.iter().map(|t| sim.model.app_done[t]).max().unwrap_or(sim.now())
+}
+
+/// Step until `n` NORNS task completions have been observed.
+pub fn wait_task_completions(sim: &mut Sim<BenchWorld>, n: usize) -> SimTime {
+    while sim.model.completions.len() < n {
+        if !sim.step() {
+            panic!("simulation drained before {n} task completions");
+        }
+    }
+    sim.now()
+}
+
+/// The full scheduler-driven model for workflow experiments.
+pub struct SlurmWorld {
+    pub world: NornsWorld,
+    pub ctld: Slurmctld,
+    pub events: Vec<(SimTime, JobEvent)>,
+    pub app_done: HashMap<u64, SimTime>,
+    /// Hook inspected by experiment drivers after each job event.
+    pub started_jobs: Vec<slurm_sim::SlurmJobId>,
+}
+
+impl SlurmWorld {
+    pub fn new(world: NornsWorld, config: SchedConfig) -> Self {
+        let nodes = world.nodes();
+        SlurmWorld {
+            world,
+            ctld: Slurmctld::new(nodes, config),
+            events: Vec::new(),
+            app_done: HashMap::new(),
+            started_jobs: Vec::new(),
+        }
+    }
+}
+
+impl FluidModel for SlurmWorld {
+    fn fluid_mut(&mut self) -> &mut FluidSystem {
+        &mut self.world.fluid
+    }
+    fn on_flow_complete(sim: &mut Sim<Self>, done: CompletedFlow) {
+        norns::handle_flow_complete(sim, done);
+    }
+}
+
+impl HasNorns for SlurmWorld {
+    fn norns_mut(&mut self) -> &mut NornsWorld {
+        &mut self.world
+    }
+    fn on_task_complete(sim: &mut Sim<Self>, completion: TaskCompletion) {
+        slurm_sim::handle_task_complete(sim, &completion);
+    }
+    fn on_app_io_complete(sim: &mut Sim<Self>, token: u64) {
+        let now = sim.now();
+        sim.model.app_done.insert(token, now);
+    }
+}
+
+impl HasSlurm for SlurmWorld {
+    fn ctld_mut(&mut self) -> &mut Slurmctld {
+        &mut self.ctld
+    }
+    fn on_job_event(sim: &mut Sim<Self>, event: JobEvent) {
+        let now = sim.now();
+        if let JobEvent::Started { job, .. } = &event {
+            sim.model.started_jobs.push(*job);
+        }
+        sim.model.events.push((now, event));
+    }
+}
+
+/// Register the standard dataspaces (every storage tier by its own
+/// name) on every node of the world.
+pub fn register_tiers<M: HasNorns>(sim: &mut Sim<M>) {
+    let (nodes, names) = {
+        let world = sim.model.norns_mut();
+        (world.nodes(), world.storage.tier_names())
+    };
+    for n in 0..nodes {
+        for name in &names {
+            let _ = norns::sim::ops::register_dataspace(sim, n, name, name, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simstore::IoDir;
+
+    #[test]
+    fn bench_world_tracks_app_io() {
+        let tb = cluster::nextgenio_quiet(2);
+        let mut sim = Sim::new(BenchWorld::new(tb.world), 1);
+        register_tiers(&mut sim);
+        let t1 =
+            norns::sim::ops::app_io(&mut sim, 0, "pmdk0", IoDir::Write, 1 << 30, 1, None).unwrap();
+        let t2 =
+            norns::sim::ops::app_io(&mut sim, 1, "pmdk0", IoDir::Write, 1 << 30, 1, None).unwrap();
+        let done = wait_tokens(&mut sim, &[t1, t2]);
+        assert!(done > SimTime::ZERO);
+        assert_eq!(sim.model.app_done.len(), 2);
+    }
+
+    #[test]
+    fn register_tiers_covers_all_nodes() {
+        let tb = cluster::nextgenio_quiet(3);
+        let mut sim = Sim::new(BenchWorld::new(tb.world), 1);
+        register_tiers(&mut sim);
+        for n in 0..3 {
+            let info = norns::sim::ops::dataspace_info(&mut sim, n);
+            assert_eq!(info, vec!["lustre".to_string(), "pmdk0".to_string()]);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Why the paper exists, in one run: the same IOR workload against the
+//! shared PFS under production interference vs node-local NVM.
+//!
+//! ```text
+//! cargo run --release --example cluster_contention
+//! ```
+
+use simcore::{Sim, SimDuration, SimTime};
+use simstore::IoDir;
+use workloads::ior::{self, IorConfig};
+use workloads::{register_tiers, BenchWorld};
+
+fn run(tier: &str, nodes: usize, seed: u64) -> f64 {
+    let tb = cluster::nextgenio(nodes);
+    let mut sim = Sim::new(BenchWorld::new(tb.world), seed);
+    register_tiers(&mut sim);
+    cluster::drive_interference(&mut sim, SimDuration::from_secs(600), SimTime::from_secs(36_000));
+    let cfg = IorConfig {
+        tier: tier.into(),
+        procs_per_node: 48,
+        bytes_per_proc: 256 << 20,
+        dir: IoDir::Write,
+        stripe: None,
+    };
+    let all: Vec<usize> = (0..nodes).collect();
+    ior::run(&mut sim, &all, &cfg).bandwidth() / 1e9
+}
+
+fn main() {
+    println!("aggregated IOR write bandwidth on the NEXTGenIO model (GB/s):\n");
+    println!("{:>6}  {:>14}  {:>14}  {:>7}", "nodes", "lustre (GB/s)", "dcpmm (GB/s)", "ratio");
+    for nodes in [1usize, 4, 16, 32] {
+        // Sample lustre across several interference regimes.
+        let lustre: Vec<f64> = (0..5).map(|s| run("lustre", nodes, 100 + s)).collect();
+        let lustre_med = {
+            let mut v = lustre.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let dcpmm = run("pmdk0", nodes, 1);
+        println!(
+            "{:>6}  {:>14.2}  {:>14.2}  {:>6.1}x",
+            nodes,
+            lustre_med,
+            dcpmm,
+            dcpmm / lustre_med
+        );
+    }
+    println!("\nnode-local storage scales with the allocation; the shared PFS does not.");
+    println!("this is Fig. 8 of the paper in miniature — run `cargo run -p norns-bench");
+    println!("--release --bin fig8` for the full sweep.");
+}

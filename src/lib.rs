@@ -1,0 +1,18 @@
+//! Workspace root crate for the NORNS reproduction.
+//!
+//! This crate only re-exports the workspace members so that the
+//! cross-crate integration tests under `tests/` and the runnable
+//! examples under `examples/` have a single dependency root.
+//!
+//! See `README.md` for an overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use cluster;
+pub use norns;
+pub use norns_ipc;
+pub use norns_proto;
+pub use simcore;
+pub use simnet;
+pub use simstore;
+pub use slurm_sim;
+pub use workloads;
