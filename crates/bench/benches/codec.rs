@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use norns_proto::{
-    encode_frame, CtlRequest, FrameReader, ResourceDesc, TaskOp, TaskSpec, Wire,
+    encode_frame, CtlRequest, FrameReader, ResourceDesc, TaskOp, TaskSpec, Wire, DEFAULT_PRIORITY,
 };
 
 fn submit_request() -> CtlRequest {
@@ -12,6 +12,7 @@ fn submit_request() -> CtlRequest {
         job_id: 42,
         spec: TaskSpec {
             op: TaskOp::Copy,
+            priority: DEFAULT_PRIORITY,
             input: ResourceDesc::PosixPath {
                 nsid: "lustre".into(),
                 path: "inputs/mesh.dat".into(),
@@ -46,7 +47,9 @@ fn bench_codec(c: &mut Criterion) {
     });
 
     let payload: Bytes = encoded.clone();
-    c.bench_function("encode_frame_only", |b| b.iter(|| encode_frame(black_box(&payload))));
+    c.bench_function("encode_frame_only", |b| {
+        b.iter(|| encode_frame(black_box(&payload)))
+    });
 }
 
 criterion_group!(benches, bench_codec);

@@ -7,7 +7,9 @@ use simcore::{FlowSpec, FluidNetwork, SimTime};
 fn build_network(flows: usize) -> FluidNetwork {
     let mut net = FluidNetwork::new();
     let core = net.add_resource(1e12, "core");
-    let links: Vec<_> = (0..32).map(|i| net.add_resource(12.5e9, format!("nic{i}"))).collect();
+    let links: Vec<_> = (0..32)
+        .map(|i| net.add_resource(12.5e9, format!("nic{i}")))
+        .collect();
     for f in 0..flows {
         let a = links[f % 32];
         let b = links[(f * 7 + 3) % 32];

@@ -4,14 +4,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
-use norns_proto::{BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec};
+use norns_proto::{BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec, DEFAULT_PRIORITY};
 
 fn bench_request_rate(c: &mut Criterion) {
     let root = std::env::temp_dir().join(format!("norns-bench-rr-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     std::fs::create_dir_all(&root).unwrap();
-    let daemon =
-        UrdDaemon::spawn(DaemonConfig { socket_dir: root.join("sockets"), workers: 2 }).unwrap();
+    let daemon = UrdDaemon::spawn({
+        let mut cfg = DaemonConfig::in_dir(root.join("sockets"));
+        cfg.workers = 2;
+        cfg
+    })
+    .unwrap();
     let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
     ctl.register_dataspace(DataspaceDesc {
         nsid: "tmp0".into(),
@@ -26,11 +30,25 @@ fn bench_request_rate(c: &mut Criterion) {
 
     let spec = TaskSpec {
         op: TaskOp::Remove,
-        input: ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "missing".into() },
+        priority: DEFAULT_PRIORITY,
+        input: ResourceDesc::PosixPath {
+            nsid: "tmp0".into(),
+            path: "missing".into(),
+        },
         output: None,
     };
     c.bench_function("daemon_submit_rtt", |b| {
-        b.iter(|| ctl.submit(0, spec.clone(), None).unwrap())
+        b.iter(|| loop {
+            match ctl.submit(0, spec.clone(), None) {
+                Ok(id) => break id,
+                // Bounded queue pushing back: spin until admitted.
+                Err(norns_ipc::ClientError::Remote {
+                    code: norns_proto::ErrorCode::Busy,
+                    ..
+                }) => std::thread::yield_now(),
+                Err(e) => panic!("submit: {e}"),
+            }
+        })
     });
 
     c.bench_function("daemon_status_rtt", |b| b.iter(|| ctl.status().unwrap()));

@@ -18,8 +18,10 @@ const GB: u64 = 1_000_000_000;
 
 fn run(affinity: bool) -> (usize, usize, f64, f64) {
     let tb = cluster::nextgenio_quiet(4);
-    let mut config = SchedConfig::default();
-    config.data_affinity = affinity;
+    let config = SchedConfig {
+        data_affinity: affinity,
+        ..Default::default()
+    };
     let mut sim = Sim::new(SlurmWorld::new(tb.world, config), 23);
     register_tiers(&mut sim);
     let cred = Cred::new(1000, 1000);
@@ -66,8 +68,14 @@ fn run(affinity: bool) -> (usize, usize, f64, f64) {
     sim.run_until(SimTime::from_secs(600));
     let cjob = sim.model.ctld.job(consumer).unwrap();
     let cnode = cjob.nodes.first().copied().unwrap_or(usize::MAX);
-    let stage = cjob.stage_in_time().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
-    let turnaround = cjob.turnaround().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
+    let stage = cjob
+        .stage_in_time()
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::NAN);
+    let turnaround = cjob
+        .turnaround()
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::NAN);
     (pnode, cnode, stage, turnaround)
 }
 
@@ -75,7 +83,13 @@ fn main() {
     let mut report = Report::new(
         "ablation_affinity",
         "Data-affinity node selection: consumer stage-in cost (50 GB persisted)",
-        ["data_affinity", "producer_node", "consumer_node", "stage_in_s", "turnaround_s"],
+        [
+            "data_affinity",
+            "producer_node",
+            "consumer_node",
+            "stage_in_s",
+            "turnaround_s",
+        ],
     );
     for affinity in [true, false] {
         let (pnode, cnode, stage, turn) = run(affinity);

@@ -6,10 +6,12 @@
 //! stage-outs from another, all contending for 2 worker slots.
 
 use norns::sim::ops;
-use norns::{ApiSource, JobFairShare, JobId, JobSpec, ResourceRef, ShortestFirst, TaskQueue, TaskSpec};
+use norns::{
+    ApiSource, JobFairShare, JobId, JobSpec, ResourceRef, ShortestFirst, TaskQueue, TaskSpec,
+};
 use norns_bench::Report;
-use simcore::Sim;
 use simcore::metrics::Summary;
+use simcore::Sim;
 use simstore::{Cred, Mode};
 use workloads::{register_tiers, BenchWorld};
 
@@ -94,7 +96,11 @@ fn main() {
     );
     for policy in ["fcfs", "sjf", "job-fair"] {
         let (all, small) = run(policy);
-        report.row([policy.to_string(), format!("{all:.1}"), format!("{small:.1}")]);
+        report.row([
+            policy.to_string(),
+            format!("{all:.1}"),
+            format!("{small:.1}"),
+        ]);
     }
     report.note("fcfs = paper default; sjf cuts mean sojourn; job-fair protects the small job");
     report.finish();

@@ -7,8 +7,8 @@
 //! and ≈16 GB/s peak only under full striping.
 
 use norns_bench::{mbps, reps, Report};
-use simcore::{Sim, SimDuration, SimTime};
 use simcore::metrics::Summary;
+use simcore::{Sim, SimDuration, SimTime};
 use workloads::mpiio::{self, MpiIoConfig};
 use workloads::{register_tiers, BenchWorld};
 
@@ -30,14 +30,25 @@ fn main() {
     let mut report = Report::new(
         "fig1a",
         "ARCHER collective MPI-IO write bandwidth under interference",
-        ["nodes", "stripe", "min_MB/s", "median_MB/s", "max_MB/s", "spread"],
+        [
+            "nodes",
+            "stripe",
+            "min_MB/s",
+            "median_MB/s",
+            "max_MB/s",
+            "spread",
+        ],
     );
     let repetitions = reps(15);
     for &nodes in &[1usize, 2, 4, 8, 16, 32] {
         for (label, stripe) in [("default(4)", Some(4)), ("full(48)", None)] {
             let mut s = Summary::new();
             for rep in 0..repetitions {
-                s.record(one_run(nodes, stripe, 1000 + rep as u64 * 13 + nodes as u64));
+                s.record(one_run(
+                    nodes,
+                    stripe,
+                    1000 + rep as u64 * 13 + nodes as u64,
+                ));
             }
             report.row([
                 nodes.to_string(),

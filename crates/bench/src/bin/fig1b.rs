@@ -6,8 +6,8 @@
 //! "often diverging by orders of magnitude".
 
 use norns_bench::{mbps, reps, Report};
-use simcore::{Sim, SimDuration, SimTime};
 use simcore::metrics::Summary;
+use simcore::{Sim, SimDuration, SimTime};
 use simstore::IoDir;
 use workloads::ior::{self, IorConfig};
 use workloads::{register_tiers, BenchWorld};
@@ -37,14 +37,25 @@ fn main() {
     let mut report = Report::new(
         "fig1b",
         "MareNostrum IV IOR bandwidth under production load (GPFS)",
-        ["nodes", "op", "min_MB/s", "median_MB/s", "max_MB/s", "spread"],
+        [
+            "nodes",
+            "op",
+            "min_MB/s",
+            "median_MB/s",
+            "max_MB/s",
+            "spread",
+        ],
     );
     let repetitions = reps(25);
     for &nodes in &[1usize, 2, 4, 8, 16, 32] {
         for (label, dir) in [("read", IoDir::Read), ("write", IoDir::Write)] {
             let mut s = Summary::new();
             for rep in 0..repetitions {
-                s.record(one_run(nodes, dir, 7000 + rep as u64 * 31 + nodes as u64 * 7));
+                s.record(one_run(
+                    nodes,
+                    dir,
+                    7000 + rep as u64 * 31 + nodes as u64 * 7,
+                ));
             }
             report.row([
                 nodes.to_string(),

@@ -14,15 +14,17 @@ use std::time::Instant;
 
 use norns_bench::{quick_mode, Report};
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
-use norns_proto::{BackendKind, DaemonCommand, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec};
+use norns_proto::{
+    BackendKind, DaemonCommand, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec, DEFAULT_PRIORITY,
+};
 
 fn main() {
     let per_process: u64 = if quick_mode() { 5_000 } else { 50_000 };
     let root = std::env::temp_dir().join(format!("norns-fig4-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     std::fs::create_dir_all(&root).unwrap();
-    let daemon = UrdDaemon::spawn(DaemonConfig { socket_dir: root.join("sockets"), workers: 4 })
-        .expect("daemon spawn");
+    let daemon =
+        UrdDaemon::spawn(DaemonConfig::in_dir(root.join("sockets"))).expect("daemon spawn");
     {
         let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
         ctl.register_dataspace(DataspaceDesc {
@@ -38,7 +40,12 @@ fn main() {
     let mut report = Report::new(
         "fig4",
         "Local request throughput/latency against the real urd daemon",
-        ["processes", "throughput_req_s", "mean_latency_us", "p99_latency_us"],
+        [
+            "processes",
+            "throughput_req_s",
+            "mean_latency_us",
+            "p99_latency_us",
+        ],
     );
 
     for &procs in &[1usize, 2, 4, 8, 16, 32] {
@@ -62,6 +69,7 @@ fn main() {
                     // itself is a cheap removal of a missing path.
                     let spec = TaskSpec {
                         op: TaskOp::Remove,
+                        priority: DEFAULT_PRIORITY,
                         input: ResourceDesc::PosixPath {
                             nsid: "tmp0".into(),
                             path: "nonexistent".into(),
@@ -70,7 +78,18 @@ fn main() {
                     };
                     for _ in 0..per_process {
                         let t0 = Instant::now();
-                        client.submit(0, spec.clone(), None).expect("submit");
+                        // The bounded queue may push back under this
+                        // hammering load: EAGAIN-style retry.
+                        loop {
+                            match client.submit(0, spec.clone(), None) {
+                                Ok(_) => break,
+                                Err(norns_ipc::ClientError::Remote {
+                                    code: norns_proto::ErrorCode::Busy,
+                                    ..
+                                }) => std::thread::yield_now(),
+                                Err(e) => panic!("submit: {e}"),
+                            }
+                        }
                         latencies.push(t0.elapsed().as_nanos() as u64);
                     }
                     let sum: u64 = latencies.iter().sum();

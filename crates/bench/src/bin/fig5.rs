@@ -12,7 +12,12 @@ fn main() {
     let mut report = Report::new(
         "fig5",
         "Remote request throughput/latency against one urd (ofi+tcp)",
-        ["clients", "rpcs_in_flight", "throughput_req_s", "mean_latency_us"],
+        [
+            "clients",
+            "rpcs_in_flight",
+            "throughput_req_s",
+            "mean_latency_us",
+        ],
     );
     for &clients in &[1usize, 2, 4, 8, 16, 32] {
         for &window in &[1usize, 16] {
@@ -26,6 +31,8 @@ fn main() {
         }
     }
     report.note("paper: ≈45k req/s peak; ≈900 µs worst-case latency");
-    report.note(format!("requests per client: {per_client} (paper: 50k; rates are steady-state)"));
+    report.note(format!(
+        "requests per client: {per_client} (paper: 50k; rates are steady-state)"
+    ));
     report.finish();
 }

@@ -12,7 +12,12 @@ fn main() {
     let mut report = Report::new(
         "fig6",
         "Aggregated bandwidth, remote reads from one target (ofi+tcp)",
-        ["clients", "rpcs_in_flight", "aggregate_GiB_s", "per_client_GiB_s"],
+        [
+            "clients",
+            "rpcs_in_flight",
+            "aggregate_GiB_s",
+            "per_client_GiB_s",
+        ],
     );
     for &clients in &[1usize, 2, 4, 8, 16, 32] {
         for &window in &[1usize, 2, 4, 8, 16] {

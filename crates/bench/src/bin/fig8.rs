@@ -8,8 +8,8 @@
 //! order of magnitude for higher node counts. It also scales better."
 
 use norns_bench::{mbps, reps, Report};
-use simcore::{Sim, SimDuration, SimTime};
 use simcore::metrics::Summary;
+use simcore::{Sim, SimDuration, SimTime};
 use simstore::IoDir;
 use workloads::ior::{self, IorConfig};
 use workloads::{register_tiers, BenchWorld};
@@ -44,7 +44,12 @@ fn main() {
         ] {
             let mut s = Summary::new();
             for rep in 0..repetitions {
-                s.record(one_run(nodes, tier, dir, 880 + rep as u64 * 17 + nodes as u64));
+                s.record(one_run(
+                    nodes,
+                    tier,
+                    dir,
+                    880 + rep as u64 * 17 + nodes as u64,
+                ));
             }
             report.row([
                 nodes.to_string(),

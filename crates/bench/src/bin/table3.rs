@@ -12,8 +12,8 @@
 //! | consumer  | NVM    | 30 s    |
 
 use norns_bench::{reps, Report};
-use simcore::{Sim, SimDuration, SimTime};
 use simcore::metrics::Summary;
+use simcore::{Sim, SimDuration, SimTime};
 use workloads::prodcons::{run_phase, ProdConsConfig};
 use workloads::{register_tiers, BenchWorld};
 
@@ -42,9 +42,10 @@ fn main() {
         ["component", "target", "paper_s", "measured_s", "stddev_s"],
     );
     let repetitions = reps(5);
-    for (tier, label, paper_p, paper_c) in
-        [("lustre", "Lustre", 96.0, 74.0), ("pmdk0", "NVM", 64.0, 30.0)]
-    {
+    for (tier, label, paper_p, paper_c) in [
+        ("lustre", "Lustre", 96.0, 74.0),
+        ("pmdk0", "NVM", 64.0, 30.0),
+    ] {
         let mut prod = Summary::new();
         let mut cons = Summary::new();
         for rep in 0..repetitions {

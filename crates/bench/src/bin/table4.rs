@@ -61,7 +61,12 @@ fn hpcg_with_staging(spec: Option<TaskSpec>, node: usize) -> f64 {
                 .world
                 .storage
                 .ns_mut(t, None)
-                .write_file(&format!("staged/part{i:04}"), per, &cred, simstore::Mode(0o644))
+                .write_file(
+                    &format!("staged/part{i:04}"),
+                    per,
+                    &cred,
+                    simstore::Mode(0o644),
+                )
                 .unwrap();
         }
     }
@@ -98,7 +103,11 @@ fn main() {
         ResourceRef::local("lustre", "archive/out"),
     );
     let hpcg_out = hpcg_with_staging(Some(stage_out), 0);
-    report.row(["HPCG stage out".into(), "137".to_string(), format!("{hpcg_out:.1}")]);
+    report.row([
+        "HPCG stage out".into(),
+        "137".to_string(),
+        format!("{hpcg_out:.1}"),
+    ]);
 
     // HPCG while the consumer's input is staged in from Lustre.
     let stage_in = TaskSpec::copy(
@@ -106,11 +115,19 @@ fn main() {
         ResourceRef::local("pmdk0", "in"),
     );
     let hpcg_in = hpcg_with_staging(Some(stage_in), 0);
-    report.row(["HPCG stage in".into(), "142".to_string(), format!("{hpcg_in:.1}")]);
+    report.row([
+        "HPCG stage in".into(),
+        "142".to_string(),
+        format!("{hpcg_in:.1}"),
+    ]);
 
     // HPCG baseline.
     let hpcg_idle = hpcg_with_staging(None, 0);
-    report.row(["HPCG no activity".into(), "122".to_string(), format!("{hpcg_idle:.1}")]);
+    report.row([
+        "HPCG no activity".into(),
+        "122".to_string(),
+        format!("{hpcg_idle:.1}"),
+    ]);
 
     report.note(format!(
         "measured staging impact: stage-out +{:.0}%, stage-in +{:.0}% (paper ~12-16%)",

@@ -46,12 +46,18 @@ fn main() {
 
     // ---- Lustre end to end ----
     let mut sim = world(cfg.solver_nodes, 41);
-    let dec_lustre = decompose(&mut sim, 0, "lustre", "case", &cfg).runtime().as_secs_f64();
-    let sol_lustre = solver(&mut sim, &solver_nodes, "lustre", &cfg).runtime().as_secs_f64();
+    let dec_lustre = decompose(&mut sim, 0, "lustre", "case", &cfg)
+        .runtime()
+        .as_secs_f64();
+    let sol_lustre = solver(&mut sim, &solver_nodes, "lustre", &cfg)
+        .runtime()
+        .as_secs_f64();
 
     // ---- NVM + staging ----
     let mut sim = world(cfg.solver_nodes, 42);
-    let dec_nvm = decompose(&mut sim, 0, "pmdk0", "case", &cfg).runtime().as_secs_f64();
+    let dec_nvm = decompose(&mut sim, 0, "pmdk0", "case", &cfg)
+        .runtime()
+        .as_secs_f64();
     // Redistribute the decomposed case from node 0 to the other
     // solver nodes (node-to-node NORNS transfers, the paper's 32 s
     // step). The transfers are pushed by the decompose node's urd,
@@ -74,12 +80,20 @@ fn main() {
     }
     let _ = workloads::wait_task_completions(&mut sim, outstanding);
     let staging = (sim.now() - staging_start).as_secs_f64();
-    let sol_nvm = solver(&mut sim, &solver_nodes, "pmdk0", &cfg).runtime().as_secs_f64();
+    let sol_nvm = solver(&mut sim, &solver_nodes, "pmdk0", &cfg)
+        .runtime()
+        .as_secs_f64();
 
     let mut report = Report::new(
         "table5",
         "OpenFOAM workflow: Lustre vs NVMs + data staging",
-        ["phase", "paper_lustre_s", "measured_lustre_s", "paper_nvm_s", "measured_nvm_s"],
+        [
+            "phase",
+            "paper_lustre_s",
+            "measured_lustre_s",
+            "paper_nvm_s",
+            "measured_nvm_s",
+        ],
     );
     report.row([
         "decomposition".to_string(),

@@ -19,7 +19,9 @@ pub fn results_dir() -> PathBuf {
 /// Scale factor for long benchmarks: set `NORNS_QUICK=1` to shrink
 /// request counts / repetitions during development.
 pub fn quick_mode() -> bool {
-    std::env::var("NORNS_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("NORNS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Repetition count honoring quick mode.
@@ -45,7 +47,12 @@ impl Report {
         title: &'static str,
         columns: impl IntoIterator<Item = S>,
     ) -> Self {
-        Report { id, title, table: CsvTable::new(columns), notes: Vec::new() }
+        Report {
+            id,
+            title,
+            table: CsvTable::new(columns),
+            notes: Vec::new(),
+        }
     }
 
     pub fn note(&mut self, text: impl Into<String>) {
@@ -80,7 +87,14 @@ impl Report {
                     .collect();
                 println!("  {}", line.join("  "));
                 if ri == 0 {
-                    println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+                    println!(
+                        "  {}",
+                        widths
+                            .iter()
+                            .map(|w| "-".repeat(*w))
+                            .collect::<Vec<_>>()
+                            .join("  ")
+                    );
                 }
             }
         }
@@ -151,6 +165,7 @@ pub mod drivers {
         let mut sent = vec![0usize; clients + 1];
         let mut send_time = std::collections::HashMap::new();
         let token_of = |client: usize, seq: usize| ((client as u64) << 32) | seq as u64;
+        #[allow(clippy::needless_range_loop)]
         for c in 1..=clients {
             for _ in 0..window.min(per_client) {
                 let tok = token_of(c, sent[c]);
@@ -244,6 +259,7 @@ pub mod drivers {
             }
         };
         let mut submitted = vec![0usize; clients + 1];
+        #[allow(clippy::needless_range_loop)]
         for c in 1..=clients {
             for w in 0..window.min(tasks_per_client) {
                 ops::submit_task(
@@ -297,7 +313,13 @@ mod tests {
 
     #[test]
     fn report_writes_csv() {
-        std::env::set_var("NORNS_RESULTS_DIR", std::env::temp_dir().join("norns-bench-test").to_str().unwrap());
+        std::env::set_var(
+            "NORNS_RESULTS_DIR",
+            std::env::temp_dir()
+                .join("norns-bench-test")
+                .to_str()
+                .unwrap(),
+        );
         let mut r = Report::new("test_report", "smoke", ["a", "b"]);
         r.row(["1", "2"]);
         r.note("hello");

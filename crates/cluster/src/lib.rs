@@ -13,8 +13,8 @@
 //!   heavy-tailed production interference, node-local NVMe).
 //!   Motivation Fig. 1b.
 //! * [`bandwidth_bench`] — the fat-NIC variant used by the Fig. 6/7
-//!   transfer-rate benchmarks (see DESIGN.md on why the target link is
-//!   oversized there).
+//!   transfer-rate benchmarks (the target link is oversized there so
+//!   the measured path, not the sink, is the bottleneck).
 //! * [`nextgenio_with_bb`] — extension testbed with a shared
 //!   DataWarp-like burst buffer (BB plugins are listed as future work
 //!   in the paper; we implement them and benchmark the comparison).
@@ -45,9 +45,15 @@ pub struct Testbed {
 }
 
 fn nextgenio_inner(nodes: usize, interference: Interference) -> Testbed {
-    assert!(nodes >= 1 && nodes <= 34, "the prototype has 34 compute nodes");
-    let mut world =
-        NornsWorld::new(nodes, FabricParams::omni_path_tcp(nodes), WorldConfig::default());
+    assert!(
+        (1..=34).contains(&nodes),
+        "the prototype has 34 compute nodes"
+    );
+    let mut world = NornsWorld::new(
+        nodes,
+        FabricParams::omni_path_tcp(nodes),
+        WorldConfig::default(),
+    );
     // "a Lustre server (6 OSTs) is reached using a 56 Gbps InfiniBand
     // link" (§V-A). The per-node client stack is calibrated from the
     // paper's own Table III: the producer moves 100 GB in ≈51 s of
@@ -55,7 +61,13 @@ fn nextgenio_inner(nodes: usize, interference: Interference) -> Testbed {
     let mut pfs = PfsParams::nextgenio_lustre();
     pfs.client_bps = simcore::units::gib_per_s(1.9);
     pfs.interference = interference;
-    world.storage.add_pfs(&mut world.fluid.net, "lustre", nodes, pfs, 200 * simcore::units::TB);
+    world.storage.add_pfs(
+        &mut world.fluid.net,
+        "lustre",
+        nodes,
+        pfs,
+        200 * simcore::units::TB,
+    );
     world.storage.add_local_class(
         &mut world.fluid.net,
         "pmdk0",
@@ -80,7 +92,13 @@ fn nextgenio_inner(nodes: usize, interference: Interference) -> Testbed {
 /// the paper ran "during a maintenance period where fewer jobs
 /// competed for I/O resources": interference is mild but nonzero.
 pub fn nextgenio(nodes: usize) -> Testbed {
-    nextgenio_inner(nodes, Interference::Lognormal { sigma: 0.35, mean_load: 0.12 })
+    nextgenio_inner(
+        nodes,
+        Interference::Lognormal {
+            sigma: 0.35,
+            mean_load: 0.12,
+        },
+    )
 }
 
 /// NEXTGenIO with interference disabled — for deterministic tests and
@@ -94,8 +112,11 @@ pub fn nextgenio_quiet(nodes: usize) -> Testbed {
 /// traffic (Fig. 1a: "a four fold difference in achieved bandwidth
 /// between the fastest and slowest results").
 pub fn archer(nodes: usize) -> Testbed {
-    let mut world =
-        NornsWorld::new(nodes, FabricParams::omni_path_tcp(nodes), WorldConfig::default());
+    let mut world = NornsWorld::new(
+        nodes,
+        FabricParams::omni_path_tcp(nodes),
+        WorldConfig::default(),
+    );
     let pfs = PfsParams {
         osts: 48,
         ost_read_bps: simcore::units::gib_per_s(0.52),
@@ -104,9 +125,18 @@ pub fn archer(nodes: usize) -> Testbed {
         client_bps: simcore::units::gib_per_s(3.0),
         default_stripe: 4,
         mds_op_time: SimDuration::from_micros(500),
-        interference: Interference::Lognormal { sigma: 0.55, mean_load: 0.35 },
+        interference: Interference::Lognormal {
+            sigma: 0.55,
+            mean_load: 0.35,
+        },
     };
-    world.storage.add_pfs(&mut world.fluid.net, "lustre", nodes, pfs, 4_000 * simcore::units::TB);
+    world.storage.add_pfs(
+        &mut world.fluid.net,
+        "lustre",
+        nodes,
+        pfs,
+        4_000 * simcore::units::TB,
+    );
     Testbed {
         world,
         spec: TestbedSpec {
@@ -124,8 +154,11 @@ pub fn archer(nodes: usize) -> Testbed {
 /// heavy-tailed interference ("bandwidths often diverging by orders of
 /// magnitude", Fig. 1b) plus node-local NVMe SSDs.
 pub fn marenostrum4(nodes: usize) -> Testbed {
-    let mut world =
-        NornsWorld::new(nodes, FabricParams::omni_path_tcp(nodes), WorldConfig::default());
+    let mut world = NornsWorld::new(
+        nodes,
+        FabricParams::omni_path_tcp(nodes),
+        WorldConfig::default(),
+    );
     let pfs = PfsParams {
         osts: 16,
         ost_read_bps: simcore::units::gib_per_s(2.0),
@@ -134,9 +167,18 @@ pub fn marenostrum4(nodes: usize) -> Testbed {
         client_bps: simcore::units::gib_per_s(2.2),
         default_stripe: 8,
         mds_op_time: SimDuration::from_micros(350),
-        interference: Interference::HeavyTail { alpha: 1.05, mean_load: 0.5 },
+        interference: Interference::HeavyTail {
+            alpha: 1.05,
+            mean_load: 0.5,
+        },
     };
-    world.storage.add_pfs(&mut world.fluid.net, "gpfs", nodes, pfs, 14_000 * simcore::units::TB);
+    world.storage.add_pfs(
+        &mut world.fluid.net,
+        "gpfs",
+        nodes,
+        pfs,
+        14_000 * simcore::units::TB,
+    );
     world.storage.add_local_class(
         &mut world.fluid.net,
         "nvme0",
@@ -160,7 +202,7 @@ pub fn marenostrum4(nodes: usize) -> Testbed {
 /// The configuration used by the Fig. 5/6/7 NORNS microbenchmarks:
 /// `ofi+tcp`, one target node (node 0), `clients` client nodes, fat
 /// multi-rail target link so the per-session protocol cap is the
-/// binding constraint (see DESIGN.md §7 and EXPERIMENTS.md).
+/// binding constraint.
 pub fn bandwidth_bench(clients: usize) -> Testbed {
     let nodes = clients + 1;
     // The benchmark target serves dozens of GiB/s from RAM-backed
@@ -168,7 +210,10 @@ pub fn bandwidth_bench(clients: usize) -> Testbed {
     // the protocol session cap is the binding constraint (the default
     // WorldConfig uses a conservative per-application share that backs
     // the Table IV co-location experiment instead).
-    let config = WorldConfig { ram_bps: simcore::units::gib_per_s(64.0), ..WorldConfig::default() };
+    let config = WorldConfig {
+        ram_bps: simcore::units::gib_per_s(64.0),
+        ..WorldConfig::default()
+    };
     let mut world = NornsWorld::new(nodes, FabricParams::benchmark_fat_nic(nodes), config);
     // The benchmark moves RAM-backed buffers — model a tier at full
     // memory speed on every node so it is never the bottleneck.
@@ -304,8 +349,18 @@ mod tests {
         let mut times = Vec::new();
         for seed in 0..6 {
             let tb = archer(1);
-            let mut sim = Sim::new(M { world: tb.world, app_done: Vec::new() }, seed);
-            drive_interference(&mut sim, SimDuration::from_millis(500), SimTime::from_secs(300));
+            let mut sim = Sim::new(
+                M {
+                    world: tb.world,
+                    app_done: Vec::new(),
+                },
+                seed,
+            );
+            drive_interference(
+                &mut sim,
+                SimDuration::from_millis(500),
+                SimTime::from_secs(300),
+            );
             norns::sim::ops::app_io(
                 &mut sim,
                 0,
@@ -332,8 +387,18 @@ mod tests {
         let mut durations = Vec::new();
         for seed in 0..8 {
             let tb = archer(1);
-            let mut sim = Sim::new(M { world: tb.world, app_done: Vec::new() }, seed);
-            drive_interference(&mut sim, SimDuration::from_secs(120), SimTime::from_secs(600));
+            let mut sim = Sim::new(
+                M {
+                    world: tb.world,
+                    app_done: Vec::new(),
+                },
+                seed,
+            );
+            drive_interference(
+                &mut sim,
+                SimDuration::from_secs(120),
+                SimTime::from_secs(600),
+            );
             // Stripe 1 so the (interference-modulated) OST lane binds
             // rather than the constant client lane.
             norns::sim::ops::app_io(
@@ -363,7 +428,13 @@ mod tests {
     fn quiet_testbed_is_deterministic() {
         let run = |seed| {
             let tb = nextgenio_quiet(2);
-            let mut sim = Sim::new(M { world: tb.world, app_done: Vec::new() }, seed);
+            let mut sim = Sim::new(
+                M {
+                    world: tb.world,
+                    app_done: Vec::new(),
+                },
+                seed,
+            );
             norns::sim::ops::app_io(
                 &mut sim,
                 0,

@@ -1,0 +1,239 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Implements the benchmark surface the workspace uses —
+//! `bench_function`, `benchmark_group`/`bench_with_input`, `iter`,
+//! `iter_batched`, `black_box`, `criterion_group!`/`criterion_main!` —
+//! with plain wall-clock timing instead of criterion's statistical
+//! machinery: each benchmark is warmed up briefly, run for a fixed
+//! measurement budget, and reported as mean time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints (accepted, and treated identically: every batch
+/// is one setup + one routine call, which is exact for the workloads
+/// here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Display id for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// (total time, iterations) of the measurement phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Bencher {
+            warmup,
+            measure,
+            result: None,
+        }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: also calibrates how many iterations fit the budget.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let target = warm_iters.max(1).saturating_mul(
+            (self.measure.as_nanos() / self.warmup.as_nanos().max(1)).max(1) as u64,
+        );
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), target));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let target = warm_iters.max(1);
+        let mut measured = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.result = Some((measured, target));
+    }
+}
+
+fn report(name: &str, result: Option<(Duration, u64)>) {
+    match result {
+        Some((total, iters)) if iters > 0 => {
+            let per = total.as_nanos() as f64 / iters as f64;
+            let (value, unit) = if per < 1_000.0 {
+                (per, "ns")
+            } else if per < 1_000_000.0 {
+                (per / 1_000.0, "µs")
+            } else {
+                (per / 1_000_000.0, "ms")
+            };
+            println!("{name:<40} {value:>10.2} {unit}/iter   ({iters} iters)");
+        }
+        _ => println!("{name:<40} (no measurement)"),
+    }
+}
+
+/// Parameterized benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.result);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark registry / runner.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // NORNS_QUICK trims the budget during development, mirroring
+        // the bench harness's quick mode.
+        let quick = std::env::var("NORNS_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        if quick {
+            Criterion {
+                warmup: Duration::from_millis(20),
+                measure: Duration::from_millis(100),
+            }
+        } else {
+            Criterion {
+                warmup: Duration::from_millis(300),
+                measure: Duration::from_secs(2),
+            }
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warmup, self.measure);
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let (total, iters) = b.result.unwrap();
+        assert!(iters > 0);
+        assert!(total > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(2));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.unwrap().1 > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix small values in: uniform over the full width finds
+                // boundary bugs rarely, and there is no shrinking here.
+                match rng.below(4) {
+                    0 => (rng.next_u64() % 16) as $ty,
+                    _ => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            0 => (rng.next_u64() % 16) as i64 - 8,
+            1 => i64::MIN,
+            2 => i64::MAX,
+            _ => rng.next_u64() as i64,
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only, spanning many magnitudes.
+        let exp = rng.below(61) as i32 - 30;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * rng.unit_f64() * 2f64.powi(exp)
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(65) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_vary() {
+        let mut rng = TestRng::deterministic("vec_lengths_vary");
+        let lens: std::collections::BTreeSet<usize> = (0..200)
+            .map(|_| Vec::<u8>::arbitrary(&mut rng).len())
+            .collect();
+        assert!(lens.len() > 10, "expected varied lengths, got {lens:?}");
+    }
+
+    #[test]
+    fn f64_is_finite() {
+        let mut rng = TestRng::deterministic("f64_is_finite");
+        for _ in 0..10_000 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

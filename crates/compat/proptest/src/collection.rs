@@ -1,0 +1,118 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Size specifications accepted by the collection strategies.
+pub trait SizeRange {
+    /// Inclusive (min, max) length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<E>` with a length drawn from `size`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let (lo, hi) = self.size.bounds();
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<E>`. Draws a target size, then inserts that
+/// many samples; duplicates can make the result smaller, but at least
+/// one element is present whenever the minimum size is nonzero.
+pub struct BTreeSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: SizeRange,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S, R> Strategy for BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: SizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let (lo, hi) = self.size.bounds();
+        let target = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut out = BTreeSet::new();
+        // A few extra attempts to approach the target despite dupes.
+        for _ in 0..target * 4 {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.sample(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut rng = TestRng::deterministic("vec_respects_size_bounds");
+        let s = vec(0u32..10, 2..5);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_nonempty_when_min_positive() {
+        let mut rng = TestRng::deterministic("btree_set_nonempty");
+        let s = btree_set(0usize..3, 1..=4);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the slice of proptest the tests use: the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`/`boxed`, range and tuple and
+//! collection strategies, `any::<T>()`, `Just`, `prop_oneof!`, and the
+//! `proptest!` test macro with `#![proptest_config(...)]` support.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! * **No shrinking.** A failing case panics with the sampled inputs
+//!   in the assertion message instead of a minimized counterexample.
+//! * Sampling is driven by a fixed per-test deterministic seed (the
+//!   FNV hash of the test name), so failures reproduce exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import the tests rely on.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property body (panics; no shrink pass).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Property-test harness macro: runs each body `config.cases` times
+/// with freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..config.cases {
+                $crate::__proptest_bind!{ rng, $($args)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident $(,)? ) => {};
+    ( $rng:ident, $var:ident : $ty:ty , $($rest:tt)* ) => {
+        let $var: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!{ $rng, $($rest)* }
+    };
+    ( $rng:ident, $var:ident : $ty:ty ) => {
+        $crate::__proptest_bind!{ $rng, $var : $ty , }
+    };
+    ( $rng:ident, $var:ident in $strat:expr , $($rest:tt)* ) => {
+        let $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!{ $rng, $($rest)* }
+    };
+    ( $rng:ident, $var:ident in $strat:expr ) => {
+        $crate::__proptest_bind!{ $rng, $var in $strat , }
+    };
+}

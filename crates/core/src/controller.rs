@@ -130,7 +130,11 @@ impl Controller {
         }
         self.jobs.insert(
             spec.id.0,
-            JobEntry { spec, processes: HashMap::new(), usage: HashMap::new() },
+            JobEntry {
+                spec,
+                processes: HashMap::new(),
+                usage: HashMap::new(),
+            },
         );
         Ok(())
     }
@@ -158,7 +162,10 @@ impl Controller {
     }
 
     pub fn job(&self, job: JobId) -> Result<&JobSpec> {
-        self.jobs.get(&job.0).map(|e| &e.spec).ok_or(NornsError::NoSuchJob(job.0))
+        self.jobs
+            .get(&job.0)
+            .map(|e| &e.spec)
+            .ok_or(NornsError::NoSuchJob(job.0))
     }
 
     pub fn job_count(&self) -> usize {
@@ -168,13 +175,19 @@ impl Controller {
     // ---- process management ----
 
     pub fn add_process(&mut self, job: JobId, pid: u64, cred: Cred) -> Result<()> {
-        let entry = self.jobs.get_mut(&job.0).ok_or(NornsError::NoSuchJob(job.0))?;
+        let entry = self
+            .jobs
+            .get_mut(&job.0)
+            .ok_or(NornsError::NoSuchJob(job.0))?;
         entry.processes.insert(pid, cred);
         Ok(())
     }
 
     pub fn remove_process(&mut self, job: JobId, pid: u64) -> Result<()> {
-        let entry = self.jobs.get_mut(&job.0).ok_or(NornsError::NoSuchJob(job.0))?;
+        let entry = self
+            .jobs
+            .get_mut(&job.0)
+            .ok_or(NornsError::NoSuchJob(job.0))?;
         entry
             .processes
             .remove(&pid)
@@ -241,14 +254,20 @@ impl Controller {
 
     /// Charge `bytes` of dataspace usage to a job, enforcing its quota.
     pub fn charge(&mut self, job: JobId, nsid: &str, bytes: u64) -> Result<()> {
-        let entry = self.jobs.get_mut(&job.0).ok_or(NornsError::NoSuchJob(job.0))?;
+        let entry = self
+            .jobs
+            .get_mut(&job.0)
+            .ok_or(NornsError::NoSuchJob(job.0))?;
         let quota = entry
             .spec
             .limits
             .iter()
             .find(|(n, _)| n == nsid)
             .map(|(_, q)| *q)
-            .ok_or_else(|| NornsError::DataspaceNotAllowed { job: job.0, nsid: nsid.into() })?;
+            .ok_or_else(|| NornsError::DataspaceNotAllowed {
+                job: job.0,
+                nsid: nsid.into(),
+            })?;
         let used = entry.usage.entry(nsid.to_string()).or_insert(0);
         if quota > 0 && *used + bytes > quota {
             return Err(NornsError::QuotaExceeded {
@@ -291,8 +310,12 @@ mod tests {
 
     fn controller_with_job() -> Controller {
         let mut c = Controller::new();
-        c.register_dataspace(DataspaceSpec { nsid: "pmdk0".into(), tier: tier(), tracked: false })
-            .unwrap();
+        c.register_dataspace(DataspaceSpec {
+            nsid: "pmdk0".into(),
+            tier: tier(),
+            tracked: false,
+        })
+        .unwrap();
         c.register_dataspace(DataspaceSpec {
             nsid: "lustre".into(),
             tier: TierRef::Pfs(0),
@@ -355,7 +378,9 @@ mod tests {
     #[test]
     fn control_submissions_validate() {
         let c = controller_with_job();
-        let cred = c.validate(JobId(1), ApiSource::Control, &copy_spec()).unwrap();
+        let cred = c
+            .validate(JobId(1), ApiSource::Control, &copy_spec())
+            .unwrap();
         assert_eq!(cred.uid, 1000);
     }
 
@@ -372,11 +397,18 @@ mod tests {
     fn user_submissions_require_registered_process() {
         let mut c = controller_with_job();
         let err = c.validate(JobId(1), ApiSource::User { pid: 42 }, &copy_spec());
-        assert!(matches!(err, Err(NornsError::NoSuchProcess { job: 1, pid: 42 })));
+        assert!(matches!(
+            err,
+            Err(NornsError::NoSuchProcess { job: 1, pid: 42 })
+        ));
         c.add_process(JobId(1), 42, Cred::new(1000, 1000)).unwrap();
-        assert!(c.validate(JobId(1), ApiSource::User { pid: 42 }, &copy_spec()).is_ok());
+        assert!(c
+            .validate(JobId(1), ApiSource::User { pid: 42 }, &copy_spec())
+            .is_ok());
         c.remove_process(JobId(1), 42).unwrap();
-        assert!(c.validate(JobId(1), ApiSource::User { pid: 42 }, &copy_spec()).is_err());
+        assert!(c
+            .validate(JobId(1), ApiSource::User { pid: 42 }, &copy_spec())
+            .is_err());
     }
 
     #[test]
@@ -418,6 +450,7 @@ mod tests {
         // Copy without output.
         let bad = TaskSpec {
             op: TaskOp::Copy,
+            priority: norns_sched::DEFAULT_PRIORITY,
             input: ResourceRef::local("pmdk0", "x"),
             output: None,
         };
@@ -428,6 +461,7 @@ mod tests {
         // Remove with output.
         let bad = TaskSpec {
             op: TaskOp::Remove,
+            priority: norns_sched::DEFAULT_PRIORITY,
             input: ResourceRef::local("pmdk0", "x"),
             output: Some(ResourceRef::local("pmdk0", "y")),
         };
@@ -436,7 +470,12 @@ mod tests {
             Err(NornsError::BadArgs(_))
         ));
         // Remove of memory.
-        let bad = TaskSpec { op: TaskOp::Remove, input: ResourceRef::memory(10), output: None };
+        let bad = TaskSpec {
+            op: TaskOp::Remove,
+            priority: norns_sched::DEFAULT_PRIORITY,
+            input: ResourceRef::memory(10),
+            output: None,
+        };
         assert!(matches!(
             c.validate(JobId(1), ApiSource::Control, &bad),
             Err(NornsError::BadArgs(_))
@@ -463,13 +502,29 @@ mod tests {
     #[test]
     fn tracked_dataspaces_listed() {
         let mut c = Controller::new();
-        c.register_dataspace(DataspaceSpec { nsid: "b".into(), tier: tier(), tracked: true })
-            .unwrap();
-        c.register_dataspace(DataspaceSpec { nsid: "a".into(), tier: tier(), tracked: true })
-            .unwrap();
-        c.register_dataspace(DataspaceSpec { nsid: "c".into(), tier: tier(), tracked: false })
-            .unwrap();
-        let tracked: Vec<_> = c.tracked_dataspaces().iter().map(|d| d.nsid.clone()).collect();
+        c.register_dataspace(DataspaceSpec {
+            nsid: "b".into(),
+            tier: tier(),
+            tracked: true,
+        })
+        .unwrap();
+        c.register_dataspace(DataspaceSpec {
+            nsid: "a".into(),
+            tier: tier(),
+            tracked: true,
+        })
+        .unwrap();
+        c.register_dataspace(DataspaceSpec {
+            nsid: "c".into(),
+            tier: tier(),
+            tracked: false,
+        })
+        .unwrap();
+        let tracked: Vec<_> = c
+            .tracked_dataspaces()
+            .iter()
+            .map(|d| d.nsid.clone())
+            .collect();
         assert_eq!(tracked, vec!["a", "b"]);
     }
 

@@ -23,7 +23,12 @@ pub enum NornsError {
     /// `NORNS_ENOSPC` — destination tier or quota exhausted.
     NoSpace { requested: u64, available: u64 },
     /// Per-job dataspace quota would be exceeded.
-    QuotaExceeded { job: u64, nsid: String, requested: u64, quota: u64 },
+    QuotaExceeded {
+        job: u64,
+        nsid: String,
+        requested: u64,
+        quota: u64,
+    },
     /// `NORNS_EBADARGS` — malformed request (e.g. copy without output).
     BadArgs(String),
     /// `NORNS_ENOSUCHTASK`.
@@ -55,10 +60,18 @@ impl std::fmt::Display for NornsError {
             }
             NornsError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
             NornsError::NotFound(p) => write!(f, "not found: {p}"),
-            NornsError::NoSpace { requested, available } => {
+            NornsError::NoSpace {
+                requested,
+                available,
+            } => {
                 write!(f, "no space: requested {requested}, available {available}")
             }
-            NornsError::QuotaExceeded { job, nsid, requested, quota } => write!(
+            NornsError::QuotaExceeded {
+                job,
+                nsid,
+                requested,
+                quota,
+            } => write!(
                 f,
                 "job {job} quota exceeded on {nsid}: requested {requested}, quota {quota}"
             ),
@@ -80,9 +93,13 @@ impl From<NsError> for NornsError {
         match e {
             NsError::NotFound(p) => NornsError::NotFound(p),
             NsError::PermissionDenied(p) => NornsError::PermissionDenied(p),
-            NsError::NoSpace { requested, available } => {
-                NornsError::NoSpace { requested, available }
-            }
+            NsError::NoSpace {
+                requested,
+                available,
+            } => NornsError::NoSpace {
+                requested,
+                available,
+            },
             other => NornsError::BadArgs(other.to_string()),
         }
     }
@@ -103,8 +120,14 @@ mod tests {
             NornsError::PermissionDenied("y".into())
         );
         assert_eq!(
-            NornsError::from(NsError::NoSpace { requested: 10, available: 2 }),
-            NornsError::NoSpace { requested: 10, available: 2 }
+            NornsError::from(NsError::NoSpace {
+                requested: 10,
+                available: 2
+            }),
+            NornsError::NoSpace {
+                requested: 10,
+                available: 2
+            }
         );
         assert!(matches!(
             NornsError::from(NsError::AlreadyExists("z".into())),

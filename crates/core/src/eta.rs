@@ -45,7 +45,11 @@ impl EtaEstimator {
     pub fn new(alpha: f64, prior_rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&alpha));
         assert!(prior_rate > 0.0);
-        EtaEstimator { routes: HashMap::new(), alpha, prior_rate }
+        EtaEstimator {
+            routes: HashMap::new(),
+            alpha,
+            prior_rate,
+        }
     }
 
     /// Record a completed transfer.
@@ -55,10 +59,10 @@ impl EtaEstimator {
             return;
         }
         let rate = bytes as f64 / secs;
-        let entry = self
-            .routes
-            .entry(route)
-            .or_insert(RouteStats { ewma_rate: rate, samples: 0 });
+        let entry = self.routes.entry(route).or_insert(RouteStats {
+            ewma_rate: rate,
+            samples: 0,
+        });
         entry.ewma_rate = if entry.samples == 0 {
             rate
         } else {
@@ -69,7 +73,10 @@ impl EtaEstimator {
 
     /// Current believed bandwidth for a route class, bytes/s.
     pub fn rate(&self, route: PluginKind) -> f64 {
-        self.routes.get(&route).map(|r| r.ewma_rate).unwrap_or(self.prior_rate)
+        self.routes
+            .get(&route)
+            .map(|r| r.ewma_rate)
+            .unwrap_or(self.prior_rate)
     }
 
     pub fn samples(&self, route: PluginKind) -> u64 {
@@ -175,7 +182,10 @@ mod tests {
     fn eta_of_finished_task_is_now() {
         let est = EtaEstimator::default();
         let now = SimTime::from_secs(42);
-        assert_eq!(est.eta(PluginKind::LocalToLocal, 10, 10, SimTime::ZERO, now), now);
+        assert_eq!(
+            est.eta(PluginKind::LocalToLocal, 10, 10, SimTime::ZERO, now),
+            now
+        );
     }
 
     #[test]
@@ -183,7 +193,13 @@ mod tests {
         let mut est = EtaEstimator::default();
         est.observe(PluginKind::LocalToLocal, 100, SimDuration::from_secs(1));
         let now = SimTime::from_secs(5);
-        let eta = est.eta(PluginKind::LocalToLocal, 1000, 0, SimTime::from_secs(5), now);
+        let eta = est.eta(
+            PluginKind::LocalToLocal,
+            1000,
+            0,
+            SimTime::from_secs(5),
+            now,
+        );
         assert!((eta.as_secs_f64() - 15.0).abs() < 1e-6);
     }
 }

@@ -50,7 +50,9 @@ pub use controller::{ApiSource, Controller, DataspaceSpec, JobSpec};
 pub use error::{NornsError, Result};
 pub use eta::EtaEstimator;
 pub use plugins::PluginKind;
-pub use queue::{ArbitrationPolicy, Fcfs, JobFairShare, PendingTask, ShortestFirst, TaskQueue};
+pub use queue::{
+    ArbitrationPolicy, Fcfs, JobFairShare, PendingTask, ShortestFirst, TaskQueue, WeightedPriority,
+};
 pub use resource::ResourceRef;
 pub use sim::urd::{SimUrd, UrdStatus};
 pub use sim::{

@@ -152,8 +152,14 @@ mod tests {
 
     #[test]
     fn remove_resolves_to_removal() {
-        assert_eq!(resolve(&TaskSpec::remove(local())).unwrap(), PluginKind::Removal);
-        assert_eq!(resolve(&TaskSpec::remove(remote())).unwrap(), PluginKind::Removal);
+        assert_eq!(
+            resolve(&TaskSpec::remove(local())).unwrap(),
+            PluginKind::Removal
+        );
+        assert_eq!(
+            resolve(&TaskSpec::remove(remote())).unwrap(),
+            PluginKind::Removal
+        );
     }
 
     #[test]
@@ -168,7 +174,11 @@ mod tests {
 
     #[test]
     fn leg_counts() {
-        assert_eq!(PluginKind::MemoryToRemote.legs(), 2, "staged through tmp mapping");
+        assert_eq!(
+            PluginKind::MemoryToRemote.legs(),
+            2,
+            "staged through tmp mapping"
+        );
         assert_eq!(PluginKind::LocalToRemote.legs(), 1);
         assert_eq!(PluginKind::Removal.legs(), 0);
     }
@@ -176,6 +186,9 @@ mod tests {
     #[test]
     fn names_are_table_rows() {
         assert_eq!(PluginKind::LocalToLocal.name(), "local path => local path");
-        assert_eq!(PluginKind::RemoteToLocal.name(), "local path <= remote path");
+        assert_eq!(
+            PluginKind::RemoteToLocal.name(),
+            "local path <= remote path"
+        );
     }
 }

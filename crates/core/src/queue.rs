@@ -1,128 +1,43 @@
-//! The urd task queue and its arbitration policies.
+//! The urd task queue, backed by the shared `norns-sched` arbitration
+//! layer.
 //!
 //! The paper: "task order in the queue is controlled by a *task
 //! scheduler* component, which arbitrates the order of the execution of
 //! I/O tasks depending on several metrics. FCFS is the default
 //! arbitration policy, but the component will be extended in the future
-//! to support other strategies." We implement FCFS plus two of those
-//! future strategies (shortest-task-first and per-job fair share) so
-//! the ablation benches can compare them.
-
-use std::collections::VecDeque;
+//! to support other strategies." The policies themselves (FCFS,
+//! shortest-first, per-job fair share, weighted priority) live in the
+//! `norns-sched` crate so the real-I/O daemon (`norns-ipc`) arbitrates
+//! through the exact same implementations; this module instantiates
+//! them over simulated time.
 
 use simcore::SimTime;
 
 use crate::task::{JobId, TaskId};
 
-/// A task waiting in the queue, as seen by a policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PendingTask {
-    pub task: TaskId,
-    pub job: JobId,
-    pub bytes: u64,
-    pub submitted: SimTime,
-    /// Monotonic submission sequence (FCFS order).
-    pub seq: u64,
-}
+pub use norns_sched::{
+    ArbitrationPolicy, Fcfs, JobFairShare, PendingTask as GenericPendingTask, ShortestFirst,
+    WeightedPriority, DEFAULT_PRIORITY,
+};
 
-/// Arbitration policy: choose which pending task runs next.
-pub trait ArbitrationPolicy: std::fmt::Debug + Send {
-    fn name(&self) -> &'static str;
-    /// Index into `pending` of the task to dispatch next.
-    fn pick(&mut self, pending: &VecDeque<PendingTask>) -> Option<usize>;
-}
+/// A task waiting in the simulated urd's queue.
+pub type PendingTask = norns_sched::PendingTask<JobId, TaskId, SimTime>;
 
-/// First-come first-served (paper default).
-#[derive(Debug, Default, Clone)]
-pub struct Fcfs;
+/// Policy trait object over the simulated key types.
+pub type SimPolicy = Box<dyn ArbitrationPolicy<JobId, TaskId, SimTime>>;
 
-impl ArbitrationPolicy for Fcfs {
-    fn name(&self) -> &'static str {
-        "fcfs"
-    }
-
-    fn pick(&mut self, pending: &VecDeque<PendingTask>) -> Option<usize> {
-        if pending.is_empty() {
-            None
-        } else {
-            Some(0)
-        }
-    }
-}
-
-/// Shortest task first (by bytes) — reduces mean completion time at
-/// the risk of starving large stage-outs.
-#[derive(Debug, Default, Clone)]
-pub struct ShortestFirst;
-
-impl ArbitrationPolicy for ShortestFirst {
-    fn name(&self) -> &'static str {
-        "sjf"
-    }
-
-    fn pick(&mut self, pending: &VecDeque<PendingTask>) -> Option<usize> {
-        pending
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| (t.bytes, t.seq))
-            .map(|(i, _)| i)
-    }
-}
-
-/// Round-robin across jobs so one job's task storm cannot monopolize
-/// the staging workers.
-#[derive(Debug, Default, Clone)]
-pub struct JobFairShare {
-    last_job: Option<JobId>,
-}
-
-impl ArbitrationPolicy for JobFairShare {
-    fn name(&self) -> &'static str {
-        "job-fair"
-    }
-
-    fn pick(&mut self, pending: &VecDeque<PendingTask>) -> Option<usize> {
-        if pending.is_empty() {
-            return None;
-        }
-        // Prefer the earliest task from a job different from the last
-        // one served; fall back to plain FCFS.
-        let idx = match self.last_job {
-            Some(last) => pending
-                .iter()
-                .enumerate()
-                .find(|(_, t)| t.job != last)
-                .map(|(i, _)| i)
-                .unwrap_or(0),
-            None => 0,
-        };
-        self.last_job = Some(pending[idx].job);
-        Some(idx)
-    }
-}
-
-/// The pending queue plus worker-slot accounting.
+/// The pending queue plus worker-slot accounting for one simulated
+/// urd. Thin wrapper over [`norns_sched::Scheduler`] keeping the
+/// sim-facing API (enqueue with a [`SimTime`], default priority).
 #[derive(Debug)]
 pub struct TaskQueue {
-    pending: VecDeque<PendingTask>,
-    policy: Box<dyn ArbitrationPolicy>,
-    workers: usize,
-    running: usize,
-    next_seq: u64,
-    /// Total tasks ever enqueued (for status reporting).
-    enqueued_total: u64,
+    inner: norns_sched::Scheduler<JobId, TaskId, SimTime>,
 }
 
 impl TaskQueue {
-    pub fn new(workers: usize, policy: Box<dyn ArbitrationPolicy>) -> Self {
-        assert!(workers > 0);
+    pub fn new(workers: usize, policy: SimPolicy) -> Self {
         TaskQueue {
-            pending: VecDeque::new(),
-            policy,
-            workers,
-            running: 0,
-            next_seq: 0,
-            enqueued_total: 0,
+            inner: norns_sched::Scheduler::new(workers, policy),
         }
     }
 
@@ -131,74 +46,60 @@ impl TaskQueue {
     }
 
     pub fn policy_name(&self) -> &'static str {
-        self.policy.name()
+        self.inner.policy_name()
     }
 
     pub fn workers(&self) -> usize {
-        self.workers
+        self.inner.workers()
     }
 
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.inner.pending_len()
     }
 
     pub fn running(&self) -> usize {
-        self.running
+        self.inner.running()
     }
 
     pub fn enqueued_total(&self) -> u64 {
-        self.enqueued_total
+        self.inner.enqueued_total()
     }
 
     pub fn enqueue(&mut self, task: TaskId, job: JobId, bytes: u64, now: SimTime) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.enqueued_total += 1;
-        self.pending.push_back(PendingTask { task, job, bytes, submitted: now, seq });
+        self.enqueue_prio(task, job, bytes, DEFAULT_PRIORITY, now);
+    }
+
+    pub fn enqueue_prio(
+        &mut self,
+        task: TaskId,
+        job: JobId,
+        bytes: u64,
+        priority: u8,
+        now: SimTime,
+    ) {
+        self.inner.enqueue(task, job, bytes, priority, now);
     }
 
     /// Dispatch the next task if a worker is free. The caller must
     /// later call [`TaskQueue::finish`] exactly once per dispatch.
     pub fn dispatch(&mut self) -> Option<PendingTask> {
-        if self.running >= self.workers || self.pending.is_empty() {
-            return None;
-        }
-        let idx = self.policy.pick(&self.pending)?;
-        let task = self.pending.remove(idx).expect("policy returned valid index");
-        self.running += 1;
-        Some(task)
+        self.inner.dispatch()
     }
 
     /// Mark a previously dispatched task as finished, freeing a worker.
     pub fn finish(&mut self) {
-        assert!(self.running > 0, "finish() without a running task");
-        self.running -= 1;
+        self.inner.finish();
     }
 
     /// Drop a pending task (e.g. job cancelled before it started).
     pub fn cancel_pending(&mut self, task: TaskId) -> bool {
-        if let Some(idx) = self.pending.iter().position(|t| t.task == task) {
-            self.pending.remove(idx);
-            true
-        } else {
-            false
-        }
+        self.inner.cancel_pending(task)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn pt(task: u64, job: u64, bytes: u64, seq: u64) -> PendingTask {
-        PendingTask {
-            task: TaskId(task),
-            job: JobId(job),
-            bytes,
-            submitted: SimTime::ZERO,
-            seq,
-        }
-    }
 
     #[test]
     fn fcfs_picks_in_submission_order() {
@@ -214,22 +115,7 @@ mod tests {
     }
 
     #[test]
-    fn sjf_picks_smallest() {
-        let mut policy = ShortestFirst;
-        let pending: VecDeque<_> =
-            vec![pt(1, 1, 500, 0), pt(2, 1, 50, 1), pt(3, 1, 5000, 2)].into();
-        assert_eq!(policy.pick(&pending), Some(1));
-    }
-
-    #[test]
-    fn sjf_breaks_ties_by_seq() {
-        let mut policy = ShortestFirst;
-        let pending: VecDeque<_> = vec![pt(9, 1, 100, 5), pt(4, 1, 100, 2)].into();
-        assert_eq!(policy.pick(&pending), Some(1), "equal bytes → earliest seq");
-    }
-
-    #[test]
-    fn fair_share_alternates_jobs() {
+    fn sim_policies_come_from_norns_sched() {
         let mut q = TaskQueue::new(4, Box::new(JobFairShare::default()));
         // Job 1 floods, job 2 submits one task late.
         q.enqueue(TaskId(1), JobId(1), 1, SimTime::ZERO);
@@ -241,6 +127,23 @@ mod tests {
         assert_eq!(q.dispatch().unwrap().task, TaskId(4));
         assert_eq!(q.dispatch().unwrap().task, TaskId(2));
         assert_eq!(q.dispatch().unwrap().task, TaskId(3));
+    }
+
+    #[test]
+    fn sjf_over_sim_types() {
+        let mut q = TaskQueue::new(1, Box::new(ShortestFirst));
+        q.enqueue(TaskId(1), JobId(1), 500, SimTime::ZERO);
+        q.enqueue(TaskId(2), JobId(1), 50, SimTime::ZERO);
+        q.enqueue(TaskId(3), JobId(1), 5000, SimTime::ZERO);
+        assert_eq!(q.dispatch().unwrap().task, TaskId(2));
+    }
+
+    #[test]
+    fn priority_respected_by_weighted_policy() {
+        let mut q = TaskQueue::new(1, Box::new(WeightedPriority::default()));
+        q.enqueue_prio(TaskId(1), JobId(1), 1, 10, SimTime::ZERO);
+        q.enqueue_prio(TaskId(2), JobId(1), 1, 200, SimTime::ZERO);
+        assert_eq!(q.dispatch().unwrap().task, TaskId(2));
     }
 
     #[test]

@@ -15,7 +15,11 @@ pub enum ResourceRef {
     /// A path inside a dataspace on the urd's own node.
     Local { nsid: String, path: String },
     /// A path inside a dataspace on another node.
-    Remote { node: NodeId, nsid: String, path: String },
+    Remote {
+        node: NodeId,
+        nsid: String,
+        path: String,
+    },
 }
 
 impl ResourceRef {
@@ -24,11 +28,18 @@ impl ResourceRef {
     }
 
     pub fn local(nsid: impl Into<String>, path: impl Into<String>) -> Self {
-        ResourceRef::Local { nsid: nsid.into(), path: path.into() }
+        ResourceRef::Local {
+            nsid: nsid.into(),
+            path: path.into(),
+        }
     }
 
     pub fn remote(node: NodeId, nsid: impl Into<String>, path: impl Into<String>) -> Self {
-        ResourceRef::Remote { node, nsid: nsid.into(), path: path.into() }
+        ResourceRef::Remote {
+            node,
+            nsid: nsid.into(),
+            path: path.into(),
+        }
     }
 
     /// Parse a `"scheme://path"` string the way the batch-script
@@ -120,6 +131,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(ResourceRef::memory(64).display(), "mem[64B]");
         assert_eq!(ResourceRef::local("nvme0", "x/y").display(), "nvme0://x/y");
-        assert_eq!(ResourceRef::remote(2, "pmdk0", "d").display(), "pmdk0://d@node2");
+        assert_eq!(
+            ResourceRef::remote(2, "pmdk0", "d").display(),
+            "pmdk0://d@node2"
+        );
     }
 }

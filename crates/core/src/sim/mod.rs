@@ -42,9 +42,14 @@ pub(crate) fn app_tag(token: u64) -> u64 {
 
 fn decode_tag(tag: u64) -> FlowOwner {
     if tag & APP_FLAG != 0 {
-        FlowOwner::App { token: tag & !APP_FLAG }
+        FlowOwner::App {
+            token: tag & !APP_FLAG,
+        }
     } else {
-        FlowOwner::Task { node: (tag >> 48) as NodeId, task: TaskId(tag & ((1 << 48) - 1)) }
+        FlowOwner::Task {
+            node: (tag >> 48) as NodeId,
+            task: TaskId(tag & ((1 << 48) - 1)),
+        }
     }
 }
 
@@ -94,8 +99,14 @@ pub(crate) struct RpcWork {
 #[derive(Debug, Clone)]
 pub enum RpcRequest {
     /// Submit a task on behalf of `job` (control-API trust level).
-    Submit { job: JobId, spec: TaskSpec, tag: u64 },
-    QueryTask { task: TaskId },
+    Submit {
+        job: JobId,
+        spec: TaskSpec,
+        tag: u64,
+    },
+    QueryTask {
+        task: TaskId,
+    },
     Status,
     /// Pure no-op request used by the request-rate benchmarks (the
     /// paper's Fig. 5 measures exactly this path: process, create
@@ -157,9 +168,15 @@ impl NornsWorld {
         let protocol = fabric_params.protocol;
         let fabric = Fabric::build(&mut fluid.net, nodes, fabric_params);
         let ram = (0..nodes)
-            .map(|n| fluid.net.add_resource(config.ram_bps, format!("node{n}.ram")))
+            .map(|n| {
+                fluid
+                    .net
+                    .add_resource(config.ram_bps, format!("node{n}.ram"))
+            })
             .collect();
-        let urds = (0..nodes).map(|n| SimUrd::new(n, config.workers_per_node)).collect();
+        let urds = (0..nodes)
+            .map(|n| SimUrd::new(n, config.workers_per_node))
+            .collect();
         NornsWorld {
             fluid,
             fabric,
@@ -247,7 +264,13 @@ mod tag_tests {
     #[test]
     fn task_tags_roundtrip() {
         let tag = task_tag(33, TaskId(123_456));
-        assert_eq!(decode_tag(tag), FlowOwner::Task { node: 33, task: TaskId(123_456) });
+        assert_eq!(
+            decode_tag(tag),
+            FlowOwner::Task {
+                node: 33,
+                task: TaskId(123_456)
+            }
+        );
     }
 
     #[test]

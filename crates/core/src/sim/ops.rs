@@ -30,9 +30,7 @@ use crate::controller::{ApiSource, DataspaceSpec, JobSpec};
 use crate::error::{NornsError, Result};
 use crate::plugins;
 use crate::sim::urd::{PlannedLeg, UrdStatus};
-use crate::sim::{
-    app_tag, task_tag, HasNorns, RpcOutcome, RpcReply, RpcRequest, TaskCompletion,
-};
+use crate::sim::{app_tag, task_tag, HasNorns, RpcOutcome, RpcReply, RpcRequest, TaskCompletion};
 use crate::task::{JobId, TaskId, TaskSpec, TaskState, TaskStats};
 
 // ---------------------------------------------------------------- //
@@ -53,19 +51,20 @@ pub fn register_dataspace<M: HasNorns>(
         .storage
         .resolve(tier_name)
         .ok_or_else(|| NornsError::NoSuchDataspace(tier_name.to_string()))?;
-    world.urds[node].controller.register_dataspace(DataspaceSpec {
-        nsid: nsid.to_string(),
-        tier,
-        tracked,
-    })
+    world.urds[node]
+        .controller
+        .register_dataspace(DataspaceSpec {
+            nsid: nsid.to_string(),
+            tier,
+            tracked,
+        })
 }
 
-pub fn unregister_dataspace<M: HasNorns>(
-    sim: &mut Sim<M>,
-    node: NodeId,
-    nsid: &str,
-) -> Result<()> {
-    sim.model.norns_mut().urds[node].controller.unregister_dataspace(nsid).map(|_| ())
+pub fn unregister_dataspace<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, nsid: &str) -> Result<()> {
+    sim.model.norns_mut().urds[node]
+        .controller
+        .unregister_dataspace(nsid)
+        .map(|_| ())
 }
 
 /// Register a job on every one of its hosts.
@@ -124,7 +123,9 @@ pub fn add_process<M: HasNorns>(
     pid: u64,
     cred: Cred,
 ) -> Result<()> {
-    sim.model.norns_mut().urds[node].controller.add_process(job, pid, cred)
+    sim.model.norns_mut().urds[node]
+        .controller
+        .add_process(job, pid, cred)
 }
 
 pub fn remove_process<M: HasNorns>(
@@ -133,7 +134,9 @@ pub fn remove_process<M: HasNorns>(
     job: JobId,
     pid: u64,
 ) -> Result<()> {
-    sim.model.norns_mut().urds[node].controller.remove_process(job, pid)
+    sim.model.norns_mut().urds[node]
+        .controller
+        .remove_process(job, pid)
 }
 
 // ---------------------------------------------------------------- //
@@ -193,7 +196,11 @@ pub fn submit_task<M: HasNorns>(
             exec: Default::default(),
         },
     );
-    urd.queue.enqueue(id, job, est, now);
+    let priority = urd
+        .task(id)
+        .map(|r| r.spec.priority)
+        .expect("just inserted");
+    urd.queue.enqueue_prio(id, job, est, priority, now);
     maybe_dispatch(sim, node);
     Ok(id)
 }
@@ -281,12 +288,16 @@ pub(crate) fn maybe_dispatch<M: HasNorns>(sim: &mut Sim<M>, node: NodeId) {
 
 fn start_next_leg<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) {
     let leg = {
-        let rec = sim.model.norns_mut().urds[node].task_mut(task).expect("running task");
+        let rec = sim.model.norns_mut().urds[node]
+            .task_mut(task)
+            .expect("running task");
         rec.exec.legs.pop_front()
     };
     match leg {
         None => complete_task(sim, node, task, None),
-        Some(PlannedLeg { latency, shards, .. }) => {
+        Some(PlannedLeg {
+            latency, shards, ..
+        }) => {
             if latency > SimDuration::ZERO {
                 sim.schedule_in(latency, move |sim| launch_shards(sim, node, task, shards));
             } else {
@@ -308,7 +319,9 @@ fn launch_shards<M: HasNorns>(
         return;
     }
     {
-        let rec = sim.model.norns_mut().urds[node].task_mut(task).expect("running task");
+        let rec = sim.model.norns_mut().urds[node]
+            .task_mut(task)
+            .expect("running task");
         rec.exec.outstanding = shards.len();
     }
     let tag = task_tag(node, task);
@@ -346,8 +359,16 @@ fn complete_task<M: HasNorns>(
     let now = sim.now();
     // Apply namespace effects on success.
     let (spec, cred, job, plugin, charged) = {
-        let rec = sim.model.norns_mut().urds[node].task(task).expect("completing task");
-        (rec.spec.clone(), rec.cred.clone(), rec.job, rec.plugin, rec.charged.clone())
+        let rec = sim.model.norns_mut().urds[node]
+            .task(task)
+            .expect("completing task");
+        (
+            rec.spec.clone(),
+            rec.cred.clone(),
+            rec.job,
+            rec.plugin,
+            rec.charged.clone(),
+        )
     };
     let error = match error {
         Some(e) => Some(e),
@@ -426,9 +447,12 @@ pub fn app_io<M: HasNorns>(
     let token = world.alloc_app_token();
     let shards = world.storage.plan_io(tier, node, dir, bytes, stripe);
     let setup = world.storage.setup_cost(tier, files.max(1));
-    world
-        .app_ops
-        .insert(token, super::AppOp { outstanding: shards.len() });
+    world.app_ops.insert(
+        token,
+        super::AppOp {
+            outstanding: shards.len(),
+        },
+    );
     let tag = app_tag(token);
     sim.schedule_in(setup, move |sim| {
         for shard in shards {
@@ -465,11 +489,20 @@ pub fn app_shared_io<M: HasNorns>(
         let world = sim.model.norns_mut();
         let token = world.alloc_app_token();
         let shards = if osts.is_empty() {
-            world.storage.plan_io(tier, node, dir, bytes_per_node, stripe)
+            world
+                .storage
+                .plan_io(tier, node, dir, bytes_per_node, stripe)
         } else {
-            world.storage.plan_io_fixed(tier, node, dir, bytes_per_node, &osts)
+            world
+                .storage
+                .plan_io_fixed(tier, node, dir, bytes_per_node, &osts)
         };
-        world.app_ops.insert(token, super::AppOp { outstanding: shards.len() });
+        world.app_ops.insert(
+            token,
+            super::AppOp {
+                outstanding: shards.len(),
+            },
+        );
         let tag = app_tag(token);
         let setup = world.storage.setup_cost(tier, 1);
         sim.schedule_in(setup, move |sim| {
@@ -504,7 +537,9 @@ pub fn app_mem_io<M: HasNorns>(
     let tag = app_tag(token);
     simcore::start_flow(
         sim,
-        FlowSpec::new(bytes as f64, path).with_cap(demand_bps).with_tag(tag),
+        FlowSpec::new(bytes as f64, path)
+            .with_cap(demand_bps)
+            .with_tag(tag),
     );
     Ok(token)
 }
@@ -520,7 +555,9 @@ pub fn app_net_io<M: HasNorns>(
     let token = world.alloc_app_token();
     let path = world.fabric.raw_path(from, to);
     if path.is_empty() {
-        return Err(NornsError::BadArgs("app_net_io requires distinct nodes".into()));
+        return Err(NornsError::BadArgs(
+            "app_net_io requires distinct nodes".into(),
+        ));
     }
     world.app_ops.insert(token, super::AppOp { outstanding: 1 });
     let tag = app_tag(token);
@@ -543,7 +580,9 @@ pub fn rpc_call<M: HasNorns>(
 ) {
     let timing = sim.model.norns_mut().rpc_timing;
     let latency = timing.one_way(160, sim.rng());
-    sim.schedule_in(latency, move |sim| rpc_arrive(sim, from, to, request, token));
+    sim.schedule_in(latency, move |sim| {
+        rpc_arrive(sim, from, to, request, token)
+    });
 }
 
 fn rpc_arrive<M: HasNorns>(
@@ -558,9 +597,12 @@ fn rpc_arrive<M: HasNorns>(
     let svc = SimDuration::from_secs_f64(sim.rng().exponential(mean.as_secs_f64().max(1e-9)));
     let world = sim.model.norns_mut();
     let seq = world.alloc_rpc_seq();
-    world.rpc_inflight.insert((to, seq), super::RpcWork { token, request });
+    world
+        .rpc_inflight
+        .insert((to, seq), super::RpcWork { token, request });
     let urd = &mut world.urds[to];
-    urd.rpc_server.submit(now, seq, svc, &mut urd.rpc_pending_svc);
+    urd.rpc_server
+        .submit(now, seq, svc, &mut urd.rpc_pending_svc);
     rearm_rpc(sim, to);
 }
 
@@ -593,7 +635,11 @@ fn rpc_tick<M: HasNorns>(sim: &mut Sim<M>, node: NodeId) {
         let Some(work) = work else { continue };
         let outcome = process_request(sim, node, work.request);
         let latency = timing.one_way(64, sim.rng());
-        let reply = RpcReply { token: work.token, from: node, outcome };
+        let reply = RpcReply {
+            token: work.token,
+            from: node,
+            outcome,
+        };
         sim.schedule_in(latency, move |sim| M::on_rpc_reply(sim, reply));
     }
 }
@@ -602,12 +648,10 @@ fn process_request<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, req: RpcRequest)
     match req {
         RpcRequest::Ping => RpcOutcome::Pong,
         RpcRequest::Status => RpcOutcome::Status(sim.model.norns_mut().urds[node].status()),
-        RpcRequest::QueryTask { task } => {
-            match sim.model.norns_mut().urds[node].task(task) {
-                Some(rec) => RpcOutcome::TaskStatus(rec.stats()),
-                None => RpcOutcome::Err(NornsError::NoSuchTask(task.0)),
-            }
-        }
+        RpcRequest::QueryTask { task } => match sim.model.norns_mut().urds[node].task(task) {
+            Some(rec) => RpcOutcome::TaskStatus(rec.stats()),
+            None => RpcOutcome::Err(NornsError::NoSuchTask(task.0)),
+        },
         RpcRequest::Submit { job, spec, tag } => {
             match submit_task(sim, node, job, ApiSource::Control, spec, tag) {
                 Ok(id) => RpcOutcome::Submitted(id),

@@ -52,7 +52,12 @@ pub(crate) fn resolve_side(
                 return Err(NornsError::BadArgs(format!("no such node: {node}")));
             }
             let ds = world.urds[*node].controller.dataspace(nsid)?;
-            Ok(Side { tier: ds.tier, node: *node, nsid: nsid.clone(), path: path.clone() })
+            Ok(Side {
+                tier: ds.tier,
+                node: *node,
+                nsid: nsid.clone(),
+                path: path.clone(),
+            })
         }
     }
 }
@@ -69,7 +74,9 @@ pub(crate) fn ns_node(world: &NornsWorld, tier: TierRef, node: NodeId) -> Option
 
 /// Total bytes + file count under a path side.
 pub(crate) fn side_bytes(world: &NornsWorld, side: &Side, cred: &Cred) -> Result<(u64, u64)> {
-    let ns = world.storage.ns(side.tier, ns_node(world, side.tier, side.node));
+    let ns = world
+        .storage
+        .ns(side.tier, ns_node(world, side.tier, side.node));
     let files = ns.walk_files(&side.path, cred)?;
     let bytes = files.iter().map(|(_, s)| *s).sum();
     Ok((bytes, files.len() as u64))
@@ -85,7 +92,10 @@ pub(crate) struct BuiltPlan {
 }
 
 fn memory_shard(world: &NornsWorld, node: NodeId, bytes: u64) -> IoShard {
-    IoShard { path: vec![world.ram_resource(node)], bytes }
+    IoShard {
+        path: vec![world.ram_resource(node)],
+        bytes,
+    }
 }
 
 /// Append the node's memory-controller resource to tier-side shards:
@@ -102,11 +112,7 @@ fn with_ram(world: &NornsWorld, node: NodeId, mut shards: Vec<IoShard>) -> Vec<I
 
 /// Splice source shards, fabric path and destination shards into
 /// concrete flows. The side with more shards drives the byte split.
-fn compose(
-    src: &[IoShard],
-    fabric: &[ResourceId],
-    dst: &[IoShard],
-) -> Vec<(Vec<ResourceId>, u64)> {
+fn compose(src: &[IoShard], fabric: &[ResourceId], dst: &[IoShard]) -> Vec<(Vec<ResourceId>, u64)> {
     assert!(!src.is_empty() && !dst.is_empty());
     let splice = |s: &IoShard, d: &IoShard, bytes: u64| {
         let mut path = Vec::with_capacity(s.path.len() + fabric.len() + d.path.len());
@@ -130,7 +136,11 @@ fn compose(
 
 /// Build the plan for a dispatched task. Must run *before* any state
 /// transition so failures can mark the task as errored cleanly.
-pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -> Result<BuiltPlan> {
+pub(crate) fn build<M: HasNorns>(
+    sim: &mut Sim<M>,
+    node: NodeId,
+    task: TaskId,
+) -> Result<BuiltPlan> {
     // Snapshot what we need from the record first.
     let (spec, cred, plugin, job) = {
         let rec = sim.model.norns_mut().urds[node]
@@ -149,9 +159,17 @@ pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -
             let side = resolve_side(world, node, &spec.input)?;
             let (_, files) = side_bytes(world, &side, &cred)?;
             let latency = world.storage.setup_cost(side.tier, files.max(1));
-            let latency = if spec.input.is_remote() { latency + rpc_rt } else { latency };
+            let latency = if spec.input.is_remote() {
+                latency + rpc_rt
+            } else {
+                latency
+            };
             Ok(BuiltPlan {
-                legs: VecDeque::from([PlannedLeg { label: "remove", latency, shards: vec![] }]),
+                legs: VecDeque::from([PlannedLeg {
+                    label: "remove",
+                    latency,
+                    shards: vec![],
+                }]),
                 total_bytes: 0,
                 charged: None,
             })
@@ -165,7 +183,9 @@ pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -
             let dst = resolve_side(world, node, out)?;
             let charged = charge_dst(world, job, &dst, bytes)?;
             let setup = world.storage.setup_cost(dst.tier, 1);
-            let dst_shards = world.storage.plan_io(dst.tier, node, IoDir::Write, bytes, None);
+            let dst_shards = world
+                .storage
+                .plan_io(dst.tier, node, IoDir::Write, bytes, None);
             let src = [memory_shard(world, node, bytes)];
             Ok(BuiltPlan {
                 legs: VecDeque::from([PlannedLeg {
@@ -185,9 +205,13 @@ pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -
             let charged = charge_dst(world, job, &dst, bytes)?;
             let latency = world.storage.setup_cost(src.tier, files)
                 + world.storage.setup_cost(dst.tier, files);
-            let src_shards = world.storage.plan_io(src.tier, node, IoDir::Read, bytes, None);
+            let src_shards = world
+                .storage
+                .plan_io(src.tier, node, IoDir::Read, bytes, None);
             let src_shards = with_ram(world, node, src_shards);
-            let dst_shards = world.storage.plan_io(dst.tier, node, IoDir::Write, bytes, None);
+            let dst_shards = world
+                .storage
+                .plan_io(dst.tier, node, IoDir::Write, bytes, None);
             Ok(BuiltPlan {
                 legs: VecDeque::from([PlannedLeg {
                     label: "sendfile",
@@ -207,9 +231,13 @@ pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -
             let latency = rpc_rt
                 + world.storage.setup_cost(src.tier, files)
                 + world.storage.setup_cost(dst.tier, files);
-            let src_shards = world.storage.plan_io(src.tier, src.node, IoDir::Read, bytes, None);
+            let src_shards = world
+                .storage
+                .plan_io(src.tier, src.node, IoDir::Read, bytes, None);
             let src_shards = with_ram(world, src.node, src_shards);
-            let dst_shards = world.storage.plan_io(dst.tier, dst.node, IoDir::Write, bytes, None);
+            let dst_shards = world
+                .storage
+                .plan_io(dst.tier, dst.node, IoDir::Write, bytes, None);
             let dst_shards = with_ram(world, dst.node, dst_shards);
             let fabric = {
                 let NornsWorld { fabric, fluid, .. } = world;
@@ -234,9 +262,13 @@ pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -
             let latency = rpc_rt
                 + world.storage.setup_cost(src.tier, files)
                 + world.storage.setup_cost(dst.tier, files);
-            let src_shards = world.storage.plan_io(src.tier, src.node, IoDir::Read, bytes, None);
+            let src_shards = world
+                .storage
+                .plan_io(src.tier, src.node, IoDir::Read, bytes, None);
             let src_shards = with_ram(world, src.node, src_shards);
-            let dst_shards = world.storage.plan_io(dst.tier, dst.node, IoDir::Write, bytes, None);
+            let dst_shards = world
+                .storage
+                .plan_io(dst.tier, dst.node, IoDir::Write, bytes, None);
             let dst_shards = with_ram(world, dst.node, dst_shards);
             let fabric = {
                 let NornsWorld { fabric, fluid, .. } = world;
@@ -261,7 +293,9 @@ pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -
             check_dst_access(world, &dst, &cred)?;
             let charged = charge_dst(world, job, &dst, bytes)?;
             let dst_setup = world.storage.setup_cost(dst.tier, 1);
-            let dst_shards = world.storage.plan_io(dst.tier, dst.node, IoDir::Write, bytes, None);
+            let dst_shards = world
+                .storage
+                .plan_io(dst.tier, dst.node, IoDir::Write, bytes, None);
             let dst_shards = with_ram(world, dst.node, dst_shards);
             let fabric = {
                 let NornsWorld { fabric, fluid, .. } = world;
@@ -290,7 +324,9 @@ pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -
             let src = resolve_side(world, node, &spec.input)?;
             let (bytes, files) = side_bytes(world, &src, &cred)?;
             let latency = rpc_rt + world.storage.setup_cost(src.tier, files);
-            let src_shards = world.storage.plan_io(src.tier, src.node, IoDir::Read, bytes, None);
+            let src_shards = world
+                .storage
+                .plan_io(src.tier, src.node, IoDir::Read, bytes, None);
             let src_shards = with_ram(world, src.node, src_shards);
             let fabric = {
                 let NornsWorld { fabric, fluid, .. } = world;
@@ -314,7 +350,9 @@ pub(crate) fn build<M: HasNorns>(sim: &mut Sim<M>, node: NodeId, task: TaskId) -
 /// accept the write (capacity check; permissions are enforced again at
 /// effect time).
 fn check_dst_access(world: &NornsWorld, dst: &Side, _cred: &Cred) -> Result<()> {
-    let ns = world.storage.ns(dst.tier, ns_node(world, dst.tier, dst.node));
+    let ns = world
+        .storage
+        .ns(dst.tier, ns_node(world, dst.tier, dst.node));
     // A later overwrite may need less space; this is the conservative
     // check urd performs before launching the transfer.
     let _ = ns;
@@ -329,11 +367,18 @@ fn charge_dst(
     bytes: u64,
 ) -> Result<Option<(NodeId, String, u64)>> {
     // Capacity check on the destination namespace.
-    let ns = world.storage.ns(dst.tier, ns_node(world, dst.tier, dst.node));
+    let ns = world
+        .storage
+        .ns(dst.tier, ns_node(world, dst.tier, dst.node));
     if bytes > ns.available() {
-        return Err(NornsError::NoSpace { requested: bytes, available: ns.available() });
+        return Err(NornsError::NoSpace {
+            requested: bytes,
+            available: ns.available(),
+        });
     }
-    world.urds[dst.node].controller.charge(job, &dst.nsid, bytes)?;
+    world.urds[dst.node]
+        .controller
+        .charge(job, &dst.nsid, bytes)?;
     Ok(Some((dst.node, dst.nsid.clone(), bytes)))
 }
 
@@ -355,7 +400,9 @@ pub(crate) fn apply_effects(
                     ResourceRef::Memory { size } => vec![(String::new(), *size)],
                     input => {
                         let src = resolve_side(world, node, input)?;
-                        let ns = world.storage.ns(src.tier, ns_node(world, src.tier, src.node));
+                        let ns = world
+                            .storage
+                            .ns(src.tier, ns_node(world, src.tier, src.node));
                         ns.walk_files(&src.path, cred)?
                     }
                 };
@@ -377,7 +424,9 @@ pub(crate) fn apply_effects(
                     .storage
                     .ns_mut(src.tier, src_node)
                     .remove(&src.path, cred, true)?;
-                world.urds[src.node].controller.release(job, &src.nsid, freed);
+                world.urds[src.node]
+                    .controller
+                    .release(job, &src.nsid, freed);
             }
             Ok(())
         }
@@ -388,7 +437,9 @@ pub(crate) fn apply_effects(
                 .storage
                 .ns_mut(side.tier, side_node)
                 .remove(&side.path, cred, true)?;
-            world.urds[side.node].controller.release(job, &side.nsid, freed);
+            world.urds[side.node]
+                .controller
+                .release(job, &side.nsid, freed);
             Ok(())
         }
     }

@@ -43,21 +43,44 @@ impl TaskState {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     pub op: TaskOp,
+    /// Submitter-assigned urgency for priority-aware arbitration
+    /// (mirrors the real daemon's `TaskSpec.priority`).
+    pub priority: u8,
     pub input: ResourceRef,
     pub output: Option<ResourceRef>,
 }
 
 impl TaskSpec {
     pub fn copy(input: ResourceRef, output: ResourceRef) -> Self {
-        TaskSpec { op: TaskOp::Copy, input, output: Some(output) }
+        TaskSpec {
+            op: TaskOp::Copy,
+            priority: norns_sched::DEFAULT_PRIORITY,
+            input,
+            output: Some(output),
+        }
     }
 
     pub fn mv(input: ResourceRef, output: ResourceRef) -> Self {
-        TaskSpec { op: TaskOp::Move, input, output: Some(output) }
+        TaskSpec {
+            op: TaskOp::Move,
+            priority: norns_sched::DEFAULT_PRIORITY,
+            input,
+            output: Some(output),
+        }
     }
 
     pub fn remove(input: ResourceRef) -> Self {
-        TaskSpec { op: TaskOp::Remove, input, output: None }
+        TaskSpec {
+            op: TaskOp::Remove,
+            priority: norns_sched::DEFAULT_PRIORITY,
+            input,
+            output: None,
+        }
+    }
+
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
     }
 }
 

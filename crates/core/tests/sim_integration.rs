@@ -5,7 +5,9 @@
 
 use norns::sim::ops;
 use norns::sim::{handle_flow_complete, HasNorns, NornsWorld, RpcReply, RpcRequest, WorldConfig};
-use norns::{ApiSource, JobId, JobSpec, NornsError, ResourceRef, TaskCompletion, TaskSpec, TaskState};
+use norns::{
+    ApiSource, JobId, JobSpec, NornsError, ResourceRef, TaskCompletion, TaskSpec, TaskState,
+};
 use simcore::{CompletedFlow, FluidModel, FluidSystem, Sim, SimTime};
 use simnet::FabricParams;
 use simstore::{Cred, IoDir, LocalParams, Mode, PfsParams, TierKind};
@@ -49,8 +51,11 @@ impl HasNorns for TestModel {
 /// (`lustre`, interference off for determinism).
 fn testbed() -> Sim<TestModel> {
     let nodes = 4;
-    let mut world =
-        NornsWorld::new(nodes, FabricParams::omni_path_tcp(nodes), WorldConfig::default());
+    let mut world = NornsWorld::new(
+        nodes,
+        FabricParams::omni_path_tcp(nodes),
+        WorldConfig::default(),
+    );
     let mut pfs_params = PfsParams::nextgenio_lustre();
     pfs_params.interference = simstore::Interference::Off;
     world.storage.add_pfs(
@@ -67,8 +72,12 @@ fn testbed() -> Sim<TestModel> {
         LocalParams::dcpmm(),
         TierKind::NodeLocalNvm,
     );
-    let model =
-        TestModel { world, completions: Vec::new(), app_done: Vec::new(), replies: Vec::new() };
+    let model = TestModel {
+        world,
+        completions: Vec::new(),
+        app_done: Vec::new(),
+        replies: Vec::new(),
+    };
     let mut sim = Sim::new(model, 42);
     // Register dataspaces on every node and one job spanning them.
     for n in 0..nodes {
@@ -111,7 +120,10 @@ fn file_exists(sim: &mut Sim<TestModel>, tier: &str, node: Option<usize>, path: 
 #[test]
 fn memory_to_local_completes_and_creates_file() {
     let mut sim = testbed();
-    let spec = TaskSpec::copy(ResourceRef::memory(GIB), ResourceRef::local("pmdk0", "ckpt/buf0"));
+    let spec = TaskSpec::copy(
+        ResourceRef::memory(GIB),
+        ResourceRef::local("pmdk0", "ckpt/buf0"),
+    );
     let id = ops::submit_task(&mut sim, 0, JobId(1), ApiSource::Control, spec, 7).unwrap();
     sim.run();
     assert_eq!(sim.model.completions.len(), 1);
@@ -254,8 +266,18 @@ fn directory_copy_mirrors_tree() {
     ops::submit_task(&mut sim, 0, JobId(1), ApiSource::Control, spec, 0).unwrap();
     sim.run();
     assert_eq!(sim.model.completions[0].state, TaskState::Finished);
-    assert!(file_exists(&mut sim, "lustre", None, "archive/case/processor0/U"));
-    assert!(file_exists(&mut sim, "lustre", None, "archive/case/processor1/U"));
+    assert!(file_exists(
+        &mut sim,
+        "lustre",
+        None,
+        "archive/case/processor0/U"
+    ));
+    assert!(file_exists(
+        &mut sim,
+        "lustre",
+        None,
+        "archive/case/processor1/U"
+    ));
 }
 
 #[test]
@@ -266,7 +288,10 @@ fn missing_source_fails_task_not_submission() {
         ResourceRef::local("lustre", "x"),
     );
     let id = ops::submit_task(&mut sim, 0, JobId(1), ApiSource::Control, spec, 0);
-    assert!(id.is_ok(), "submission succeeds; failure surfaces at execution");
+    assert!(
+        id.is_ok(),
+        "submission succeeds; failure surfaces at execution"
+    );
     sim.run();
     let c = sim.model.completions[0].clone();
     assert_eq!(c.state, TaskState::FinishedWithError);
@@ -276,10 +301,7 @@ fn missing_source_fails_task_not_submission() {
 #[test]
 fn unregistered_job_is_rejected_at_submission() {
     let mut sim = testbed();
-    let spec = TaskSpec::copy(
-        ResourceRef::memory(10),
-        ResourceRef::local("pmdk0", "x"),
-    );
+    let spec = TaskSpec::copy(ResourceRef::memory(10), ResourceRef::local("pmdk0", "x"));
     let err = ops::submit_task(&mut sim, 0, JobId(99), ApiSource::Control, spec, 0);
     assert!(matches!(err, Err(NornsError::NoSuchJob(99))));
 }
@@ -298,8 +320,15 @@ fn user_api_requires_registered_process() {
     );
     assert!(matches!(err, Err(NornsError::NoSuchProcess { .. })));
     ops::add_process(&mut sim, 0, JobId(1), 1234, cred()).unwrap();
-    assert!(ops::submit_task(&mut sim, 0, JobId(1), ApiSource::User { pid: 1234 }, spec, 0)
-        .is_ok());
+    assert!(ops::submit_task(
+        &mut sim,
+        0,
+        JobId(1),
+        ApiSource::User { pid: 1234 },
+        spec,
+        0
+    )
+    .is_ok());
 }
 
 #[test]
@@ -317,7 +346,10 @@ fn quota_enforced_at_plan_time() {
         },
     )
     .unwrap();
-    let ok = TaskSpec::copy(ResourceRef::memory(GIB / 2), ResourceRef::local("pmdk0", "a"));
+    let ok = TaskSpec::copy(
+        ResourceRef::memory(GIB / 2),
+        ResourceRef::local("pmdk0", "a"),
+    );
     ops::submit_task(&mut sim, 0, JobId(1), ApiSource::Control, ok, 0).unwrap();
     sim.run();
     assert_eq!(sim.model.completions[0].state, TaskState::Finished);
@@ -404,7 +436,17 @@ fn rpc_submit_runs_task_on_remote_node() {
         ResourceRef::local("pmdk0", "data.bin"),
         ResourceRef::local("lustre", "data.bin"),
     );
-    ops::rpc_call(&mut sim, 0, 2, RpcRequest::Submit { job: JobId(1), spec, tag: 5 }, 1);
+    ops::rpc_call(
+        &mut sim,
+        0,
+        2,
+        RpcRequest::Submit {
+            job: JobId(1),
+            spec,
+            tag: 5,
+        },
+        1,
+    );
     sim.run();
     assert!(matches!(
         sim.model.replies[0].0.outcome,
@@ -444,7 +486,11 @@ fn eta_tracking_learns_rates() {
     let urd = sim.model.world.urd(0);
     let rate = urd.eta.rate(norns::PluginKind::MemoryToLocal);
     let gib = simcore::units::GIB as f64;
-    assert!(rate > 3.0 * gib && rate < 7.0 * gib, "learned rate {}", rate / gib);
+    assert!(
+        rate > 3.0 * gib && rate < 7.0 * gib,
+        "learned rate {}",
+        rate / gib
+    );
     // drain_eta with nothing running is "now".
     let now = sim.now();
     assert_eq!(urd.drain_eta(now), now);
@@ -461,8 +507,15 @@ fn concurrent_stage_ins_contend_on_the_pfs() {
             ResourceRef::local("lustre", format!("in/f{node}")),
             ResourceRef::local("pmdk0", "staged.dat"),
         );
-        ops::submit_task(&mut sim, node, JobId(1), ApiSource::Control, spec, node as u64)
-            .unwrap();
+        ops::submit_task(
+            &mut sim,
+            node,
+            JobId(1),
+            ApiSource::Control,
+            spec,
+            node as u64,
+        )
+        .unwrap();
     }
     sim.run();
     assert_eq!(sim.model.completions.len(), 4);

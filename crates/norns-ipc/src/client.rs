@@ -21,7 +21,10 @@ pub enum ClientError {
     Io(std::io::Error),
     Protocol(String),
     /// The daemon replied with an error response.
-    Remote { code: ErrorCode, message: String },
+    Remote {
+        code: ErrorCode,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -51,7 +54,10 @@ struct Connection {
 
 impl Connection {
     fn connect(path: &Path) -> ClientResult<Self> {
-        Ok(Connection { stream: UnixStream::connect(path)?, reader: FrameReader::new() })
+        Ok(Connection {
+            stream: UnixStream::connect(path)?,
+            reader: FrameReader::new(),
+        })
     }
 
     fn call(&mut self, request: Bytes, payload: Option<&[u8]>) -> ClientResult<Response> {
@@ -84,7 +90,9 @@ fn expect_ok(r: Response) -> ClientResult<()> {
     match r {
         Response::Ok => Ok(()),
         Response::Error { code, message } => Err(ClientError::Remote { code, message }),
-        other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response: {other:?}"
+        ))),
     }
 }
 
@@ -92,7 +100,9 @@ fn expect_task_id(r: Response) -> ClientResult<u64> {
     match r {
         Response::TaskSubmitted { task_id } => Ok(task_id),
         Response::Error { code, message } => Err(ClientError::Remote { code, message }),
-        other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response: {other:?}"
+        ))),
     }
 }
 
@@ -100,7 +110,9 @@ fn expect_stats(r: Response) -> ClientResult<TaskStats> {
     match r {
         Response::TaskStatus(stats) => Ok(stats),
         Response::Error { code, message } => Err(ClientError::Remote { code, message }),
-        other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response: {other:?}"
+        ))),
     }
 }
 
@@ -128,7 +140,9 @@ impl CtlClient {
         match self.call(&CtlRequest::Status, None)? {
             Response::Status(s) => Ok(s),
             Response::Error { code, message } => Err(ClientError::Remote { code, message }),
-            other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
         }
     }
 
@@ -137,9 +151,12 @@ impl CtlClient {
     }
 
     pub fn unregister_dataspace(&mut self, nsid: &str) -> ClientResult<()> {
-        expect_ok(
-            self.call(&CtlRequest::UnregisterDataspace { nsid: nsid.to_string() }, None)?,
-        )
+        expect_ok(self.call(
+            &CtlRequest::UnregisterDataspace {
+                nsid: nsid.to_string(),
+            },
+            None,
+        )?)
     }
 
     pub fn register_job(&mut self, job: JobDesc) -> ClientResult<()> {
@@ -151,7 +168,15 @@ impl CtlClient {
     }
 
     pub fn add_process(&mut self, job_id: u64, pid: u64, uid: u32, gid: u32) -> ClientResult<()> {
-        expect_ok(self.call(&CtlRequest::AddProcess { job_id, pid, uid, gid }, None)?)
+        expect_ok(self.call(
+            &CtlRequest::AddProcess {
+                job_id,
+                pid,
+                uid,
+                gid,
+            },
+            None,
+        )?)
     }
 
     /// Submit a task; `payload` carries the buffer for
@@ -166,11 +191,22 @@ impl CtlClient {
     }
 
     pub fn wait(&mut self, task_id: u64, timeout_usec: u64) -> ClientResult<TaskStats> {
-        expect_stats(self.call(&CtlRequest::WaitTask { task_id, timeout_usec }, None)?)
+        expect_stats(self.call(
+            &CtlRequest::WaitTask {
+                task_id,
+                timeout_usec,
+            },
+            None,
+        )?)
     }
 
     pub fn query(&mut self, task_id: u64) -> ClientResult<TaskStats> {
         expect_stats(self.call(&CtlRequest::QueryTask { task_id }, None)?)
+    }
+
+    /// Cancel a still-pending task (`nornsctl` task control).
+    pub fn cancel(&mut self, task_id: u64) -> ClientResult<()> {
+        expect_ok(self.call(&CtlRequest::CancelTask { task_id }, None)?)
     }
 }
 
@@ -182,11 +218,17 @@ pub struct UserClient {
 
 impl UserClient {
     pub fn connect(path: &Path) -> ClientResult<Self> {
-        Ok(UserClient { conn: Connection::connect(path)?, pid: std::process::id() as u64 })
+        Ok(UserClient {
+            conn: Connection::connect(path)?,
+            pid: std::process::id() as u64,
+        })
     }
 
     pub fn with_pid(path: &Path, pid: u64) -> ClientResult<Self> {
-        Ok(UserClient { conn: Connection::connect(path)?, pid })
+        Ok(UserClient {
+            conn: Connection::connect(path)?,
+            pid,
+        })
     }
 
     fn call(&mut self, req: &UserRequest, payload: Option<&[u8]>) -> ClientResult<Response> {
@@ -198,7 +240,9 @@ impl UserClient {
         match self.call(&UserRequest::GetDataspaceInfo, None)? {
             Response::Dataspaces(d) => Ok(d),
             Response::Error { code, message } => Err(ClientError::Remote { code, message }),
-            other => Err(ClientError::Protocol(format!("unexpected response: {other:?}"))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
         }
     }
 
@@ -210,11 +254,24 @@ impl UserClient {
 
     /// `norns_wait`.
     pub fn wait(&mut self, task_id: u64, timeout_usec: u64) -> ClientResult<TaskStats> {
-        expect_stats(self.call(&UserRequest::WaitTask { task_id, timeout_usec }, None)?)
+        expect_stats(self.call(
+            &UserRequest::WaitTask {
+                task_id,
+                timeout_usec,
+            },
+            None,
+        )?)
     }
 
     /// `norns_error` (status/stats query).
     pub fn query(&mut self, task_id: u64) -> ClientResult<TaskStats> {
         expect_stats(self.call(&UserRequest::QueryTask { task_id }, None)?)
+    }
+
+    /// Cancel a still-pending task. Only tasks submitted by this
+    /// client's pid can be cancelled through the user API.
+    pub fn cancel(&mut self, task_id: u64) -> ClientResult<()> {
+        let pid = self.pid;
+        expect_ok(self.call(&UserRequest::CancelTask { pid, task_id }, None)?)
     }
 }

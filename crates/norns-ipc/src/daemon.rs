@@ -16,7 +16,7 @@ use norns_proto::{
     encode_frame, CtlRequest, DaemonCommand, ErrorCode, FrameReader, Response, UserRequest, Wire,
 };
 
-use crate::engine::Engine;
+use crate::engine::{Engine, PolicyKind};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -25,11 +25,31 @@ pub struct DaemonConfig {
     pub socket_dir: PathBuf,
     /// Worker threads executing transfers.
     pub workers: usize,
+    /// Bound on the pending task set (submissions past it get
+    /// `ErrorCode::Busy`).
+    pub queue_capacity: usize,
+    /// Task arbitration policy the worker pool dispatches through.
+    pub policy: PolicyKind,
 }
 
 impl DaemonConfig {
     pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
-        DaemonConfig { socket_dir: dir.into(), workers: 4 }
+        DaemonConfig {
+            socket_dir: dir.into(),
+            workers: 4,
+            queue_capacity: crate::engine::DEFAULT_QUEUE_CAPACITY,
+            policy: PolicyKind::Fcfs,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
     }
 }
 
@@ -37,8 +57,7 @@ impl DaemonConfig {
 pub struct UrdDaemon {
     pub control_path: PathBuf,
     pub user_path: PathBuf,
-    engine: Arc<Engine>,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
 }
 
 impl UrdDaemon {
@@ -50,8 +69,17 @@ impl UrdDaemon {
         let _ = std::fs::remove_file(&control_path);
         let _ = std::fs::remove_file(&user_path);
 
-        let engine = Engine::new(config.workers);
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let engine = Engine::with_policy(
+            config.workers,
+            config.queue_capacity,
+            config.policy.to_policy(),
+        );
+        let shared = Arc::new(Shared {
+            engine,
+            shutdown: AtomicBool::new(false),
+            control_path: control_path.clone(),
+            user_path: user_path.clone(),
+        });
 
         let ctl_listener = UnixListener::bind(&control_path)?;
         let user_listener = UnixListener::bind(&user_path)?;
@@ -61,22 +89,25 @@ impl UrdDaemon {
         let _ = std::fs::set_permissions(&control_path, std::fs::Permissions::from_mode(0o600));
         let _ = std::fs::set_permissions(&user_path, std::fs::Permissions::from_mode(0o666));
 
-        spawn_acceptor(ctl_listener, Arc::clone(&engine), Arc::clone(&shutdown), true);
-        spawn_acceptor(user_listener, Arc::clone(&engine), Arc::clone(&shutdown), false);
+        spawn_acceptor(ctl_listener, Arc::clone(&shared), true);
+        spawn_acceptor(user_listener, Arc::clone(&shared), false);
 
-        Ok(UrdDaemon { control_path, user_path, engine, shutdown })
+        Ok(UrdDaemon {
+            control_path,
+            user_path,
+            shared,
+        })
     }
 
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        &self.shared.engine
     }
 
-    /// Stop accepting and wake the acceptor threads.
+    /// Stop accepting, wake the acceptor threads, and join the
+    /// engine's worker pool. Same path the wire-level
+    /// `DaemonCommand::Shutdown` takes.
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept() calls.
-        let _ = UnixStream::connect(&self.control_path);
-        let _ = UnixStream::connect(&self.user_path);
+        self.shared.initiate_shutdown();
     }
 }
 
@@ -88,35 +119,44 @@ impl Drop for UrdDaemon {
     }
 }
 
-fn spawn_acceptor(
-    listener: UnixListener,
+/// State shared by every connection handler; lets the wire-level
+/// `DaemonCommand::Shutdown` stop the whole daemon, not just flag it.
+struct Shared {
     engine: Arc<Engine>,
-    shutdown: Arc<AtomicBool>,
-    control: bool,
-) {
+    shutdown: AtomicBool,
+    control_path: PathBuf,
+    user_path: PathBuf,
+}
+
+impl Shared {
+    /// Flag shutdown, stop the worker pool, and poke both listeners so
+    /// their accept() calls return and the acceptor threads exit.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.engine.shutdown();
+        let _ = UnixStream::connect(&self.control_path);
+        let _ = UnixStream::connect(&self.user_path);
+    }
+}
+
+fn spawn_acceptor(listener: UnixListener, shared: Arc<Shared>, control: bool) {
     std::thread::spawn(move || {
         for conn in listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
+            if shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else { continue };
-            let engine = Arc::clone(&engine);
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || serve_connection(stream, engine, shutdown, control));
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || serve_connection(stream, shared, control));
         }
     });
 }
 
-fn serve_connection(
-    mut stream: UnixStream,
-    engine: Arc<Engine>,
-    shutdown: Arc<AtomicBool>,
-    control: bool,
-) {
+fn serve_connection(mut stream: UnixStream, shared: Arc<Shared>, control: bool) {
     let mut reader = FrameReader::new();
     let mut buf = [0u8; 64 * 1024];
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         let n = match stream.read(&mut buf) {
@@ -128,9 +168,9 @@ fn serve_connection(
             match reader.next_frame() {
                 Ok(Some(frame)) => {
                     let response = if control {
-                        handle_ctl(&engine, &shutdown, frame)
+                        handle_ctl(&shared, frame)
                     } else {
-                        handle_user(&engine, frame)
+                        handle_user(&shared.engine, frame)
                     };
                     let framed = encode_frame(&response.to_bytes());
                     if stream.write_all(&framed).is_err() {
@@ -144,8 +184,15 @@ fn serve_connection(
     }
 }
 
+/// Separates the user-socket (pid-keyed) and control-socket
+/// (job-keyed) id spaces inside the scheduler's fairness domain.
+const USER_KEY_BIT: u64 = 1 << 63;
+
 fn err_response(code: ErrorCode, message: impl Into<String>) -> Response {
-    Response::Error { code, message: message.into() }
+    Response::Error {
+        code,
+        message: message.into(),
+    }
 }
 
 fn from_engine(r: Result<(), (ErrorCode, String)>) -> Response {
@@ -155,7 +202,8 @@ fn from_engine(r: Result<(), (ErrorCode, String)>) -> Response {
     }
 }
 
-fn handle_ctl(engine: &Arc<Engine>, shutdown: &Arc<AtomicBool>, frame: Bytes) -> Response {
+fn handle_ctl(shared: &Arc<Shared>, frame: Bytes) -> Response {
+    let engine = &shared.engine;
     let mut b = frame;
     let req = match CtlRequest::decode(&mut b) {
         Ok(r) => r,
@@ -179,16 +227,18 @@ fn handle_ctl(engine: &Arc<Engine>, shutdown: &Arc<AtomicBool>, frame: Bytes) ->
                 Response::Ok
             }
             DaemonCommand::Shutdown => {
-                shutdown.store(true, Ordering::SeqCst);
+                // Stops the worker pool (joined, orphans cancelled)
+                // and wakes the acceptors; the Ok still reaches the
+                // caller because only this connection's thread writes
+                // the response.
+                shared.initiate_shutdown();
                 Response::Ok
             }
         },
         CtlRequest::Status => Response::Status(engine.status()),
         CtlRequest::RegisterDataspace(d) => from_engine(engine.register_dataspace(d)),
         CtlRequest::UpdateDataspace(d) => from_engine(engine.update_dataspace(d)),
-        CtlRequest::UnregisterDataspace { nsid } => {
-            from_engine(engine.unregister_dataspace(&nsid))
-        }
+        CtlRequest::UnregisterDataspace { nsid } => from_engine(engine.unregister_dataspace(&nsid)),
         CtlRequest::RegisterJob(j) => from_engine(engine.register_job(j)),
         CtlRequest::UpdateJob(j) => from_engine(engine.update_job(j)),
         CtlRequest::UnregisterJob { job_id } => from_engine(engine.unregister_job(job_id)),
@@ -196,20 +246,33 @@ fn handle_ctl(engine: &Arc<Engine>, shutdown: &Arc<AtomicBool>, frame: Bytes) ->
         CtlRequest::RemoveProcess { job_id, pid } => {
             from_engine(engine.remove_process(job_id, pid))
         }
-        CtlRequest::SubmitTask { spec, .. } => match engine.submit(spec, payload) {
-            Ok(task_id) => Response::TaskSubmitted { task_id },
-            Err((code, message)) => Response::Error { code, message },
-        },
-        CtlRequest::WaitTask { task_id, timeout_usec } => {
-            match engine.wait(task_id, timeout_usec) {
-                Some(stats) => Response::TaskStatus(stats),
-                None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
+        CtlRequest::SubmitTask { job_id, spec } => {
+            if job_id & USER_KEY_BIT != 0 {
+                // Bit 63 tags user-socket pid keys; a control job id
+                // carrying it would collide with a pid's fairness and
+                // cancel-ownership domain.
+                return err_response(
+                    ErrorCode::BadArgs,
+                    format!("job id {job_id:#x} uses the reserved user-key bit"),
+                );
+            }
+            match engine.submit(job_id, spec, payload) {
+                Ok(task_id) => Response::TaskSubmitted { task_id },
+                Err((code, message)) => Response::Error { code, message },
             }
         }
+        CtlRequest::WaitTask {
+            task_id,
+            timeout_usec,
+        } => match engine.wait(task_id, timeout_usec) {
+            Some(stats) => Response::TaskStatus(stats),
+            None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
+        },
         CtlRequest::QueryTask { task_id } => match engine.query(task_id) {
             Some(stats) => Response::TaskStatus(stats),
             None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
         },
+        CtlRequest::CancelTask { task_id } => from_engine(engine.cancel(task_id, None)),
     }
 }
 
@@ -222,19 +285,42 @@ fn handle_user(engine: &Arc<Engine>, frame: Bytes) -> Response {
     let payload = if b.is_empty() { None } else { Some(b.to_vec()) };
     match req {
         UserRequest::GetDataspaceInfo => Response::Dataspaces(engine.dataspaces()),
-        UserRequest::SubmitTask { spec, .. } => match engine.submit(spec, payload) {
-            Ok(task_id) => Response::TaskSubmitted { task_id },
-            Err((code, message)) => Response::Error { code, message },
-        },
-        UserRequest::WaitTask { task_id, timeout_usec } => {
-            match engine.wait(task_id, timeout_usec) {
-                Some(stats) => Response::TaskStatus(stats),
-                None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
+        // User-socket tasks are keyed by the submitting process, with
+        // the high bit set so pid-keyed entries can never collide with
+        // control-socket job ids in the fairness domain.
+        UserRequest::SubmitTask { pid, spec } => {
+            // Only processes the scheduler registered via AddProcess
+            // may submit, mirroring the simulated controller.
+            if !engine.process_known(pid) {
+                return err_response(
+                    ErrorCode::NotRegistered,
+                    format!("process {pid} is not registered to any job"),
+                );
+            }
+            match engine.submit(USER_KEY_BIT | pid, spec, payload) {
+                Ok(task_id) => Response::TaskSubmitted { task_id },
+                Err((code, message)) => Response::Error { code, message },
             }
         }
+        UserRequest::WaitTask {
+            task_id,
+            timeout_usec,
+        } => match engine.wait(task_id, timeout_usec) {
+            Some(stats) => Response::TaskStatus(stats),
+            None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
+        },
         UserRequest::QueryTask { task_id } => match engine.query(task_id) {
             Some(stats) => Response::TaskStatus(stats),
             None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
         },
+        // Cancels through the world-writable user socket are scoped to
+        // the declared pid's own submissions. As in the paper's C API,
+        // the pid is caller-declared (the scheduler registers job
+        // processes; SO_PEERCRED verification is future hardening), so
+        // this guards against accidental cross-job cancels, not a
+        // malicious local process.
+        UserRequest::CancelTask { pid, task_id } => {
+            from_engine(engine.cancel(task_id, Some(USER_KEY_BIT | pid)))
+        }
     }
 }

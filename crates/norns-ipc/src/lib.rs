@@ -4,13 +4,14 @@
 //! simulator, this crate is a *real* implementation of the daemon's
 //! local path: actual `AF_UNIX` sockets with split control/user
 //! permissions, an accept loop, framed protobuf-style messages
-//! (`norns-proto`), a crossbeam worker pool and genuine filesystem
-//! transfers. It backs the Fig. 4 request-rate benchmark (local
-//! clients hammering one urd) and the quickstart/memory-offload
+//! (`norns-proto`), a policy-driven worker pool and genuine
+//! filesystem transfers. It backs the Fig. 4 request-rate benchmark
+//! (local clients hammering one urd) and the quickstart/memory-offload
 //! examples.
 //!
-//! * [`engine::Engine`] — registries, validation, FIFO queue, worker
-//!   pool, completion table with condvar-based `wait`.
+//! * [`engine::Engine`] — registries, validation, a bounded dispatch
+//!   queue arbitrated through the shared `norns-sched` policies, a
+//!   joined worker pool, completion table with condvar-based `wait`.
 //! * [`daemon::UrdDaemon`] — socket lifecycle and request dispatch.
 //! * [`client::CtlClient`] / [`client::UserClient`] — blocking client
 //!   libraries mirroring `nornsctl` / `norns`.
@@ -21,4 +22,4 @@ pub mod engine;
 
 pub use client::{ClientError, ClientResult, CtlClient, UserClient};
 pub use daemon::{DaemonConfig, UrdDaemon};
-pub use engine::Engine;
+pub use engine::{Engine, IpcPolicy, PolicyKind, DEFAULT_QUEUE_CAPACITY};

@@ -1,11 +1,11 @@
 //! Integration tests against a live daemon over real sockets.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon, UserClient};
 use norns_proto::{
-    BackendKind, DaemonCommand, DataspaceDesc, ErrorCode, JobDesc, ResourceDesc, TaskOp,
-    TaskSpec, TaskState,
+    BackendKind, DaemonCommand, DataspaceDesc, ErrorCode, JobDesc, ResourceDesc, TaskOp, TaskSpec,
+    TaskState, DEFAULT_PRIORITY,
 };
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -21,7 +21,7 @@ fn start(tag: &str) -> (UrdDaemon, PathBuf) {
     (daemon, root)
 }
 
-fn setup_dataspace(ctl: &mut CtlClient, root: &PathBuf) {
+fn setup_dataspace(ctl: &mut CtlClient, root: &Path) {
     ctl.register_dataspace(DataspaceDesc {
         nsid: "tmp0".into(),
         kind: BackendKind::Tmpfs,
@@ -37,8 +37,12 @@ fn listing2_flow_over_real_sockets() {
     let (daemon, root) = start("listing2");
     let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
     setup_dataspace(&mut ctl, &root);
-    ctl.register_job(JobDesc { job_id: 42, hosts: vec!["localhost".into()], limits: vec![] })
-        .unwrap();
+    ctl.register_job(JobDesc {
+        job_id: 42,
+        hosts: vec!["localhost".into()],
+        limits: vec![],
+    })
+    .unwrap();
     ctl.add_process(42, 777, 1000, 1000).unwrap();
 
     // The Listing 2 pattern: offload a buffer asynchronously, then
@@ -49,7 +53,11 @@ fn listing2_flow_over_real_sockets() {
         .submit(
             TaskSpec {
                 op: TaskOp::Copy,
-                input: ResourceDesc::MemoryRegion { addr: 0x1000, size: buffer.len() as u64 },
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::MemoryRegion {
+                    addr: 0x1000,
+                    size: buffer.len() as u64,
+                },
                 output: Some(ResourceDesc::PosixPath {
                     nsid: "tmp0".into(),
                     path: "path/to/output".into(),
@@ -87,7 +95,11 @@ fn copy_between_paths_via_control_api() {
             0,
             TaskSpec {
                 op: TaskOp::Copy,
-                input: ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "input.dat".into() },
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "input.dat".into(),
+                },
                 output: Some(ResourceDesc::PosixPath {
                     nsid: "tmp0".into(),
                     path: "staged/input.dat".into(),
@@ -112,7 +124,11 @@ fn errors_propagate_to_clients() {
         0,
         TaskSpec {
             op: TaskOp::Remove,
-            input: ResourceDesc::PosixPath { nsid: "ghost".into(), path: "x".into() },
+            priority: DEFAULT_PRIORITY,
+            input: ResourceDesc::PosixPath {
+                nsid: "ghost".into(),
+                path: "x".into(),
+            },
             output: None,
         },
         None,
@@ -129,8 +145,15 @@ fn errors_propagate_to_clients() {
             0,
             TaskSpec {
                 op: TaskOp::Copy,
-                input: ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "absent".into() },
-                output: Some(ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "y".into() }),
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "absent".into(),
+                },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "y".into(),
+                }),
             },
             None,
         )
@@ -150,7 +173,11 @@ fn pause_and_resume_via_commands() {
         0,
         TaskSpec {
             op: TaskOp::Remove,
-            input: ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "x".into() },
+            priority: DEFAULT_PRIORITY,
+            input: ResourceDesc::PosixPath {
+                nsid: "tmp0".into(),
+                path: "x".into(),
+            },
             output: None,
         },
         None,
@@ -196,4 +223,367 @@ fn wait_with_timeout_returns_inflight_state() {
         }
         other => panic!("expected NotFound, got {other:?}"),
     }
+}
+
+/// A high-priority stage-in submitted *after* a burst of low-priority
+/// transfers must complete first under the weighted-priority policy —
+/// the classic priority-inversion scenario the shared arbitration
+/// layer exists to solve.
+#[test]
+fn priority_inversion_resolved_by_weighted_policy() {
+    let root = temp_root("prio-inversion");
+    // One worker: a single blocker keeps it busy, so the backlog is
+    // genuinely arbitrated and the test cannot race a fast blocker.
+    let daemon = UrdDaemon::spawn({
+        let mut cfg = DaemonConfig::in_dir(root.join("sockets"))
+            .with_policy(norns_ipc::PolicyKind::WeightedPriority);
+        cfg.workers = 1;
+        cfg
+    })
+    .unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+
+    let mem_spec = |path: String, size: u64, prio: u8| TaskSpec {
+        op: TaskOp::Copy,
+        priority: prio,
+        input: ResourceDesc::MemoryRegion { addr: 0, size },
+        output: Some(ResourceDesc::PosixPath {
+            nsid: "tmp0".into(),
+            path,
+        }),
+    };
+
+    // Occupy the single worker with a large path→path blocker (64 MiB
+    // travels no wire and far outlasts the 13 submission round-trips,
+    // so the backlog below is fully formed while it runs)...
+    std::fs::write(root.join("tmp0/blocker-src"), vec![0x5au8; 64 << 20]).unwrap();
+    let blockers = vec![ctl
+        .submit(
+            1,
+            TaskSpec {
+                op: TaskOp::Copy,
+                priority: 50,
+                input: ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "blocker-src".into(),
+                },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "blocker-dst".into(),
+                }),
+            },
+            None,
+        )
+        .unwrap()];
+    // ...then a burst of low-priority transfers...
+    let small = b"small transfer payload".to_vec();
+    let mut low = Vec::new();
+    for i in 0..12 {
+        low.push(
+            ctl.submit(
+                1,
+                mem_spec(format!("low{i}"), small.len() as u64, 10),
+                Some(&small),
+            )
+            .unwrap(),
+        );
+    }
+    // ...and finally one high-priority stage-in, submitted last.
+    let high = ctl
+        .submit(
+            1,
+            mem_spec("high".into(), small.len() as u64, 250),
+            Some(&small),
+        )
+        .unwrap();
+
+    let high_stats = ctl.wait(high, 0).unwrap();
+    assert_eq!(high_stats.state, TaskState::Finished);
+    for id in blockers.into_iter().chain(low.clone()) {
+        let stats = ctl.wait(id, 0).unwrap();
+        assert_eq!(stats.state, TaskState::Finished);
+    }
+    // The high-priority task must not have waited longer than any of
+    // the earlier-submitted low-priority ones.
+    for id in low {
+        let stats = ctl.query(id).unwrap();
+        assert!(
+            high_stats.wait_usec <= stats.wait_usec,
+            "priority inversion: high waited {}µs, low task {} only {}µs",
+            high_stats.wait_usec,
+            id,
+            stats.wait_usec
+        );
+    }
+}
+
+/// CancelTask over the wire: a queued task is dropped and reports
+/// `Cancelled`; unknown ids produce a clean remote error.
+#[test]
+fn cancel_task_over_sockets() {
+    let root = temp_root("cancel-wire");
+    let daemon = UrdDaemon::spawn({
+        let mut cfg = DaemonConfig::in_dir(root.join("sockets"));
+        cfg.workers = 1;
+        cfg
+    })
+    .unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+
+    // Occupy the single worker, then queue a victim.
+    let payload = vec![1u8; 8 << 20];
+    let blocker = ctl
+        .submit(
+            1,
+            TaskSpec {
+                op: TaskOp::Copy,
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::MemoryRegion {
+                    addr: 0,
+                    size: payload.len() as u64,
+                },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "big".into(),
+                }),
+            },
+            Some(&payload),
+        )
+        .unwrap();
+    let victim = ctl
+        .submit(
+            1,
+            TaskSpec {
+                op: TaskOp::Copy,
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::MemoryRegion { addr: 0, size: 3 },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "victim".into(),
+                }),
+            },
+            Some(b"abc"),
+        )
+        .unwrap();
+    match ctl.cancel(victim) {
+        Ok(()) => {
+            let stats = ctl.wait(victim, 0).unwrap();
+            assert_eq!(stats.state, TaskState::Cancelled);
+            assert!(
+                !root.join("tmp0/victim").exists(),
+                "cancelled task must not run"
+            );
+        }
+        // Tiny race: the worker may already have finished the blocker
+        // and grabbed the victim. Then cancel correctly refuses.
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::TaskError);
+        }
+        Err(other) => panic!("unexpected cancel failure: {other}"),
+    }
+    ctl.wait(blocker, 0).unwrap();
+    // Unknown task id.
+    match ctl.cancel(999_999) {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound)
+        }
+        other => panic!("expected remote NotFound, got {other:?}"),
+    }
+    // User socket speaks CancelTask too.
+    let mut user = UserClient::with_pid(&daemon.user_path, 4242).unwrap();
+    match user.cancel(999_999) {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound)
+        }
+        other => panic!("expected remote NotFound, got {other:?}"),
+    }
+}
+
+/// Admission control over the wire: once the bounded queue is full the
+/// daemon answers `Busy` instead of buffering without limit.
+#[test]
+fn bounded_queue_reports_busy_over_sockets() {
+    let root = temp_root("busy-wire");
+    let daemon = UrdDaemon::spawn({
+        let mut cfg = DaemonConfig::in_dir(root.join("sockets"));
+        cfg.workers = 1;
+        cfg.queue_capacity = 2;
+        cfg
+    })
+    .unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    // Pin the single worker on a long path→path copy so the flood
+    // deterministically backs up behind the 2-deep queue.
+    std::fs::write(root.join("tmp0/blocker-src"), vec![0x77u8; 64 << 20]).unwrap();
+    let blocker = ctl
+        .submit(
+            1,
+            TaskSpec {
+                op: TaskOp::Copy,
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "blocker-src".into(),
+                },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "blocker-dst".into(),
+                }),
+            },
+            None,
+        )
+        .unwrap();
+    let payload = vec![0xffu8; 4 << 20];
+    let mut accepted = Vec::new();
+    let mut busy = 0;
+    for i in 0..16 {
+        let res = ctl.submit(
+            1,
+            TaskSpec {
+                op: TaskOp::Copy,
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::MemoryRegion {
+                    addr: 0,
+                    size: payload.len() as u64,
+                },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: format!("f{i}"),
+                }),
+            },
+            Some(&payload),
+        );
+        match res {
+            Ok(id) => accepted.push(id),
+            Err(norns_ipc::ClientError::Remote { code, .. }) => {
+                assert_eq!(code, ErrorCode::Busy);
+                busy += 1;
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert!(
+        busy > 0,
+        "16 instant 4 MiB submissions must overflow capacity 2"
+    );
+    ctl.wait(blocker, 0).unwrap();
+    for id in accepted {
+        let stats = ctl.wait(id, 0).unwrap();
+        assert_eq!(stats.state, TaskState::Finished);
+    }
+}
+
+/// The wire-level Shutdown command must actually stop the daemon:
+/// workers joined, backlog cancelled, later submissions refused.
+#[test]
+fn wire_shutdown_stops_the_daemon() {
+    let (daemon, root) = start("wire-shutdown");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    ctl.send_command(DaemonCommand::Shutdown).unwrap();
+    // The engine refuses new work once the worker pool is stopped.
+    let err = ctl.submit(
+        0,
+        TaskSpec {
+            op: TaskOp::Remove,
+            priority: DEFAULT_PRIORITY,
+            input: ResourceDesc::PosixPath {
+                nsid: "tmp0".into(),
+                path: "x".into(),
+            },
+            output: None,
+        },
+        None,
+    );
+    match err {
+        // The engine may answer one last request with SystemError, or
+        // the connection handler may already have closed the stream.
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::SystemError)
+        }
+        Err(norns_ipc::ClientError::Io(_)) | Err(norns_ipc::ClientError::Protocol(_)) => {}
+        Ok(id) => panic!("submission accepted after shutdown: task {id}"),
+    }
+    // New connections are never served again.
+    if let Ok(mut fresh) = CtlClient::connect(&daemon.control_path) {
+        assert!(
+            fresh.ping().is_err(),
+            "daemon served a new client after shutdown"
+        );
+    }
+}
+
+/// User-socket cancels are only honored for the caller's own tasks.
+#[test]
+fn user_cancel_requires_ownership() {
+    let root = temp_root("cancel-owner");
+    let daemon = UrdDaemon::spawn({
+        let mut cfg = DaemonConfig::in_dir(root.join("sockets"));
+        cfg.workers = 1;
+        cfg
+    })
+    .unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    // Keep the worker busy so the next submissions stay pending.
+    let payload = vec![9u8; 8 << 20];
+    let blocker = ctl
+        .submit(
+            1,
+            TaskSpec {
+                op: TaskOp::Copy,
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::MemoryRegion {
+                    addr: 0,
+                    size: payload.len() as u64,
+                },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "big".into(),
+                }),
+            },
+            Some(&payload),
+        )
+        .unwrap();
+    ctl.register_job(JobDesc {
+        job_id: 7,
+        hosts: vec!["localhost".into()],
+        limits: vec![],
+    })
+    .unwrap();
+    ctl.add_process(7, 111, 1000, 1000).unwrap();
+    ctl.add_process(7, 222, 1000, 1000).unwrap();
+    let mut owner = UserClient::with_pid(&daemon.user_path, 111).unwrap();
+    let mut other = UserClient::with_pid(&daemon.user_path, 222).unwrap();
+    let task = owner
+        .submit(
+            TaskSpec {
+                op: TaskOp::Copy,
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::MemoryRegion { addr: 0, size: 2 },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "mine".into(),
+                }),
+            },
+            Some(b"ok"),
+        )
+        .unwrap();
+    // A foreign process may not cancel it...
+    match other.cancel(task) {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::PermissionDenied)
+        }
+        other => panic!("expected PermissionDenied, got {other:?}"),
+    }
+    // ...but the owner may (unless the worker already grabbed it).
+    match owner.cancel(task) {
+        Ok(()) => assert_eq!(owner.wait(task, 0).unwrap().state, TaskState::Cancelled),
+        Err(norns_ipc::ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::TaskError),
+        other => panic!("unexpected: {other:?}"),
+    }
+    ctl.wait(blocker, 0).unwrap();
 }

@@ -17,8 +17,11 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::wire::WireError;
 
-/// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame. v2 added `priority` to
+/// `TaskSpec`, `wait_usec` to `TaskStats`, the `CancelTask` requests,
+/// `TaskState::Cancelled` and `ErrorCode::Busy`; v1 peers are
+/// rejected at the framing layer.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Frames larger than this are rejected outright (a corrupt or hostile
 /// peer must not make the daemon allocate gigabytes).
@@ -182,7 +185,10 @@ mod tests {
         buf.put_u8(0);
         let mut reader = FrameReader::new();
         reader.extend(&buf);
-        assert!(matches!(reader.next_frame(), Err(FrameError::BadVersion(99))));
+        assert!(matches!(
+            reader.next_frame(),
+            Err(FrameError::BadVersion(99))
+        ));
     }
 
     proptest! {

@@ -21,6 +21,6 @@ pub mod wire;
 pub use frame::{encode_frame, FrameError, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use messages::{
     BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataspaceDesc, ErrorCode, JobDesc,
-    ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats, UserRequest,
+    ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats, UserRequest, DEFAULT_PRIORITY,
 };
 pub use wire::{Wire, WireError};

@@ -9,8 +9,7 @@
 use bytes::{Bytes, BytesMut};
 
 use crate::wire::{
-    get_bool, get_str, get_varint, get_vec, put_bool, put_str, put_varint, put_vec, Wire,
-    WireError,
+    get_bool, get_str, get_varint, get_vec, put_bool, put_str, put_varint, put_vec, Wire, WireError,
 };
 
 /// Storage backend kinds a dataspace can be backed by (paper §IV-A:
@@ -94,7 +93,11 @@ pub enum ResourceDesc {
     /// A path inside a dataspace on this node.
     PosixPath { nsid: String, path: String },
     /// A path inside a dataspace on a remote node.
-    RemotePath { host: String, nsid: String, path: String },
+    RemotePath {
+        host: String,
+        nsid: String,
+        path: String,
+    },
 }
 
 impl Wire for ResourceDesc {
@@ -121,8 +124,14 @@ impl Wire for ResourceDesc {
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(match get_varint(buf)? {
-            0 => ResourceDesc::MemoryRegion { addr: get_varint(buf)?, size: get_varint(buf)? },
-            1 => ResourceDesc::PosixPath { nsid: get_str(buf)?, path: get_str(buf)? },
+            0 => ResourceDesc::MemoryRegion {
+                addr: get_varint(buf)?,
+                size: get_varint(buf)?,
+            },
+            1 => ResourceDesc::PosixPath {
+                nsid: get_str(buf)?,
+                path: get_str(buf)?,
+            },
             2 => ResourceDesc::RemotePath {
                 host: get_str(buf)?,
                 nsid: get_str(buf)?,
@@ -164,14 +173,40 @@ impl TaskOp {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     pub op: TaskOp,
+    /// Submitter-assigned urgency (higher runs earlier under the
+    /// daemon's priority-aware arbitration policies). Most callers use
+    /// [`DEFAULT_PRIORITY`].
+    pub priority: u8,
     pub input: ResourceDesc,
     /// Absent for `Remove`.
     pub output: Option<ResourceDesc>,
 }
 
+/// Default task priority (mirrors `norns_sched::DEFAULT_PRIORITY`;
+/// duplicated so the wire crate stays dependency-free).
+pub const DEFAULT_PRIORITY: u8 = 100;
+
+impl TaskSpec {
+    /// Spec with the default priority.
+    pub fn new(op: TaskOp, input: ResourceDesc, output: Option<ResourceDesc>) -> Self {
+        TaskSpec {
+            op,
+            priority: DEFAULT_PRIORITY,
+            input,
+            output,
+        }
+    }
+
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
 impl Wire for TaskSpec {
     fn encode(&self, buf: &mut BytesMut) {
         put_varint(buf, self.op.to_u64());
+        put_varint(buf, self.priority as u64);
         self.input.encode(buf);
         match &self.output {
             Some(o) => {
@@ -184,9 +219,22 @@ impl Wire for TaskSpec {
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         let op = TaskOp::from_u64(get_varint(buf)?)?;
+        let priority = get_varint(buf)?;
+        if priority > u8::MAX as u64 {
+            return Err(WireError::BadLength(priority));
+        }
         let input = ResourceDesc::decode(buf)?;
-        let output = if get_bool(buf)? { Some(ResourceDesc::decode(buf)?) } else { None };
-        Ok(TaskSpec { op, input, output })
+        let output = if get_bool(buf)? {
+            Some(ResourceDesc::decode(buf)?)
+        } else {
+            None
+        };
+        Ok(TaskSpec {
+            op,
+            priority: priority as u8,
+            input,
+            output,
+        })
     }
 }
 
@@ -198,6 +246,17 @@ pub enum TaskState {
     InProgress,
     Finished,
     FinishedWithError,
+    /// Cancelled while still pending; never ran.
+    Cancelled,
+}
+
+impl TaskState {
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TaskState::Finished | TaskState::FinishedWithError | TaskState::Cancelled
+        )
+    }
 }
 
 impl TaskState {
@@ -207,6 +266,7 @@ impl TaskState {
             TaskState::InProgress => 1,
             TaskState::Finished => 2,
             TaskState::FinishedWithError => 3,
+            TaskState::Cancelled => 4,
         }
     }
 
@@ -216,6 +276,7 @@ impl TaskState {
             1 => TaskState::InProgress,
             2 => TaskState::Finished,
             3 => TaskState::FinishedWithError,
+            4 => TaskState::Cancelled,
             other => return Err(WireError::BadDiscriminant(other)),
         })
     }
@@ -233,6 +294,9 @@ pub enum ErrorCode {
     Timeout,
     NotRegistered,
     SystemError,
+    /// EAGAIN-style admission rejection: the daemon's bounded task
+    /// queue is full; retry later.
+    Busy,
 }
 
 impl ErrorCode {
@@ -247,6 +311,7 @@ impl ErrorCode {
             ErrorCode::Timeout => 6,
             ErrorCode::NotRegistered => 7,
             ErrorCode::SystemError => 8,
+            ErrorCode::Busy => 9,
         }
     }
 
@@ -261,6 +326,7 @@ impl ErrorCode {
             6 => ErrorCode::Timeout,
             7 => ErrorCode::NotRegistered,
             8 => ErrorCode::SystemError,
+            9 => ErrorCode::Busy,
             other => return Err(WireError::BadDiscriminant(other)),
         })
     }
@@ -273,6 +339,8 @@ pub struct TaskStats {
     pub error: ErrorCode,
     pub bytes_total: u64,
     pub bytes_moved: u64,
+    /// Queue wait: submission → first worker touch (µs).
+    pub wait_usec: u64,
     pub elapsed_usec: u64,
 }
 
@@ -282,6 +350,7 @@ impl Wire for TaskStats {
         put_varint(buf, self.error.to_u64());
         put_varint(buf, self.bytes_total);
         put_varint(buf, self.bytes_moved);
+        put_varint(buf, self.wait_usec);
         put_varint(buf, self.elapsed_usec);
     }
 
@@ -291,6 +360,7 @@ impl Wire for TaskStats {
             error: ErrorCode::from_u64(get_varint(buf)?)?,
             bytes_total: get_varint(buf)?,
             bytes_moved: get_varint(buf)?,
+            wait_usec: get_varint(buf)?,
             elapsed_usec: get_varint(buf)?,
         })
     }
@@ -331,7 +401,11 @@ impl Wire for JobDesc {
         for _ in 0..nl {
             limits.push((get_str(buf)?, get_varint(buf)?));
         }
-        Ok(JobDesc { job_id, hosts, limits })
+        Ok(JobDesc {
+            job_id,
+            hosts,
+            limits,
+        })
     }
 }
 
@@ -375,15 +449,40 @@ pub enum CtlRequest {
     Status,
     RegisterDataspace(DataspaceDesc),
     UpdateDataspace(DataspaceDesc),
-    UnregisterDataspace { nsid: String },
+    UnregisterDataspace {
+        nsid: String,
+    },
     RegisterJob(JobDesc),
     UpdateJob(JobDesc),
-    UnregisterJob { job_id: u64 },
-    AddProcess { job_id: u64, pid: u64, uid: u32, gid: u32 },
-    RemoveProcess { job_id: u64, pid: u64 },
-    SubmitTask { job_id: u64, spec: TaskSpec },
-    WaitTask { task_id: u64, timeout_usec: u64 },
-    QueryTask { task_id: u64 },
+    UnregisterJob {
+        job_id: u64,
+    },
+    AddProcess {
+        job_id: u64,
+        pid: u64,
+        uid: u32,
+        gid: u32,
+    },
+    RemoveProcess {
+        job_id: u64,
+        pid: u64,
+    },
+    SubmitTask {
+        job_id: u64,
+        spec: TaskSpec,
+    },
+    WaitTask {
+        task_id: u64,
+        timeout_usec: u64,
+    },
+    QueryTask {
+        task_id: u64,
+    },
+    /// Drop the task if still pending (`TaskState::Cancelled`);
+    /// running or finished tasks are left untouched.
+    CancelTask {
+        task_id: u64,
+    },
 }
 
 impl Wire for CtlRequest {
@@ -418,7 +517,12 @@ impl Wire for CtlRequest {
                 put_varint(buf, 7);
                 put_varint(buf, *job_id);
             }
-            CtlRequest::AddProcess { job_id, pid, uid, gid } => {
+            CtlRequest::AddProcess {
+                job_id,
+                pid,
+                uid,
+                gid,
+            } => {
                 put_varint(buf, 8);
                 put_varint(buf, *job_id);
                 put_varint(buf, *pid);
@@ -435,13 +539,20 @@ impl Wire for CtlRequest {
                 put_varint(buf, *job_id);
                 spec.encode(buf);
             }
-            CtlRequest::WaitTask { task_id, timeout_usec } => {
+            CtlRequest::WaitTask {
+                task_id,
+                timeout_usec,
+            } => {
                 put_varint(buf, 11);
                 put_varint(buf, *task_id);
                 put_varint(buf, *timeout_usec);
             }
             CtlRequest::QueryTask { task_id } => {
                 put_varint(buf, 12);
+                put_varint(buf, *task_id);
+            }
+            CtlRequest::CancelTask { task_id } => {
+                put_varint(buf, 13);
                 put_varint(buf, *task_id);
             }
         }
@@ -453,23 +564,38 @@ impl Wire for CtlRequest {
             1 => CtlRequest::Status,
             2 => CtlRequest::RegisterDataspace(DataspaceDesc::decode(buf)?),
             3 => CtlRequest::UpdateDataspace(DataspaceDesc::decode(buf)?),
-            4 => CtlRequest::UnregisterDataspace { nsid: get_str(buf)? },
+            4 => CtlRequest::UnregisterDataspace {
+                nsid: get_str(buf)?,
+            },
             5 => CtlRequest::RegisterJob(JobDesc::decode(buf)?),
             6 => CtlRequest::UpdateJob(JobDesc::decode(buf)?),
-            7 => CtlRequest::UnregisterJob { job_id: get_varint(buf)? },
+            7 => CtlRequest::UnregisterJob {
+                job_id: get_varint(buf)?,
+            },
             8 => CtlRequest::AddProcess {
                 job_id: get_varint(buf)?,
                 pid: get_varint(buf)?,
                 uid: get_varint(buf)? as u32,
                 gid: get_varint(buf)? as u32,
             },
-            9 => CtlRequest::RemoveProcess { job_id: get_varint(buf)?, pid: get_varint(buf)? },
-            10 => CtlRequest::SubmitTask { job_id: get_varint(buf)?, spec: TaskSpec::decode(buf)? },
+            9 => CtlRequest::RemoveProcess {
+                job_id: get_varint(buf)?,
+                pid: get_varint(buf)?,
+            },
+            10 => CtlRequest::SubmitTask {
+                job_id: get_varint(buf)?,
+                spec: TaskSpec::decode(buf)?,
+            },
             11 => CtlRequest::WaitTask {
                 task_id: get_varint(buf)?,
                 timeout_usec: get_varint(buf)?,
             },
-            12 => CtlRequest::QueryTask { task_id: get_varint(buf)? },
+            12 => CtlRequest::QueryTask {
+                task_id: get_varint(buf)?,
+            },
+            13 => CtlRequest::CancelTask {
+                task_id: get_varint(buf)?,
+            },
             other => return Err(WireError::BadDiscriminant(other)),
         })
     }
@@ -479,9 +605,24 @@ impl Wire for CtlRequest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UserRequest {
     GetDataspaceInfo,
-    SubmitTask { pid: u64, spec: TaskSpec },
-    WaitTask { task_id: u64, timeout_usec: u64 },
-    QueryTask { task_id: u64 },
+    SubmitTask {
+        pid: u64,
+        spec: TaskSpec,
+    },
+    WaitTask {
+        task_id: u64,
+        timeout_usec: u64,
+    },
+    QueryTask {
+        task_id: u64,
+    },
+    /// Drop the task if still pending; mirrors the control API but
+    /// carries the caller's pid — user-socket cancels only apply to
+    /// the caller's own tasks.
+    CancelTask {
+        pid: u64,
+        task_id: u64,
+    },
 }
 
 impl Wire for UserRequest {
@@ -493,7 +634,10 @@ impl Wire for UserRequest {
                 put_varint(buf, *pid);
                 spec.encode(buf);
             }
-            UserRequest::WaitTask { task_id, timeout_usec } => {
+            UserRequest::WaitTask {
+                task_id,
+                timeout_usec,
+            } => {
                 put_varint(buf, 2);
                 put_varint(buf, *task_id);
                 put_varint(buf, *timeout_usec);
@@ -502,18 +646,32 @@ impl Wire for UserRequest {
                 put_varint(buf, 3);
                 put_varint(buf, *task_id);
             }
+            UserRequest::CancelTask { pid, task_id } => {
+                put_varint(buf, 4);
+                put_varint(buf, *pid);
+                put_varint(buf, *task_id);
+            }
         }
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(match get_varint(buf)? {
             0 => UserRequest::GetDataspaceInfo,
-            1 => UserRequest::SubmitTask { pid: get_varint(buf)?, spec: TaskSpec::decode(buf)? },
+            1 => UserRequest::SubmitTask {
+                pid: get_varint(buf)?,
+                spec: TaskSpec::decode(buf)?,
+            },
             2 => UserRequest::WaitTask {
                 task_id: get_varint(buf)?,
                 timeout_usec: get_varint(buf)?,
             },
-            3 => UserRequest::QueryTask { task_id: get_varint(buf)? },
+            3 => UserRequest::QueryTask {
+                task_id: get_varint(buf)?,
+            },
+            4 => UserRequest::CancelTask {
+                pid: get_varint(buf)?,
+                task_id: get_varint(buf)?,
+            },
             other => return Err(WireError::BadDiscriminant(other)),
         })
     }
@@ -600,7 +758,9 @@ impl Wire for Response {
             },
             2 => Response::Status(DaemonStatus::decode(buf)?),
             3 => Response::Dataspaces(get_vec(buf)?),
-            4 => Response::TaskSubmitted { task_id: get_varint(buf)? },
+            4 => Response::TaskSubmitted {
+                task_id: get_varint(buf)?,
+            },
             5 => Response::TaskStatus(TaskStats::decode(buf)?),
             other => return Err(WireError::BadDiscriminant(other)),
         })
@@ -630,8 +790,14 @@ mod tests {
 
     #[test]
     fn resource_variants_roundtrip() {
-        roundtrip(ResourceDesc::MemoryRegion { addr: 0xdead_beef, size: 4096 });
-        roundtrip(ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "path/to/out".into() });
+        roundtrip(ResourceDesc::MemoryRegion {
+            addr: 0xdead_beef,
+            size: 4096,
+        });
+        roundtrip(ResourceDesc::PosixPath {
+            nsid: "tmp0".into(),
+            path: "path/to/out".into(),
+        });
         roundtrip(ResourceDesc::RemotePath {
             host: "node07".into(),
             nsid: "pmdk0".into(),
@@ -643,14 +809,32 @@ mod tests {
     fn taskspec_with_and_without_output() {
         roundtrip(TaskSpec {
             op: TaskOp::Copy,
+            priority: 255,
             input: ResourceDesc::MemoryRegion { addr: 1, size: 2 },
-            output: Some(ResourceDesc::PosixPath { nsid: "tmp0".into(), path: "o".into() }),
+            output: Some(ResourceDesc::PosixPath {
+                nsid: "tmp0".into(),
+                path: "o".into(),
+            }),
         });
         roundtrip(TaskSpec {
             op: TaskOp::Remove,
-            input: ResourceDesc::PosixPath { nsid: "lustre".into(), path: "x".into() },
+            priority: 0,
+            input: ResourceDesc::PosixPath {
+                nsid: "lustre".into(),
+                path: "x".into(),
+            },
             output: None,
         });
+        let spec = TaskSpec::new(
+            TaskOp::Copy,
+            ResourceDesc::PosixPath {
+                nsid: "a".into(),
+                path: "b".into(),
+            },
+            None,
+        );
+        assert_eq!(spec.priority, DEFAULT_PRIORITY);
+        roundtrip(spec.with_priority(7));
     }
 
     #[test]
@@ -666,29 +850,51 @@ mod tests {
                 quota: 0,
                 tracked: false,
             }),
-            CtlRequest::UnregisterDataspace { nsid: "lustre".into() },
+            CtlRequest::UnregisterDataspace {
+                nsid: "lustre".into(),
+            },
             CtlRequest::RegisterJob(JobDesc {
                 job_id: 42,
                 hosts: vec!["n0".into(), "n1".into()],
                 limits: vec![("pmdk0".into(), 1 << 30)],
             }),
-            CtlRequest::UpdateJob(JobDesc { job_id: 42, hosts: vec![], limits: vec![] }),
+            CtlRequest::UpdateJob(JobDesc {
+                job_id: 42,
+                hosts: vec![],
+                limits: vec![],
+            }),
             CtlRequest::UnregisterJob { job_id: 42 },
-            CtlRequest::AddProcess { job_id: 42, pid: 4242, uid: 1000, gid: 1000 },
-            CtlRequest::RemoveProcess { job_id: 42, pid: 4242 },
+            CtlRequest::AddProcess {
+                job_id: 42,
+                pid: 4242,
+                uid: 1000,
+                gid: 1000,
+            },
+            CtlRequest::RemoveProcess {
+                job_id: 42,
+                pid: 4242,
+            },
             CtlRequest::SubmitTask {
                 job_id: 42,
                 spec: TaskSpec {
                     op: TaskOp::Move,
-                    input: ResourceDesc::PosixPath { nsid: "pmdk0".into(), path: "a".into() },
+                    priority: 42,
+                    input: ResourceDesc::PosixPath {
+                        nsid: "pmdk0".into(),
+                        path: "a".into(),
+                    },
                     output: Some(ResourceDesc::PosixPath {
                         nsid: "lustre".into(),
                         path: "b".into(),
                     }),
                 },
             },
-            CtlRequest::WaitTask { task_id: 7, timeout_usec: 1_000_000 },
+            CtlRequest::WaitTask {
+                task_id: 7,
+                timeout_usec: 1_000_000,
+            },
             CtlRequest::QueryTask { task_id: 7 },
+            CtlRequest::CancelTask { task_id: 7 },
         ];
         for r in reqs {
             let b = r.to_bytes();
@@ -704,15 +910,26 @@ mod tests {
                 pid: 99,
                 spec: TaskSpec {
                     op: TaskOp::Copy,
-                    input: ResourceDesc::MemoryRegion { addr: 0, size: 1 << 20 },
+                    priority: DEFAULT_PRIORITY,
+                    input: ResourceDesc::MemoryRegion {
+                        addr: 0,
+                        size: 1 << 20,
+                    },
                     output: Some(ResourceDesc::PosixPath {
                         nsid: "tmp0".into(),
                         path: "ckpt".into(),
                     }),
                 },
             },
-            UserRequest::WaitTask { task_id: 3, timeout_usec: 0 },
+            UserRequest::WaitTask {
+                task_id: 3,
+                timeout_usec: 0,
+            },
             UserRequest::QueryTask { task_id: 3 },
+            UserRequest::CancelTask {
+                pid: 99,
+                task_id: 3,
+            },
         ];
         for r in reqs {
             let b = r.to_bytes();
@@ -724,7 +941,10 @@ mod tests {
     fn all_responses_roundtrip() {
         let resps = vec![
             Response::Ok,
-            Response::Error { code: ErrorCode::PermissionDenied, message: "denied".into() },
+            Response::Error {
+                code: ErrorCode::PermissionDenied,
+                message: "denied".into(),
+            },
             Response::Status(DaemonStatus {
                 accepting: true,
                 pending_tasks: 1,
@@ -746,7 +966,16 @@ mod tests {
                 error: ErrorCode::Success,
                 bytes_total: 100,
                 bytes_moved: 100,
+                wait_usec: 21,
                 elapsed_usec: 555,
+            }),
+            Response::TaskStatus(TaskStats {
+                state: TaskState::Cancelled,
+                error: ErrorCode::Busy,
+                bytes_total: 0,
+                bytes_moved: 0,
+                wait_usec: 0,
+                elapsed_usec: 0,
             }),
         ];
         for r in resps {

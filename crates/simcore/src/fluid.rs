@@ -67,7 +67,12 @@ pub struct FlowSpec {
 
 impl FlowSpec {
     pub fn new(bytes: f64, path: Vec<ResourceId>) -> Self {
-        FlowSpec { bytes, path, rate_cap: f64::INFINITY, tag: 0 }
+        FlowSpec {
+            bytes,
+            path,
+            rate_cap: f64::INFINITY,
+            tag: 0,
+        }
     }
 
     pub fn with_cap(mut self, cap: f64) -> Self {
@@ -163,7 +168,9 @@ impl FluidNetwork {
     }
 
     pub fn flow_progress(&self, fid: FlowId) -> Option<f64> {
-        self.flows.get(fid).map(|f| 1.0 - f.remaining / f.total.max(1e-12))
+        self.flows
+            .get(fid)
+            .map(|f| 1.0 - f.remaining / f.total.max(1e-12))
     }
 
     /// Progress all flows to `now`, moving any that finish into the
@@ -208,7 +215,10 @@ impl FluidNetwork {
     /// Start a flow. Zero-byte flows complete immediately.
     pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
         assert!(spec.bytes >= 0.0, "negative flow size");
-        assert!(!spec.path.is_empty(), "flow must traverse at least one resource");
+        assert!(
+            !spec.path.is_empty(),
+            "flow must traverse at least one resource"
+        );
         let id = self.flows.insert(Flow {
             remaining: spec.bytes,
             total: spec.bytes,
@@ -254,8 +264,10 @@ impl FluidNetwork {
             flow_keys.iter().map(|k| (*k, 0.0)).collect();
 
         let res_keys: Vec<ResourceId> = self.resources.iter().map(|(k, _)| k).collect();
-        let mut remaining_cap: std::collections::HashMap<ResourceId, f64> =
-            res_keys.iter().map(|k| (*k, self.resources[*k].capacity)).collect();
+        let mut remaining_cap: std::collections::HashMap<ResourceId, f64> = res_keys
+            .iter()
+            .map(|k| (*k, self.resources[*k].capacity))
+            .collect();
 
         let mut unfrozen = flow_keys.len();
         // Each iteration freezes at least one flow, so this terminates.
@@ -401,8 +413,10 @@ mod tests {
     fn per_flow_cap_limits_and_leftover_is_shared() {
         let mut net = FluidNetwork::new();
         let link = net.add_resource(100.0, "link");
-        let capped =
-            net.start_flow(SimTime::ZERO, FlowSpec::new(1000.0, vec![link]).with_cap(10.0));
+        let capped = net.start_flow(
+            SimTime::ZERO,
+            FlowSpec::new(1000.0, vec![link]).with_cap(10.0),
+        );
         let free = net.start_flow(SimTime::ZERO, FlowSpec::new(1000.0, vec![link]));
         net.recompute();
         assert!((net.flow_rate(capped).unwrap() - 10.0).abs() < 1e-9);
@@ -539,11 +553,17 @@ mod tests {
         let mut net = FluidNetwork::new();
         let shared = net.add_resource(100.0, "target");
         for _ in 0..32 {
-            net.start_flow(SimTime::ZERO, FlowSpec::new(1e9, vec![shared]).with_cap(1.7));
+            net.start_flow(
+                SimTime::ZERO,
+                FlowSpec::new(1e9, vec![shared]).with_cap(1.7),
+            );
         }
         net.recompute();
-        let total: f64 =
-            net.flows.iter().map(|(k, _)| net.flow_rate(k).unwrap()).sum();
+        let total: f64 = net
+            .flows
+            .iter()
+            .map(|(k, _)| net.flow_rate(k).unwrap())
+            .sum();
         assert!((total - 54.4).abs() < 1e-6, "total {total}");
     }
 
@@ -555,6 +575,10 @@ mod tests {
         net.recompute();
         let tc = net.next_completion().unwrap();
         net.advance(tc);
-        assert_eq!(net.take_completed().len(), 1, "flow must be done at its completion time");
+        assert_eq!(
+            net.take_completed().len(),
+            1,
+            "flow must be done at its completion time"
+        );
     }
 }

@@ -24,7 +24,10 @@ impl Default for FluidSystem {
 
 impl FluidSystem {
     pub fn new() -> Self {
-        FluidSystem { net: FluidNetwork::new(), pending: EventId::NONE }
+        FluidSystem {
+            net: FluidNetwork::new(),
+            pending: EventId::NONE,
+        }
     }
 }
 
@@ -60,10 +63,7 @@ pub fn cancel_flow<M: FluidModel>(sim: &mut Sim<M>, flow: FlowId) -> Option<f64>
 
 /// Apply an arbitrary mutation (capacity change, batch of starts...)
 /// with correct advance/recompute/rearm sequencing.
-pub fn with_fluid<M: FluidModel, R>(
-    sim: &mut Sim<M>,
-    f: impl FnOnce(&mut FluidNetwork) -> R,
-) -> R {
+pub fn with_fluid<M: FluidModel, R>(sim: &mut Sim<M>, f: impl FnOnce(&mut FluidNetwork) -> R) -> R {
     let now = sim.now();
     let fs = sim.model.fluid_mut();
     fs.net.advance(now);
@@ -133,7 +133,15 @@ mod tests {
     fn new_sim(chain: bool) -> Sim<Model> {
         let mut fluid = FluidSystem::new();
         let link = fluid.net.add_resource(100.0, "link");
-        Sim::new(Model { fluid, completions: Vec::new(), chain, link }, 0)
+        Sim::new(
+            Model {
+                fluid,
+                completions: Vec::new(),
+                chain,
+                link,
+            },
+            0,
+        )
     }
 
     #[test]

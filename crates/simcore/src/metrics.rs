@@ -76,7 +76,10 @@ impl Summary {
     }
 
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Exact quantile via nearest-rank on a sorted copy; `q` in [0,1].
@@ -110,7 +113,11 @@ pub struct Histogram {
 impl Histogram {
     pub fn record(&mut self, value: f64) {
         assert!(value >= 0.0);
-        let bucket = if value < 1.0 { 0 } else { value.log2().floor() as u32 + 1 };
+        let bucket = if value < 1.0 {
+            0
+        } else {
+            value.log2().floor() as u32 + 1
+        };
         *self.buckets.entry(bucket).or_insert(0) += 1;
         self.count += 1;
         self.sum += value;
@@ -138,7 +145,11 @@ impl Histogram {
         for (bucket, n) in &self.buckets {
             seen += n;
             if seen >= target.max(1) {
-                return if *bucket == 0 { 1.0 } else { 2f64.powi(*bucket as i32) };
+                return if *bucket == 0 {
+                    1.0
+                } else {
+                    2f64.powi(*bucket as i32)
+                };
             }
         }
         f64::INFINITY
@@ -157,7 +168,12 @@ pub struct TimeWeighted {
 
 impl TimeWeighted {
     pub fn new(start: SimTime, initial: f64) -> Self {
-        TimeWeighted { last_time: start, last_value: initial, weighted_sum: 0.0, start }
+        TimeWeighted {
+            last_time: start,
+            last_value: initial,
+            weighted_sum: 0.0,
+            start,
+        }
     }
 
     pub fn set(&mut self, now: SimTime, value: f64) {
@@ -195,7 +211,10 @@ pub struct CsvTable {
 
 impl CsvTable {
     pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
-        CsvTable { header: columns.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        CsvTable {
+            header: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
@@ -213,9 +232,21 @@ impl CsvTable {
                 cell.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }

@@ -18,7 +18,10 @@ pub struct SimRng {
 
 impl SimRng {
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Derive an independent child stream (for per-node RNGs) in a way

@@ -61,7 +61,11 @@ pub struct FifoServer {
 impl FifoServer {
     pub fn new(servers: usize) -> Self {
         assert!(servers > 0);
-        FifoServer { servers, queue: VecDeque::new(), in_service: Vec::new() }
+        FifoServer {
+            servers,
+            queue: VecDeque::new(),
+            in_service: Vec::new(),
+        }
     }
 
     pub fn queue_len(&self) -> usize {
@@ -101,7 +105,9 @@ impl FifoServer {
     ) -> bool {
         let mut any = false;
         while self.in_service.len() < self.servers {
-            let Some(job) = self.queue.pop_front() else { break };
+            let Some(job) = self.queue.pop_front() else {
+                break;
+            };
             let idx = pending_service
                 .iter()
                 .position(|(t, _)| *t == job.tag)
@@ -163,7 +169,10 @@ mod tests {
         let mut srv = FifoServer::new(1);
         let mut pend = Vec::new();
         assert!(srv.submit(t(0), 1, d(5), &mut pend));
-        assert!(!srv.submit(t(0), 2, d(5), &mut pend), "second job must queue");
+        assert!(
+            !srv.submit(t(0), 2, d(5), &mut pend),
+            "second job must queue"
+        );
         assert_eq!(srv.queue_len(), 1);
         assert_eq!(srv.next_completion(), Some(t(5)));
 
@@ -204,7 +213,7 @@ mod tests {
         srv.submit(t(0), 20, d(1), &mut pend);
         srv.submit(t(0), 30, d(1), &mut pend);
         let mut order = Vec::new();
-        let mut now = t(0);
+        let mut now;
         while !srv.is_idle() {
             let next = srv.next_completion().unwrap();
             now = next;

@@ -45,7 +45,10 @@ impl<M> Ord for Entry<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so earliest time pops first,
         // with submission order as the deterministic tie-breaker.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -101,9 +104,18 @@ impl<M> Sim<M> {
         at: SimTime,
         action: impl FnOnce(&mut Sim<M>) + 'static,
     ) -> EventId {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         let id = EventId(self.next_seq);
-        self.heap.push(Entry { time: at, seq: self.next_seq, id, action: Box::new(action) });
+        self.heap.push(Entry {
+            time: at,
+            seq: self.next_seq,
+            id,
+            action: Box::new(action),
+        });
         self.next_seq += 1;
         id
     }

@@ -17,7 +17,10 @@ pub struct Key {
 
 impl Key {
     /// A key that is never valid for any slab.
-    pub const DANGLING: Key = Key { index: u32::MAX, generation: u32::MAX };
+    pub const DANGLING: Key = Key {
+        index: u32::MAX,
+        generation: u32::MAX,
+    };
 
     pub fn index(self) -> usize {
         self.index as usize
@@ -53,7 +56,12 @@ impl<T> Default for Slab<T> {
 
 impl<T> Slab<T> {
     pub fn new() -> Self {
-        Slab { slots: Vec::new(), generations: Vec::new(), free_head: None, len: 0 }
+        Slab {
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
     }
 
     pub fn with_capacity(cap: usize) -> Self {
@@ -87,13 +95,22 @@ impl<T> Slab<T> {
                     }
                     Slot::Occupied { .. } => unreachable!("free list pointed at occupied slot"),
                 }
-                Key { index: idx, generation }
+                Key {
+                    index: idx,
+                    generation,
+                }
             }
             None => {
                 let idx = self.slots.len() as u32;
-                self.slots.push(Slot::Occupied { generation: 0, value });
+                self.slots.push(Slot::Occupied {
+                    generation: 0,
+                    value,
+                });
                 self.generations.push(0);
-                Key { index: idx, generation: 0 }
+                Key {
+                    index: idx,
+                    generation: 0,
+                }
             }
         }
     }
@@ -128,7 +145,12 @@ impl<T> Slab<T> {
                         return None;
                     }
                 }
-                let old = std::mem::replace(slot, Slot::Vacant { next_free: self.free_head });
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Vacant {
+                        next_free: self.free_head,
+                    },
+                );
                 self.free_head = Some(key.index);
                 // Bump the generation so stale keys cannot resolve.
                 self.generations[key.index as usize] =
@@ -145,20 +167,31 @@ impl<T> Slab<T> {
 
     pub fn iter(&self) -> impl Iterator<Item = (Key, &T)> + '_ {
         self.slots.iter().enumerate().filter_map(|(i, s)| match s {
-            Slot::Occupied { generation, value } => {
-                Some((Key { index: i as u32, generation: *generation }, value))
-            }
+            Slot::Occupied { generation, value } => Some((
+                Key {
+                    index: i as u32,
+                    generation: *generation,
+                },
+                value,
+            )),
             Slot::Vacant { .. } => None,
         })
     }
 
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (Key, &mut T)> + '_ {
-        self.slots.iter_mut().enumerate().filter_map(|(i, s)| match s {
-            Slot::Occupied { generation, value } => {
-                Some((Key { index: i as u32, generation: *generation }, value))
-            }
-            Slot::Vacant { .. } => None,
-        })
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Occupied { generation, value } => Some((
+                    Key {
+                        index: i as u32,
+                        generation: *generation,
+                    },
+                    value,
+                )),
+                Slot::Vacant { .. } => None,
+            })
     }
 
     pub fn keys(&self) -> Vec<Key> {

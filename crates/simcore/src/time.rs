@@ -216,7 +216,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(14) - t, d);
         assert_eq!(t.since(SimTime::from_secs(4)), SimDuration::from_secs(6));
         // saturating behaviour
-        assert_eq!(SimTime::from_secs(1).since(SimTime::from_secs(5)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1).since(SimTime::from_secs(5)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

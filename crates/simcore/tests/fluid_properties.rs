@@ -63,7 +63,7 @@ proptest! {
         // Per-resource capacity respected (counting multiplicity for
         // flows that cross a resource more than once — our builder
         // uses sets, so each flow crosses each resource at most once).
-        for (ri, rid) in rids.iter().enumerate() {
+        for (ri, _rid) in rids.iter().enumerate() {
             let mut used = 0.0;
             for (fid, (path, _)) in fids.iter().zip(&topo.flows) {
                 if path.contains(&ri) {

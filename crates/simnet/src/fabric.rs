@@ -45,7 +45,7 @@ impl FabricParams {
     /// single 100 Gb NIC, so the bandwidth benchmarks model a fat
     /// multi-rail target link; the per-session protocol cap remains the
     /// binding constraint, which is the behaviour the figure actually
-    /// demonstrates. Documented in EXPERIMENTS.md.
+    /// demonstrates.
     pub fn benchmark_fat_nic(nodes: usize) -> Self {
         FabricParams {
             node_link_bps: simcore::units::gib_per_s(64.0),
@@ -74,8 +74,11 @@ impl Fabric {
     /// Allocate fabric resources for `nodes` nodes inside `net`.
     pub fn build(net: &mut FluidNetwork, nodes: usize, params: FabricParams) -> Self {
         assert!(nodes > 0);
-        let core_cap =
-            if params.core_bps.is_finite() { params.core_bps } else { 1e18 };
+        let core_cap = if params.core_bps.is_finite() {
+            params.core_bps
+        } else {
+            1e18
+        };
         let core = net.add_resource(core_cap, "fabric.core");
         let ports = (0..nodes)
             .map(|n| NodePorts {
@@ -83,7 +86,12 @@ impl Fabric {
                 rx: net.add_resource(params.node_link_bps, format!("node{n}.rx")),
             })
             .collect();
-        Fabric { params, ports, core, sessions: HashMap::new() }
+        Fabric {
+            params,
+            ports,
+            core,
+            sessions: HashMap::new(),
+        }
     }
 
     pub fn nodes(&self) -> usize {
@@ -125,16 +133,22 @@ impl Fabric {
             // Node-local movement does not touch the fabric.
             return Vec::new();
         }
-        let peer = if initiator == data_src { data_dst } else { data_src };
+        let peer = if initiator == data_src {
+            data_dst
+        } else {
+            data_src
+        };
         let cap = self.params.protocol.session_cap(dir);
         let key = (initiator, peer, dir);
         let session = *self.sessions.entry(key).or_insert_with(|| {
-            net.add_resource(
-                cap,
-                format!("session.{initiator}->{peer}.{dir:?}"),
-            )
+            net.add_resource(cap, format!("session.{initiator}->{peer}.{dir:?}"))
         });
-        vec![self.ports[data_src].tx, self.core, self.ports[data_dst].rx, session]
+        vec![
+            self.ports[data_src].tx,
+            self.core,
+            self.ports[data_dst].rx,
+            session,
+        ]
     }
 
     /// Direct path without a session cap (used by scheduler-driven bulk
@@ -176,7 +190,9 @@ mod tests {
     #[test]
     fn same_node_transfer_skips_fabric() {
         let (mut net, mut fabric) = build(2);
-        assert!(fabric.transfer_path(&mut net, 1, 1, 1, Direction::Push).is_empty());
+        assert!(fabric
+            .transfer_path(&mut net, 1, 1, 1, Direction::Push)
+            .is_empty());
         assert!(fabric.raw_path(0, 0).is_empty());
     }
 
@@ -219,8 +235,7 @@ mod tests {
         // pulling from one fat-NIC target aggregate to 8×1.7.
         let nodes = 9;
         let mut net = FluidNetwork::new();
-        let mut fabric =
-            Fabric::build(&mut net, nodes, FabricParams::benchmark_fat_nic(nodes));
+        let mut fabric = Fabric::build(&mut net, nodes, FabricParams::benchmark_fat_nic(nodes));
         for c in 1..9 {
             let path = fabric.transfer_path(&mut net, 0, c, c, Direction::Pull);
             net.start_flow(SimTime::ZERO, FlowSpec::new(1e12, path));
@@ -247,7 +262,10 @@ mod tests {
         let t = net.next_completion().unwrap().as_secs_f64();
         let aggregate = 32.0 * 1e12 / t;
         let nic = simcore::units::gbit_per_s(100.0);
-        assert!((aggregate - nic).abs() / nic < 1e-6, "aggregate {aggregate} vs nic {nic}");
+        assert!(
+            (aggregate - nic).abs() / nic < 1e-6,
+            "aggregate {aggregate} vs nic {nic}"
+        );
     }
 
     #[test]

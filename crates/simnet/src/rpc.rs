@@ -19,7 +19,10 @@ pub struct RpcTiming {
 
 impl RpcTiming {
     pub fn new(protocol: Protocol) -> Self {
-        RpcTiming { protocol, jitter: 0.10 }
+        RpcTiming {
+            protocol,
+            jitter: 0.10,
+        }
     }
 
     /// One-way delivery time for a message of `payload` bytes.
@@ -55,13 +58,19 @@ mod tests {
         let base = Protocol::OfiTcp.one_way_latency().as_nanos() as f64;
         for _ in 0..100 {
             let d = timing.one_way(64, &mut rng).as_nanos() as f64;
-            assert!(d > base * 0.85 && d < base * 1.2, "latency {d} vs base {base}");
+            assert!(
+                d > base * 0.85 && d < base * 1.2,
+                "latency {d} vs base {base}"
+            );
         }
     }
 
     #[test]
     fn payload_size_adds_cost_on_tcp() {
-        let timing = RpcTiming { protocol: Protocol::OfiTcp, jitter: 0.0 };
+        let timing = RpcTiming {
+            protocol: Protocol::OfiTcp,
+            jitter: 0.0,
+        };
         let mut rng = SimRng::seed_from_u64(2);
         let small = timing.one_way(16, &mut rng);
         let large = timing.one_way(64 * 1024, &mut rng);
@@ -70,7 +79,10 @@ mod tests {
 
     #[test]
     fn round_trip_is_two_one_ways() {
-        let timing = RpcTiming { protocol: Protocol::OfiPsm2, jitter: 0.0 };
+        let timing = RpcTiming {
+            protocol: Protocol::OfiPsm2,
+            jitter: 0.0,
+        };
         let mut rng = SimRng::seed_from_u64(3);
         let ow = timing.one_way(0, &mut rng);
         let rt = timing.round_trip(0, 0, &mut rng);
@@ -79,7 +91,10 @@ mod tests {
 
     #[test]
     fn jitter_is_bounded() {
-        let timing = RpcTiming { protocol: Protocol::OfiTcp, jitter: 0.2 };
+        let timing = RpcTiming {
+            protocol: Protocol::OfiTcp,
+            jitter: 0.2,
+        };
         let mut rng = SimRng::seed_from_u64(4);
         let base = Protocol::OfiTcp.one_way_latency().as_nanos() as f64;
         for _ in 0..500 {

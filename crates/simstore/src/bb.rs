@@ -52,7 +52,12 @@ impl BurstBufferModel {
         let servers = (0..params.servers)
             .map(|i| net.add_resource(params.server_bps, format!("{name}.srv{i}")))
             .collect();
-        BurstBufferModel { params, ingress, servers, next_server: 0 }
+        BurstBufferModel {
+            params,
+            ingress,
+            servers,
+            next_server: 0,
+        }
     }
 
     /// Pick the server for a new object (round-robin) and return the
@@ -90,7 +95,10 @@ mod tests {
         let mut bb = BurstBufferModel::build(&mut net, "bb", BurstBufferParams::datawarp_like());
         let p1 = bb.alloc_path(IoDir::Write);
         let p2 = bb.alloc_path(IoDir::Write);
-        assert_ne!(p1[1], p2[1], "consecutive objects land on different servers");
+        assert_ne!(
+            p1[1], p2[1],
+            "consecutive objects land on different servers"
+        );
         assert_eq!(p1[0], p2[0], "shared ingress");
     }
 

@@ -107,10 +107,7 @@ mod tests {
         let mut net = FluidNetwork::new();
         let dev = LocalDeviceClass::build(&mut net, "pmdk0", 4, LocalParams::dcpmm());
         for n in 0..4 {
-            net.start_flow(
-                SimTime::ZERO,
-                FlowSpec::new(1e9, dev.path(n, IoDir::Read)),
-            );
+            net.start_flow(SimTime::ZERO, FlowSpec::new(1e9, dev.path(n, IoDir::Read)));
         }
         net.recompute();
         // All four flows run at the full per-node read rate.
@@ -137,7 +134,10 @@ mod tests {
         let mut net = FluidNetwork::new();
         let dev = LocalDeviceClass::build(&mut net, "pmdk0", 1, LocalParams::dcpmm());
         net.start_flow(SimTime::ZERO, FlowSpec::new(1e12, dev.path(0, IoDir::Read)));
-        net.start_flow(SimTime::ZERO, FlowSpec::new(1e12, dev.path(0, IoDir::Write)));
+        net.start_flow(
+            SimTime::ZERO,
+            FlowSpec::new(1e12, dev.path(0, IoDir::Write)),
+        );
         net.recompute();
         // Bus capacity = max(read, write) = 8 GiB/s; fair share 4/4,
         // write lane allows 5 so write gets 4; read gets 4.

@@ -12,8 +12,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Numeric user id.
 pub type Uid = u32;
 /// Numeric group id.
@@ -21,7 +19,7 @@ pub type Gid = u32;
 
 /// Simplified mode bits: octal `0oOGW` style, three octal digits
 /// (owner, group, other), each rwx.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mode(pub u16);
 
 impl Mode {
@@ -65,7 +63,7 @@ impl Access {
 
 /// Identity of a caller, with supplementary groups (Slurm can place
 /// job processes into the `norns-user` group via `setgroups(2)`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cred {
     pub uid: Uid,
     pub gid: Gid,
@@ -74,7 +72,11 @@ pub struct Cred {
 
 impl Cred {
     pub fn new(uid: Uid, gid: Gid) -> Self {
-        Cred { uid, gid, groups: Vec::new() }
+        Cred {
+            uid,
+            gid,
+            groups: Vec::new(),
+        }
     }
 
     pub fn root() -> Self {
@@ -116,8 +118,14 @@ impl std::fmt::Display for NsError {
             NsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
             NsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
             NsError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
-            NsError::NoSpace { requested, available } => {
-                write!(f, "no space left: requested {requested} B, available {available} B")
+            NsError::NoSpace {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "no space left: requested {requested} B, available {available} B"
+                )
             }
             NsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
             NsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
@@ -128,17 +136,23 @@ impl std::fmt::Display for NsError {
 impl std::error::Error for NsError {}
 
 /// Metadata common to files and directories.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Meta {
     pub owner: Uid,
     pub group: Gid,
     pub mode: Mode,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
-    File { meta: Meta, size: u64 },
-    Dir { meta: Meta, children: BTreeMap<String, Node> },
+    File {
+        meta: Meta,
+        size: u64,
+    },
+    Dir {
+        meta: Meta,
+        children: BTreeMap<String, Node>,
+    },
 }
 
 impl Node {
@@ -196,7 +210,10 @@ fn split(path: &str) -> Result<Vec<&str>, NsError> {
     if path.contains("//") || path.contains("..") {
         return Err(NsError::InvalidPath(path.to_string()));
     }
-    Ok(path.split('/').filter(|c| !c.is_empty() && *c != ".").collect())
+    Ok(path
+        .split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect())
 }
 
 impl Namespace {
@@ -205,7 +222,11 @@ impl Namespace {
     pub fn new(capacity: u64) -> Self {
         Namespace {
             root: Node::Dir {
-                meta: Meta { owner: 0, group: 0, mode: Mode(0o777) },
+                meta: Meta {
+                    owner: 0,
+                    group: 0,
+                    mode: Mode(0o777),
+                },
                 children: BTreeMap::new(),
             },
             capacity,
@@ -277,7 +298,11 @@ impl Namespace {
                         children.insert(
                             comp.to_string(),
                             Node::Dir {
-                                meta: Meta { owner: cred.uid, group: cred.gid, mode },
+                                meta: Meta {
+                                    owner: cred.uid,
+                                    group: cred.gid,
+                                    mode,
+                                },
                                 children: BTreeMap::new(),
                             },
                         );
@@ -304,7 +329,10 @@ impl Namespace {
             return Err(NsError::InvalidPath(path.to_string()));
         };
         if size > self.available() {
-            return Err(NsError::NoSpace { requested: size, available: self.available() });
+            return Err(NsError::NoSpace {
+                requested: size,
+                available: self.available(),
+            });
         }
         let parent_path = parents.join("/");
         if self.walk(parents, cred, &parent_path).is_err() {
@@ -320,7 +348,11 @@ impl Namespace {
                 children.insert(
                     name.to_string(),
                     Node::File {
-                        meta: Meta { owner: cred.uid, group: cred.gid, mode },
+                        meta: Meta {
+                            owner: cred.uid,
+                            group: cred.gid,
+                            mode,
+                        },
                         size,
                     },
                 );
@@ -345,7 +377,10 @@ impl Namespace {
                 let extra = size.saturating_sub(old);
                 let available = self.capacity.saturating_sub(self.used);
                 if extra > available {
-                    return Err(NsError::NoSpace { requested: extra, available });
+                    return Err(NsError::NoSpace {
+                        requested: extra,
+                        available,
+                    });
                 }
                 let comps = split(path)?;
                 // Overwrite requires write permission on the file.
@@ -389,7 +424,10 @@ impl Namespace {
     }
 
     pub fn exists(&self, path: &str) -> bool {
-        split(path).ok().and_then(|c| self.walk(&c, &Cred::root(), path).ok()).is_some()
+        split(path)
+            .ok()
+            .and_then(|c| self.walk(&c, &Cred::root(), path).ok())
+            .is_some()
     }
 
     /// Check that `cred` may open `path` with `access`.
@@ -539,7 +577,8 @@ mod tests {
     fn create_and_stat_file() {
         let mut ns = ns();
         let alice = Cred::new(1000, 1000);
-        ns.create_file("data/input.dat", 4 * GIB, &alice, Mode(0o644)).unwrap();
+        ns.create_file("data/input.dat", 4 * GIB, &alice, Mode(0o644))
+            .unwrap();
         let st = ns.stat("data/input.dat", &alice).unwrap();
         assert!(!st.is_dir);
         assert_eq!(st.size, 4 * GIB);
@@ -551,7 +590,8 @@ mod tests {
     fn missing_parents_are_created() {
         let mut ns = ns();
         let cred = Cred::new(1, 1);
-        ns.create_file("a/b/c/file", 10, &cred, Mode(0o644)).unwrap();
+        ns.create_file("a/b/c/file", 10, &cred, Mode(0o644))
+            .unwrap();
         assert!(ns.stat("a/b/c", &cred).unwrap().is_dir);
     }
 
@@ -572,7 +612,10 @@ mod tests {
         let cred = Cred::new(1, 1);
         ns.create_file("a", 8, &cred, Mode(0o644)).unwrap();
         match ns.create_file("b", 4, &cred, Mode(0o644)) {
-            Err(NsError::NoSpace { requested: 4, available: 2 }) => {}
+            Err(NsError::NoSpace {
+                requested: 4,
+                available: 2,
+            }) => {}
             other => panic!("expected NoSpace, got {other:?}"),
         }
         // Free and retry.
@@ -597,25 +640,33 @@ mod tests {
         let mut ns = ns();
         let alice = Cred::new(1000, 1000);
         let bob = Cred::new(2000, 2000);
-        ns.create_file("private/secret", 10, &alice, Mode(0o600)).unwrap();
+        ns.create_file("private/secret", 10, &alice, Mode(0o600))
+            .unwrap();
         // Parent dirs were auto-created 0755, so traversal works, but
         // the file itself denies read.
         assert!(matches!(
             ns.check_access("private/secret", &bob, Access::Read),
             Err(NsError::PermissionDenied(_))
         ));
-        assert!(ns.check_access("private/secret", &alice, Access::Read).is_ok());
+        assert!(ns
+            .check_access("private/secret", &alice, Access::Read)
+            .is_ok());
     }
 
     #[test]
     fn group_sharing_via_supplementary_groups() {
         let mut ns = ns();
         let alice = Cred::new(1000, 1000);
-        ns.create_file("shared/data", 10, &alice, Mode(0o640)).unwrap();
+        ns.create_file("shared/data", 10, &alice, Mode(0o640))
+            .unwrap();
         let bob_plain = Cred::new(2000, 2000);
         let bob_in_group = Cred::new(2000, 2000).with_group(1000);
-        assert!(ns.check_access("shared/data", &bob_plain, Access::Read).is_err());
-        assert!(ns.check_access("shared/data", &bob_in_group, Access::Read).is_ok());
+        assert!(ns
+            .check_access("shared/data", &bob_plain, Access::Read)
+            .is_err());
+        assert!(ns
+            .check_access("shared/data", &bob_in_group, Access::Read)
+            .is_ok());
     }
 
     #[test]
@@ -645,7 +696,10 @@ mod tests {
         let cred = Cred::new(1, 1);
         ns.create_file("d/f1", 10, &cred, Mode(0o644)).unwrap();
         ns.create_file("d/f2", 20, &cred, Mode(0o644)).unwrap();
-        assert!(matches!(ns.remove("d", &cred, false), Err(NsError::DirectoryNotEmpty(_))));
+        assert!(matches!(
+            ns.remove("d", &cred, false),
+            Err(NsError::DirectoryNotEmpty(_))
+        ));
         assert_eq!(ns.remove("d", &cred, true).unwrap(), 30);
         assert_eq!(ns.used(), 0);
         assert!(!ns.exists("d"));
@@ -655,8 +709,10 @@ mod tests {
     fn list_and_tree_bytes() {
         let mut ns = ns();
         let cred = Cred::new(1, 1);
-        ns.create_file("out/rank0/u.dat", 100, &cred, Mode(0o644)).unwrap();
-        ns.create_file("out/rank1/u.dat", 150, &cred, Mode(0o644)).unwrap();
+        ns.create_file("out/rank0/u.dat", 100, &cred, Mode(0o644))
+            .unwrap();
+        ns.create_file("out/rank1/u.dat", 150, &cred, Mode(0o644))
+            .unwrap();
         let names = ns.list("out", &cred).unwrap();
         assert_eq!(names, vec!["rank0", "rank1"]);
         assert_eq!(ns.tree_bytes("out", &cred).unwrap(), 250);
@@ -670,9 +726,12 @@ mod tests {
     fn walk_files_mirrors_tree() {
         let mut ns = ns();
         let cred = Cred::new(1, 1);
-        ns.create_file("case/processor0/U", 10, &cred, Mode(0o644)).unwrap();
-        ns.create_file("case/processor0/p", 20, &cred, Mode(0o644)).unwrap();
-        ns.create_file("case/processor1/U", 30, &cred, Mode(0o644)).unwrap();
+        ns.create_file("case/processor0/U", 10, &cred, Mode(0o644))
+            .unwrap();
+        ns.create_file("case/processor0/p", 20, &cred, Mode(0o644))
+            .unwrap();
+        ns.create_file("case/processor1/U", 30, &cred, Mode(0o644))
+            .unwrap();
         let files = ns.walk_files("case", &cred).unwrap();
         assert_eq!(
             files,
@@ -684,14 +743,23 @@ mod tests {
         );
         assert_eq!(ns.file_count("case", &cred).unwrap(), 3);
         // A single file yields one entry with empty rel path.
-        assert_eq!(ns.walk_files("case/processor0/U", &cred).unwrap(), vec![("".into(), 10)]);
+        assert_eq!(
+            ns.walk_files("case/processor0/U", &cred).unwrap(),
+            vec![("".into(), 10)]
+        );
     }
 
     #[test]
     fn invalid_paths_rejected() {
         let ns = ns();
-        assert!(matches!(ns.stat("a//b", &Cred::root()), Err(NsError::InvalidPath(_))));
-        assert!(matches!(ns.stat("../etc", &Cred::root()), Err(NsError::InvalidPath(_))));
+        assert!(matches!(
+            ns.stat("a//b", &Cred::root()),
+            Err(NsError::InvalidPath(_))
+        ));
+        assert!(matches!(
+            ns.stat("../etc", &Cred::root()),
+            Err(NsError::InvalidPath(_))
+        ));
     }
 
     #[test]
@@ -703,7 +771,10 @@ mod tests {
         assert!(ns.set_mode("f", &bob, Mode(0o777)).is_err());
         ns.set_mode("f", &alice, Mode(0o644)).unwrap();
         assert!(ns.check_access("f", &bob, Access::Read).is_ok());
-        assert!(ns.set_owner("f", &alice, 2000, 2000).is_err(), "chown is root-only");
+        assert!(
+            ns.set_owner("f", &alice, 2000, 2000).is_err(),
+            "chown is root-only"
+        );
         ns.set_owner("f", &Cred::root(), 2000, 2000).unwrap();
         assert_eq!(ns.stat("f", &bob).unwrap().owner, 2000);
     }
@@ -713,6 +784,9 @@ mod tests {
         let mut ns = ns();
         let cred = Cred::new(1, 1);
         ns.create_file("f", 1, &cred, Mode(0o644)).unwrap();
-        assert!(matches!(ns.stat("f/child", &cred), Err(NsError::NotADirectory(_))));
+        assert!(matches!(
+            ns.stat("f/child", &cred),
+            Err(NsError::NotADirectory(_))
+        ));
     }
 }

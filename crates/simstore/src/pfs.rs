@@ -100,7 +100,10 @@ impl PfsParams {
             client_bps: simcore::units::gib_per_s(2.4),
             default_stripe: 4,
             mds_op_time: SimDuration::from_micros(300),
-            interference: Interference::Lognormal { sigma: 0.45, mean_load: 0.25 },
+            interference: Interference::Lognormal {
+                sigma: 0.45,
+                mean_load: 0.25,
+            },
         }
     }
 }
@@ -126,12 +129,7 @@ pub struct PfsModel {
 }
 
 impl PfsModel {
-    pub fn build(
-        net: &mut FluidNetwork,
-        name: &str,
-        nodes: usize,
-        params: PfsParams,
-    ) -> Self {
+    pub fn build(net: &mut FluidNetwork, name: &str, nodes: usize, params: PfsParams) -> Self {
         let ingress = net.add_resource(params.ingress_bps, format!("{name}.ingress"));
         let osts = (0..params.osts)
             .map(|i| {
@@ -166,7 +164,9 @@ impl PfsModel {
     /// allocation cursor, as Lustre's round-robin allocator does.
     /// Returns `(ost_index, bytes)` shards.
     pub fn plan_shards(&mut self, bytes: u64, stripe: Option<usize>) -> Vec<(usize, u64)> {
-        let stripe = stripe.unwrap_or(self.params.default_stripe).clamp(1, self.osts.len());
+        let stripe = stripe
+            .unwrap_or(self.params.default_stripe)
+            .clamp(1, self.osts.len());
         let start = self.next_ost;
         self.next_ost = (self.next_ost + stripe) % self.osts.len();
         let per = bytes / stripe as u64;
@@ -209,7 +209,9 @@ impl PfsModel {
     /// Allocate an OST set for a new striped file (advances the
     /// round-robin cursor once).
     pub fn allocate_osts(&mut self, stripe: Option<usize>) -> Vec<usize> {
-        let stripe = stripe.unwrap_or(self.params.default_stripe).clamp(1, self.osts.len());
+        let stripe = stripe
+            .unwrap_or(self.params.default_stripe)
+            .clamp(1, self.osts.len());
         let start = self.next_ost;
         self.next_ost = (self.next_ost + stripe) % self.osts.len();
         (0..stripe).map(|i| (start + i) % self.osts.len()).collect()
@@ -345,7 +347,10 @@ mod tests {
         let slowest_total = 32.0 * (1u64 << 30) as f64;
         let rate = slowest_total / secs; // all equal shares
         assert!(rate <= expected * 1.01, "rate {rate} vs cap {expected}");
-        assert!(rate >= expected * 0.60, "server should be near-saturated: {rate}");
+        assert!(
+            rate >= expected * 0.60,
+            "server should be near-saturated: {rate}"
+        );
     }
 
     #[test]
@@ -380,7 +385,10 @@ mod tests {
     fn heavy_tail_interference_produces_order_of_magnitude_spread() {
         let mut net = FluidNetwork::new();
         let mut params = PfsParams::nextgenio_lustre();
-        params.interference = Interference::HeavyTail { alpha: 1.1, mean_load: 0.55 };
+        params.interference = Interference::HeavyTail {
+            alpha: 1.1,
+            mean_load: 0.55,
+        };
         let mut pfs = PfsModel::build(&mut net, "gpfs", 1, params);
         let mut rng = SimRng::seed_from_u64(12);
         let mut caps = Vec::new();

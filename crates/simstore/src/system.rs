@@ -28,7 +28,10 @@ pub enum TierKind {
 
 impl TierKind {
     pub fn is_node_local(self) -> bool {
-        matches!(self, TierKind::NodeLocalNvm | TierKind::NodeLocalSsd | TierKind::Tmpfs)
+        matches!(
+            self,
+            TierKind::NodeLocalNvm | TierKind::NodeLocalSsd | TierKind::Tmpfs
+        )
     }
 }
 
@@ -212,11 +215,17 @@ impl StorageSystem {
             }
             TierRef::Local(i) => {
                 let entry = &mut self.locals[i];
-                vec![IoShard { path: entry.class.path(node, dir), bytes }]
+                vec![IoShard {
+                    path: entry.class.path(node, dir),
+                    bytes,
+                }]
             }
             TierRef::Bb(i) => {
                 let entry = &mut self.bbs[i];
-                vec![IoShard { path: entry.model.alloc_path(dir), bytes }]
+                vec![IoShard {
+                    path: entry.model.alloc_path(dir),
+                    bytes,
+                }]
             }
         }
     }
@@ -310,7 +319,13 @@ mod tests {
     fn system() -> (FluidNetwork, StorageSystem) {
         let mut net = FluidNetwork::new();
         let mut sys = StorageSystem::new();
-        sys.add_pfs(&mut net, "lustre", 4, PfsParams::nextgenio_lustre(), 14 * simcore::units::TB);
+        sys.add_pfs(
+            &mut net,
+            "lustre",
+            4,
+            PfsParams::nextgenio_lustre(),
+            14 * simcore::units::TB,
+        );
         sys.add_local_class(
             &mut net,
             "pmdk0",
@@ -390,7 +405,10 @@ mod tests {
         let lustre = sys.resolve("lustre").unwrap();
         let shards = sys.plan_io(lustre, 0, IoDir::Read, 1 << 30, None);
         for s in &shards {
-            net.start_flow(simcore::SimTime::ZERO, simcore::FlowSpec::new(s.bytes as f64, s.path.clone()));
+            net.start_flow(
+                simcore::SimTime::ZERO,
+                simcore::FlowSpec::new(s.bytes as f64, s.path.clone()),
+            );
         }
         net.recompute();
         let mut rng = SimRng::seed_from_u64(5);

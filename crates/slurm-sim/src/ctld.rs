@@ -63,13 +63,32 @@ impl Default for SchedConfig {
 /// model (workload drivers) and appended to the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobEvent {
-    Submitted { job: SlurmJobId },
-    StageInStarted { job: SlurmJobId, nodes: Vec<NodeId> },
-    Started { job: SlurmJobId, nodes: Vec<NodeId> },
-    StageOutStarted { job: SlurmJobId },
-    Completed { job: SlurmJobId, leftovers: Vec<(NodeId, Vec<String>)> },
-    Failed { job: SlurmJobId, reason: String },
-    Cancelled { job: SlurmJobId, reason: String },
+    Submitted {
+        job: SlurmJobId,
+    },
+    StageInStarted {
+        job: SlurmJobId,
+        nodes: Vec<NodeId>,
+    },
+    Started {
+        job: SlurmJobId,
+        nodes: Vec<NodeId>,
+    },
+    StageOutStarted {
+        job: SlurmJobId,
+    },
+    Completed {
+        job: SlurmJobId,
+        leftovers: Vec<(NodeId, Vec<String>)>,
+    },
+    Failed {
+        job: SlurmJobId,
+        reason: String,
+    },
+    Cancelled {
+        job: SlurmJobId,
+        reason: String,
+    },
 }
 
 impl JobEvent {
@@ -134,7 +153,9 @@ impl Slurmctld {
 
     /// Jobs and states of a workflow (`squeue --workflow` analogue).
     pub fn workflow_status(&self, wf: WorkflowId) -> Vec<(SlurmJobId, String, JobState)> {
-        let Some(w) = self.workflows.get(wf) else { return Vec::new() };
+        let Some(w) = self.workflows.get(wf) else {
+            return Vec::new();
+        };
         w.jobs
             .iter()
             .map(|id| {
@@ -153,7 +174,9 @@ impl Slurmctld {
                     .workflows
                     .get(wf)
                     .map(|w| {
-                        w.jobs.iter().any(|j| self.jobs[&j.0].state == JobState::Completed)
+                        w.jobs
+                            .iter()
+                            .any(|j| self.jobs[&j.0].state == JobState::Completed)
                     })
                     .unwrap_or(false);
                 if progressed {
@@ -170,8 +193,12 @@ impl Slurmctld {
     fn deps_satisfied(&self, id: SlurmJobId) -> bool {
         let job = &self.jobs[&id.0];
         let Some(wf) = job.workflow else { return true };
-        let Some(w) = self.workflows.get(wf) else { return true };
-        w.dependencies(id).iter().all(|d| self.jobs[&d.0].state == JobState::Completed)
+        let Some(w) = self.workflows.get(wf) else {
+            return true;
+        };
+        w.dependencies(id)
+            .iter()
+            .all(|d| self.jobs[&d.0].state == JobState::Completed)
     }
 
     /// Pick nodes for a job, preferring affinity nodes.
@@ -316,15 +343,18 @@ fn schedule_pass<M: HasSlurm>(sim: &mut Sim<M>) {
     };
     for id in order {
         let (ready, want, affinity) = {
-            let world_nodes;
             let ctld = sim.model.ctld_mut();
             if !ctld.queue.contains(&id) {
                 continue; // already started or cancelled this pass
             }
             let ready = ctld.deps_satisfied(id);
             let job = &ctld.jobs[&id.0];
-            world_nodes = job.script.nodes;
-            let affinity = if ready { stage_in_affinity(ctld, id) } else { Vec::new() };
+            let world_nodes = job.script.nodes;
+            let affinity = if ready {
+                stage_in_affinity(ctld, id)
+            } else {
+                Vec::new()
+            };
             (ready, world_nodes, affinity)
         };
         if !ready {
@@ -357,8 +387,12 @@ fn schedule_pass<M: HasSlurm>(sim: &mut Sim<M>) {
 /// Nodes holding persisted data this job's stage-ins reference.
 fn stage_in_affinity(ctld: &Slurmctld, id: SlurmJobId) -> Vec<NodeId> {
     let job = &ctld.jobs[&id.0];
-    let Some(wf) = job.workflow else { return Vec::new() };
-    let Some(w) = ctld.workflows.get(wf) else { return Vec::new() };
+    let Some(wf) = job.workflow else {
+        return Vec::new();
+    };
+    let Some(w) = ctld.workflows.get(wf) else {
+        return Vec::new();
+    };
     let mut nodes = Vec::new();
     for d in &job.script.stage_in {
         if let Ok((nsid, path)) = split_loc(&d.origin) {
@@ -402,14 +436,25 @@ fn begin_stage_in<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
     };
     let reg = nops::register_job(
         sim,
-        norns::JobSpec { id: NornsJobId(id.0), hosts: nodes.clone(), limits, cred },
+        norns::JobSpec {
+            id: NornsJobId(id.0),
+            hosts: nodes.clone(),
+            limits,
+            cred,
+        },
     );
     if let Err(e) = reg {
         fail_job(sim, id, format!("NORNS job registration failed: {e}"));
         return;
     }
 
-    emit(sim, JobEvent::StageInStarted { job: id, nodes: nodes.clone() });
+    emit(
+        sim,
+        JobEvent::StageInStarted {
+            job: id,
+            nodes: nodes.clone(),
+        },
+    );
 
     // Plan and submit the staging tasks.
     let plans = match plan_stage_in(sim, id) {
@@ -426,7 +471,8 @@ fn begin_stage_in<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
     let tag = stage_tag(StagePurpose::StageIn, id);
     for (node, spec) in plans {
         let dst = spec.output.as_ref().and_then(|o| {
-            o.nsid().map(|n| (n.to_string(), o.path().unwrap_or("").to_string()))
+            o.nsid()
+                .map(|n| (n.to_string(), o.path().unwrap_or("").to_string()))
         });
         match nops::submit_task(sim, node, NornsJobId(id.0), ApiSource::Control, spec, tag) {
             Ok(task) => {
@@ -456,7 +502,12 @@ fn plan_stage_in<M: HasSlurm>(
     let (directives, nodes, wf, cred) = {
         let ctld = sim.model.ctld_mut();
         let job = &ctld.jobs[&id.0];
-        (job.script.stage_in.clone(), job.nodes.clone(), job.workflow, job.cred.clone())
+        (
+            job.script.stage_in.clone(),
+            job.nodes.clone(),
+            job.workflow,
+            job.cred.clone(),
+        )
     };
     let mut out = Vec::new();
     for d in directives {
@@ -522,11 +573,7 @@ fn plan_stage_in<M: HasSlurm>(
                         out.push((
                             node,
                             TaskSpec::copy(
-                                ResourceRef::remote(
-                                    holder,
-                                    &src_ns,
-                                    format!("{src_path}/{child}"),
-                                ),
+                                ResourceRef::remote(holder, &src_ns, format!("{src_path}/{child}")),
                                 ResourceRef::local(&dst_ns, format!("{dst_path}/{child}")),
                             ),
                         ));
@@ -627,9 +674,7 @@ fn cleanup_staged_destinations<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
         let done: Vec<(NodeId, TaskId)> = ctld
             .stage_dst
             .iter()
-            .filter(|(key, (job_id, _, _))| {
-                *job_id == id && !job.outstanding_stage.contains(key)
-            })
+            .filter(|(key, (job_id, _, _))| *job_id == id && !job.outstanding_stage.contains(key))
             .map(|(key, _)| *key)
             .collect();
         done.into_iter()
@@ -691,16 +736,25 @@ fn apply_persist_directives<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
     let (directives, nodes, wf, cred) = {
         let ctld = sim.model.ctld_mut();
         let job = &ctld.jobs[&id.0];
-        (job.script.persist.clone(), job.nodes.clone(), job.workflow, job.cred.clone())
+        (
+            job.script.persist.clone(),
+            job.nodes.clone(),
+            job.workflow,
+            job.cred.clone(),
+        )
     };
     for p in directives {
-        let Ok((nsid, path)) = split_loc(&p.location) else { continue };
+        let Ok((nsid, path)) = split_loc(&p.location) else {
+            continue;
+        };
         match p.op {
             PersistOp::Store => {
                 // Record which nodes actually hold data at the path.
                 let holders: Vec<NodeId> = {
                     let world = sim.model.norns_mut();
-                    let Some(tier) = world.storage.resolve(&nsid) else { continue };
+                    let Some(tier) = world.storage.resolve(&nsid) else {
+                        continue;
+                    };
                     if !world.storage.kind(tier).is_node_local() {
                         continue; // "location must be a node-local storage resource"
                     }
@@ -738,11 +792,20 @@ fn apply_persist_directives<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
                 let tag = stage_tag(StagePurpose::Cleanup, id);
                 for node in holders {
                     let spec = TaskSpec::remove(ResourceRef::local(&nsid, &path));
-                    let _ =
-                        nops::submit_task(sim, node, NornsJobId(id.0), ApiSource::Control, spec, tag);
+                    let _ = nops::submit_task(
+                        sim,
+                        node,
+                        NornsJobId(id.0),
+                        ApiSource::Control,
+                        spec,
+                        tag,
+                    );
                 }
                 if let Some(wf) = wf {
-                    sim.model.ctld_mut().workflows.remove_persist(wf, &nsid, &path);
+                    sim.model
+                        .ctld_mut()
+                        .workflows
+                        .remove_persist(wf, &nsid, &path);
                 }
             }
             PersistOp::Share | PersistOp::Unshare => {
@@ -750,14 +813,11 @@ fn apply_persist_directives<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
                 if let Some(wf) = wf {
                     let holders = {
                         let ctld = sim.model.ctld_mut();
-                        let entry = ctld
-                            .workflows
-                            .get_mut(wf)
-                            .and_then(|w| {
-                                w.persisted
-                                    .iter_mut()
-                                    .find(|pd| pd.nsid == nsid && pd.path == path)
-                            });
+                        let entry = ctld.workflows.get_mut(wf).and_then(|w| {
+                            w.persisted
+                                .iter_mut()
+                                .find(|pd| pd.nsid == nsid && pd.path == path)
+                        });
                         match entry {
                             Some(pd) => {
                                 if share {
@@ -773,8 +833,11 @@ fn apply_persist_directives<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
                         }
                     };
                     // Reflect sharing in filesystem modes.
-                    let mode =
-                        if share { simstore::Mode(0o755) } else { simstore::Mode(0o700) };
+                    let mode = if share {
+                        simstore::Mode(0o755)
+                    } else {
+                        simstore::Mode(0o700)
+                    };
                     let world = sim.model.norns_mut();
                     if let Some(tier) = world.storage.resolve(&nsid) {
                         for n in holders {
@@ -801,7 +864,11 @@ fn begin_stage_out<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
         let job = ctld.job_mut(id);
         job.state = JobState::StagingOut;
         job.stage_out_started = Some(now);
-        (job.script.stage_out.clone(), job.nodes.clone(), job.cred.clone())
+        (
+            job.script.stage_out.clone(),
+            job.nodes.clone(),
+            job.cred.clone(),
+        )
     };
     let mut submitted = 0;
     let tag = stage_tag(StagePurpose::StageOut, id);
@@ -811,13 +878,19 @@ fn begin_stage_out<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
             return;
         };
         let Ok((dst_ns, dst_path)) = split_loc(&d.destination) else {
-            fail_job(sim, id, format!("malformed stage_out destination {}", d.destination));
+            fail_job(
+                sim,
+                id,
+                format!("malformed stage_out destination {}", d.destination),
+            );
             return;
         };
         // Which nodes contribute?
         let contributors: Vec<NodeId> = {
             let world = sim.model.norns_mut();
-            let Some(tier) = world.storage.resolve(&src_ns) else { continue };
+            let Some(tier) = world.storage.resolve(&src_ns) else {
+                continue;
+            };
             match d.mapping {
                 Mapping::Node(k) => nodes.get(k).copied().into_iter().collect(),
                 Mapping::All => {
@@ -850,7 +923,11 @@ fn begin_stage_out<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
             );
             match nops::submit_task(sim, node, NornsJobId(id.0), ApiSource::Control, spec, tag) {
                 Ok(task) => {
-                    sim.model.ctld_mut().job_mut(id).outstanding_stage.push((node, task));
+                    sim.model
+                        .ctld_mut()
+                        .job_mut(id)
+                        .outstanding_stage
+                        .push((node, task));
                     submitted += 1;
                 }
                 Err(e) => {
@@ -884,7 +961,9 @@ fn cleanup_after_success<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
     };
     let tag = stage_tag(StagePurpose::Cleanup, id);
     for d in dirs {
-        let Ok((dst_ns, dst_path)) = split_loc(&d.destination) else { continue };
+        let Ok((dst_ns, dst_path)) = split_loc(&d.destination) else {
+            continue;
+        };
         // Skip if this destination (or the directive origin) is
         // persisted for later phases.
         let persisted = {
@@ -910,7 +989,8 @@ fn cleanup_after_success<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
             };
             if exists {
                 let spec = TaskSpec::remove(ResourceRef::local(&dst_ns, &dst_path));
-                let _ = nops::submit_task(sim, node, NornsJobId(id.0), ApiSource::Control, spec, tag);
+                let _ =
+                    nops::submit_task(sim, node, NornsJobId(id.0), ApiSource::Control, spec, tag);
             }
         }
     }
@@ -969,11 +1049,17 @@ fn fail_job<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId, reason: String) {
 fn cancel_downstream<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
     let to_cancel: Vec<SlurmJobId> = {
         let ctld = sim.model.ctld_mut();
-        let Some(wf) = ctld.jobs[&id.0].workflow else { return };
+        let Some(wf) = ctld.jobs[&id.0].workflow else {
+            return;
+        };
         if let Some(w) = ctld.workflows.get_mut(wf) {
             w.failed = true;
         }
-        let downstream = ctld.workflows.get(wf).map(|w| w.downstream_of(id)).unwrap_or_default();
+        let downstream = ctld
+            .workflows
+            .get(wf)
+            .map(|w| w.downstream_of(id))
+            .unwrap_or_default();
         downstream
             .into_iter()
             .filter(|j| !ctld.jobs[&j.0].state.is_terminal())
@@ -992,7 +1078,13 @@ fn cancel_downstream<M: HasSlurm>(sim: &mut Sim<M>, id: SlurmJobId) {
         if pending {
             sim.model.ctld_mut().queue.retain(|q| *q != j);
         }
-        emit(sim, JobEvent::Cancelled { job: j, reason: "upstream workflow job failed".into() });
+        emit(
+            sim,
+            JobEvent::Cancelled {
+                job: j,
+                reason: "upstream workflow job failed".into(),
+            },
+        );
     }
 }
 
@@ -1012,7 +1104,9 @@ pub fn handle_task_complete<M: HasSlurm>(sim: &mut Sim<M>, completion: &TaskComp
             let (state, remaining, failed, dst) = {
                 let ctld = sim.model.ctld_mut();
                 let dst = ctld.stage_dst.remove(&(completion.node, completion.task));
-                let Some(job) = ctld.jobs.get_mut(&id.0) else { return true };
+                let Some(job) = ctld.jobs.get_mut(&id.0) else {
+                    return true;
+                };
                 job.outstanding_stage
                     .retain(|(n, t)| !(*n == completion.node && *t == completion.task));
                 (
@@ -1037,26 +1131,22 @@ pub fn handle_task_complete<M: HasSlurm>(sim: &mut Sim<M>, completion: &TaskComp
                     } else if remaining == 0 {
                         let ev = {
                             let ctld = sim.model.ctld_mut();
-                            std::mem::replace(
-                                &mut ctld.job_mut(id).stage_timeout,
-                                EventId::NONE,
-                            )
+                            std::mem::replace(&mut ctld.job_mut(id).stage_timeout, EventId::NONE)
                         };
                         sim.cancel(ev);
                         begin_compute(sim, id);
                     }
                 }
-                JobState::Cancelled | JobState::Failed => {
+                JobState::Cancelled | JobState::Failed
                     // The job was killed while this transfer was in
                     // flight. Its NORNS registration is already gone,
                     // so clean up epilog-style: direct removal by the
                     // node daemon with root credentials.
-                    if !failed {
+                    if !failed => {
                         if let Some((_, nsid, path)) = dst {
                             force_remove(sim, completion.node, &nsid, &path);
                         }
                     }
-                }
                 _ => {}
             }
             true
@@ -1064,7 +1154,9 @@ pub fn handle_task_complete<M: HasSlurm>(sim: &mut Sim<M>, completion: &TaskComp
         StagePurpose::StageOut => {
             let (remaining, failed) = {
                 let ctld = sim.model.ctld_mut();
-                let Some(job) = ctld.jobs.get_mut(&id.0) else { return true };
+                let Some(job) = ctld.jobs.get_mut(&id.0) else {
+                    return true;
+                };
                 job.outstanding_stage
                     .retain(|(n, t)| !(*n == completion.node && *t == completion.task));
                 if completion.state == norns::TaskState::FinishedWithError {
@@ -1100,8 +1192,15 @@ pub fn handle_task_complete<M: HasSlurm>(sim: &mut Sim<M>, completion: &TaskComp
 fn force_remove<M: HasSlurm>(sim: &mut Sim<M>, node: NodeId, nsid: &str, path: &str) {
     let world = sim.model.norns_mut();
     if let Some(tier) = world.storage.resolve(nsid) {
-        let ns_node = if world.storage.kind(tier).is_node_local() { Some(node) } else { None };
-        let _ = world.storage.ns_mut(tier, ns_node).remove(path, &Cred::root(), true);
+        let ns_node = if world.storage.kind(tier).is_node_local() {
+            Some(node)
+        } else {
+            None
+        };
+        let _ = world
+            .storage
+            .ns_mut(tier, ns_node)
+            .remove(path, &Cred::root(), true);
     }
 }
 
@@ -1111,7 +1210,11 @@ fn force_remove<M: HasSlurm>(sim: &mut Sim<M>, node: NodeId, nsid: &str, path: &
 
 /// Makespan of a set of jobs (submission of first → finish of last).
 pub fn makespan(ctld: &Slurmctld, jobs: &[SlurmJobId]) -> Option<SimDuration> {
-    let first = jobs.iter().filter_map(|j| ctld.job(*j)).map(|j| j.submitted).min()?;
+    let first = jobs
+        .iter()
+        .filter_map(|j| ctld.job(*j))
+        .map(|j| j.submitted)
+        .min()?;
     let last = jobs.iter().filter_map(|j| ctld.job(*j)?.finished).max()?;
     Some(last - first)
 }

@@ -32,7 +32,10 @@ pub enum JobState {
 
 impl JobState {
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Completed | JobState::Failed | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled
+        )
     }
 }
 
@@ -167,19 +170,30 @@ mod tests {
 
     #[test]
     fn stage_tags_roundtrip() {
-        for p in [StagePurpose::StageIn, StagePurpose::StageOut, StagePurpose::Cleanup] {
+        for p in [
+            StagePurpose::StageIn,
+            StagePurpose::StageOut,
+            StagePurpose::Cleanup,
+        ] {
             let tag = stage_tag(p, SlurmJobId(991));
             assert_eq!(decode_stage_tag(tag), Some((p, SlurmJobId(991))));
         }
         assert_eq!(decode_stage_tag(0), None);
-        assert_eq!(decode_stage_tag(42), None, "tags without purpose bits are not ours");
+        assert_eq!(
+            decode_stage_tag(42),
+            None,
+            "tags without purpose bits are not ours"
+        );
     }
 
     #[test]
     fn job_timings() {
         let mut job = Job::new(
             SlurmJobId(1),
-            crate::script::JobScript { name: "j".into(), ..Default::default() },
+            crate::script::JobScript {
+                name: "j".into(),
+                ..Default::default()
+            },
             JobBody::Fixed(SimDuration::from_secs(10)),
             Cred::new(1, 1),
             SimTime::from_secs(0),

@@ -176,8 +176,10 @@ pub fn parse(script: &str) -> Result<JobScript, ScriptError> {
             if let Some(v) = opt.strip_prefix("--job-name=") {
                 out.name = v.trim().to_string();
             } else if let Some(v) = opt.strip_prefix("--nodes=") {
-                out.nodes =
-                    v.trim().parse().map_err(|_| ScriptError::BadOption(line.to_string()))?;
+                out.nodes = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| ScriptError::BadOption(line.to_string()))?;
             } else if let Some(v) = opt.strip_prefix("--time=") {
                 out.time_limit = parse_time(v.trim())?;
             } else if opt == "--workflow-start" {
@@ -280,7 +282,10 @@ srun picoFoam
         assert_eq!(js.name, "solver");
         assert_eq!(js.nodes, 16);
         assert_eq!(js.time_limit, SimDuration::from_secs(5400));
-        assert_eq!(js.workflow, WorkflowPos::Dependent(vec!["decompose".into()]));
+        assert_eq!(
+            js.workflow,
+            WorkflowPos::Dependent(vec!["decompose".into()])
+        );
         assert_eq!(js.stage_in.len(), 1);
         assert_eq!(js.stage_in[0].origin, "lustre://case/mesh");
         assert_eq!(js.stage_in[0].mapping, Mapping::Scatter);
@@ -348,7 +353,10 @@ srun picoFoam
     fn time_formats() {
         assert_eq!(parse_time("90").unwrap(), SimDuration::from_secs(90));
         assert_eq!(parse_time("02:30").unwrap(), SimDuration::from_secs(150));
-        assert_eq!(parse_time("01:00:00").unwrap(), SimDuration::from_secs(3600));
+        assert_eq!(
+            parse_time("01:00:00").unwrap(),
+            SimDuration::from_secs(3600)
+        );
         assert!(parse_time("1:2:3:4").is_err());
         assert!(parse_time("abc").is_err());
     }

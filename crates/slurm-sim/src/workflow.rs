@@ -77,7 +77,9 @@ impl Workflow {
 
     /// Find persisted data matching a dataspace-qualified location.
     pub fn persisted(&self, nsid: &str, path: &str) -> Option<&PersistedData> {
-        self.persisted.iter().find(|p| p.nsid == nsid && p.path == path)
+        self.persisted
+            .iter()
+            .find(|p| p.nsid == nsid && p.path == path)
     }
 }
 
@@ -186,7 +188,8 @@ impl WorkflowRegistry {
     pub fn record_persist(&mut self, id: WorkflowId, data: PersistedData) {
         if let Some(wf) = self.workflows.get_mut(&id.0) {
             // Replace an existing entry for the same location.
-            wf.persisted.retain(|p| !(p.nsid == data.nsid && p.path == data.path));
+            wf.persisted
+                .retain(|p| !(p.nsid == data.nsid && p.path == data.path));
             wf.persisted.push(data);
         }
     }
@@ -270,7 +273,9 @@ mod tests {
         assert_ne!(w1, w2);
         // Attach binds to the first (lowest-id) workflow containing
         // the dependency name.
-        let bound = reg.attach(j(2), "phase2", &["phase1".to_string()], false).unwrap();
+        let bound = reg
+            .attach(j(2), "phase2", &["phase1".to_string()], false)
+            .unwrap();
         assert_eq!(bound, w1);
     }
 

@@ -5,8 +5,7 @@ use norns::{HasNorns, NornsWorld, TaskCompletion};
 use simcore::{CompletedFlow, FluidModel, FluidSystem, Sim, SimDuration, SimTime};
 use simstore::{Cred, Mode};
 use slurm_sim::{
-    ctld, submit_script, HasSlurm, JobBody, JobEvent, JobState, SchedConfig, SlurmJobId,
-    Slurmctld,
+    submit_script, HasSlurm, JobBody, JobEvent, JobState, SchedConfig, SlurmJobId, Slurmctld,
 };
 
 const GIB: u64 = 1 << 30;
@@ -74,7 +73,12 @@ impl HasSlurm for Model {
 fn testbed(nodes: usize, config: SchedConfig) -> Sim<Model> {
     let tb = cluster::nextgenio_quiet(nodes);
     let ctld = Slurmctld::new(nodes, config);
-    let model = Model { world: tb.world, ctld, events: Vec::new(), writes_on_start: Vec::new() };
+    let model = Model {
+        world: tb.world,
+        ctld,
+        events: Vec::new(),
+        writes_on_start: Vec::new(),
+    };
     let mut sim = Sim::new(model, 7);
     for n in 0..nodes {
         norns::sim::ops::register_dataspace(&mut sim, n, "pmdk0", "pmdk0", false).unwrap();
@@ -93,7 +97,12 @@ fn state_of(sim: &Sim<Model>, id: SlurmJobId) -> JobState {
 
 fn put_pfs(sim: &mut Sim<Model>, path: &str, bytes: u64) {
     let t = sim.model.world.storage.resolve("lustre").unwrap();
-    sim.model.world.storage.ns_mut(t, None).write_file(path, bytes, &cred(), Mode(0o644)).unwrap();
+    sim.model
+        .world
+        .storage
+        .ns_mut(t, None)
+        .write_file(path, bytes, &cred(), Mode(0o644))
+        .unwrap();
 }
 
 fn nvm_has(sim: &Sim<Model>, node: usize, path: &str) -> bool {
@@ -141,7 +150,10 @@ fn stage_in_runs_before_compute_and_cleans_after() {
     let stage_secs = job.stage_in_time().unwrap().as_secs_f64();
     // Two nodes pulling 2 GiB each from Lustre concurrently: client
     // lanes 2×2.4 GiB/s demand vs ~4.4 GiB/s OST read: ≈0.9-1.1 s.
-    assert!((0.5..2.0).contains(&stage_secs), "stage-in took {stage_secs}");
+    assert!(
+        (0.5..2.0).contains(&stage_secs),
+        "stage-in took {stage_secs}"
+    );
     sim.run();
     assert_eq!(state_of(&sim, id), JobState::Completed);
     // cleanup_stage_in removed the staged copies.
@@ -169,8 +181,16 @@ fn stage_out_moves_results_to_pfs() {
     sim.run();
     assert_eq!(state_of(&sim, id), JobState::Completed);
     let t = sim.model.world.storage.resolve("lustre").unwrap();
-    assert!(sim.model.world.storage.ns(t, None).exists("archive/run1/result.dat"));
-    assert!(!nvm_has(&sim, 0, "out/result.dat"), "move semantics clear the NVM");
+    assert!(sim
+        .model
+        .world
+        .storage
+        .ns(t, None)
+        .exists("archive/run1/result.dat"));
+    assert!(
+        !nvm_has(&sim, 0, "out/result.dat"),
+        "move semantics clear the NVM"
+    );
     let job = sim.model.ctld.job(id).unwrap();
     assert!(job.stage_out_time().unwrap() > SimDuration::ZERO);
     assert!(job.leftover_stageout.is_empty());
@@ -207,13 +227,22 @@ fn workflow_persist_reuses_producer_node() {
     assert_eq!(state_of(&sim, consumer), JobState::Completed);
     let pnodes = sim.model.ctld.job(producer).unwrap().nodes.clone();
     let cnodes = sim.model.ctld.job(consumer).unwrap().nodes.clone();
-    assert_eq!(pnodes, cnodes, "data affinity should reuse the producer's node");
+    assert_eq!(
+        pnodes, cnodes,
+        "data affinity should reuse the producer's node"
+    );
     // Stage-in was a no-op: data already local.
     let cjob = sim.model.ctld.job(consumer).unwrap();
     assert_eq!(cjob.stage_in_time(), Some(SimDuration::ZERO));
     // The consumer must not start before the producer completes.
     let pfin = sim.model.ctld.job(producer).unwrap().finished.unwrap();
-    let cstart = sim.model.ctld.job(consumer).unwrap().stage_in_started.unwrap();
+    let cstart = sim
+        .model
+        .ctld
+        .job(consumer)
+        .unwrap()
+        .stage_in_started
+        .unwrap();
     assert!(cstart >= pfin);
 }
 
@@ -251,7 +280,10 @@ fn persisted_data_is_pulled_node_to_node_when_needed() {
     let cjob = sim.model.ctld.job(consumer).unwrap();
     let stage = cjob.stage_in_time().unwrap().as_secs_f64();
     // 2 GiB over the 1.7 GiB/s pull session ≈ 1.2 s.
-    assert!((0.8..2.5).contains(&stage), "node-to-node stage took {stage}");
+    assert!(
+        (0.8..2.5).contains(&stage),
+        "node-to-node stage took {stage}"
+    );
 }
 
 #[test]
@@ -291,8 +323,10 @@ fn workflow_failure_cancels_downstream_jobs() {
 
 #[test]
 fn stage_in_timeout_cancels_and_cleans() {
-    let mut config = SchedConfig::default();
-    config.stage_in_timeout = SimDuration::from_millis(200);
+    let config = SchedConfig {
+        stage_in_timeout: SimDuration::from_millis(200),
+        ..Default::default()
+    };
     let mut sim = testbed(1, config);
     // 100 GiB from Lustre takes far longer than 200 ms.
     put_pfs(&mut sim, "big/dataset", 100 * GIB);
@@ -321,7 +355,8 @@ fn stage_out_failure_leaves_data_for_recovery() {
         let t = sim.model.world.storage.resolve("lustre").unwrap();
         let ns = sim.model.world.storage.ns_mut(t, None);
         let avail = ns.available();
-        ns.write_file("filler.bin", avail - GIB / 2, &cred(), Mode(0o644)).unwrap();
+        ns.write_file("filler.bin", avail - GIB / 2, &cred(), Mode(0o644))
+            .unwrap();
     }
     sim.model.writes_on_start.push((
         "producer".into(),
@@ -347,15 +382,14 @@ fn stage_out_failure_leaves_data_for_recovery() {
 
 #[test]
 fn workflow_boost_prioritizes_later_phases() {
-    let mut config = SchedConfig::default();
-    config.backfill = false;
+    let config = SchedConfig {
+        backfill: false,
+        ..Default::default()
+    };
     let mut sim = testbed(1, config);
-    sim.model.writes_on_start.push((
-        "phase1".into(),
-        GIB,
-        "pmdk0".into(),
-        "wf/data".into(),
-    ));
+    sim.model
+        .writes_on_start
+        .push(("phase1".into(), GIB, "pmdk0".into(), "wf/data".into()));
     let phase1 = submit_script(
         &mut sim,
         "#SBATCH --job-name=phase1\n#SBATCH --nodes=1\n#SBATCH --workflow-start\n\
@@ -396,8 +430,10 @@ fn workflow_boost_prioritizes_later_phases() {
 #[test]
 fn backfill_lets_small_jobs_jump_blocked_heads() {
     let run = |backfill: bool| -> (SimTime, SimTime) {
-        let mut config = SchedConfig::default();
-        config.backfill = backfill;
+        let config = SchedConfig {
+            backfill,
+            ..Default::default()
+        };
         let mut sim = testbed(2, config);
         let _a = submit_script(
             &mut sim,
@@ -430,14 +466,19 @@ fn backfill_lets_small_jobs_jump_blocked_heads() {
     };
     let (c_with, _) = run(true);
     let (c_without, _) = run(false);
-    assert!(c_with < c_without, "backfill should start C earlier ({c_with} vs {c_without})");
+    assert!(
+        c_with < c_without,
+        "backfill should start C earlier ({c_with} vs {c_without})"
+    );
     assert_eq!(c_with, SimTime::ZERO, "C backfills immediately");
 }
 
 #[test]
 fn workflow_status_reports_all_jobs() {
     let mut sim = testbed(2, SchedConfig::default());
-    sim.model.writes_on_start.push(("p".into(), GIB, "pmdk0".into(), "d/x".into()));
+    sim.model
+        .writes_on_start
+        .push(("p".into(), GIB, "pmdk0".into(), "d/x".into()));
     let p = submit_script(
         &mut sim,
         "#SBATCH --job-name=p\n#SBATCH --nodes=1\n#SBATCH --workflow-start\n\
@@ -490,7 +531,10 @@ fn scatter_mapping_splits_children_across_nodes() {
     assert!(nvm_has(&sim, 1, "case/processor1/U"));
     assert!(nvm_has(&sim, 0, "case/processor2/U"));
     assert!(nvm_has(&sim, 1, "case/processor3/U"));
-    assert!(!nvm_has(&sim, 0, "case/processor1/U"), "scatter must not replicate");
+    assert!(
+        !nvm_has(&sim, 0, "case/processor1/U"),
+        "scatter must not replicate"
+    );
     sim.run();
 }
 
@@ -498,7 +542,9 @@ fn scatter_mapping_splits_children_across_nodes() {
 fn events_are_logged_in_order() {
     let mut sim = testbed(1, SchedConfig::default());
     put_pfs(&mut sim, "in.dat", GIB);
-    sim.model.writes_on_start.push(("j".into(), GIB, "pmdk0".into(), "out.dat".into()));
+    sim.model
+        .writes_on_start
+        .push(("j".into(), GIB, "pmdk0".into(), "out.dat".into()));
     let id = submit_script(
         &mut sim,
         "#SBATCH --job-name=j\n#SBATCH --nodes=1\n\
@@ -523,5 +569,8 @@ fn events_are_logged_in_order() {
             _ => "other",
         })
         .collect();
-    assert_eq!(kinds, vec!["submitted", "stage-in", "started", "stage-out", "completed"]);
+    assert_eq!(
+        kinds,
+        vec!["submitted", "stage-in", "started", "stage-out", "completed"]
+    );
 }

@@ -119,7 +119,12 @@ mod tests {
                 .world
                 .storage
                 .ns_mut(t, Some(0))
-                .write_file("out/data.bin", 100 * simcore::units::GB, &Cred::new(1000, 1000), Mode(0o644))
+                .write_file(
+                    "out/data.bin",
+                    100 * simcore::units::GB,
+                    &Cred::new(1000, 1000),
+                    Mode(0o644),
+                )
                 .unwrap();
         }
         let started = sim.now();
@@ -152,6 +157,9 @@ mod tests {
         let cfg = HpcgConfig::paper_test_case();
         let res = run(&mut sim, &[0, 1], &cfg);
         let secs = res.runtime().as_secs_f64();
-        assert!((secs - 122.0).abs() < 1.0, "two idle nodes run at full speed: {secs}");
+        assert!(
+            (secs - 122.0).abs() < 1.0,
+            "two idle nodes run at full speed: {secs}"
+        );
     }
 }

@@ -87,7 +87,11 @@ pub fn run(sim: &mut Sim<BenchWorld>, nodes: &[usize], cfg: &IorConfig) -> IorRe
         })
         .collect();
     let finished = wait_tokens(sim, &tokens);
-    IorResult { started, finished, total_bytes: per_node * nodes.len() as u64 }
+    IorResult {
+        started,
+        finished,
+        total_bytes: per_node * nodes.len() as u64,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +147,10 @@ mod tests {
             run(&mut sim, &(0..8).collect::<Vec<_>>(), &cfg).bandwidth()
         };
         // Shared PFS: 8 nodes gain far less than 8×.
-        assert!(eight < one * 4.0, "pfs must saturate: 1 node {one}, 8 nodes {eight}");
+        assert!(
+            eight < one * 4.0,
+            "pfs must saturate: 1 node {one}, 8 nodes {eight}"
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ pub fn run(sim: &mut Sim<BenchWorld>, nodes: &[usize], cfg: &MpiIoConfig) -> Mpi
     // Collective close/sync barrier.
     let finished = io_done + cfg.collective_overhead;
     sim.run_until(finished);
-    MpiIoResult { started, finished, total_bytes: per_node * nodes.len() as u64 }
+    MpiIoResult {
+        started,
+        finished,
+        total_bytes: per_node * nodes.len() as u64,
+    }
 }
 
 #[cfg(test)]
@@ -93,9 +97,17 @@ mod tests {
         // With 16 nodes the default 4-OST stripe is OST-bound while the
         // full 48-OST stripe can use the whole server side.
         let mut sim = archer_sim(16, 5);
-        let slim = run(&mut sim, &(0..16).collect::<Vec<_>>(), &MpiIoConfig::archer(Some(4)));
+        let slim = run(
+            &mut sim,
+            &(0..16).collect::<Vec<_>>(),
+            &MpiIoConfig::archer(Some(4)),
+        );
         let mut sim = archer_sim(16, 5);
-        let wide = run(&mut sim, &(0..16).collect::<Vec<_>>(), &MpiIoConfig::archer(None));
+        let wide = run(
+            &mut sim,
+            &(0..16).collect::<Vec<_>>(),
+            &MpiIoConfig::archer(None),
+        );
         assert!(
             wide.bandwidth() > slim.bandwidth() * 1.5,
             "full stripe {} vs default {}",
@@ -108,8 +120,12 @@ mod tests {
     fn bandwidth_grows_with_writers_then_saturates() {
         let bw = |nodes: usize| {
             let mut sim = archer_sim(nodes, 9);
-            run(&mut sim, &(0..nodes).collect::<Vec<_>>(), &MpiIoConfig::archer(None))
-                .bandwidth()
+            run(
+                &mut sim,
+                &(0..nodes).collect::<Vec<_>>(),
+                &MpiIoConfig::archer(None),
+            )
+            .bandwidth()
         };
         let b1 = bw(1);
         let b8 = bw(8);

@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn decompose_writes_the_case_tree() {
-        let cfg = OpenFoamConfig { ranks: 16, ..Default::default() };
+        let cfg = OpenFoamConfig {
+            ranks: 16,
+            ..Default::default()
+        };
         let mut sim = world(1);
         let res = decompose(&mut sim, 0, "pmdk0", "case", &cfg);
         assert!(res.runtime() >= cfg.decompose_compute);
@@ -177,11 +180,15 @@ mod tests {
         let nodes: Vec<usize> = (0..16).collect();
         let lustre = {
             let mut sim = world(16);
-            solver(&mut sim, &nodes, "lustre", &cfg).runtime().as_secs_f64()
+            solver(&mut sim, &nodes, "lustre", &cfg)
+                .runtime()
+                .as_secs_f64()
         };
         let nvm = {
             let mut sim = world(16);
-            solver(&mut sim, &nodes, "pmdk0", &cfg).runtime().as_secs_f64()
+            solver(&mut sim, &nodes, "pmdk0", &cfg)
+                .runtime()
+                .as_secs_f64()
         };
         // Paper: 123 s vs 66 s (≈1.9×). Require a clear win.
         assert!(

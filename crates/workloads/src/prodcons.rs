@@ -83,26 +83,26 @@ pub fn materialize_output<M: HasNorns>(
         world
             .storage
             .ns_mut(tier, node)
-            .write_file(&format!("{dir_path}/part{i:04}"), per_file, &cred, Mode(0o644))
+            .write_file(
+                &format!("{dir_path}/part{i:04}"),
+                per_file,
+                &cred,
+                Mode(0o644),
+            )
             .expect("materialize file");
     }
 }
 
 /// Run one phase to completion on a single node against `tier`.
 /// Returns the phase wall time.
-pub fn run_phase(
-    sim: &mut Sim<BenchWorld>,
-    node: usize,
-    tier: &str,
-    phase: &Phase,
-) -> SimDuration {
+pub fn run_phase(sim: &mut Sim<BenchWorld>, node: usize, tier: &str, phase: &Phase) -> SimDuration {
     let started = sim.now();
     // Compute part.
     let compute_end = started + phase.compute;
     sim.run_until(compute_end);
     // I/O wave.
-    let token = ops::app_io(sim, node, tier, phase.dir, phase.bytes, phase.files, None)
-        .expect("phase io");
+    let token =
+        ops::app_io(sim, node, tier, phase.dir, phase.bytes, phase.files, None).expect("phase io");
     let finished = wait_tokens(sim, &[token]);
     finished - started
 }
@@ -138,18 +138,30 @@ mod tests {
         let c_nvm = run_phase(&mut sim, 0, "pmdk0", &cfg.consumer()).as_secs_f64();
         let p_pfs = run_phase(&mut sim, 0, "lustre", &cfg.producer()).as_secs_f64();
         let c_pfs = run_phase(&mut sim, 1, "lustre", &cfg.consumer()).as_secs_f64();
-        assert!(p_pfs > p_nvm * 1.2, "producer: lustre {p_pfs} vs nvm {p_nvm}");
-        assert!(c_pfs > c_nvm * 1.5, "consumer: lustre {c_pfs} vs nvm {c_nvm}");
+        assert!(
+            p_pfs > p_nvm * 1.2,
+            "producer: lustre {p_pfs} vs nvm {p_nvm}"
+        );
+        assert!(
+            c_pfs > c_nvm * 1.5,
+            "consumer: lustre {c_pfs} vs nvm {c_nvm}"
+        );
         // Whole-workflow improvement ≈46% in the paper; require the
         // same direction with at least 25%.
         let lustre_total = p_pfs + c_pfs;
         let nvm_total = p_nvm + c_nvm;
-        assert!(nvm_total < lustre_total * 0.75, "workflow: {lustre_total} → {nvm_total}");
+        assert!(
+            nvm_total < lustre_total * 0.75,
+            "workflow: {lustre_total} → {nvm_total}"
+        );
     }
 
     #[test]
     fn materialized_output_is_stageable() {
-        let cfg = ProdConsConfig { files: 4, ..Default::default() };
+        let cfg = ProdConsConfig {
+            files: 4,
+            ..Default::default()
+        };
         let mut sim = world();
         materialize_output(&mut sim, "pmdk0", Some(0), "wfout", &cfg);
         let t = sim.model.world.storage.resolve("pmdk0").unwrap();

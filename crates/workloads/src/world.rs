@@ -70,7 +70,11 @@ pub fn wait_tokens(sim: &mut Sim<BenchWorld>, tokens: &[u64]) -> SimTime {
             panic!("simulation drained before all app I/O completed");
         }
     }
-    tokens.iter().map(|t| sim.model.app_done[t]).max().unwrap_or(sim.now())
+    tokens
+        .iter()
+        .map(|t| sim.model.app_done[t])
+        .max()
+        .unwrap_or(sim.now())
 }
 
 /// Step until `n` NORNS task completions have been observed.

@@ -14,7 +14,11 @@ fn run(tier: &str, nodes: usize, seed: u64) -> f64 {
     let tb = cluster::nextgenio(nodes);
     let mut sim = Sim::new(BenchWorld::new(tb.world), seed);
     register_tiers(&mut sim);
-    cluster::drive_interference(&mut sim, SimDuration::from_secs(600), SimTime::from_secs(36_000));
+    cluster::drive_interference(
+        &mut sim,
+        SimDuration::from_secs(600),
+        SimTime::from_secs(36_000),
+    );
     let cfg = IorConfig {
         tier: tier.into(),
         procs_per_node: 48,
@@ -28,7 +32,10 @@ fn run(tier: &str, nodes: usize, seed: u64) -> f64 {
 
 fn main() {
     println!("aggregated IOR write bandwidth on the NEXTGenIO model (GB/s):\n");
-    println!("{:>6}  {:>14}  {:>14}  {:>7}", "nodes", "lustre (GB/s)", "dcpmm (GB/s)", "ratio");
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>7}",
+        "nodes", "lustre (GB/s)", "dcpmm (GB/s)", "ratio"
+    );
     for nodes in [1usize, 4, 16, 32] {
         // Sample lustre across several interference regimes.
         let lustre: Vec<f64> = (0..5).map(|s| run("lustre", nodes, 100 + s)).collect();

@@ -7,20 +7,29 @@
 //! ```
 
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon, UserClient};
-use norns_proto::{BackendKind, DataspaceDesc, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState};
+use norns_proto::{
+    BackendKind, DataspaceDesc, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
+    DEFAULT_PRIORITY,
+};
 
 /// The paper's `buffer_offloading(void* buffer, int size)` in Rust.
 fn buffer_offloading(user: &mut UserClient, buffer: &[u8]) {
     // define and submit transfer task for buffer
     let tsk = TaskSpec {
         op: TaskOp::Copy,
-        input: ResourceDesc::MemoryRegion { addr: buffer.as_ptr() as u64, size: buffer.len() as u64 },
+        priority: DEFAULT_PRIORITY,
+        input: ResourceDesc::MemoryRegion {
+            addr: buffer.as_ptr() as u64,
+            size: buffer.len() as u64,
+        },
         output: Some(ResourceDesc::PosixPath {
             nsid: "tmp0".into(),
             path: "path/to/output".into(),
         }),
     };
-    let task_id = user.submit(tsk, Some(buffer)).expect("task submission failed");
+    let task_id = user
+        .submit(tsk, Some(buffer))
+        .expect("task submission failed");
 
     work_not_dependent_on_task();
 
@@ -59,13 +68,43 @@ fn main() {
         tracked: false,
     })
     .unwrap();
-    ctl.register_job(JobDesc { job_id: 7, hosts: vec!["localhost".into()], limits: vec![] })
+    ctl.register_job(JobDesc {
+        job_id: 7,
+        hosts: vec!["localhost".into()],
+        limits: vec![],
+    })
+    .unwrap();
+    // Before registration the user socket refuses submissions —
+    // §IV-B: only scheduler-registered processes may use the API.
+    {
+        let mut early = UserClient::connect(&daemon.user_path).unwrap();
+        let spec = TaskSpec::new(
+            TaskOp::Copy,
+            ResourceDesc::MemoryRegion { addr: 0, size: 1 },
+            Some(ResourceDesc::PosixPath {
+                nsid: "pmdk0".into(),
+                path: "nope".into(),
+            }),
+        );
+        match early.submit(spec, Some(&[0u8])) {
+            Err(norns_ipc::ClientError::Remote { code, .. }) => {
+                println!("unregistered process rejected: {code:?}");
+            }
+            other => panic!("expected rejection before registration, got {other:?}"),
+        }
+    }
+    ctl.add_process(7, std::process::id() as u64, 1000, 1000)
         .unwrap();
-    ctl.add_process(7, std::process::id() as u64, 1000, 1000).unwrap();
 
     let mut user = UserClient::connect(&daemon.user_path).unwrap();
-    println!("dataspaces visible to the process: {:?}",
-        user.dataspaces().unwrap().iter().map(|d| d.nsid.clone()).collect::<Vec<_>>());
+    println!(
+        "dataspaces visible to the process: {:?}",
+        user.dataspaces()
+            .unwrap()
+            .iter()
+            .map(|d| d.nsid.clone())
+            .collect::<Vec<_>>()
+    );
 
     // A 4 MiB "checkpoint" buffer.
     let buffer: Vec<u8> = (0..4 << 20).map(|i| (i % 251) as u8).collect();

@@ -76,7 +76,10 @@ fn main() {
     let tb = cluster::nextgenio_quiet(8);
     let nodes = tb.world.nodes();
     let mut sim = Sim::new(
-        Model { world: tb.world, ctld: Slurmctld::new(nodes, SchedConfig::default()) },
+        Model {
+            world: tb.world,
+            ctld: Slurmctld::new(nodes, SchedConfig::default()),
+        },
         5,
     );
     workloads::register_tiers(&mut sim);
@@ -105,7 +108,12 @@ fn main() {
 
     // Check the redistribution: every solver node holds its share.
     let t = sim.model.world.storage.resolve("lustre").unwrap();
-    let archived = sim.model.world.storage.ns(t, None).list("runs/aircraft", &Cred::root());
+    let archived = sim
+        .model
+        .world
+        .storage
+        .ns(t, None)
+        .list("runs/aircraft", &Cred::root());
     println!(
         "\nprocessor directories archived on Lustre: {}",
         archived.map(|v| v.len()).unwrap_or(0)

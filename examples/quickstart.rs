@@ -11,7 +11,10 @@
 //! `#NORNS stage_in` directive — and verifies the result.
 
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
-use norns_proto::{BackendKind, DataspaceDesc, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState};
+use norns_proto::{
+    BackendKind, DataspaceDesc, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
+    DEFAULT_PRIORITY,
+};
 
 fn main() {
     // 1. A scratch area standing in for the PFS and one for the NVM.
@@ -55,7 +58,11 @@ fn main() {
             1,
             TaskSpec {
                 op: TaskOp::Copy,
-                input: ResourceDesc::PosixPath { nsid: "lustre".into(), path: "input.dat".into() },
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::PosixPath {
+                    nsid: "lustre".into(),
+                    path: "input.dat".into(),
+                },
                 output: Some(ResourceDesc::PosixPath {
                     nsid: "pmdk0".into(),
                     path: "work/input.dat".into(),

@@ -68,7 +68,12 @@ impl HasSlurm for Model {
                 .world
                 .storage
                 .ns_mut(t, Some(nodes[0]))
-                .write_file("wf/out.bin", 20_000_000_000, &Cred::new(1000, 1000), Mode(0o644))
+                .write_file(
+                    "wf/out.bin",
+                    20_000_000_000,
+                    &Cred::new(1000, 1000),
+                    Mode(0o644),
+                )
                 .unwrap();
         }
         sim.model.log.push((now, line));
@@ -79,7 +84,11 @@ fn main() {
     let tb = cluster::nextgenio_quiet(4);
     let nodes = tb.world.nodes();
     let mut sim = Sim::new(
-        Model { world: tb.world, ctld: Slurmctld::new(nodes, SchedConfig::default()), log: vec![] },
+        Model {
+            world: tb.world,
+            ctld: Slurmctld::new(nodes, SchedConfig::default()),
+            log: vec![],
+        },
         1,
     );
     workloads::register_tiers(&mut sim);
@@ -115,7 +124,12 @@ fn main() {
         println!("  [{:>8.3}s] {line}", t.as_secs_f64());
     }
     let t = sim.model.world.storage.resolve("lustre").unwrap();
-    let archived = sim.model.world.storage.ns(t, None).exists("archive/run1/out.bin");
+    let archived = sim
+        .model
+        .world
+        .storage
+        .ns(t, None)
+        .exists("archive/run1/out.bin");
     println!("result archived on Lustre: {archived}");
     assert!(archived);
 }

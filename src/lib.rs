@@ -4,13 +4,14 @@
 //! cross-crate integration tests under `tests/` and the runnable
 //! examples under `examples/` have a single dependency root.
 //!
-//! See `README.md` for an overview, `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` at the workspace root for the crate map, build and
+//! test instructions, and the shared-scheduler architecture.
 
 pub use cluster;
 pub use norns;
 pub use norns_ipc;
 pub use norns_proto;
+pub use norns_sched;
 pub use simcore;
 pub use simnet;
 pub use simstore;

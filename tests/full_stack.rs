@@ -60,7 +60,14 @@ impl HasSlurm for Stack {
 fn stack(nodes: usize) -> Sim<Stack> {
     let tb = cluster::nextgenio_quiet(nodes);
     let ctld = Slurmctld::new(nodes, SchedConfig::default());
-    let mut sim = Sim::new(Stack { world: tb.world, ctld, events: vec![] }, 3);
+    let mut sim = Sim::new(
+        Stack {
+            world: tb.world,
+            ctld,
+            events: vec![],
+        },
+        3,
+    );
     register_tiers(&mut sim);
     sim
 }
@@ -118,10 +125,10 @@ fn nvm_workflow_beats_lustre_workflow() {
     let tb = cluster::nextgenio_quiet(2);
     let mut sim = Sim::new(BenchWorld::new(tb.world), 1);
     register_tiers(&mut sim);
-    let lustre =
-        run_phase(&mut sim, 0, "lustre", &cfg.producer()) + run_phase(&mut sim, 1, "lustre", &cfg.consumer());
-    let nvm =
-        run_phase(&mut sim, 0, "pmdk0", &cfg.producer()) + run_phase(&mut sim, 0, "pmdk0", &cfg.consumer());
+    let lustre = run_phase(&mut sim, 0, "lustre", &cfg.producer())
+        + run_phase(&mut sim, 1, "lustre", &cfg.consumer());
+    let nvm = run_phase(&mut sim, 0, "pmdk0", &cfg.producer())
+        + run_phase(&mut sim, 0, "pmdk0", &cfg.consumer());
     assert!(
         nvm.as_secs_f64() < lustre.as_secs_f64() * 0.75,
         "NVM workflow must be >25% faster: lustre {lustre}, nvm {nvm}"
@@ -138,8 +145,7 @@ fn node_local_aggregate_scales_but_pfs_does_not() {
         let t0 = sim.now();
         let tokens: Vec<u64> = (0..nodes)
             .map(|n| {
-                norns::sim::ops::app_io(&mut sim, n, tier, IoDir::Write, 8 * GB, 48, None)
-                    .unwrap()
+                norns::sim::ops::app_io(&mut sim, n, tier, IoDir::Write, 8 * GB, 48, None).unwrap()
             })
             .collect();
         let end = workloads::wait_tokens(&mut sim, &tokens);
@@ -179,6 +185,7 @@ fn wire_protocol_matches_real_daemon_behaviour() {
             0,
             norns_proto::TaskSpec {
                 op: norns_proto::TaskOp::Move,
+                priority: norns_proto::DEFAULT_PRIORITY,
                 input: norns_proto::ResourceDesc::PosixPath {
                     nsid: "tmp0".into(),
                     path: "x".into(),
@@ -203,8 +210,14 @@ fn experiment_drivers_produce_paper_shapes() {
     let rps_1 = norns_bench_shapes::request_rate_small(1);
     let rps_8 = norns_bench_shapes::request_rate_small(8);
     let rps_32 = norns_bench_shapes::request_rate_small(32);
-    assert!(rps_8 > rps_1 * 2.0, "throughput grows with clients: {rps_1} → {rps_8}");
-    assert!(rps_32 < rps_8 * 4.0, "single accept thread saturates: {rps_8} → {rps_32}");
+    assert!(
+        rps_8 > rps_1 * 2.0,
+        "throughput grows with clients: {rps_1} → {rps_8}"
+    );
+    assert!(
+        rps_32 < rps_8 * 4.0,
+        "single accept thread saturates: {rps_8} → {rps_32}"
+    );
 }
 
 /// The bench crate is a binary-focused crate; rebuild the small shape
@@ -233,6 +246,7 @@ mod norns_bench_shapes {
         .unwrap();
         let per_client = 300;
         let mut sent = vec![0usize; clients + 1];
+        #[allow(clippy::needless_range_loop)]
         for c in 1..=clients {
             let tok = ((c as u64) << 32) | sent[c] as u64;
             ops::rpc_call(&mut sim, c, 0, RpcRequest::Ping, tok);
