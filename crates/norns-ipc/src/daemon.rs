@@ -16,7 +16,7 @@ use norns_proto::{
     encode_frame, CtlRequest, DaemonCommand, ErrorCode, FrameReader, Response, UserRequest, Wire,
 };
 
-use crate::engine::{Engine, PolicyKind};
+use crate::engine::{Engine, EngineConfig, PolicyKind};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -28,6 +28,9 @@ pub struct DaemonConfig {
     /// Bound on the pending task set (submissions past it get
     /// `ErrorCode::Busy`).
     pub queue_capacity: usize,
+    /// Data-plane chunk size: transfers larger than this split into
+    /// chunk sub-units executed by multiple workers.
+    pub chunk_size: u64,
     /// Task arbitration policy the worker pool dispatches through.
     pub policy: PolicyKind,
 }
@@ -38,6 +41,7 @@ impl DaemonConfig {
             socket_dir: dir.into(),
             workers: 4,
             queue_capacity: crate::engine::DEFAULT_QUEUE_CAPACITY,
+            chunk_size: crate::engine::DEFAULT_CHUNK_SIZE,
             policy: PolicyKind::Fcfs,
         }
     }
@@ -49,6 +53,11 @@ impl DaemonConfig {
 
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    pub fn with_chunk_size(mut self, chunk_size: u64) -> Self {
+        self.chunk_size = chunk_size;
         self
     }
 }
@@ -69,9 +78,13 @@ impl UrdDaemon {
         let _ = std::fs::remove_file(&control_path);
         let _ = std::fs::remove_file(&user_path);
 
-        let engine = Engine::with_policy(
-            config.workers,
-            config.queue_capacity,
+        let engine = Engine::with_config(
+            EngineConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                chunk_size: config.chunk_size,
+                ..EngineConfig::default()
+            },
             config.policy.to_policy(),
         );
         let shared = Arc::new(Shared {

@@ -4,16 +4,30 @@
 //!
 //! This is the real-I/O counterpart of the simulated urd: dataspaces
 //! map to directories on the host filesystem, `process memory ⇒ local
-//! path` writes an actual buffer, `local ⇒ local` copies real files
-//! (Table II's `sendfile` plugin via `std::io::copy`).
+//! path` writes an actual buffer, `local ⇒ local` moves real bytes.
 //!
-//! Task arbitration is shared with the simulated urd: workers pull
-//! from a [`norns_sched::Scheduler`] guarded by a mutex+condvar, so
-//! the same FCFS / shortest-first / fair-share / weighted-priority
-//! policies order real transfers. The pending set is **bounded**:
-//! submissions past [`DEFAULT_QUEUE_CAPACITY`] are rejected with
-//! [`ErrorCode::Busy`] (EAGAIN-style admission control) instead of
-//! growing an unbounded backlog.
+//! The engine separates a **control plane** from a **data plane**:
+//!
+//! * Control plane — admission, arbitration and observation. Task
+//!   arbitration is shared with the simulated urd via
+//!   [`norns_sched::Scheduler`] behind a mutex+condvar; the pending
+//!   set is **bounded** (submissions past the capacity are rejected
+//!   with [`ErrorCode::Busy`], EAGAIN-style). Task state lives in a
+//!   sharded table ([`shard`]): N id-keyed shards with per-shard
+//!   condvars, so a completion wakes only the waiters parked on its
+//!   shard, and user-socket admission checks go through an O(1)
+//!   `pid → job` reverse index instead of a scan over all jobs.
+//! * Data plane — [`transfer`]: transfers larger than the configured
+//!   chunk size are decomposed into chunk *sub-units* fed back through
+//!   the scheduler, so several workers cooperate on one file (and,
+//!   under fair-share, a huge file cannot monopolize the pool); byte
+//!   ranges move zero-copy via `copy_file_range` with a pooled-buffer
+//!   fallback; `Move` degrades to `rename()` when source and
+//!   destination share a filesystem; and a per-task atomic advances
+//!   `bytes_moved` live, making `query()` a real progress API.
+
+mod shard;
+mod transfer;
 
 use std::collections::HashMap;
 use std::fs;
@@ -30,11 +44,22 @@ use norns_proto::{
     TaskStats,
 };
 use norns_sched::{
-    ArbitrationPolicy, Fcfs, JobFairShare, Scheduler, ShortestFirst, WeightedPriority,
+    ArbitrationPolicy, Fcfs, JobFairShare, PendingTask, Scheduler, ShortestFirst, WeightedPriority,
 };
+
+pub use shard::DEFAULT_SHARDS;
+pub use transfer::{DEFAULT_CHUNK_SIZE, MIN_CHUNK_SIZE};
+
+use shard::{ShardedTaskTable, TaskEntry};
+use transfer::{copy_tree, map_io, ChunkedCopy};
 
 /// Default bound on the pending task set.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Id space for internal chunk sub-units: disjoint from task ids (which
+/// are allocated densely from 1), so a sub-unit key can never collide
+/// with — or be mistaken for — a client-visible task.
+const UNIT_ID_BASE: u64 = 1 << 62;
 
 /// Policy trait object over the real daemon's key types: job id, task
 /// id, and microseconds-since-start as the timestamp.
@@ -85,20 +110,41 @@ impl std::str::FromStr for PolicyKind {
     }
 }
 
-/// One queued transfer.
-struct Work {
-    task_id: u64,
-    spec: TaskSpec,
-    payload: Option<Vec<u8>>,
+/// Engine tuning knobs (see README § data plane).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing transfers.
+    pub workers: usize,
+    /// Bound on the pending task set (admission control).
+    pub queue_capacity: usize,
+    /// Transfers larger than this are decomposed into chunk sub-units;
+    /// clamped to at least [`MIN_CHUNK_SIZE`].
+    pub chunk_size: u64,
+    /// Task-table shard count (rounded up to a power of two).
+    pub shards: usize,
 }
 
-#[derive(Debug, Clone)]
-struct TaskEntry {
-    stats: TaskStats,
-    submitted_at: Instant,
-    /// Scheduler key of the submitter (job id on the control path,
-    /// tagged pid on the user path); authorizes user-socket cancels.
-    owner: u64,
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            shards: DEFAULT_SHARDS,
+        }
+    }
+}
+
+/// Payload behind one dispatchable scheduler entry.
+enum Work {
+    /// An undecomposed task: the validated spec, plus the caller's
+    /// buffer for memory-region transfers.
+    Whole {
+        spec: TaskSpec,
+        payload: Option<Vec<u8>>,
+    },
+    /// One sub-unit of a planned chunked copy.
+    Chunk(Arc<ChunkedCopy>),
 }
 
 #[derive(Default)]
@@ -109,6 +155,10 @@ struct Registry {
     jobs: HashMap<u64, JobDesc>,
     /// (job, pid) pairs registered via `add_process`.
     processes: HashMap<u64, Vec<u64>>,
+    /// Reverse index pid → jobs, mirroring `processes`: user-socket
+    /// admission (`process_known` / `process_registered`) is a hash
+    /// lookup, not a scan over every registered job.
+    pid_jobs: HashMap<u64, Vec<u64>>,
 }
 
 /// Pending work behind the dispatch mutex: the shared scheduler holds
@@ -119,20 +169,32 @@ struct DispatchState {
     stop: bool,
 }
 
+/// What one dispatched whole task turned into.
+enum Outcome {
+    /// Completed inline on this worker; bytes moved.
+    Done(u64),
+    /// Decomposed into a chunked copy; sub-units must be enqueued.
+    Chunked(Arc<ChunkedCopy>),
+}
+
 /// Shared daemon state.
 pub struct Engine {
     registry: Mutex<Registry>,
-    tasks: Mutex<HashMap<u64, TaskEntry>>,
-    task_cv: Condvar,
+    tasks: ShardedTaskTable,
     dispatch: Mutex<DispatchState>,
     dispatch_cv: Condvar,
     next_task: AtomicU64,
+    next_unit: AtomicU64,
     /// O(1) status counters, updated at every task state transition
     /// (`status()` must not scan the whole task table — it is polled).
     pending_count: AtomicU64,
     running_count: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
+    /// High-water mark of workers simultaneously copying chunks of one
+    /// transfer — observability for the `ablation_chunk` bench.
+    peak_chunk_workers: AtomicU64,
+    chunk_size: u64,
     accepting: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started_at: Instant,
@@ -140,30 +202,50 @@ pub struct Engine {
 
 impl Engine {
     /// Create the engine and its worker pool with the default policy
-    /// (FCFS) and queue bound.
+    /// (FCFS) and knobs.
     pub fn new(workers: usize) -> Arc<Engine> {
-        Self::with_policy(workers, DEFAULT_QUEUE_CAPACITY, Box::new(Fcfs))
+        Self::with_config(
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+            Box::new(Fcfs),
+        )
     }
 
     /// Create the engine with an explicit arbitration policy and
-    /// pending-queue capacity.
+    /// pending-queue capacity (remaining knobs at their defaults).
     pub fn with_policy(workers: usize, capacity: usize, policy: IpcPolicy) -> Arc<Engine> {
-        let workers = workers.max(1);
+        Self::with_config(
+            EngineConfig {
+                workers,
+                queue_capacity: capacity,
+                ..EngineConfig::default()
+            },
+            policy,
+        )
+    }
+
+    /// Create the engine with the full set of knobs.
+    pub fn with_config(config: EngineConfig, policy: IpcPolicy) -> Arc<Engine> {
+        let workers = config.workers.max(1);
         let engine = Arc::new(Engine {
             registry: Mutex::new(Registry::default()),
-            tasks: Mutex::new(HashMap::new()),
-            task_cv: Condvar::new(),
+            tasks: ShardedTaskTable::new(config.shards),
             dispatch: Mutex::new(DispatchState {
-                sched: Scheduler::new(workers, policy).with_capacity(capacity),
+                sched: Scheduler::new(workers, policy).with_capacity(config.queue_capacity),
                 work: HashMap::new(),
                 stop: false,
             }),
             dispatch_cv: Condvar::new(),
             next_task: AtomicU64::new(1),
+            next_unit: AtomicU64::new(UNIT_ID_BASE),
             pending_count: AtomicU64::new(0),
             running_count: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            peak_chunk_workers: AtomicU64::new(0),
+            chunk_size: config.chunk_size.max(MIN_CHUNK_SIZE),
             accepting: AtomicBool::new(true),
             workers: Mutex::new(Vec::new()),
             started_at: Instant::now(),
@@ -182,21 +264,30 @@ impl Engine {
     }
 
     /// Stop the worker pool and join every worker thread. Pending
-    /// tasks that never ran are marked [`TaskState::Cancelled`].
-    /// Idempotent; called by `UrdDaemon` on drop.
+    /// tasks that never ran are marked [`TaskState::Cancelled`]; chunk
+    /// sub-units of half-finished transfers are aborted so their tasks
+    /// still reach a terminal state. Idempotent; called by `UrdDaemon`
+    /// on drop.
     pub fn shutdown(&self) {
-        let orphaned: Vec<u64> = {
+        let orphaned: Vec<(u64, Work)> = {
             let mut st = self.dispatch.lock();
             if st.stop {
                 Vec::new()
             } else {
                 st.stop = true;
-                st.work.drain().map(|(id, _)| id).collect()
+                st.work.drain().collect()
             }
         };
         self.dispatch_cv.notify_all();
-        for task_id in orphaned {
-            self.mark_cancelled(task_id);
+        for (id, work) in orphaned {
+            match work {
+                Work::Whole { .. } => self.mark_cancelled(id),
+                Work::Chunk(plan) => {
+                    if plan.abort_unit("daemon shutdown during transfer") {
+                        self.finalize_chunked(&plan);
+                    }
+                }
+            }
         }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
         for handle in handles {
@@ -217,8 +308,10 @@ impl Engine {
             pending_tasks: self.pending_count.load(Ordering::SeqCst),
             running_tasks: self.running_count.load(Ordering::SeqCst),
             completed_tasks: self.completed.load(Ordering::SeqCst),
+            cancelled_tasks: self.cancelled.load(Ordering::SeqCst),
             registered_jobs: registry.jobs.len() as u64,
             registered_dataspaces: registry.dataspaces.len() as u64,
+            chunk_size: self.chunk_size,
         }
     }
 
@@ -230,6 +323,22 @@ impl Engine {
     /// Tasks cancelled before they ran.
     pub fn cancelled_tasks(&self) -> u64 {
         self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Active data-plane chunk size in bytes.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// High-water mark of workers simultaneously executing chunks of a
+    /// single decomposed transfer.
+    pub fn peak_chunk_workers(&self) -> u64 {
+        self.peak_chunk_workers.load(Ordering::Relaxed)
+    }
+
+    /// Task-table shard count (for tests and status tooling).
+    pub fn task_table_shards(&self) -> usize {
+        self.tasks.shard_count()
     }
 
     // ---- registration ----
@@ -302,7 +411,18 @@ impl Engine {
 
     pub fn unregister_job(&self, job_id: u64) -> Result<(), (ErrorCode, String)> {
         let mut reg = self.registry.lock();
-        reg.processes.remove(&job_id);
+        if let Some(pids) = reg.processes.remove(&job_id) {
+            for pid in pids {
+                if let Some(jobs) = reg.pid_jobs.get_mut(&pid) {
+                    if let Some(i) = jobs.iter().position(|j| *j == job_id) {
+                        jobs.swap_remove(i);
+                    }
+                    if jobs.is_empty() {
+                        reg.pid_jobs.remove(&pid);
+                    }
+                }
+            }
+        }
         reg.jobs
             .remove(&job_id)
             .map(|_| ())
@@ -315,6 +435,7 @@ impl Engine {
             return Err((ErrorCode::NotFound, format!("job {job_id}")));
         }
         reg.processes.entry(job_id).or_default().push(pid);
+        reg.pid_jobs.entry(pid).or_default().push(job_id);
         Ok(())
     }
 
@@ -329,21 +450,31 @@ impl Engine {
         if procs.len() == before {
             return Err((ErrorCode::NotFound, format!("process {pid}")));
         }
+        if let Some(jobs) = reg.pid_jobs.get_mut(&pid) {
+            jobs.retain(|j| *j != job_id);
+            if jobs.is_empty() {
+                reg.pid_jobs.remove(&pid);
+            }
+        }
         Ok(())
     }
 
     /// Does `pid` belong to `job`? (User-socket submissions only.)
+    /// O(1) via the reverse index.
     pub fn process_registered(&self, job_id: u64, pid: u64) -> bool {
         let reg = self.registry.lock();
-        reg.processes.get(&job_id).is_some_and(|p| p.contains(&pid))
+        reg.pid_jobs
+            .get(&pid)
+            .is_some_and(|jobs| jobs.contains(&job_id))
     }
 
     /// Is `pid` registered to *any* job? The user socket only accepts
     /// submissions from processes the scheduler registered via
-    /// `AddProcess` (paper §IV-B).
+    /// `AddProcess` (paper §IV-B). O(1) via the reverse index — this
+    /// runs on every user-socket submission, so it must not scan jobs.
     pub fn process_known(&self, pid: u64) -> bool {
         let reg = self.registry.lock();
-        reg.processes.values().any(|pids| pids.contains(&pid))
+        reg.pid_jobs.contains_key(&pid)
     }
 
     // ---- task lifecycle ----
@@ -406,7 +537,8 @@ impl Engine {
                     ErrorCode::BadArgs,
                     "copy/move require an output".to_string(),
                 ))?;
-                self.resolve(out)?;
+                // Resolved once; reused for the nesting check below.
+                let dst = self.resolve(out)?;
                 match &spec.input {
                     ResourceDesc::MemoryRegion { size, .. } => {
                         let got = payload.as_ref().map(|p| p.len() as u64).unwrap_or(0);
@@ -424,7 +556,6 @@ impl Engine {
                         // would make the recursive copy re-copy its own
                         // output forever (dst appears in src's listing)
                         // and blow the worker's stack.
-                        let dst = self.resolve(out)?;
                         if dst.starts_with(&src) {
                             return Err((
                                 ErrorCode::BadArgs,
@@ -459,15 +590,8 @@ impl Engine {
             st.sched
                 .try_enqueue(task_id, job, bytes_total, priority, now_us)
                 .map_err(|full| (ErrorCode::Busy, format!("{full}; retry later (EAGAIN)")))?;
-            st.work.insert(
-                task_id,
-                Work {
-                    task_id,
-                    spec,
-                    payload,
-                },
-            );
-            self.tasks.lock().insert(
+            st.work.insert(task_id, Work::Whole { spec, payload });
+            self.tasks.insert(
                 task_id,
                 TaskEntry {
                     stats: TaskStats {
@@ -480,6 +604,7 @@ impl Engine {
                     },
                     submitted_at: Instant::now(),
                     owner: job,
+                    progress: Arc::new(AtomicU64::new(0)),
                 },
             );
             self.pending_count.fetch_add(1, Ordering::SeqCst);
@@ -496,17 +621,19 @@ impl Engine {
     /// submitter key for user-socket callers, who may only cancel
     /// their own tasks.
     pub fn cancel(&self, task_id: u64, requester: Option<u64>) -> Result<(), (ErrorCode, String)> {
-        if let Some(who) = requester {
-            let tasks = self.tasks.lock();
-            match tasks.get(&task_id) {
-                None => return Err((ErrorCode::NotFound, format!("task {task_id}"))),
-                Some(t) if t.owner != who => {
+        // Only ids present in the task table are cancellable. This also
+        // shields the scheduler's internal chunk sub-units (which carry
+        // their own scheduler keys but no table entry): yanking one
+        // would leave its parent transfer a chunk short of finalizing.
+        match self.tasks.read(task_id, |t| t.owner) {
+            None => return Err((ErrorCode::NotFound, format!("task {task_id}"))),
+            Some(owner) => {
+                if requester.is_some_and(|who| owner != who) {
                     return Err((
                         ErrorCode::PermissionDenied,
                         format!("task {task_id} belongs to another submitter"),
                     ));
                 }
-                Some(_) => {}
             }
         }
         let removed = {
@@ -541,26 +668,25 @@ impl Engine {
         }
     }
 
-    /// Transition a pending task to `Cancelled` and wake waiters.
+    /// Transition a pending task to `Cancelled` and wake its shard.
+    /// Counters move inside the shard-locked closure, before the wake:
+    /// anyone whom the wake unblocks must already see them updated.
     fn mark_cancelled(&self, task_id: u64) {
-        let mut tasks = self.tasks.lock();
-        if let Some(t) = tasks.get_mut(&task_id) {
+        self.tasks.update_and_wake(task_id, |t| {
             if t.stats.state == TaskState::Pending {
                 t.stats.state = TaskState::Cancelled;
                 t.stats.wait_usec = t.submitted_at.elapsed().as_micros() as u64;
                 self.pending_count.fetch_sub(1, Ordering::SeqCst);
                 self.cancelled.fetch_add(1, Ordering::SeqCst);
             }
-        }
-        drop(tasks);
-        self.task_cv.notify_all();
+        });
     }
 
-    /// Worker thread: pull tasks through the shared scheduler until
-    /// shutdown.
+    /// Worker thread: pull dispatchable entries (whole tasks and chunk
+    /// sub-units) through the shared scheduler until shutdown.
     fn worker_loop(self: &Arc<Self>) {
         loop {
-            let work = {
+            let (pending, work) = {
                 let mut st = self.dispatch.lock();
                 loop {
                     if st.stop {
@@ -569,167 +695,248 @@ impl Engine {
                     if let Some(pending) = st.sched.dispatch() {
                         // cancel() and shutdown() remove scheduler and
                         // work entries under this same mutex, so a
-                        // dispatched task always has its payload.
+                        // dispatched entry always has its payload.
                         let work = st
                             .work
                             .remove(&pending.task)
                             .expect("dispatched task has work payload");
-                        break work;
+                        break (pending, work);
                     }
                     self.dispatch_cv.wait(&mut st);
                 }
             };
-            self.execute(work);
+            match work {
+                Work::Whole { spec, payload } => self.execute_whole(&pending, spec, payload),
+                Work::Chunk(plan) => {
+                    if plan.run_unit() {
+                        self.finalize_chunked(&plan);
+                    }
+                }
+            }
             self.dispatch.lock().sched.finish();
         }
     }
 
-    /// Worker-thread execution of one task.
-    fn execute(self: &Arc<Self>, work: Work) {
+    /// Worker-thread execution of one whole task (which may decompose
+    /// into a chunked copy on the way).
+    fn execute_whole(
+        self: &Arc<Self>,
+        pending: &PendingTask<u64, u64, u64>,
+        spec: TaskSpec,
+        payload: Option<Vec<u8>>,
+    ) {
+        let task_id = pending.task;
         let start = Instant::now();
-        {
-            let mut tasks = self.tasks.lock();
-            if let Some(t) = tasks.get_mut(&work.task_id) {
+        let progress = self
+            .tasks
+            .update(task_id, |t| {
                 t.stats.state = TaskState::InProgress;
                 t.stats.wait_usec = t.submitted_at.elapsed().as_micros() as u64;
+                Arc::clone(&t.progress)
+            })
+            .unwrap_or_default();
+        self.pending_count.fetch_sub(1, Ordering::SeqCst);
+        self.running_count.fetch_add(1, Ordering::SeqCst);
+        match self.run_transfer(task_id, &spec, payload.as_deref(), &progress) {
+            Ok(Outcome::Done(moved)) => {
+                self.complete_task(task_id, Ok(moved), start.elapsed().as_micros() as u64);
             }
-            self.pending_count.fetch_sub(1, Ordering::SeqCst);
-            self.running_count.fetch_add(1, Ordering::SeqCst);
-        }
-        let result = self.run_transfer(&work);
-        let elapsed = start.elapsed().as_micros() as u64;
-        {
-            let mut tasks = self.tasks.lock();
-            if let Some(t) = tasks.get_mut(&work.task_id) {
-                match result {
-                    Ok(moved) => {
-                        t.stats.state = TaskState::Finished;
-                        t.stats.bytes_moved = moved;
-                        t.stats.bytes_total = t.stats.bytes_total.max(moved);
-                    }
-                    Err((code, _)) => {
-                        t.stats.state = TaskState::FinishedWithError;
-                        t.stats.error = code;
-                    }
+            Ok(Outcome::Chunked(plan)) => {
+                // Feed the remaining chunks through the scheduler, then
+                // work one chunk ourselves; whichever worker finishes
+                // the last unit finalizes the task.
+                self.enqueue_chunk_units(pending, &plan);
+                if plan.run_unit() {
+                    self.finalize_chunked(&plan);
                 }
-                t.stats.elapsed_usec = elapsed;
             }
-            self.running_count.fetch_sub(1, Ordering::SeqCst);
+            Err(err) => {
+                self.complete_task(task_id, Err(err), start.elapsed().as_micros() as u64);
+            }
         }
-        self.completed.fetch_add(1, Ordering::SeqCst);
-        self.task_cv.notify_all();
     }
 
-    fn run_transfer(&self, work: &Work) -> Result<u64, (ErrorCode, String)> {
-        let map_io = |e: std::io::Error| -> (ErrorCode, String) {
-            let code = match e.kind() {
-                std::io::ErrorKind::NotFound => ErrorCode::NotFound,
-                std::io::ErrorKind::PermissionDenied => ErrorCode::PermissionDenied,
-                std::io::ErrorKind::StorageFull => ErrorCode::NoSpace,
-                _ => ErrorCode::SystemError,
-            };
-            (code, e.to_string())
-        };
-        match work.spec.op {
+    /// Enqueue one scheduler sub-unit per remaining chunk. Sub-units
+    /// inherit the parent's job / priority / size / seq, so arbitration
+    /// treats them exactly like the parent: FCFS keeps idle workers
+    /// converging on the oldest transfer, fair-share interleaves chunks
+    /// with other jobs' tasks.
+    fn enqueue_chunk_units(&self, parent: &PendingTask<u64, u64, u64>, plan: &Arc<ChunkedCopy>) {
+        let extra = plan.extra_units();
+        if extra == 0 {
+            return;
+        }
+        {
+            let mut st = self.dispatch.lock();
+            if st.stop {
+                // Shutdown raced the planner: nobody will dispatch
+                // these units, so account them as aborted now —
+                // otherwise the task never reaches a terminal state.
+                drop(st);
+                for _ in 0..extra {
+                    if plan.abort_unit("daemon shutdown during transfer") {
+                        self.finalize_chunked(plan);
+                    }
+                }
+                return;
+            }
+            // One batched splice: per-unit inserts would be quadratic
+            // in the chunk count, all under the dispatch lock.
+            let first_id = self.next_unit.fetch_add(extra, Ordering::SeqCst);
+            let DispatchState { sched, work, .. } = &mut *st;
+            sched.enqueue_units((first_id..first_id + extra).map(|unit_id| {
+                work.insert(unit_id, Work::Chunk(Arc::clone(plan)));
+                PendingTask {
+                    task: unit_id,
+                    ..*parent
+                }
+            }));
+        }
+        // Several units just became dispatchable: wake the whole pool.
+        self.dispatch_cv.notify_all();
+    }
+
+    /// Terminal bookkeeping for a chunked copy, run by the last unit.
+    fn finalize_chunked(&self, plan: &Arc<ChunkedCopy>) {
+        self.peak_chunk_workers
+            .fetch_max(plan.peak_workers(), Ordering::Relaxed);
+        self.complete_task(plan.task_id, plan.finalize(), plan.elapsed_usec());
+    }
+
+    /// Move a task to its terminal state, fix up counters and wake the
+    /// task's shard.
+    fn complete_task(
+        &self,
+        task_id: u64,
+        result: Result<u64, (ErrorCode, String)>,
+        elapsed_usec: u64,
+    ) {
+        self.tasks.update_and_wake(task_id, |t| {
+            match result {
+                Ok(moved) => {
+                    t.stats.state = TaskState::Finished;
+                    t.stats.bytes_moved = moved;
+                    t.stats.bytes_total = t.stats.bytes_total.max(moved);
+                }
+                Err((code, _)) => {
+                    t.stats.state = TaskState::FinishedWithError;
+                    t.stats.error = code;
+                    // Keep whatever partial progress the data plane made.
+                    t.stats.bytes_moved = t.progress.load(Ordering::Relaxed);
+                }
+            }
+            t.stats.elapsed_usec = elapsed_usec;
+            // Counters inside the shard-locked closure, before the
+            // wake: a waiter unblocked by this completion must already
+            // see them updated.
+            self.running_count.fetch_sub(1, Ordering::SeqCst);
+            self.completed.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    /// Execute (or plan) one transfer. Large single-file copies return
+    /// [`Outcome::Chunked`] instead of blocking this worker for the
+    /// whole file.
+    fn run_transfer(
+        &self,
+        task_id: u64,
+        spec: &TaskSpec,
+        payload: Option<&[u8]>,
+        progress: &Arc<AtomicU64>,
+    ) -> Result<Outcome, (ErrorCode, String)> {
+        match spec.op {
             TaskOp::Remove => {
-                let path = self.resolve(&work.spec.input)?;
-                let meta = fs::metadata(&path).map_err(map_io)?;
+                let path = self.resolve(&spec.input)?;
+                // symlink_metadata: removing a symlink removes the
+                // link, never its target's tree.
+                let meta = fs::symlink_metadata(&path).map_err(map_io)?;
                 if meta.is_dir() {
                     fs::remove_dir_all(&path).map_err(map_io)?;
                 } else {
                     fs::remove_file(&path).map_err(map_io)?;
                 }
-                Ok(0)
+                Ok(Outcome::Done(0))
             }
             TaskOp::Copy | TaskOp::Move => {
-                let out = work.spec.output.as_ref().expect("validated");
+                let out = spec.output.as_ref().expect("validated");
                 let dst = self.resolve(out)?;
                 if let Some(parent) = dst.parent() {
                     fs::create_dir_all(parent).map_err(map_io)?;
                 }
-                let moved = match &work.spec.input {
+                match &spec.input {
                     ResourceDesc::MemoryRegion { .. } => {
                         // Table II: process memory ⇒ local path.
-                        let buf = work.payload.as_deref().unwrap_or(&[]);
+                        let buf = payload.unwrap_or(&[]);
                         fs::write(&dst, buf).map_err(map_io)?;
-                        buf.len() as u64
+                        progress.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        Ok(Outcome::Done(buf.len() as u64))
                     }
                     input => {
-                        // Table II: local path ⇒ local path (sendfile).
+                        // Table II: local path ⇒ local path.
                         let src = self.resolve(input)?;
-                        let moved = copy_tree(&src, &dst).map_err(map_io)?;
-                        if work.spec.op == TaskOp::Move {
-                            let meta = fs::metadata(&src).map_err(map_io)?;
+                        let meta = fs::symlink_metadata(&src).map_err(map_io)?;
+                        if spec.op == TaskOp::Move && fs::rename(&src, &dst).is_ok() {
+                            // Same-filesystem move: a rename moves no
+                            // bytes; report the file's size as the data
+                            // made available (0 for trees — nothing was
+                            // physically copied).
+                            let moved = if meta.is_file() { meta.len() } else { 0 };
+                            progress.fetch_add(moved, Ordering::Relaxed);
+                            return Ok(Outcome::Done(moved));
+                        }
+                        // Cross-filesystem move (EXDEV) or plain copy.
+                        if meta.is_file() && meta.len() > self.chunk_size {
+                            let plan = ChunkedCopy::plan(
+                                task_id,
+                                spec.op,
+                                &src,
+                                &dst,
+                                meta.len(),
+                                self.chunk_size,
+                                Arc::clone(progress),
+                            )
+                            .map_err(map_io)?;
+                            return Ok(Outcome::Chunked(plan));
+                        }
+                        let moved = copy_tree(&src, &dst, progress).map_err(map_io)?;
+                        if spec.op == TaskOp::Move {
                             if meta.is_dir() {
                                 fs::remove_dir_all(&src).map_err(map_io)?;
                             } else {
                                 fs::remove_file(&src).map_err(map_io)?;
                             }
                         }
-                        moved
+                        Ok(Outcome::Done(moved))
                     }
-                };
-                Ok(moved)
+                }
             }
         }
     }
 
+    /// Current stats with live `bytes_moved` progress overlaid — the
+    /// paper's `NORNS_EPENDING` polling semantics.
     pub fn query(&self, task_id: u64) -> Option<TaskStats> {
-        self.tasks.lock().get(&task_id).map(|t| t.stats.clone())
+        self.tasks.snapshot(task_id)
     }
 
     /// Block until the task reaches a terminal state or the timeout
-    /// expires (`timeout_usec == 0` → wait forever).
+    /// expires (`timeout_usec == 0` → wait forever). Parks on the
+    /// task's shard, so completions elsewhere never wake this caller.
     pub fn wait(&self, task_id: u64, timeout_usec: u64) -> Option<TaskStats> {
         let deadline = if timeout_usec == 0 {
             None
         } else {
             Some(Instant::now() + std::time::Duration::from_micros(timeout_usec))
         };
-        let mut tasks = self.tasks.lock();
-        loop {
-            match tasks.get(&task_id) {
-                None => return None,
-                Some(t) if t.stats.state.is_terminal() => {
-                    return Some(t.stats.clone());
-                }
-                Some(_) => {}
-            }
-            match deadline {
-                Some(d) => {
-                    if self.task_cv.wait_until(&mut tasks, d).timed_out() {
-                        return tasks.get(&task_id).map(|t| t.stats.clone());
-                    }
-                }
-                None => self.task_cv.wait(&mut tasks),
-            }
-        }
+        self.tasks.wait(task_id, deadline)
     }
 
     pub fn clear_completions(&self) {
-        let mut tasks = self.tasks.lock();
-        tasks.retain(|_, t| !t.stats.state.is_terminal());
+        self.tasks.retain(|t| !t.stats.state.is_terminal());
     }
 
     pub fn uptime_usec(&self) -> u64 {
         self.started_at.elapsed().as_micros() as u64
-    }
-}
-
-/// Recursive copy returning bytes moved (files only).
-fn copy_tree(src: &Path, dst: &Path) -> std::io::Result<u64> {
-    let meta = fs::metadata(src)?;
-    if meta.is_dir() {
-        fs::create_dir_all(dst)?;
-        let mut total = 0;
-        let mut entries: Vec<_> = fs::read_dir(src)?.collect::<std::io::Result<_>>()?;
-        entries.sort_by_key(|e| e.file_name());
-        for entry in entries {
-            total += copy_tree(&entry.path(), &dst.join(entry.file_name()))?;
-        }
-        Ok(total)
-    } else {
-        fs::copy(src, dst)
     }
 }
 
@@ -745,9 +952,7 @@ mod tests {
         dir
     }
 
-    fn engine_with_ds(tag: &str) -> (Arc<Engine>, PathBuf) {
-        let root = temp_root(tag);
-        let engine = Engine::new(2);
+    fn register_tmp0(engine: &Engine, root: &Path) {
         engine
             .register_dataspace(DataspaceDesc {
                 nsid: "tmp0".into(),
@@ -757,6 +962,12 @@ mod tests {
                 tracked: false,
             })
             .unwrap();
+    }
+
+    fn engine_with_ds(tag: &str) -> (Arc<Engine>, PathBuf) {
+        let root = temp_root(tag);
+        let engine = Engine::new(2);
+        register_tmp0(&engine, &root);
         (engine, root)
     }
 
@@ -827,6 +1038,57 @@ mod tests {
         engine.wait(id, 0).unwrap();
         assert!(!root.join("tmp0/b.dat").exists());
         assert!(root.join("tmp0/c.dat").exists());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn move_on_same_filesystem_is_a_rename() {
+        use std::os::unix::fs::MetadataExt;
+        let root = temp_root("rename");
+        // Larger than the chunk size: without the rename fast path this
+        // would be a chunked copy producing a *new* inode.
+        let engine = Engine::with_config(
+            EngineConfig {
+                workers: 2,
+                chunk_size: MIN_CHUNK_SIZE,
+                ..EngineConfig::default()
+            },
+            Box::new(Fcfs),
+        );
+        register_tmp0(&engine, &root);
+        let mount = root.join("tmp0");
+        fs::write(
+            mount.join("big.dat"),
+            vec![9u8; (MIN_CHUNK_SIZE * 3) as usize],
+        )
+        .unwrap();
+        let src_ino = fs::metadata(mount.join("big.dat")).unwrap().ino();
+        let id = engine
+            .submit(
+                1,
+                TaskSpec::new(
+                    TaskOp::Move,
+                    ResourceDesc::PosixPath {
+                        nsid: "tmp0".into(),
+                        path: "big.dat".into(),
+                    },
+                    Some(ResourceDesc::PosixPath {
+                        nsid: "tmp0".into(),
+                        path: "moved.dat".into(),
+                    }),
+                ),
+                None,
+            )
+            .unwrap();
+        let stats = engine.wait(id, 0).unwrap();
+        assert_eq!(stats.state, TaskState::Finished);
+        assert_eq!(stats.bytes_moved, MIN_CHUNK_SIZE * 3);
+        assert!(!mount.join("big.dat").exists());
+        assert_eq!(
+            fs::metadata(mount.join("moved.dat")).unwrap().ino(),
+            src_ino,
+            "same filesystem ⇒ rename, not copy"
+        );
         engine.shutdown();
     }
 
@@ -941,7 +1203,45 @@ mod tests {
         let st = engine.status();
         assert!(st.accepting);
         assert_eq!(st.registered_dataspaces, 1);
+        assert_eq!(st.cancelled_tasks, 0);
+        assert_eq!(st.chunk_size, DEFAULT_CHUNK_SIZE);
+        assert_eq!(engine.task_table_shards(), DEFAULT_SHARDS);
         assert!(engine.uptime_usec() < 60_000_000);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn process_reverse_index_tracks_membership() {
+        let (engine, _root) = engine_with_ds("pidx");
+        engine
+            .register_job(JobDesc {
+                job_id: 1,
+                hosts: vec![],
+                limits: vec![],
+            })
+            .unwrap();
+        engine
+            .register_job(JobDesc {
+                job_id: 2,
+                hosts: vec![],
+                limits: vec![],
+            })
+            .unwrap();
+        engine.add_process(1, 100).unwrap();
+        engine.add_process(2, 100).unwrap();
+        engine.add_process(2, 200).unwrap();
+        assert!(engine.process_known(100));
+        assert!(engine.process_registered(1, 100));
+        assert!(engine.process_registered(2, 100));
+        assert!(!engine.process_registered(1, 200));
+        // Removing pid 100 from job 1 keeps its job-2 registration.
+        engine.remove_process(1, 100).unwrap();
+        assert!(engine.process_known(100));
+        assert!(!engine.process_registered(1, 100));
+        // Unregistering job 2 drops both of its pids from the index.
+        engine.unregister_job(2).unwrap();
+        assert!(!engine.process_known(100));
+        assert!(!engine.process_known(200));
         engine.shutdown();
     }
 
@@ -950,15 +1250,7 @@ mod tests {
         let root = temp_root("busy");
         // 1 worker, capacity 2: one running + two pending fills it.
         let engine = Engine::with_policy(1, 2, Box::new(Fcfs));
-        engine
-            .register_dataspace(DataspaceDesc {
-                nsid: "tmp0".into(),
-                kind: norns_proto::BackendKind::PosixFilesystem,
-                mount: root.join("tmp0").to_string_lossy().into_owned(),
-                quota: 0,
-                tracked: false,
-            })
-            .unwrap();
+        register_tmp0(&engine, &root);
         // Pin the single worker on a long path→path copy so the flood
         // below deterministically backs up behind capacity 2 (memory
         // payload speed vs. worker drain speed is machine-dependent).
@@ -1008,15 +1300,7 @@ mod tests {
     fn cancel_pending_task() {
         let root = temp_root("cancel");
         let engine = Engine::with_policy(1, 64, Box::new(Fcfs));
-        engine
-            .register_dataspace(DataspaceDesc {
-                nsid: "tmp0".into(),
-                kind: norns_proto::BackendKind::PosixFilesystem,
-                mount: root.join("tmp0").to_string_lossy().into_owned(),
-                quota: 0,
-                tracked: false,
-            })
-            .unwrap();
+        register_tmp0(&engine, &root);
         // Keep the worker busy with a large write, then queue a victim.
         let blocker = engine
             .submit(
@@ -1054,6 +1338,7 @@ mod tests {
                 let stats = engine.wait(victim, 0).unwrap();
                 assert_eq!(stats.state, TaskState::Cancelled);
                 assert_eq!(engine.cancelled_tasks(), 1);
+                assert_eq!(engine.status().cancelled_tasks, 1);
                 // Cancelling again reports the terminal state.
                 assert!(engine.cancel(victim, None).is_err());
             }
@@ -1073,15 +1358,7 @@ mod tests {
     fn shutdown_joins_workers_and_cancels_backlog() {
         let root = temp_root("shutdown");
         let engine = Engine::with_policy(1, 64, Box::new(Fcfs));
-        engine
-            .register_dataspace(DataspaceDesc {
-                nsid: "tmp0".into(),
-                kind: norns_proto::BackendKind::PosixFilesystem,
-                mount: root.join("tmp0").to_string_lossy().into_owned(),
-                quota: 0,
-                tracked: false,
-            })
-            .unwrap();
+        register_tmp0(&engine, &root);
         let mut ids = Vec::new();
         for i in 0..8 {
             ids.push(
@@ -1133,18 +1410,74 @@ mod tests {
     }
 
     #[test]
+    fn cancel_cannot_touch_internal_chunk_units() {
+        let root = temp_root("unit-cancel");
+        let engine = Engine::with_config(
+            EngineConfig {
+                workers: 2,
+                chunk_size: MIN_CHUNK_SIZE,
+                ..EngineConfig::default()
+            },
+            Box::new(Fcfs),
+        );
+        register_tmp0(&engine, &root);
+        fs::write(
+            root.join("tmp0/big"),
+            vec![8u8; (MIN_CHUNK_SIZE * 256) as usize],
+        )
+        .unwrap();
+        let id = engine.submit(1, copy_spec("big", "out"), None).unwrap();
+        // Unit ids are allocated from UNIT_ID_BASE; cancelling one must
+        // be NotFound (units carry no task entry), never Ok — removing
+        // a pending sub-unit would wedge the parent mid-transfer.
+        for probe in 0..8 {
+            assert!(matches!(
+                engine.cancel(UNIT_ID_BASE + probe, None),
+                Err((ErrorCode::NotFound, _))
+            ));
+        }
+        let stats = engine.wait(id, 0).unwrap();
+        assert_eq!(stats.state, TaskState::Finished);
+        assert_eq!(stats.bytes_moved, MIN_CHUNK_SIZE * 256);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_mid_chunked_transfer_reaches_terminal_state() {
+        let root = temp_root("chunk-shutdown");
+        let engine = Engine::with_config(
+            EngineConfig {
+                workers: 1,
+                chunk_size: MIN_CHUNK_SIZE,
+                ..EngineConfig::default()
+            },
+            Box::new(Fcfs),
+        );
+        register_tmp0(&engine, &root);
+        // Many chunks on one worker: shutdown lands mid-transfer.
+        fs::write(
+            root.join("tmp0/big"),
+            vec![3u8; (MIN_CHUNK_SIZE * 64) as usize],
+        )
+        .unwrap();
+        let id = engine.submit(1, copy_spec("big", "out"), None).unwrap();
+        // Give the planner a moment to decompose, then pull the plug.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        engine.shutdown();
+        let stats = engine.query(id).unwrap();
+        assert!(
+            stats.state.is_terminal(),
+            "chunked task left in {:?}",
+            stats.state
+        );
+        engine.shutdown();
+    }
+
+    #[test]
     fn priority_orders_backlog_under_weighted_policy() {
         let root = temp_root("prio");
         let engine = Engine::with_policy(1, 64, Box::new(WeightedPriority::default()));
-        engine
-            .register_dataspace(DataspaceDesc {
-                nsid: "tmp0".into(),
-                kind: norns_proto::BackendKind::PosixFilesystem,
-                mount: root.join("tmp0").to_string_lossy().into_owned(),
-                quota: 0,
-                tracked: false,
-            })
-            .unwrap();
+        register_tmp0(&engine, &root);
         // Blocker occupies the single worker; then a low-priority
         // burst followed by one high-priority task.
         let spec = |path: &str, prio: u8| {
@@ -1176,13 +1509,14 @@ mod tests {
         let high_stats = engine.wait(high, 0).unwrap();
         assert_eq!(high_stats.state, TaskState::Finished);
         engine.wait(blocker, 0).unwrap();
-        for id in low {
-            engine.wait(id, 0).unwrap();
+        for id in &low {
+            engine.wait(*id, 0).unwrap();
         }
         // The high-priority task waited less than the earliest
         // low-priority one, despite being submitted last.
-        let low_waits: Vec<u64> = (0..4)
-            .map(|i| engine.query(high - 4 + i).unwrap().wait_usec)
+        let low_waits: Vec<u64> = low
+            .iter()
+            .map(|id| engine.query(*id).unwrap().wait_usec)
             .collect();
         assert!(
             low_waits.iter().all(|&w| high_stats.wait_usec <= w),

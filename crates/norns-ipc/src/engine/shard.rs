@@ -1,0 +1,222 @@
+//! The sharded task table.
+//!
+//! The task table is the daemon's *control plane*: every `submit`,
+//! `query`, `wait`, cancel and completion touches it. A single
+//! `Mutex<HashMap>` with one global condvar made each completion a
+//! thundering herd — `notify_all` woke every waiter in the daemon, and
+//! all of them serialized on one lock to discover that their task was
+//! still running. Here the table is split into N id-keyed shards, each
+//! with its own mutex and condvar: a completion locks one shard and
+//! wakes only the waiters parked on that shard. Task ids are allocated
+//! sequentially, so consecutive tasks land on different shards and the
+//! lock traffic spreads evenly.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use norns_proto::TaskStats;
+
+/// Default shard count (rounded up to a power of two).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One tracked task.
+pub(crate) struct TaskEntry {
+    pub stats: TaskStats,
+    pub submitted_at: Instant,
+    /// Scheduler key of the submitter (job id on the control path,
+    /// tagged pid on the user path); authorizes user-socket cancels.
+    pub owner: u64,
+    /// Live byte counter advanced by the data plane as chunks land;
+    /// [`TaskEntry::snapshot`] overlays it on `stats.bytes_moved`, so
+    /// `query()` is a real progress API while the task is in flight.
+    pub progress: Arc<AtomicU64>,
+}
+
+impl TaskEntry {
+    fn snapshot(&self) -> TaskStats {
+        let mut stats = self.stats.clone();
+        if !stats.state.is_terminal() {
+            stats.bytes_moved = stats.bytes_moved.max(self.progress.load(Ordering::Relaxed));
+        }
+        stats
+    }
+}
+
+struct Shard {
+    entries: Mutex<HashMap<u64, TaskEntry>>,
+    cv: Condvar,
+}
+
+/// The id-sharded task table with per-shard condvars.
+pub(crate) struct ShardedTaskTable {
+    shards: Box<[Shard]>,
+    mask: u64,
+}
+
+impl ShardedTaskTable {
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Vec<Shard> = (0..n)
+            .map(|_| Shard {
+                entries: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+            })
+            .collect();
+        ShardedTaskTable {
+            shards: shards.into_boxed_slice(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, task_id: u64) -> &Shard {
+        &self.shards[(task_id & self.mask) as usize]
+    }
+
+    pub fn insert(&self, task_id: u64, entry: TaskEntry) {
+        self.shard(task_id).entries.lock().insert(task_id, entry);
+    }
+
+    /// Read-only access to one entry.
+    pub fn read<R>(&self, task_id: u64, f: impl FnOnce(&TaskEntry) -> R) -> Option<R> {
+        self.shard(task_id).entries.lock().get(&task_id).map(f)
+    }
+
+    /// Current stats with live progress overlaid.
+    pub fn snapshot(&self, task_id: u64) -> Option<TaskStats> {
+        self.read(task_id, TaskEntry::snapshot)
+    }
+
+    /// Mutate one entry without waking waiters (non-terminal
+    /// transitions like `Pending → InProgress`).
+    pub fn update<R>(&self, task_id: u64, f: impl FnOnce(&mut TaskEntry) -> R) -> Option<R> {
+        self.shard(task_id).entries.lock().get_mut(&task_id).map(f)
+    }
+
+    /// Mutate one entry and wake only this shard's waiters (terminal
+    /// transitions) — no global thundering herd.
+    pub fn update_and_wake<R>(
+        &self,
+        task_id: u64,
+        f: impl FnOnce(&mut TaskEntry) -> R,
+    ) -> Option<R> {
+        let shard = self.shard(task_id);
+        let result = shard.entries.lock().get_mut(&task_id).map(f);
+        shard.cv.notify_all();
+        result
+    }
+
+    /// Block until the task reaches a terminal state or the deadline
+    /// passes (`None` → wait forever). Parks on the task's shard only.
+    pub fn wait(&self, task_id: u64, deadline: Option<Instant>) -> Option<TaskStats> {
+        let shard = self.shard(task_id);
+        let mut entries = shard.entries.lock();
+        loop {
+            match entries.get(&task_id) {
+                None => return None,
+                Some(t) if t.stats.state.is_terminal() => return Some(t.snapshot()),
+                Some(_) => {}
+            }
+            match deadline {
+                Some(d) => {
+                    if shard.cv.wait_until(&mut entries, d).timed_out() {
+                        return entries.get(&task_id).map(TaskEntry::snapshot);
+                    }
+                }
+                None => shard.cv.wait(&mut entries),
+            }
+        }
+    }
+
+    /// Drop every entry the predicate rejects (completion-list GC).
+    pub fn retain(&self, mut keep: impl FnMut(&TaskEntry) -> bool) {
+        for shard in self.shards.iter() {
+            shard.entries.lock().retain(|_, t| keep(t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use norns_proto::{ErrorCode, TaskState};
+
+    fn entry(state: TaskState) -> TaskEntry {
+        TaskEntry {
+            stats: TaskStats {
+                state,
+                error: ErrorCode::Success,
+                bytes_total: 100,
+                bytes_moved: 0,
+                wait_usec: 0,
+                elapsed_usec: 0,
+            },
+            submitted_at: Instant::now(),
+            owner: 1,
+            progress: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedTaskTable::new(0).shard_count(), 1);
+        assert_eq!(ShardedTaskTable::new(5).shard_count(), 8);
+        assert_eq!(ShardedTaskTable::new(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn snapshot_overlays_live_progress() {
+        let table = ShardedTaskTable::new(4);
+        let e = entry(TaskState::InProgress);
+        let progress = Arc::clone(&e.progress);
+        table.insert(7, e);
+        assert_eq!(table.snapshot(7).unwrap().bytes_moved, 0);
+        progress.store(42, Ordering::Relaxed);
+        assert_eq!(table.snapshot(7).unwrap().bytes_moved, 42);
+        // Terminal stats are authoritative; progress is ignored.
+        table.update_and_wake(7, |t| {
+            t.stats.state = TaskState::Finished;
+            t.stats.bytes_moved = 100;
+        });
+        progress.store(999, Ordering::Relaxed);
+        assert_eq!(table.snapshot(7).unwrap().bytes_moved, 100);
+    }
+
+    #[test]
+    fn wait_wakes_on_same_shard_completion() {
+        let table = Arc::new(ShardedTaskTable::new(4));
+        table.insert(3, entry(TaskState::Pending));
+        let t2 = Arc::clone(&table);
+        let waiter = std::thread::spawn(move || t2.wait(3, None).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        table.update_and_wake(3, |t| t.stats.state = TaskState::Finished);
+        assert_eq!(waiter.join().unwrap().state, TaskState::Finished);
+    }
+
+    #[test]
+    fn wait_timeout_returns_inflight_snapshot() {
+        let table = ShardedTaskTable::new(2);
+        table.insert(1, entry(TaskState::InProgress));
+        let deadline = Instant::now() + std::time::Duration::from_millis(10);
+        let stats = table.wait(1, Some(deadline)).unwrap();
+        assert_eq!(stats.state, TaskState::InProgress);
+        assert!(table.wait(999, Some(deadline)).is_none());
+    }
+
+    #[test]
+    fn retain_drops_terminal_entries() {
+        let table = ShardedTaskTable::new(4);
+        table.insert(1, entry(TaskState::Finished));
+        table.insert(2, entry(TaskState::Pending));
+        table.retain(|t| !t.stats.state.is_terminal());
+        assert!(table.snapshot(1).is_none());
+        assert!(table.snapshot(2).is_some());
+    }
+}

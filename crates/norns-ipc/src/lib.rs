@@ -11,7 +11,8 @@
 //!
 //! * [`engine::Engine`] — registries, validation, a bounded dispatch
 //!   queue arbitrated through the shared `norns-sched` policies, a
-//!   joined worker pool, completion table with condvar-based `wait`.
+//!   joined worker pool, a sharded task table with per-shard condvar
+//!   `wait`, and a chunked zero-copy data plane with live progress.
 //! * [`daemon::UrdDaemon`] — socket lifecycle and request dispatch.
 //! * [`client::CtlClient`] / [`client::UserClient`] — blocking client
 //!   libraries mirroring `nornsctl` / `norns`.
@@ -22,4 +23,7 @@ pub mod engine;
 
 pub use client::{ClientError, ClientResult, CtlClient, UserClient};
 pub use daemon::{DaemonConfig, UrdDaemon};
-pub use engine::{Engine, IpcPolicy, PolicyKind, DEFAULT_QUEUE_CAPACITY};
+pub use engine::{
+    Engine, EngineConfig, IpcPolicy, PolicyKind, DEFAULT_CHUNK_SIZE, DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_SHARDS, MIN_CHUNK_SIZE,
+};

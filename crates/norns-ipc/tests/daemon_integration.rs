@@ -189,6 +189,62 @@ fn pause_and_resume_via_commands() {
 }
 
 #[test]
+fn status_reports_cancelled_tasks_and_chunk_size_over_wire() {
+    let root = temp_root("statusv3");
+    // One worker and a non-default chunk size: the status must echo the
+    // configured knob, and a cancel behind a blocker must be counted.
+    // Capacity must clear the chunk sub-unit backlog: each 64 MiB
+    // blocker decomposes into 31 extra units that occupy the pending
+    // set, and a victim submit bouncing off a full queue (Busy) would
+    // make this test flaky.
+    let daemon = UrdDaemon::spawn(
+        DaemonConfig::in_dir(root.join("sockets"))
+            .with_chunk_size(2 << 20)
+            .with_queue_capacity(4096),
+    )
+    .unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    assert_eq!(ctl.status().unwrap().chunk_size, 2 << 20);
+    assert_eq!(ctl.status().unwrap().cancelled_tasks, 0);
+    // Saturate all four workers with blockers, then cancel a queued
+    // victim before any worker can reach it.
+    std::fs::write(root.join("tmp0/blocker"), vec![0x42u8; 64 << 20]).unwrap();
+    let copy = |dst: &str| TaskSpec {
+        op: TaskOp::Copy,
+        priority: DEFAULT_PRIORITY,
+        input: ResourceDesc::PosixPath {
+            nsid: "tmp0".into(),
+            path: "blocker".into(),
+        },
+        output: Some(ResourceDesc::PosixPath {
+            nsid: "tmp0".into(),
+            path: dst.into(),
+        }),
+    };
+    let mut blockers = Vec::new();
+    for i in 0..4 {
+        blockers.push(ctl.submit(1, copy(&format!("out{i}")), None).unwrap());
+    }
+    let victim = ctl.submit(1, copy("victim"), None).unwrap();
+    match ctl.cancel(victim) {
+        Ok(()) => {
+            let st = ctl.status().unwrap();
+            assert_eq!(st.cancelled_tasks, 1);
+        }
+        // All four blockers may already have drained on a fast box and
+        // a worker grabbed the victim; the error is then the contract.
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::TaskError);
+        }
+        Err(other) => panic!("unexpected cancel failure: {other}"),
+    }
+    for id in blockers {
+        ctl.wait(id, 0).unwrap();
+    }
+}
+
+#[test]
 fn concurrent_clients_hammer_ping() {
     // A miniature of the Fig. 4 benchmark: 8 threads × 500 pings.
     let (daemon, _root) = start("hammer");

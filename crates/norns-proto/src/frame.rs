@@ -19,9 +19,12 @@ use crate::wire::WireError;
 
 /// Protocol version carried in every frame. v2 added `priority` to
 /// `TaskSpec`, `wait_usec` to `TaskStats`, the `CancelTask` requests,
-/// `TaskState::Cancelled` and `ErrorCode::Busy`; v1 peers are
+/// `TaskState::Cancelled` and `ErrorCode::Busy`. v3 added
+/// `cancelled_tasks` and `chunk_size` to `DaemonStatus` (the chunked
+/// data plane reports its knobs; `bytes_moved` in `TaskStats` became a
+/// live progress counter without a wire change). Older peers are
 /// rejected at the framing layer.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Frames larger than this are rejected outright (a corrupt or hostile
 /// peer must not make the daemon allocate gigabytes).

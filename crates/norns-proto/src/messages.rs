@@ -684,8 +684,14 @@ pub struct DaemonStatus {
     pub pending_tasks: u64,
     pub running_tasks: u64,
     pub completed_tasks: u64,
+    /// Tasks cancelled before a worker touched them (v3).
+    pub cancelled_tasks: u64,
     pub registered_jobs: u64,
     pub registered_dataspaces: u64,
+    /// Active data-plane chunk size in bytes: transfers larger than
+    /// this are decomposed into chunk sub-units executed by multiple
+    /// workers (v3).
+    pub chunk_size: u64,
 }
 
 impl Wire for DaemonStatus {
@@ -694,8 +700,10 @@ impl Wire for DaemonStatus {
         put_varint(buf, self.pending_tasks);
         put_varint(buf, self.running_tasks);
         put_varint(buf, self.completed_tasks);
+        put_varint(buf, self.cancelled_tasks);
         put_varint(buf, self.registered_jobs);
         put_varint(buf, self.registered_dataspaces);
+        put_varint(buf, self.chunk_size);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -704,8 +712,10 @@ impl Wire for DaemonStatus {
             pending_tasks: get_varint(buf)?,
             running_tasks: get_varint(buf)?,
             completed_tasks: get_varint(buf)?,
+            cancelled_tasks: get_varint(buf)?,
             registered_jobs: get_varint(buf)?,
             registered_dataspaces: get_varint(buf)?,
+            chunk_size: get_varint(buf)?,
         })
     }
 }
@@ -950,8 +960,10 @@ mod tests {
                 pending_tasks: 1,
                 running_tasks: 2,
                 completed_tasks: 3,
+                cancelled_tasks: 6,
                 registered_jobs: 4,
                 registered_dataspaces: 5,
+                chunk_size: 8 << 20,
             }),
             Response::Dataspaces(vec![DataspaceDesc {
                 nsid: "nvme0".into(),

@@ -328,6 +328,44 @@ impl<J: Copy, T: Copy + PartialEq, S> Scheduler<J, T, S> {
             .expect("enqueue on a full bounded scheduler");
     }
 
+    /// Admit an internal *sub-unit* of an already-dispatched task (a
+    /// chunk of a large transfer split across workers). Sub-units keep
+    /// the parent's `seq`, `job`, `bytes` and `priority`, so every
+    /// policy arbitrates them exactly as it arbitrated the parent:
+    /// FCFS keeps them at the head of the line (idle workers converge
+    /// on the oldest transfer), job-fair interleaves them with other
+    /// jobs' tasks (a huge file cannot monopolize the pool), and SJF
+    /// still sees the parent's total size. The capacity bound is *not*
+    /// enforced — the parent was already admitted, and refusing a
+    /// sub-unit would strand a half-finished transfer — but sub-units
+    /// do occupy the pending set, so [`Scheduler::is_full`] reflects
+    /// the genuine backlog and admission pushes back on new work while
+    /// a large decomposed transfer is queued.
+    pub fn enqueue_unit(&mut self, unit: PendingTask<J, T, S>) {
+        self.enqueue_units(std::iter::once(unit));
+    }
+
+    /// Bulk [`Scheduler::enqueue_unit`]: all units of one parent share
+    /// a seq, so the insertion point is found once and the batch is
+    /// spliced in a single O(pending + units) pass — inserting a large
+    /// transfer's thousands of sub-units one by one would be quadratic
+    /// in the unit count (each insert re-scanning its already-inserted
+    /// equal-seq siblings), all under the caller's dispatch lock.
+    pub fn enqueue_units(&mut self, units: impl IntoIterator<Item = PendingTask<J, T, S>>) {
+        let mut units = units.into_iter().peekable();
+        let Some(first) = units.peek() else { return };
+        // Insert in seq order (the queue invariant policies rely on),
+        // after any existing entries with the same seq.
+        let idx = self
+            .pending
+            .iter()
+            .position(|t| t.seq > first.seq)
+            .unwrap_or(self.pending.len());
+        let mut tail = self.pending.split_off(idx);
+        self.pending.extend(units);
+        self.pending.append(&mut tail);
+    }
+
     /// Dispatch the next task if a worker is free. The caller must
     /// later call [`Scheduler::finish`] exactly once per dispatch.
     pub fn dispatch(&mut self) -> Option<PendingTask<J, T, S>> {
@@ -511,6 +549,81 @@ mod tests {
         assert!(!q.cancel_pending(2));
         assert_eq!(q.dispatch().unwrap().task, 1);
         assert!(q.dispatch().is_none());
+    }
+
+    #[test]
+    fn units_keep_fcfs_head_of_line() {
+        let mut q = sched(2);
+        q.enqueue(1, 1, 100, DEFAULT_PRIORITY, 0);
+        q.enqueue(2, 1, 1, DEFAULT_PRIORITY, 0);
+        let parent = q.dispatch().unwrap();
+        assert_eq!(parent.task, 1);
+        // Task 1 splits into sub-units; they inherit its seq and must
+        // dispatch before the later task 2.
+        q.enqueue_unit(PendingTask { task: 10, ..parent });
+        q.enqueue_unit(PendingTask { task: 11, ..parent });
+        assert_eq!(q.dispatch().unwrap().task, 10);
+        q.finish();
+        assert_eq!(q.dispatch().unwrap().task, 11);
+        q.finish();
+        assert_eq!(q.dispatch().unwrap().task, 2);
+    }
+
+    #[test]
+    fn units_interleave_with_other_jobs_under_fair_share() {
+        let mut q: Scheduler<u64, u64, u64> = Scheduler::new(1, Box::new(JobFairShare::default()));
+        q.enqueue(1, 1, 1 << 30, DEFAULT_PRIORITY, 0);
+        q.enqueue(2, 2, 1, DEFAULT_PRIORITY, 0);
+        q.enqueue(3, 2, 1, DEFAULT_PRIORITY, 0);
+        let parent = q.dispatch().unwrap();
+        assert_eq!(parent.task, 1);
+        q.finish();
+        // Job 1's huge transfer decomposes into chunks; job-fair must
+        // still alternate jobs instead of draining all of job 1.
+        q.enqueue_unit(PendingTask { task: 10, ..parent });
+        q.enqueue_unit(PendingTask { task: 11, ..parent });
+        let mut order = Vec::new();
+        while let Some(t) = q.dispatch() {
+            order.push(t.task);
+            q.finish();
+        }
+        assert_eq!(order, vec![2, 10, 3, 11], "chunks interleave with job 2");
+    }
+
+    #[test]
+    fn bulk_units_splice_before_later_tasks() {
+        let mut q = sched(1);
+        q.enqueue(1, 1, 1, DEFAULT_PRIORITY, 0); // seq 0
+        q.enqueue(2, 1, 1, DEFAULT_PRIORITY, 0); // seq 1
+        let parent = q.dispatch().unwrap();
+        assert_eq!(parent.task, 1);
+        q.finish();
+        q.enqueue_units((10..13).map(|t| PendingTask { task: t, ..parent }));
+        let mut order = Vec::new();
+        while let Some(t) = q.dispatch() {
+            order.push(t.task);
+            q.finish();
+        }
+        assert_eq!(
+            order,
+            vec![10, 11, 12, 2],
+            "batch lands at the parent's seq"
+        );
+    }
+
+    #[test]
+    fn units_bypass_capacity_but_count_toward_backlog() {
+        let mut q = sched(1).with_capacity(1);
+        q.enqueue(1, 0, 1, DEFAULT_PRIORITY, 0);
+        let parent = q.dispatch().unwrap();
+        q.enqueue_unit(PendingTask { task: 10, ..parent });
+        q.enqueue_unit(PendingTask { task: 11, ..parent });
+        assert_eq!(q.pending_len(), 2, "units never rejected");
+        assert!(q.is_full(), "backlog pressure visible to admission");
+        assert_eq!(
+            q.try_enqueue(2, 0, 1, DEFAULT_PRIORITY, 0),
+            Err(QueueFull { capacity: 1 })
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! dataspace backed by a temporary directory (the "node-local burst
 //! buffer"), registers a job, copies a file into the dataspace through
 //! the control API — exactly what the extended Slurm does for a
-//! `#NORNS stage_in` directive — and verifies the result.
+//! `#NORNS stage_in` directive — polls the transfer's live progress
+//! (the chunked data plane advances `bytes_moved` as chunks land),
+//! and verifies the result.
 
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
 use norns_proto::{
@@ -22,11 +24,15 @@ fn main() {
     let _ = std::fs::remove_dir_all(&root);
     std::fs::create_dir_all(root.join("lustre")).unwrap();
     std::fs::create_dir_all(root.join("pmem0")).unwrap();
-    std::fs::write(root.join("lustre/input.dat"), vec![42u8; 8 << 20]).unwrap();
+    std::fs::write(root.join("lustre/input.dat"), vec![42u8; 64 << 20]).unwrap();
     println!("scratch area: {}", root.display());
 
-    // 2. Start urd (two sockets: control 0600, user 0666).
-    let daemon = UrdDaemon::spawn(DaemonConfig::in_dir(root.join("sockets"))).unwrap();
+    // 2. Start urd (two sockets: control 0600, user 0666). A 1 MiB
+    // chunk size splits the 64 MiB stage-in into 64 chunk sub-units
+    // spread across the worker pool.
+    let daemon =
+        UrdDaemon::spawn(DaemonConfig::in_dir(root.join("sockets")).with_chunk_size(1 << 20))
+            .unwrap();
     println!("urd daemon up: {}", daemon.control_path.display());
 
     // 3. The scheduler side: register dataspaces + the job.
@@ -73,7 +79,22 @@ fn main() {
         .unwrap();
     println!("stage-in task submitted: id {task}");
 
-    // 5. Wait asynchronously-but-blocking (norns_wait).
+    // 5. The task runs asynchronously: poll it (norns_error /
+    // NORNS_EPENDING semantics) and watch bytes_moved advance live.
+    loop {
+        let stats = ctl.query(task).unwrap();
+        if stats.state.is_terminal() {
+            break;
+        }
+        println!(
+            "  in flight: {:.1} / {:.1} MiB",
+            stats.bytes_moved as f64 / (1 << 20) as f64,
+            stats.bytes_total as f64 / (1 << 20) as f64
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // 6. Wait asynchronously-but-blocking (norns_wait).
     let stats = ctl.wait(task, 0).unwrap();
     assert_eq!(stats.state, TaskState::Finished);
     println!(
