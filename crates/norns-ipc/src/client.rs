@@ -179,6 +179,18 @@ impl CtlClient {
         )?)
     }
 
+    /// Map a `RemotePath.host` to a peer daemon's data-plane address
+    /// (v4). Re-registering a host updates its address.
+    pub fn register_peer(&mut self, host: &str, data_addr: &str) -> ClientResult<()> {
+        expect_ok(self.call(
+            &CtlRequest::RegisterPeer {
+                host: host.to_string(),
+                data_addr: data_addr.to_string(),
+            },
+            None,
+        )?)
+    }
+
     /// Submit a task; `payload` carries the buffer for
     /// memory-region inputs.
     pub fn submit(
@@ -252,10 +264,13 @@ impl UserClient {
         expect_task_id(self.call(&UserRequest::SubmitTask { pid, spec }, payload)?)
     }
 
-    /// `norns_wait`.
+    /// `norns_wait`. Scoped to this client's pid: waiting on another
+    /// submitter's task yields `PermissionDenied` (v4).
     pub fn wait(&mut self, task_id: u64, timeout_usec: u64) -> ClientResult<TaskStats> {
+        let pid = self.pid;
         expect_stats(self.call(
             &UserRequest::WaitTask {
+                pid,
                 task_id,
                 timeout_usec,
             },
@@ -263,9 +278,11 @@ impl UserClient {
         )?)
     }
 
-    /// `norns_error` (status/stats query).
+    /// `norns_error` (status/stats query). Scoped to this client's pid
+    /// like [`UserClient::wait`].
     pub fn query(&mut self, task_id: u64) -> ClientResult<TaskStats> {
-        expect_stats(self.call(&UserRequest::QueryTask { task_id }, None)?)
+        let pid = self.pid;
+        expect_stats(self.call(&UserRequest::QueryTask { pid, task_id }, None)?)
     }
 
     /// Cancel a still-pending task. Only tasks submitted by this

@@ -1,19 +1,38 @@
 //! The real `urd` daemon: two `AF_UNIX` listeners (control + user,
-//! with different filesystem permissions, §IV-B), an accept thread per
-//! socket, per-connection reader threads feeding the shared
+//! with different filesystem permissions, §IV-B), an optional TCP
+//! *data-plane* listener serving remote-staging peers, an accept
+//! thread per socket, per-connection reader threads feeding the shared
 //! [`Engine`], and framed request/response messaging.
+//!
+//! Shutdown is complete, not advisory: `initiate_shutdown` stops the
+//! engine (workers joined, backlog cancelled), pokes every acceptor
+//! out of `accept()`, calls `shutdown(2)` on every live connection so
+//! reader threads parked in `read()` unblock, and joins all of them —
+//! no thread outlives the daemon waiting for a client to hang up.
+//!
+//! Socket files are bound inside a private `0o700` staging directory,
+//! given their final permissions, and only then renamed into place:
+//! the control socket is never observable with umask-default (possibly
+//! world-connectable) permissions, not even transiently.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::fs::PermissionsExt;
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::{JoinHandle, ThreadId};
+use std::time::Duration;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
+
+use parking_lot::Mutex;
 
 use norns_proto::{
-    encode_frame, CtlRequest, DaemonCommand, ErrorCode, FrameReader, Response, UserRequest, Wire,
+    encode_frame, CtlRequest, DaemonCommand, DataRequest, DataResponse, ErrorCode, FrameReader,
+    Response, UserRequest, Wire, MAX_DATA_RANGE,
 };
 
 use crate::engine::{Engine, EngineConfig, PolicyKind};
@@ -33,6 +52,15 @@ pub struct DaemonConfig {
     pub chunk_size: u64,
     /// Task arbitration policy the worker pool dispatches through.
     pub policy: PolicyKind,
+    /// TCP address for the remote-staging data plane (e.g.
+    /// `127.0.0.1:0` for an ephemeral loopback port); `None` disables
+    /// remote staging. The data plane is unauthenticated — bind it to
+    /// loopback or a trusted interconnect only.
+    pub data_addr: Option<String>,
+    /// Static peer registry seeded at spawn: `RemotePath.host` →
+    /// peer data-plane address. Peers can also be added at runtime via
+    /// `CtlRequest::RegisterPeer`.
+    pub peers: Vec<(String, String)>,
 }
 
 impl DaemonConfig {
@@ -43,6 +71,8 @@ impl DaemonConfig {
             queue_capacity: crate::engine::DEFAULT_QUEUE_CAPACITY,
             chunk_size: crate::engine::DEFAULT_CHUNK_SIZE,
             policy: PolicyKind::Fcfs,
+            data_addr: None,
+            peers: Vec::new(),
         }
     }
 
@@ -60,17 +90,33 @@ impl DaemonConfig {
         self.chunk_size = chunk_size;
         self
     }
+
+    /// Enable the remote-staging data plane on `addr` (TCP; port 0
+    /// picks an ephemeral port, retrievable via
+    /// [`UrdDaemon::data_addr`]).
+    pub fn with_data_addr(mut self, addr: impl Into<String>) -> Self {
+        self.data_addr = Some(addr.into());
+        self
+    }
+
+    /// Seed the peer registry with `host` → `data_addr`.
+    pub fn with_peer(mut self, host: impl Into<String>, data_addr: impl Into<String>) -> Self {
+        self.peers.push((host.into(), data_addr.into()));
+        self
+    }
 }
 
 /// A running daemon; dropping it shuts the listeners down.
 pub struct UrdDaemon {
     pub control_path: PathBuf,
     pub user_path: PathBuf,
+    data_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
 }
 
 impl UrdDaemon {
-    /// Bind both sockets and start serving.
+    /// Bind the sockets (and the data plane, if configured) and start
+    /// serving.
     pub fn spawn(config: DaemonConfig) -> std::io::Result<UrdDaemon> {
         std::fs::create_dir_all(&config.socket_dir)?;
         let control_path = config.socket_dir.join("urd.ctl.sock");
@@ -87,27 +133,62 @@ impl UrdDaemon {
             },
             config.policy.to_policy(),
         );
+        for (host, addr) in &config.peers {
+            engine.register_peer(host.clone(), addr.clone());
+        }
+
+        // "two separate 'control' and 'user' sockets are created with
+        // differing file system permissions" — owner-only for control,
+        // group/world-usable for the user socket. Binding happens in a
+        // 0o700 staging directory and the socket is renamed into place
+        // only after its permissions are set, so there is no window in
+        // which `urd.ctl.sock` exists with umask-default permissions.
+        let staging = config
+            .socket_dir
+            .join(format!(".urd-staging-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&staging);
+        std::fs::create_dir_all(&staging)?;
+        std::fs::set_permissions(&staging, std::fs::Permissions::from_mode(0o700))?;
+        let bind_result = (|| {
+            let ctl_listener = bind_with_mode(&staging, "urd.ctl.sock", 0o600, &control_path)?;
+            let user_listener = bind_with_mode(&staging, "urd.user.sock", 0o666, &user_path)?;
+            Ok::<_, std::io::Error>((ctl_listener, user_listener))
+        })();
+        let _ = std::fs::remove_dir_all(&staging);
+        let (ctl_listener, user_listener) = bind_result?;
+
+        // The remote-staging data plane (optional).
+        let (data_listener, data_addr) = match &config.data_addr {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let bound = listener.local_addr()?;
+                engine.set_data_addr(bound.to_string());
+                (Some(listener), Some(bound))
+            }
+            None => (None, None),
+        };
+
         let shared = Arc::new(Shared {
             engine,
             shutdown: AtomicBool::new(false),
             control_path: control_path.clone(),
             user_path: user_path.clone(),
+            data_addr,
+            next_conn: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            acceptors: Mutex::new(Vec::new()),
         });
 
-        let ctl_listener = UnixListener::bind(&control_path)?;
-        let user_listener = UnixListener::bind(&user_path)?;
-        // "two separate 'control' and 'user' sockets are created with
-        // differing file system permissions" — owner-only for control,
-        // group/world-usable for the user socket.
-        let _ = std::fs::set_permissions(&control_path, std::fs::Permissions::from_mode(0o600));
-        let _ = std::fs::set_permissions(&user_path, std::fs::Permissions::from_mode(0o666));
-
-        spawn_acceptor(ctl_listener, Arc::clone(&shared), true);
-        spawn_acceptor(user_listener, Arc::clone(&shared), false);
+        spawn_unix_acceptor(ctl_listener, Arc::clone(&shared), true);
+        spawn_unix_acceptor(user_listener, Arc::clone(&shared), false);
+        if let Some(listener) = data_listener {
+            spawn_data_acceptor(listener, Arc::clone(&shared));
+        }
 
         Ok(UrdDaemon {
             control_path,
             user_path,
+            data_addr,
             shared,
         })
     }
@@ -116,9 +197,15 @@ impl UrdDaemon {
         &self.shared.engine
     }
 
-    /// Stop accepting, wake the acceptor threads, and join the
-    /// engine's worker pool. Same path the wire-level
-    /// `DaemonCommand::Shutdown` takes.
+    /// Actual address of the data-plane listener (resolves port 0),
+    /// `None` when remote staging is disabled.
+    pub fn data_addr(&self) -> Option<SocketAddr> {
+        self.data_addr
+    }
+
+    /// Stop accepting, join the engine's worker pool, unblock and join
+    /// every per-connection reader thread and all acceptor threads.
+    /// Same path the wire-level `DaemonCommand::Shutdown` takes.
     pub fn shutdown(&self) {
         self.shared.initiate_shutdown();
     }
@@ -132,6 +219,53 @@ impl Drop for UrdDaemon {
     }
 }
 
+/// Bind a unix socket inside the 0o700 staging directory, set its
+/// final mode, then rename it into place — the rename is what makes it
+/// connectable, so no client ever sees intermediate permissions.
+fn bind_with_mode(
+    staging: &Path,
+    name: &str,
+    mode: u32,
+    final_path: &Path,
+) -> std::io::Result<UnixListener> {
+    let tmp = staging.join(name);
+    let listener = UnixListener::bind(&tmp)?;
+    std::fs::set_permissions(&tmp, std::fs::Permissions::from_mode(mode))?;
+    std::fs::rename(&tmp, final_path)?;
+    Ok(listener)
+}
+
+/// Either kind of connection the daemon serves, uniformly
+/// force-closable so a blocked `read()` returns during shutdown.
+enum AnyStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl AnyStream {
+    fn force_shutdown(&self) {
+        match self {
+            AnyStream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            AnyStream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// One live connection: a handle to its stream (for `shutdown(2)`) and
+/// to its reader thread (for joining). `thread` lets a handler that
+/// itself initiates shutdown skip force-closing and joining *itself*
+/// (`None` only in the instant between registering the stream and the
+/// handler thread being spawned).
+struct ConnEntry {
+    stream: AnyStream,
+    thread: Option<ThreadId>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// State shared by every connection handler; lets the wire-level
 /// `DaemonCommand::Shutdown` stop the whole daemon, not just flag it.
 struct Shared {
@@ -139,33 +273,226 @@ struct Shared {
     shutdown: AtomicBool,
     control_path: PathBuf,
     user_path: PathBuf,
+    data_addr: Option<SocketAddr>,
+    next_conn: AtomicU64,
+    /// Live connections, keyed by an id the handler uses to deregister
+    /// itself on exit.
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    /// Acceptor threads, joined at shutdown.
+    acceptors: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
-    /// Flag shutdown, stop the worker pool, and poke both listeners so
-    /// their accept() calls return and the acceptor threads exit.
+    /// Flag shutdown, stop the worker pool, poke the listeners so
+    /// their `accept()` calls return, then unblock and join every
+    /// connection reader thread. The engine stops *first* so any
+    /// handler blocked in `wait()` is released by its task reaching a
+    /// terminal state before we try to join it.
     fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.engine.shutdown();
+        // Wake the acceptor threads out of accept().
         let _ = UnixStream::connect(&self.control_path);
         let _ = UnixStream::connect(&self.user_path);
+        if let Some(addr) = self.data_addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+        }
+        self.close_and_join_conns();
+        let me = std::thread::current().id();
+        let acceptors: Vec<JoinHandle<()>> = std::mem::take(&mut *self.acceptors.lock());
+        for handle in acceptors {
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
+        }
+        // An acceptor that had already passed its shutdown re-check may
+        // have registered one last connection while we drained above;
+        // with every acceptor now joined, no further registrations can
+        // happen, so a second pass leaves no thread behind.
+        self.close_and_join_conns();
+    }
+
+    /// Unblock readers parked in read() and join their threads; a
+    /// handler running shutdown itself (wire-level `Shutdown`) must
+    /// not close or join *itself* — it exits on its own at the next
+    /// loop turn, after the Ok response is written.
+    fn close_and_join_conns(&self) {
+        let me = std::thread::current().id();
+        let drained: Vec<ConnEntry> = {
+            let mut conns = self.conns.lock();
+            conns.drain().map(|(_, e)| e).collect()
+        };
+        for entry in &drained {
+            if entry.thread != Some(me) {
+                entry.stream.force_shutdown();
+            }
+        }
+        for entry in drained {
+            if entry.thread != Some(me) {
+                if let Some(handle) = entry.handle {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+
+    /// Track a freshly accepted connection *before* its handler thread
+    /// exists, so a shutdown concurrent with the accept can always
+    /// force-close the stream.
+    fn register_stream(&self, id: u64, stream: AnyStream) {
+        self.conns.lock().insert(
+            id,
+            ConnEntry {
+                stream,
+                thread: None,
+                handle: None,
+            },
+        );
+    }
+
+    /// Attach the handler thread to its registered connection. If the
+    /// handler already finished and deregistered itself (instant
+    /// client hang-up), the entry is gone — dropping the handle
+    /// detaches the already-exiting thread.
+    fn attach_handle(&self, id: u64, handle: JoinHandle<()>) {
+        if let Some(entry) = self.conns.lock().get_mut(&id) {
+            entry.thread = Some(handle.thread().id());
+            entry.handle = Some(handle);
+        }
+    }
+
+    /// Called by each handler as it exits: drop the registry entry
+    /// (detaching the JoinHandle) so the map only holds live
+    /// connections.
+    fn deregister_conn(&self, id: u64) {
+        self.conns.lock().remove(&id);
     }
 }
 
-fn spawn_acceptor(listener: UnixListener, shared: Arc<Shared>, control: bool) {
-    std::thread::spawn(move || {
-        for conn in listener.incoming() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = conn else { continue };
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || serve_connection(stream, shared, control));
+/// How long an idle nonblocking acceptor sleeps between polls. The
+/// listeners run nonblocking so shutdown can always join the acceptor
+/// threads — a blocking `accept()` could only be woken by connecting
+/// to the socket, which fails if its path was unlinked. The shutdown
+/// pokes still cut the latency to "immediately" in the common case.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Generic nonblocking accept loop: accept until shutdown, handing
+/// each stream to `spawn_handler` (which registers the connection).
+fn accept_loop<L, S>(
+    listener: L,
+    shared: &Arc<Shared>,
+    accept: impl Fn(&L) -> std::io::Result<S>,
+    spawn_handler: impl Fn(&Arc<Shared>, u64, S),
+) where
+    S: Send + 'static,
+{
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
         }
-    });
+        match accept(&listener) {
+            Ok(stream) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                spawn_handler(shared, id, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
 }
 
-fn serve_connection(mut stream: UnixStream, shared: Arc<Shared>, control: bool) {
+fn spawn_unix_acceptor(listener: UnixListener, shared: Arc<Shared>, control: bool) {
+    let _ = listener.set_nonblocking(true);
+    let handle = std::thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || {
+            accept_loop(
+                listener,
+                &shared,
+                |l| l.accept().map(|(s, _)| s),
+                |shared, id, stream: UnixStream| {
+                    // The acceptor runs nonblocking, but handlers read
+                    // blocking (shutdown unblocks them via the
+                    // registered clone's shutdown(2)). The stream is
+                    // registered *before* the handler spawns so no
+                    // window exists in which shutdown cannot reach it.
+                    let _ = stream.set_nonblocking(false);
+                    let registered = match stream.try_clone() {
+                        Ok(clone) => {
+                            shared.register_stream(id, AnyStream::Unix(clone));
+                            true
+                        }
+                        // Clone failed: the handler still runs, it just
+                        // cannot be force-unblocked (it will exit via
+                        // the shutdown flag or client hang-up).
+                        Err(_) => false,
+                    };
+                    let worker = std::thread::spawn({
+                        let shared = Arc::clone(shared);
+                        move || {
+                            serve_connection(stream, &shared, control);
+                            shared.deregister_conn(id);
+                        }
+                    });
+                    if registered {
+                        shared.attach_handle(id, worker);
+                    }
+                },
+            )
+        }
+    });
+    shared.acceptors.lock().push(handle);
+}
+
+fn spawn_data_acceptor(listener: TcpListener, shared: Arc<Shared>) {
+    let _ = listener.set_nonblocking(true);
+    let handle = std::thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || {
+            accept_loop(
+                listener,
+                &shared,
+                |l| l.accept().map(|(s, _)| s),
+                |shared, id, stream: TcpStream| {
+                    let _ = stream.set_nonblocking(false);
+                    let registered = match stream.try_clone() {
+                        Ok(clone) => {
+                            shared.register_stream(id, AnyStream::Tcp(clone));
+                            true
+                        }
+                        Err(_) => false,
+                    };
+                    let worker = std::thread::spawn({
+                        let shared = Arc::clone(shared);
+                        move || {
+                            serve_data_connection(stream, &shared);
+                            shared.deregister_conn(id);
+                        }
+                    });
+                    if registered {
+                        shared.attach_handle(id, worker);
+                    }
+                },
+            )
+        }
+    });
+    shared.acceptors.lock().push(handle);
+}
+
+/// Framed request/response loop shared by every connection kind; the
+/// closure turns one request frame into one fully encoded response
+/// frame body (request payload handling differs per protocol).
+fn serve_frames(
+    stream: &mut (impl Read + Write),
+    shared: &Arc<Shared>,
+    mut handle: impl FnMut(Bytes) -> BytesMut,
+) {
     let mut reader = FrameReader::new();
     let mut buf = [0u8; 64 * 1024];
     loop {
@@ -180,12 +507,8 @@ fn serve_connection(mut stream: UnixStream, shared: Arc<Shared>, control: bool) 
         loop {
             match reader.next_frame() {
                 Ok(Some(frame)) => {
-                    let response = if control {
-                        handle_ctl(&shared, frame)
-                    } else {
-                        handle_user(&shared.engine, frame)
-                    };
-                    let framed = encode_frame(&response.to_bytes());
+                    let body = handle(frame);
+                    let framed = encode_frame(&body);
                     if stream.write_all(&framed).is_err() {
                         return;
                     }
@@ -195,6 +518,28 @@ fn serve_connection(mut stream: UnixStream, shared: Arc<Shared>, control: bool) 
             }
         }
     }
+}
+
+fn serve_connection(mut stream: UnixStream, shared: &Arc<Shared>, control: bool) {
+    serve_frames(&mut stream, shared, |frame| {
+        let response = if control {
+            handle_ctl(shared, frame)
+        } else {
+            handle_user(&shared.engine, frame)
+        };
+        BytesMut::from(&response.to_bytes()[..])
+    });
+}
+
+fn serve_data_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    serve_frames(&mut stream, shared, |frame| {
+        let (response, payload) = handle_data(&shared.engine, frame);
+        let mut body = BytesMut::from(&response.to_bytes()[..]);
+        if let Some(p) = payload {
+            body.extend_from_slice(&p);
+        }
+        body
+    });
 }
 
 /// Separates the user-socket (pid-keyed) and control-socket
@@ -211,6 +556,13 @@ fn err_response(code: ErrorCode, message: impl Into<String>) -> Response {
 fn from_engine(r: Result<(), (ErrorCode, String)>) -> Response {
     match r {
         Ok(()) => Response::Ok,
+        Err((code, message)) => Response::Error { code, message },
+    }
+}
+
+fn stats_response(r: Result<norns_proto::TaskStats, (ErrorCode, String)>) -> Response {
+    match r {
+        Ok(stats) => Response::TaskStatus(stats),
         Err((code, message)) => Response::Error { code, message },
     }
 }
@@ -240,10 +592,11 @@ fn handle_ctl(shared: &Arc<Shared>, frame: Bytes) -> Response {
                 Response::Ok
             }
             DaemonCommand::Shutdown => {
-                // Stops the worker pool (joined, orphans cancelled)
-                // and wakes the acceptors; the Ok still reaches the
-                // caller because only this connection's thread writes
-                // the response.
+                // Stops the worker pool (joined, orphans cancelled),
+                // wakes the acceptors and joins every *other*
+                // connection thread; the Ok still reaches the caller
+                // because only this connection's thread writes the
+                // response (and it skips closing itself).
                 shared.initiate_shutdown();
                 Response::Ok
             }
@@ -258,6 +611,10 @@ fn handle_ctl(shared: &Arc<Shared>, frame: Bytes) -> Response {
         CtlRequest::AddProcess { job_id, pid, .. } => from_engine(engine.add_process(job_id, pid)),
         CtlRequest::RemoveProcess { job_id, pid } => {
             from_engine(engine.remove_process(job_id, pid))
+        }
+        CtlRequest::RegisterPeer { host, data_addr } => {
+            engine.register_peer(host, data_addr);
+            Response::Ok
         }
         CtlRequest::SubmitTask { job_id, spec } => {
             if job_id & USER_KEY_BIT != 0 {
@@ -315,25 +672,160 @@ fn handle_user(engine: &Arc<Engine>, frame: Bytes) -> Response {
                 Err((code, message)) => Response::Error { code, message },
             }
         }
+        // Wait/query/cancel through the world-connectable user socket
+        // are all scoped to the declared pid's own submissions — one
+        // job can neither observe nor revoke another's transfers. As
+        // in the paper's C API, the pid is caller-declared (the
+        // scheduler registers job processes; SO_PEERCRED verification
+        // is future hardening), so this guards against accidental
+        // cross-job interference, not a malicious local process.
         UserRequest::WaitTask {
+            pid,
             task_id,
             timeout_usec,
-        } => match engine.wait(task_id, timeout_usec) {
-            Some(stats) => Response::TaskStatus(stats),
-            None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
-        },
-        UserRequest::QueryTask { task_id } => match engine.query(task_id) {
-            Some(stats) => Response::TaskStatus(stats),
-            None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
-        },
-        // Cancels through the world-writable user socket are scoped to
-        // the declared pid's own submissions. As in the paper's C API,
-        // the pid is caller-declared (the scheduler registers job
-        // processes; SO_PEERCRED verification is future hardening), so
-        // this guards against accidental cross-job cancels, not a
-        // malicious local process.
+        } => stats_response(engine.wait_scoped(task_id, timeout_usec, Some(USER_KEY_BIT | pid))),
+        UserRequest::QueryTask { pid, task_id } => {
+            stats_response(engine.query_scoped(task_id, Some(USER_KEY_BIT | pid)))
+        }
         UserRequest::CancelTask { pid, task_id } => {
             from_engine(engine.cancel(task_id, Some(USER_KEY_BIT | pid)))
+        }
+    }
+}
+
+fn data_err(code: ErrorCode, message: impl Into<String>) -> (DataResponse, Option<Vec<u8>>) {
+    (
+        DataResponse::Error {
+            code,
+            message: message.into(),
+        },
+        None,
+    )
+}
+
+fn map_io_data(e: std::io::Error) -> (DataResponse, Option<Vec<u8>>) {
+    let code = match e.kind() {
+        std::io::ErrorKind::NotFound => ErrorCode::NotFound,
+        std::io::ErrorKind::PermissionDenied => ErrorCode::PermissionDenied,
+        std::io::ErrorKind::StorageFull => ErrorCode::NoSpace,
+        _ => ErrorCode::SystemError,
+    };
+    data_err(code, e.to_string())
+}
+
+/// Serve one data-plane request from a peer daemon. Every path goes
+/// through the engine's dataspace containment checks — a remote peer
+/// gets no more filesystem reach than a local client.
+fn handle_data(engine: &Arc<Engine>, frame: Bytes) -> (DataResponse, Option<Vec<u8>>) {
+    let mut b = frame;
+    let req = match DataRequest::decode(&mut b) {
+        Ok(r) => r,
+        Err(e) => return data_err(ErrorCode::BadArgs, e.to_string()),
+    };
+    let payload = b;
+    match req {
+        DataRequest::Stat { nsid, path } => {
+            let local = match engine.resolve_local(&nsid, &path) {
+                Ok(p) => p,
+                Err((code, message)) => return data_err(code, message),
+            };
+            match std::fs::metadata(&local) {
+                Ok(meta) if meta.is_dir() => data_err(
+                    ErrorCode::BadArgs,
+                    "directory trees cannot be staged remotely",
+                ),
+                Ok(meta) => (DataResponse::Stat { size: meta.len() }, None),
+                Err(e) => map_io_data(e),
+            }
+        }
+        DataRequest::Fetch {
+            nsid,
+            path,
+            offset,
+            len,
+        } => {
+            if len > MAX_DATA_RANGE {
+                return data_err(
+                    ErrorCode::BadArgs,
+                    format!("fetch of {len} bytes exceeds the {MAX_DATA_RANGE}-byte range cap"),
+                );
+            }
+            let local = match engine.resolve_local(&nsid, &path) {
+                Ok(p) => p,
+                Err((code, message)) => return data_err(code, message),
+            };
+            let file = match std::fs::File::open(&local) {
+                Ok(f) => f,
+                Err(e) => return map_io_data(e),
+            };
+            let mut buf = vec![0u8; len as usize];
+            let mut filled = 0usize;
+            while filled < buf.len() {
+                use std::os::unix::fs::FileExt;
+                match file.read_at(&mut buf[filled..], offset + filled as u64) {
+                    Ok(0) => break, // EOF: short payload tells the peer
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return map_io_data(e),
+                }
+            }
+            buf.truncate(filled);
+            (DataResponse::Data, Some(buf))
+        }
+        DataRequest::Prepare { nsid, path, size } => {
+            let local = match engine.resolve_local(&nsid, &path) {
+                Ok(p) => p,
+                Err((code, message)) => return data_err(code, message),
+            };
+            if let Some(parent) = local.parent() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    return map_io_data(e);
+                }
+            }
+            match std::fs::File::create(&local).and_then(|f| f.set_len(size)) {
+                Ok(()) => (DataResponse::Ok, None),
+                Err(e) => map_io_data(e),
+            }
+        }
+        DataRequest::Store { nsid, path, offset } => {
+            if payload.len() as u64 > MAX_DATA_RANGE {
+                return data_err(
+                    ErrorCode::BadArgs,
+                    format!(
+                        "store of {} bytes exceeds the {MAX_DATA_RANGE}-byte range cap",
+                        payload.len()
+                    ),
+                );
+            }
+            let local = match engine.resolve_local(&nsid, &path) {
+                Ok(p) => p,
+                Err((code, message)) => return data_err(code, message),
+            };
+            let file = match std::fs::OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&local)
+            {
+                Ok(f) => f,
+                Err(e) => return map_io_data(e),
+            };
+            use std::os::unix::fs::FileExt;
+            match file.write_all_at(&payload, offset) {
+                Ok(()) => (DataResponse::Ok, None),
+                Err(e) => map_io_data(e),
+            }
+        }
+        DataRequest::Discard { nsid, path } => {
+            let local = match engine.resolve_local(&nsid, &path) {
+                Ok(p) => p,
+                Err((code, message)) => return data_err(code, message),
+            };
+            match std::fs::remove_file(&local) {
+                Ok(()) => (DataResponse::Ok, None),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => (DataResponse::Ok, None),
+                Err(e) => map_io_data(e),
+            }
         }
     }
 }

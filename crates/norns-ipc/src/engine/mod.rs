@@ -25,7 +25,13 @@
 //!   fallback; `Move` degrades to `rename()` when source and
 //!   destination share a filesystem; and a per-task atomic advances
 //!   `bytes_moved` live, making `query()` a real progress API.
+//! * Remote staging — [`remote`]: tasks whose input or output is a
+//!   [`ResourceDesc::RemotePath`] route through the peer registry
+//!   (`RemotePath.host` → data-plane TCP address) and stream file
+//!   ranges to or from the peer daemon, reusing the same chunk
+//!   sub-unit machinery, live progress atomic and mid-stream cancel.
 
+mod remote;
 mod shard;
 mod transfer;
 
@@ -50,8 +56,9 @@ use norns_sched::{
 pub use shard::DEFAULT_SHARDS;
 pub use transfer::{DEFAULT_CHUNK_SIZE, MIN_CHUNK_SIZE};
 
+use remote::RemoteTransfer;
 use shard::{ShardedTaskTable, TaskEntry};
-use transfer::{copy_tree, map_io, ChunkedCopy};
+use transfer::{copy_tree, map_io, ChunkedCopy, PlanOutcome, TransferPlan};
 
 /// Default bound on the pending task set.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
@@ -143,8 +150,9 @@ enum Work {
         spec: TaskSpec,
         payload: Option<Vec<u8>>,
     },
-    /// One sub-unit of a planned chunked copy.
-    Chunk(Arc<ChunkedCopy>),
+    /// One sub-unit of a decomposed transfer (local chunked copy or
+    /// remote staging).
+    Chunk(Arc<dyn TransferPlan>),
 }
 
 #[derive(Default)]
@@ -159,6 +167,8 @@ struct Registry {
     /// admission (`process_known` / `process_registered`) is a hash
     /// lookup, not a scan over every registered job.
     pid_jobs: HashMap<u64, Vec<u64>>,
+    /// Peer registry: `RemotePath.host` → data-plane TCP address.
+    peers: HashMap<String, String>,
 }
 
 /// Pending work behind the dispatch mutex: the shared scheduler holds
@@ -173,8 +183,19 @@ struct DispatchState {
 enum Outcome {
     /// Completed inline on this worker; bytes moved.
     Done(u64),
-    /// Decomposed into a chunked copy; sub-units must be enqueued.
-    Chunked(Arc<ChunkedCopy>),
+    /// Decomposed into a chunked or remote transfer; sub-units must be
+    /// enqueued.
+    Chunked(Arc<dyn TransferPlan>),
+}
+
+/// How a copy task's endpoints route through the data plane.
+enum Route {
+    /// Both endpoints on this node.
+    Local,
+    /// `RemotePath` input → local output: fetch from the peer.
+    Pull { host: String },
+    /// Local input → `RemotePath` output: send to the peer.
+    Push { host: String },
 }
 
 /// Shared daemon state.
@@ -195,6 +216,9 @@ pub struct Engine {
     /// transfer — observability for the `ablation_chunk` bench.
     peak_chunk_workers: AtomicU64,
     chunk_size: u64,
+    /// Advertised data-plane address (set by the daemon once its TCP
+    /// listener is bound; empty on engines without a data plane).
+    data_addr: Mutex<String>,
     accepting: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started_at: Instant,
@@ -246,6 +270,7 @@ impl Engine {
             cancelled: AtomicU64::new(0),
             peak_chunk_workers: AtomicU64::new(0),
             chunk_size: config.chunk_size.max(MIN_CHUNK_SIZE),
+            data_addr: Mutex::new(String::new()),
             accepting: AtomicBool::new(true),
             workers: Mutex::new(Vec::new()),
             started_at: Instant::now(),
@@ -312,6 +337,7 @@ impl Engine {
             registered_jobs: registry.jobs.len() as u64,
             registered_dataspaces: registry.dataspaces.len() as u64,
             chunk_size: self.chunk_size,
+            data_addr: self.data_addr.lock().clone(),
         }
     }
 
@@ -477,32 +503,125 @@ impl Engine {
         reg.pid_jobs.contains_key(&pid)
     }
 
+    // ---- peer registry (remote staging) ----
+
+    /// Map `host` (as it appears in `RemotePath.host`) to a peer
+    /// daemon's data-plane TCP address. Re-registering updates.
+    pub fn register_peer(&self, host: impl Into<String>, data_addr: impl Into<String>) {
+        self.registry
+            .lock()
+            .peers
+            .insert(host.into(), data_addr.into());
+    }
+
+    pub fn unregister_peer(&self, host: &str) -> bool {
+        self.registry.lock().peers.remove(host).is_some()
+    }
+
+    /// Data-plane address of a registered peer.
+    pub fn peer_addr(&self, host: &str) -> Option<String> {
+        self.registry.lock().peers.get(host).cloned()
+    }
+
+    pub fn peers(&self) -> Vec<(String, String)> {
+        let reg = self.registry.lock();
+        let mut v: Vec<_> = reg
+            .peers
+            .iter()
+            .map(|(h, a)| (h.clone(), a.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Advertise this engine's own data-plane address (shown in
+    /// [`DaemonStatus::data_addr`]); called by the daemon after its
+    /// TCP listener is bound.
+    pub fn set_data_addr(&self, addr: impl Into<String>) {
+        *self.data_addr.lock() = addr.into();
+    }
+
     // ---- task lifecycle ----
+
+    /// Resolve a path inside a registered dataspace, enforcing
+    /// containment: the path is interpreted strictly relative to the
+    /// mount, so neither `..` components nor absolute paths (whose
+    /// `RootDir` would make `Path::join` *replace* the mount entirely)
+    /// can name anything outside the dataspace. Shared by local task
+    /// validation and the remote data-plane server.
+    pub(crate) fn resolve_local(
+        &self,
+        nsid: &str,
+        path: &str,
+    ) -> Result<PathBuf, (ErrorCode, String)> {
+        let reg = self.registry.lock();
+        let mount = reg
+            .mounts
+            .get(nsid)
+            .ok_or_else(|| (ErrorCode::NotFound, format!("dataspace {nsid}")))?;
+        let rel = Path::new(path);
+        if rel.components().any(|c| {
+            matches!(
+                c,
+                std::path::Component::ParentDir
+                    | std::path::Component::RootDir
+                    | std::path::Component::Prefix(_)
+            )
+        }) {
+            return Err((ErrorCode::PermissionDenied, format!("path escape: {path}")));
+        }
+        Ok(mount.join(rel))
+    }
 
     fn resolve(&self, r: &ResourceDesc) -> Result<PathBuf, (ErrorCode, String)> {
         match r {
-            ResourceDesc::PosixPath { nsid, path } => {
-                let reg = self.registry.lock();
-                let mount = reg
-                    .mounts
-                    .get(nsid)
-                    .ok_or_else(|| (ErrorCode::NotFound, format!("dataspace {nsid}")))?;
-                let rel = Path::new(path);
-                if rel
-                    .components()
-                    .any(|c| matches!(c, std::path::Component::ParentDir))
-                {
-                    return Err((ErrorCode::PermissionDenied, format!("path escape: {path}")));
-                }
-                Ok(mount.join(rel))
-            }
+            ResourceDesc::PosixPath { nsid, path } => self.resolve_local(nsid, path),
             ResourceDesc::RemotePath { .. } => Err((
                 ErrorCode::BadArgs,
-                "remote transfers are not available on a standalone daemon".into(),
+                "remote endpoint has no local path (routing bug)".into(),
             )),
             ResourceDesc::MemoryRegion { .. } => {
                 Err((ErrorCode::BadArgs, "memory region has no path".into()))
             }
+        }
+    }
+
+    /// Classify a copy/move task's endpoints. Rejects the remote
+    /// combinations the data plane does not speak.
+    fn route_of(spec: &TaskSpec) -> Result<Route, (ErrorCode, String)> {
+        let out_remote = matches!(spec.output, Some(ResourceDesc::RemotePath { .. }));
+        match (&spec.input, out_remote) {
+            (ResourceDesc::RemotePath { .. }, true) => Err((
+                ErrorCode::BadArgs,
+                "remote-to-remote relay is not supported; stage through a local dataspace".into(),
+            )),
+            (ResourceDesc::RemotePath { host, .. }, false) => {
+                Ok(Route::Pull { host: host.clone() })
+            }
+            (ResourceDesc::MemoryRegion { .. }, true) => Err((
+                ErrorCode::BadArgs,
+                "memory → remote staging is not supported; stage to a local dataspace first".into(),
+            )),
+            (_, true) => match spec.output.as_ref() {
+                Some(ResourceDesc::RemotePath { host, .. }) => {
+                    Ok(Route::Push { host: host.clone() })
+                }
+                _ => unreachable!("out_remote implies a RemotePath output"),
+            },
+            _ => Ok(Route::Local),
+        }
+    }
+
+    /// The remote (host, nsid, path) triple of a routed spec.
+    fn remote_endpoint(spec: &TaskSpec, route: &Route) -> (String, String) {
+        let endpoint = match route {
+            Route::Pull { .. } => &spec.input,
+            Route::Push { .. } => spec.output.as_ref().expect("push has an output"),
+            Route::Local => unreachable!("local routes have no remote endpoint"),
+        };
+        match endpoint {
+            ResourceDesc::RemotePath { nsid, path, .. } => (nsid.clone(), path.clone()),
+            _ => unreachable!("remote routes have a RemotePath endpoint"),
         }
     }
 
@@ -530,6 +649,12 @@ impl Engine {
                 if spec.output.is_some() {
                     return Err((ErrorCode::BadArgs, "remove takes no output".into()));
                 }
+                if matches!(spec.input, ResourceDesc::RemotePath { .. }) {
+                    return Err((
+                        ErrorCode::BadArgs,
+                        "remote remove is not supported; submit it on the owning daemon".into(),
+                    ));
+                }
                 self.resolve(&spec.input)?;
             }
             _ => {
@@ -537,42 +662,92 @@ impl Engine {
                     ErrorCode::BadArgs,
                     "copy/move require an output".to_string(),
                 ))?;
-                // Resolved once; reused for the nesting check below.
-                let dst = self.resolve(out)?;
-                match &spec.input {
-                    ResourceDesc::MemoryRegion { size, .. } => {
-                        let got = payload.as_ref().map(|p| p.len() as u64).unwrap_or(0);
-                        if got != *size {
+                match Self::route_of(&spec)? {
+                    route @ (Route::Pull { .. } | Route::Push { .. }) => {
+                        // Remote staging is copy-only: a cross-node
+                        // `Move` would need a remote unlink the data
+                        // plane does not speak.
+                        if spec.op != TaskOp::Copy {
                             return Err((
                                 ErrorCode::BadArgs,
-                                format!("memory payload {got} != declared size {size}"),
+                                "only copy tasks may cross nodes; stage a copy and remove the \
+                                 source separately"
+                                    .into(),
                             ));
                         }
-                        bytes_total = *size;
+                        let host = match &route {
+                            Route::Pull { host } | Route::Push { host } => host,
+                            Route::Local => unreachable!(),
+                        };
+                        // Unknown peers are a submission error, not a
+                        // task failure: fail fast with NotFound.
+                        self.peer_addr(host).ok_or_else(|| {
+                            (
+                                ErrorCode::NotFound,
+                                format!("unknown peer {host:?}; register it first"),
+                            )
+                        })?;
+                        match &route {
+                            Route::Pull { .. } => {
+                                // Local destination must resolve; the
+                                // remote size is only known once a
+                                // worker probes the peer, so the
+                                // estimate stays 0 ("unknown" to SJF).
+                                self.resolve(out)?;
+                            }
+                            Route::Push { .. } => {
+                                let src = self.resolve(&spec.input)?;
+                                let meta = fs::metadata(&src).map_err(map_io)?;
+                                if meta.is_dir() {
+                                    return Err((
+                                        ErrorCode::BadArgs,
+                                        "directory trees cannot be staged to a remote node".into(),
+                                    ));
+                                }
+                                bytes_total = meta.len();
+                            }
+                            Route::Local => unreachable!(),
+                        }
                     }
-                    other => {
-                        let src = self.resolve(other)?;
-                        // A destination equal to or inside the source
-                        // would make the recursive copy re-copy its own
-                        // output forever (dst appears in src's listing)
-                        // and blow the worker's stack.
-                        if dst.starts_with(&src) {
-                            return Err((
-                                ErrorCode::BadArgs,
-                                format!(
-                                    "destination {} is inside source {}",
-                                    dst.display(),
-                                    src.display()
-                                ),
-                            ));
+                    Route::Local => {
+                        // Resolved once; reused for the nesting check below.
+                        let dst = self.resolve(out)?;
+                        match &spec.input {
+                            ResourceDesc::MemoryRegion { size, .. } => {
+                                let got = payload.as_ref().map(|p| p.len() as u64).unwrap_or(0);
+                                if got != *size {
+                                    return Err((
+                                        ErrorCode::BadArgs,
+                                        format!("memory payload {got} != declared size {size}"),
+                                    ));
+                                }
+                                bytes_total = *size;
+                            }
+                            other => {
+                                let src = self.resolve(other)?;
+                                // A destination equal to or inside the source
+                                // would make the recursive copy re-copy its own
+                                // output forever (dst appears in src's listing)
+                                // and blow the worker's stack.
+                                if dst.starts_with(&src) {
+                                    return Err((
+                                        ErrorCode::BadArgs,
+                                        format!(
+                                            "destination {} is inside source {}",
+                                            dst.display(),
+                                            src.display()
+                                        ),
+                                    ));
+                                }
+                                // Size estimate feeds size-aware policies (SJF);
+                                // directories and races degrade to "unknown" (a
+                                // dirent's own length would invert SJF for tree
+                                // copies).
+                                bytes_total = fs::metadata(&src)
+                                    .map(|m| if m.is_dir() { 0 } else { m.len() })
+                                    .unwrap_or(0);
+                            }
                         }
-                        // Size estimate feeds size-aware policies (SJF);
-                        // directories and races degrade to "unknown" (a
-                        // dirent's own length would invert SJF for tree
-                        // copies).
-                        bytes_total = fs::metadata(&src)
-                            .map(|m| if m.is_dir() { 0 } else { m.len() })
-                            .unwrap_or(0);
                     }
                 }
             }
@@ -604,7 +779,10 @@ impl Engine {
                     },
                     submitted_at: Instant::now(),
                     owner: job,
+                    error_message: None,
                     progress: Arc::new(AtomicU64::new(0)),
+                    abort: Arc::new(AtomicBool::new(false)),
+                    abortable: false,
                 },
             );
             self.pending_count.fetch_add(1, Ordering::SeqCst);
@@ -613,29 +791,43 @@ impl Engine {
         Ok(task_id)
     }
 
-    /// Cancel a task that is still pending. Running or already
-    /// finished tasks are not interrupted (matching the paper's
-    /// semantics where only queued work is revocable).
+    /// May `requester` observe or revoke this task? `None` (the
+    /// administrative control API) may touch anything; user-socket
+    /// callers are scoped to their own submissions — wait, query and
+    /// cancel all enforce the same ownership rule, so one job cannot
+    /// even watch another's transfers.
+    ///
+    /// Checking the task table also shields the scheduler's internal
+    /// chunk sub-units (which carry their own scheduler keys but no
+    /// table entry): yanking one would leave its parent transfer a
+    /// chunk short of finalizing.
+    fn check_owner(&self, task_id: u64, requester: Option<u64>) -> Result<(), (ErrorCode, String)> {
+        match self.tasks.read(task_id, |t| t.owner) {
+            None => Err((ErrorCode::NotFound, format!("task {task_id}"))),
+            Some(owner) => {
+                if requester.is_some_and(|who| owner != who) {
+                    Err((
+                        ErrorCode::PermissionDenied,
+                        format!("task {task_id} belongs to another submitter"),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Cancel a task. Still-pending tasks are dropped before they run;
+    /// in-progress *decomposed* transfers (chunked copies and remote
+    /// staging) are interrupted mid-stream via their abort flag and
+    /// finish `Cancelled` with partial progress cleaned up. Running
+    /// tasks without abort points and finished tasks are refused.
     ///
     /// `requester`: `None` for the administrative control API; the
     /// submitter key for user-socket callers, who may only cancel
     /// their own tasks.
     pub fn cancel(&self, task_id: u64, requester: Option<u64>) -> Result<(), (ErrorCode, String)> {
-        // Only ids present in the task table are cancellable. This also
-        // shields the scheduler's internal chunk sub-units (which carry
-        // their own scheduler keys but no table entry): yanking one
-        // would leave its parent transfer a chunk short of finalizing.
-        match self.tasks.read(task_id, |t| t.owner) {
-            None => return Err((ErrorCode::NotFound, format!("task {task_id}"))),
-            Some(owner) => {
-                if requester.is_some_and(|who| owner != who) {
-                    return Err((
-                        ErrorCode::PermissionDenied,
-                        format!("task {task_id} belongs to another submitter"),
-                    ));
-                }
-            }
-        }
+        self.check_owner(task_id, requester)?;
         let removed = {
             let mut st = self.dispatch.lock();
             if st.sched.cancel_pending(task_id) {
@@ -647,6 +839,23 @@ impl Engine {
         };
         if removed {
             self.mark_cancelled(task_id);
+            return Ok(());
+        }
+        // Not pending: an in-progress decomposed transfer can still be
+        // interrupted — its units observe the abort flag between chunk
+        // ranges / wire round-trips.
+        let aborted = self
+            .tasks
+            .read(task_id, |t| {
+                if t.stats.state == TaskState::InProgress && t.abortable {
+                    t.abort.store(true, Ordering::SeqCst);
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap_or(false);
+        if aborted {
             return Ok(());
         }
         match self.query(task_id) {
@@ -718,7 +927,7 @@ impl Engine {
     }
 
     /// Worker-thread execution of one whole task (which may decompose
-    /// into a chunked copy on the way).
+    /// into a chunked or remote transfer on the way).
     fn execute_whole(
         self: &Arc<Self>,
         pending: &PendingTask<u64, u64, u64>,
@@ -727,21 +936,28 @@ impl Engine {
     ) {
         let task_id = pending.task;
         let start = Instant::now();
-        let progress = self
+        let (progress, abort) = self
             .tasks
             .update(task_id, |t| {
                 t.stats.state = TaskState::InProgress;
                 t.stats.wait_usec = t.submitted_at.elapsed().as_micros() as u64;
-                Arc::clone(&t.progress)
+                (Arc::clone(&t.progress), Arc::clone(&t.abort))
             })
             .unwrap_or_default();
         self.pending_count.fetch_sub(1, Ordering::SeqCst);
         self.running_count.fetch_add(1, Ordering::SeqCst);
-        match self.run_transfer(task_id, &spec, payload.as_deref(), &progress) {
+        match self.run_transfer(task_id, &spec, payload.as_deref(), &progress, &abort) {
             Ok(Outcome::Done(moved)) => {
-                self.complete_task(task_id, Ok(moved), start.elapsed().as_micros() as u64);
+                self.complete_task(
+                    task_id,
+                    PlanOutcome::Done(moved),
+                    start.elapsed().as_micros() as u64,
+                );
             }
             Ok(Outcome::Chunked(plan)) => {
+                // The plan honors the abort flag: from here on a cancel
+                // interrupts the transfer mid-stream.
+                self.tasks.update(task_id, |t| t.abortable = true);
                 // Feed the remaining chunks through the scheduler, then
                 // work one chunk ourselves; whichever worker finishes
                 // the last unit finalizes the task.
@@ -750,8 +966,12 @@ impl Engine {
                     self.finalize_chunked(&plan);
                 }
             }
-            Err(err) => {
-                self.complete_task(task_id, Err(err), start.elapsed().as_micros() as u64);
+            Err((code, message)) => {
+                self.complete_task(
+                    task_id,
+                    PlanOutcome::Failed(code, message),
+                    start.elapsed().as_micros() as u64,
+                );
             }
         }
     }
@@ -761,7 +981,11 @@ impl Engine {
     /// treats them exactly like the parent: FCFS keeps idle workers
     /// converging on the oldest transfer, fair-share interleaves chunks
     /// with other jobs' tasks.
-    fn enqueue_chunk_units(&self, parent: &PendingTask<u64, u64, u64>, plan: &Arc<ChunkedCopy>) {
+    fn enqueue_chunk_units(
+        &self,
+        parent: &PendingTask<u64, u64, u64>,
+        plan: &Arc<dyn TransferPlan>,
+    ) {
         let extra = plan.extra_units();
         if extra == 0 {
             return;
@@ -796,33 +1020,36 @@ impl Engine {
         self.dispatch_cv.notify_all();
     }
 
-    /// Terminal bookkeeping for a chunked copy, run by the last unit.
-    fn finalize_chunked(&self, plan: &Arc<ChunkedCopy>) {
+    /// Terminal bookkeeping for a decomposed transfer, run by the last
+    /// unit.
+    fn finalize_chunked(&self, plan: &Arc<dyn TransferPlan>) {
         self.peak_chunk_workers
             .fetch_max(plan.peak_workers(), Ordering::Relaxed);
-        self.complete_task(plan.task_id, plan.finalize(), plan.elapsed_usec());
+        self.complete_task(plan.task_id(), plan.finalize(), plan.elapsed_usec());
     }
 
     /// Move a task to its terminal state, fix up counters and wake the
     /// task's shard.
-    fn complete_task(
-        &self,
-        task_id: u64,
-        result: Result<u64, (ErrorCode, String)>,
-        elapsed_usec: u64,
-    ) {
+    fn complete_task(&self, task_id: u64, outcome: PlanOutcome, elapsed_usec: u64) {
         self.tasks.update_and_wake(task_id, |t| {
-            match result {
-                Ok(moved) => {
+            let mut cancelled = false;
+            match outcome {
+                PlanOutcome::Done(moved) => {
                     t.stats.state = TaskState::Finished;
                     t.stats.bytes_moved = moved;
                     t.stats.bytes_total = t.stats.bytes_total.max(moved);
                 }
-                Err((code, _)) => {
+                PlanOutcome::Failed(code, message) => {
                     t.stats.state = TaskState::FinishedWithError;
                     t.stats.error = code;
+                    t.error_message = Some(message);
                     // Keep whatever partial progress the data plane made.
                     t.stats.bytes_moved = t.progress.load(Ordering::Relaxed);
+                }
+                PlanOutcome::Cancelled => {
+                    t.stats.state = TaskState::Cancelled;
+                    t.stats.bytes_moved = t.progress.load(Ordering::Relaxed);
+                    cancelled = true;
                 }
             }
             t.stats.elapsed_usec = elapsed_usec;
@@ -830,19 +1057,24 @@ impl Engine {
             // wake: a waiter unblocked by this completion must already
             // see them updated.
             self.running_count.fetch_sub(1, Ordering::SeqCst);
-            self.completed.fetch_add(1, Ordering::SeqCst);
+            if cancelled {
+                self.cancelled.fetch_add(1, Ordering::SeqCst);
+            } else {
+                self.completed.fetch_add(1, Ordering::SeqCst);
+            }
         });
     }
 
-    /// Execute (or plan) one transfer. Large single-file copies return
-    /// [`Outcome::Chunked`] instead of blocking this worker for the
-    /// whole file.
+    /// Execute (or plan) one transfer. Large single-file copies and
+    /// every remote transfer return [`Outcome::Chunked`] instead of
+    /// blocking this worker for the whole file.
     fn run_transfer(
         &self,
         task_id: u64,
         spec: &TaskSpec,
         payload: Option<&[u8]>,
         progress: &Arc<AtomicU64>,
+        abort: &Arc<AtomicBool>,
     ) -> Result<Outcome, (ErrorCode, String)> {
         match spec.op {
             TaskOp::Remove => {
@@ -858,6 +1090,12 @@ impl Engine {
                 Ok(Outcome::Done(0))
             }
             TaskOp::Copy | TaskOp::Move => {
+                match Self::route_of(spec)? {
+                    route @ (Route::Pull { .. } | Route::Push { .. }) => {
+                        return self.plan_remote(task_id, spec, &route, progress, abort);
+                    }
+                    Route::Local => {}
+                }
                 let out = spec.output.as_ref().expect("validated");
                 let dst = self.resolve(out)?;
                 if let Some(parent) = dst.parent() {
@@ -894,6 +1132,7 @@ impl Engine {
                                 meta.len(),
                                 self.chunk_size,
                                 Arc::clone(progress),
+                                Arc::clone(abort),
                             )
                             .map_err(map_io)?;
                             return Ok(Outcome::Chunked(plan));
@@ -913,10 +1152,94 @@ impl Engine {
         }
     }
 
+    /// Plan a remote staging transfer (worker-side: planning does
+    /// network round-trips — a size probe for pulls, a preallocating
+    /// `Prepare` for pushes — that must not block `submit`).
+    fn plan_remote(
+        &self,
+        task_id: u64,
+        spec: &TaskSpec,
+        route: &Route,
+        progress: &Arc<AtomicU64>,
+        abort: &Arc<AtomicBool>,
+    ) -> Result<Outcome, (ErrorCode, String)> {
+        let host = match route {
+            Route::Pull { host } | Route::Push { host } => host,
+            Route::Local => unreachable!("plan_remote is only called on remote routes"),
+        };
+        // Re-resolved at execution: the registry may have changed since
+        // submission.
+        let addr = self.peer_addr(host).ok_or_else(|| {
+            (
+                ErrorCode::NotFound,
+                format!("unknown peer {host:?}; register it first"),
+            )
+        })?;
+        let (nsid, rpath) = Self::remote_endpoint(spec, route);
+        match route {
+            Route::Pull { .. } => {
+                let local = self.resolve(spec.output.as_ref().expect("validated"))?;
+                let (plan, size) = RemoteTransfer::plan_pull(
+                    task_id,
+                    &addr,
+                    &nsid,
+                    &rpath,
+                    &local,
+                    self.chunk_size,
+                    Arc::clone(progress),
+                    Arc::clone(abort),
+                )?;
+                // The submit-time estimate was 0 (remote size unknown);
+                // the probe makes `query()` report a real total.
+                self.tasks.update(task_id, |t| t.stats.bytes_total = size);
+                Ok(Outcome::Chunked(plan))
+            }
+            Route::Push { .. } => {
+                let local = self.resolve(&spec.input)?;
+                let plan = RemoteTransfer::plan_push(
+                    task_id,
+                    &addr,
+                    &nsid,
+                    &rpath,
+                    &local,
+                    self.chunk_size,
+                    Arc::clone(progress),
+                    Arc::clone(abort),
+                )?;
+                Ok(Outcome::Chunked(plan))
+            }
+            Route::Local => unreachable!(),
+        }
+    }
+
     /// Current stats with live `bytes_moved` progress overlaid — the
     /// paper's `NORNS_EPENDING` polling semantics.
     pub fn query(&self, task_id: u64) -> Option<TaskStats> {
         self.tasks.snapshot(task_id)
+    }
+
+    /// Human-readable failure detail for a `FinishedWithError` task
+    /// (the wire's `TaskStats` only carries the error code) —
+    /// diagnostics for remote-staging failures like an unreachable
+    /// peer.
+    pub fn error_message(&self, task_id: u64) -> Option<String> {
+        self.tasks
+            .read(task_id, |t| t.error_message.clone())
+            .flatten()
+    }
+
+    /// `query` with the user-socket ownership rule applied: a
+    /// requester may only observe its own submissions (the same
+    /// scoping `cancel` enforces — one job cannot watch another's
+    /// transfers through the world-connectable socket).
+    pub fn query_scoped(
+        &self,
+        task_id: u64,
+        requester: Option<u64>,
+    ) -> Result<TaskStats, (ErrorCode, String)> {
+        self.check_owner(task_id, requester)?;
+        self.query(task_id)
+            .ok_or((ErrorCode::NotFound, format!("task {task_id}")))
     }
 
     /// Block until the task reaches a terminal state or the timeout
@@ -929,6 +1252,19 @@ impl Engine {
             Some(Instant::now() + std::time::Duration::from_micros(timeout_usec))
         };
         self.tasks.wait(task_id, deadline)
+    }
+
+    /// `wait` with the user-socket ownership rule applied (see
+    /// [`Engine::query_scoped`]).
+    pub fn wait_scoped(
+        &self,
+        task_id: u64,
+        timeout_usec: u64,
+        requester: Option<u64>,
+    ) -> Result<TaskStats, (ErrorCode, String)> {
+        self.check_owner(task_id, requester)?;
+        self.wait(task_id, timeout_usec)
+            .ok_or((ErrorCode::NotFound, format!("task {task_id}")))
     }
 
     pub fn clear_completions(&self) {
@@ -1152,19 +1488,26 @@ mod tests {
     #[test]
     fn path_escape_rejected() {
         let (engine, _root) = engine_with_ds("esc");
-        let err = engine.submit(
-            1,
-            TaskSpec::new(
-                TaskOp::Remove,
-                ResourceDesc::PosixPath {
-                    nsid: "tmp0".into(),
-                    path: "../../etc/passwd".into(),
-                },
+        // Both escape shapes: `..` traversal and absolute paths (whose
+        // RootDir would make `mount.join` discard the mount entirely).
+        for escape in ["../../etc/passwd", "/etc/passwd", "//etc/passwd"] {
+            let err = engine.submit(
+                1,
+                TaskSpec::new(
+                    TaskOp::Remove,
+                    ResourceDesc::PosixPath {
+                        nsid: "tmp0".into(),
+                        path: escape.into(),
+                    },
+                    None,
+                ),
                 None,
-            ),
-            None,
-        );
-        assert!(matches!(err, Err((ErrorCode::PermissionDenied, _))));
+            );
+            assert!(
+                matches!(err, Err((ErrorCode::PermissionDenied, _))),
+                "path {escape:?} must be denied, got {err:?}"
+            );
+        }
         engine.shutdown();
     }
 

@@ -1,0 +1,443 @@
+//! The remote-staging backend: `RemotePath` transfers over TCP.
+//!
+//! NORNS' defining capability is asynchronous staging *between nodes*
+//! (paper Table II: `process memory ⇒ remote path`, `local path ⇒
+//! remote path`, …). This module is the client half of that data
+//! plane: a daemon executing a task whose input or output is a
+//! [`norns_proto::ResourceDesc::RemotePath`] resolves the peer host
+//! through its peer registry and streams file ranges to or from the
+//! peer's data-plane listener using the framed
+//! [`DataRequest`]/[`DataResponse`] protocol (wire v4).
+//!
+//! Remote transfers reuse the whole chunk machinery: a transfer larger
+//! than the configured chunk size decomposes into chunk sub-units fed
+//! back through `norns-sched`, each unit moving one disjoint range.
+//! Within a unit, ranges travel in [`MAX_DATA_RANGE`]-bounded
+//! round-trips; every round-trip advances the task's live progress
+//! atomic and observes the mid-stream abort flag, so `query()` shows a
+//! remote transfer advancing and `cancel()` interrupts one mid-stream.
+//!
+//! Failure model: unknown peers are rejected at submission
+//! (`NotFound`); unreachable peers fail the task with a bounded
+//! connect timeout instead of hanging; a failed or cancelled pull
+//! removes the preallocated local destination, a failed or cancelled
+//! push asks the peer to discard the partial remote file.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+
+use norns_proto::{
+    encode_frame, DataRequest, DataResponse, ErrorCode, FrameReader, Wire, MAX_DATA_RANGE,
+};
+
+use super::transfer::{map_io, ChunkGrid, PlanOutcome, TransferPlan};
+
+/// Bound on establishing a data-plane connection: an unreachable peer
+/// must fail the task, not hang a worker.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Bound on any single data-plane read/write. Generous — one bounded
+/// range, not a whole file, travels per round-trip.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Map a data-plane I/O error onto a wire error code. Timeouts get
+/// their own code so callers can distinguish a dead peer mid-transfer
+/// from a local filesystem failure.
+fn map_net(e: io::Error) -> (ErrorCode, String) {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            (ErrorCode::Timeout, format!("data plane timeout: {e}"))
+        }
+        _ => (ErrorCode::SystemError, format!("data plane: {e}")),
+    }
+}
+
+/// One framed request/response connection to a peer's data plane.
+pub(crate) struct DataConn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl DataConn {
+    pub fn connect(addr: &str) -> Result<DataConn, (ErrorCode, String)> {
+        let sockaddr: SocketAddr = addr
+            .to_socket_addrs()
+            .map_err(|e| (ErrorCode::BadArgs, format!("peer address {addr:?}: {e}")))?
+            .next()
+            .ok_or_else(|| {
+                (
+                    ErrorCode::BadArgs,
+                    format!("peer address {addr:?} resolves to nothing"),
+                )
+            })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, CONNECT_TIMEOUT)
+            .map_err(|e| (ErrorCode::SystemError, format!("peer {addr}: {e}")))?;
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        // Request/response round-trips: Nagle only adds latency.
+        let _ = stream.set_nodelay(true);
+        Ok(DataConn {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+
+    /// One round-trip: send `req` (+ optional trailing payload), read
+    /// one response frame. Returns the decoded response and whatever
+    /// payload followed it.
+    pub fn call(
+        &mut self,
+        req: &DataRequest,
+        payload: Option<&[u8]>,
+    ) -> Result<(DataResponse, Bytes), (ErrorCode, String)> {
+        let mut body = BytesMut::from(&req.to_bytes()[..]);
+        if let Some(p) = payload {
+            body.extend_from_slice(p);
+        }
+        self.stream
+            .write_all(&encode_frame(&body))
+            .map_err(map_net)?;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if let Some(frame) = self
+                .reader
+                .next_frame()
+                .map_err(|e| (ErrorCode::SystemError, format!("data plane framing: {e}")))?
+            {
+                let mut frame = frame;
+                let resp = DataResponse::decode(&mut frame)
+                    .map_err(|e| (ErrorCode::SystemError, format!("data plane decode: {e}")))?;
+                return Ok((resp, frame));
+            }
+            let n = self.stream.read(&mut buf).map_err(map_net)?;
+            if n == 0 {
+                return Err((
+                    ErrorCode::SystemError,
+                    "peer closed the data connection".into(),
+                ));
+            }
+            self.reader.extend(&buf[..n]);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-worker connection cache, keyed by peer address. Each data
+    /// round-trip borrows a cached connection instead of paying a TCP
+    /// handshake per chunk (a 4 GiB pull at the default chunk size
+    /// would otherwise connect 512 times).
+    static CONN_CACHE: RefCell<HashMap<String, DataConn>> = RefCell::new(HashMap::new());
+}
+
+/// Run one request/response round-trip against `addr`, reusing this
+/// worker's cached connection. A failure on a *cached* connection may
+/// just mean it went stale (peer restarted, idle timeout), so the
+/// round-trip is retried once on a fresh connection — safe because
+/// every data request is idempotent (`Fetch`/`Store` name absolute
+/// ranges; `Stat`/`Prepare`/`Discard` are naturally re-runnable).
+fn round_trip(
+    addr: &str,
+    req: &DataRequest,
+    payload: Option<&[u8]>,
+) -> Result<(DataResponse, Bytes), (ErrorCode, String)> {
+    let cached = CONN_CACHE.with(|c| c.borrow_mut().remove(addr));
+    if let Some(mut conn) = cached {
+        if let Ok(result) = conn.call(req, payload) {
+            CONN_CACHE.with(|c| c.borrow_mut().insert(addr.to_string(), conn));
+            return Ok(result);
+        }
+        // Stale: drop it and fall through to a fresh connection.
+    }
+    let mut conn = DataConn::connect(addr)?;
+    let result = conn.call(req, payload)?;
+    CONN_CACHE.with(|c| c.borrow_mut().insert(addr.to_string(), conn));
+    Ok(result)
+}
+
+/// A round-trip whose only interesting success is `Ok`.
+fn expect_ok(
+    addr: &str,
+    req: &DataRequest,
+    payload: Option<&[u8]>,
+) -> Result<(), (ErrorCode, String)> {
+    match round_trip(addr, req, payload)? {
+        (DataResponse::Ok, _) => Ok(()),
+        (DataResponse::Error { code, message }, _) => Err((code, message)),
+        (other, _) => Err((
+            ErrorCode::SystemError,
+            format!("unexpected data response: {other:?}"),
+        )),
+    }
+}
+
+/// `Stat` round-trip: the remote file's size in bytes.
+fn stat(addr: &str, nsid: &str, path: &str) -> Result<u64, (ErrorCode, String)> {
+    match round_trip(
+        addr,
+        &DataRequest::Stat {
+            nsid: nsid.into(),
+            path: path.into(),
+        },
+        None,
+    )? {
+        (DataResponse::Stat { size }, _) => Ok(size),
+        (DataResponse::Error { code, message }, _) => Err((code, message)),
+        (other, _) => Err((
+            ErrorCode::SystemError,
+            format!("unexpected data response: {other:?}"),
+        )),
+    }
+}
+
+/// Which way the bytes flow, from the executing daemon's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Direction {
+    /// `RemotePath` input → local dataspace output.
+    Pull,
+    /// Local dataspace input → `RemotePath` output.
+    Push,
+}
+
+/// A remote staging transfer decomposed into chunk sub-units.
+pub(crate) struct RemoteTransfer {
+    task_id: u64,
+    direction: Direction,
+    /// Peer data-plane address (resolved from the peer registry).
+    addr: String,
+    /// Remote endpoint inside the peer's dataspace.
+    nsid: String,
+    rpath: String,
+    /// Local endpoint: the pull destination or push source.
+    local: File,
+    local_path: PathBuf,
+    grid: ChunkGrid,
+}
+
+impl RemoteTransfer {
+    /// Plan a pull: probe the remote size, preallocate the local
+    /// destination, lay out the chunk grid. Returns the plan and the
+    /// now-known transfer size (the submit-time estimate was 0).
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_pull(
+        task_id: u64,
+        addr: &str,
+        nsid: &str,
+        rpath: &str,
+        local_path: &Path,
+        chunk_size: u64,
+        progress: Arc<AtomicU64>,
+        abort: Arc<AtomicBool>,
+    ) -> Result<(Arc<RemoteTransfer>, u64), (ErrorCode, String)> {
+        let size = stat(addr, nsid, rpath)?;
+        if let Some(parent) = local_path.parent() {
+            fs::create_dir_all(parent).map_err(map_io)?;
+        }
+        let local = File::create(local_path).map_err(map_io)?;
+        // Preallocate (the fallocate analog), as the local chunked
+        // copy does: units then write disjoint interior ranges. A
+        // failed preallocation (ENOSPC) must not leave the truncated
+        // destination behind — its existence would fake a staged file.
+        if let Err(e) = local.set_len(size) {
+            let _ = fs::remove_file(local_path);
+            return Err(map_io(e));
+        }
+        let plan = Arc::new(RemoteTransfer {
+            task_id,
+            direction: Direction::Pull,
+            addr: addr.to_string(),
+            nsid: nsid.to_string(),
+            rpath: rpath.to_string(),
+            local,
+            local_path: local_path.to_path_buf(),
+            grid: ChunkGrid::new(size, chunk_size, progress, abort),
+        });
+        Ok((plan, size))
+    }
+
+    /// Plan a push: open the local source, ask the peer to create and
+    /// preallocate the destination, lay out the chunk grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_push(
+        task_id: u64,
+        addr: &str,
+        nsid: &str,
+        rpath: &str,
+        local_path: &Path,
+        chunk_size: u64,
+        progress: Arc<AtomicU64>,
+        abort: Arc<AtomicBool>,
+    ) -> Result<Arc<RemoteTransfer>, (ErrorCode, String)> {
+        let local = File::open(local_path).map_err(map_io)?;
+        let meta = local.metadata().map_err(map_io)?;
+        if meta.is_dir() {
+            return Err((
+                ErrorCode::BadArgs,
+                "directory trees cannot be staged to a remote node".into(),
+            ));
+        }
+        let size = meta.len();
+        expect_ok(
+            addr,
+            &DataRequest::Prepare {
+                nsid: nsid.into(),
+                path: rpath.into(),
+                size,
+            },
+            None,
+        )?;
+        Ok(Arc::new(RemoteTransfer {
+            task_id,
+            direction: Direction::Push,
+            addr: addr.to_string(),
+            nsid: nsid.to_string(),
+            rpath: rpath.to_string(),
+            local,
+            local_path: local_path.to_path_buf(),
+            grid: ChunkGrid::new(size, chunk_size, progress, abort),
+        }))
+    }
+
+    /// Move one claimed chunk over the wire in bounded round-trips,
+    /// checking the abort flag between each.
+    fn transfer_range(&self, offset: u64, len: u64) -> Result<(), (ErrorCode, String)> {
+        let mut buf = vec![0u8; MAX_DATA_RANGE.min(len).max(1) as usize];
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            if self.grid.abort_requested() {
+                self.grid.cancel();
+                return Ok(());
+            }
+            let step = (end - cur).min(MAX_DATA_RANGE);
+            let n = match self.direction {
+                Direction::Pull => {
+                    let (resp, payload) = round_trip(
+                        &self.addr,
+                        &DataRequest::Fetch {
+                            nsid: self.nsid.clone(),
+                            path: self.rpath.clone(),
+                            offset: cur,
+                            len: step,
+                        },
+                        None,
+                    )?;
+                    match resp {
+                        DataResponse::Data => {}
+                        DataResponse::Error { code, message } => return Err((code, message)),
+                        other => {
+                            return Err((
+                                ErrorCode::SystemError,
+                                format!("unexpected data response: {other:?}"),
+                            ))
+                        }
+                    }
+                    if payload.is_empty() {
+                        return Err((
+                            ErrorCode::SystemError,
+                            format!("remote source truncated at byte {cur}"),
+                        ));
+                    }
+                    self.local.write_all_at(&payload, cur).map_err(map_io)?;
+                    payload.len() as u64
+                }
+                Direction::Push => {
+                    let n = self
+                        .local
+                        .read_at(&mut buf[..step as usize], cur)
+                        .map_err(map_io)?;
+                    if n == 0 {
+                        return Err((
+                            ErrorCode::SystemError,
+                            format!("local source truncated at byte {cur}"),
+                        ));
+                    }
+                    expect_ok(
+                        &self.addr,
+                        &DataRequest::Store {
+                            nsid: self.nsid.clone(),
+                            path: self.rpath.clone(),
+                            offset: cur,
+                        },
+                        Some(&buf[..n]),
+                    )?;
+                    n as u64
+                }
+            };
+            cur += n;
+            self.grid.progress().fetch_add(n, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Remove whatever the interrupted transfer left behind: the
+    /// preallocated local destination of a pull, or (best-effort) the
+    /// partial remote destination of a push.
+    fn cleanup(&self) {
+        match self.direction {
+            Direction::Pull => {
+                let _ = fs::remove_file(&self.local_path);
+            }
+            Direction::Push => {
+                let _ = expect_ok(
+                    &self.addr,
+                    &DataRequest::Discard {
+                        nsid: self.nsid.clone(),
+                        path: self.rpath.clone(),
+                    },
+                    None,
+                );
+            }
+        }
+    }
+}
+
+impl TransferPlan for RemoteTransfer {
+    fn task_id(&self) -> u64 {
+        self.task_id
+    }
+
+    fn extra_units(&self) -> u64 {
+        self.grid.extra_units()
+    }
+
+    fn run_unit(&self) -> bool {
+        if let Some((offset, len)) = self.grid.claim() {
+            let _guard = self.grid.enter();
+            if let Err(e) = self.transfer_range(offset, len) {
+                self.grid.fail(e);
+            }
+        }
+        self.grid.complete_unit()
+    }
+
+    fn abort_unit(&self, reason: &str) -> bool {
+        self.grid.fail((ErrorCode::SystemError, reason.to_string()));
+        self.grid.complete_unit()
+    }
+
+    fn finalize(&self) -> PlanOutcome {
+        if let Some(outcome) = self.grid.take_failure_outcome() {
+            self.cleanup();
+            return outcome;
+        }
+        PlanOutcome::Done(self.grid.progress().load(Ordering::Relaxed))
+    }
+
+    fn elapsed_usec(&self) -> u64 {
+        self.grid.elapsed_usec()
+    }
+
+    fn peak_workers(&self) -> u64 {
+        self.grid.peak_workers()
+    }
+}

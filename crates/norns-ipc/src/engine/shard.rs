@@ -12,7 +12,7 @@
 //! lock traffic spreads evenly.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,6 +34,17 @@ pub(crate) struct TaskEntry {
     /// [`TaskEntry::snapshot`] overlays it on `stats.bytes_moved`, so
     /// `query()` is a real progress API while the task is in flight.
     pub progress: Arc<AtomicU64>,
+    /// Human-readable failure detail (the wire's `TaskStats` only
+    /// carries the error code); surfaced via `Engine::error_message`.
+    pub error_message: Option<String>,
+    /// Mid-stream cancel request; decomposed transfers observe it
+    /// between chunk ranges (and remote ones between round-trips).
+    pub abort: Arc<AtomicBool>,
+    /// Whether the running transfer honors `abort` — true once a
+    /// worker decomposed it into a chunked or remote plan. Tasks
+    /// without abort points (small inline copies) stay uncancellable
+    /// once running, as before.
+    pub abortable: bool,
 }
 
 impl TaskEntry {
@@ -160,7 +171,10 @@ mod tests {
             },
             submitted_at: Instant::now(),
             owner: 1,
+            error_message: None,
             progress: Arc::new(AtomicU64::new(0)),
+            abort: Arc::new(AtomicBool::new(false)),
+            abortable: false,
         }
     }
 

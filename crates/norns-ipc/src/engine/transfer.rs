@@ -24,7 +24,7 @@ use std::fs::{self, File, Permissions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -224,21 +224,51 @@ pub(crate) fn copy_tree(src: &Path, dst: &Path, progress: &AtomicU64) -> io::Res
     }
 }
 
-/// A large single-file copy decomposed into fixed-size chunks.
-///
-/// The planner opens both files once, preallocates the destination,
-/// and the scheduler hands out one *sub-unit* per chunk; each unit
-/// claims the next unclaimed chunk index and copies that disjoint
-/// range. Exactly `nchunks` units exist (the planning dispatch counts
-/// as one); whichever unit completes last finalizes the task.
-pub(crate) struct ChunkedCopy {
-    pub task_id: u64,
-    op: TaskOp,
-    src: File,
-    dst: File,
-    src_path: PathBuf,
-    dst_path: PathBuf,
-    src_permissions: Permissions,
+/// Terminal outcome of a (possibly decomposed) transfer.
+pub(crate) enum PlanOutcome {
+    /// Completed; bytes moved.
+    Done(u64),
+    /// Failed with a wire error.
+    Failed(ErrorCode, String),
+    /// Interrupted by a mid-stream cancel.
+    Cancelled,
+}
+
+/// What stopped a chunk grid before all ranges were copied. The first
+/// stop reason wins: a cancel never masks a real error and vice versa.
+enum Failure {
+    Error(ErrorCode, String),
+    Cancelled,
+}
+
+/// A transfer decomposed into scheduler sub-units (local chunked copy
+/// or remote staging). The engine drives every decomposed transfer
+/// through this interface: exactly `extra_units() + 1` units exist
+/// (the planning dispatch counts as one); whichever unit completes
+/// last finalizes the task.
+pub(crate) trait TransferPlan: Send + Sync {
+    /// The client-visible task this plan executes.
+    fn task_id(&self) -> u64;
+    /// Scheduler sub-units beyond the planning dispatch.
+    fn extra_units(&self) -> u64;
+    /// Execute one unit. Returns `true` when this was the final unit —
+    /// the caller must then [`TransferPlan::finalize`].
+    fn run_unit(&self) -> bool;
+    /// Account for a unit that will never run (daemon shutdown drained
+    /// it). Returns `true` when this was the final unit.
+    fn abort_unit(&self, reason: &str) -> bool;
+    /// Terminal bookkeeping, run exactly once by the last unit.
+    fn finalize(&self) -> PlanOutcome;
+    /// Wall-clock µs since the planning dispatch.
+    fn elapsed_usec(&self) -> u64;
+    /// High-water mark of workers simultaneously executing units.
+    fn peak_workers(&self) -> u64;
+}
+
+/// Chunk-grid bookkeeping shared by every decomposed transfer: claims
+/// disjoint ranges, tracks unit completion, records the first failure
+/// and observes the task's mid-stream abort flag.
+pub(crate) struct ChunkGrid {
     size: u64,
     chunk_size: u64,
     nchunks: u64,
@@ -253,12 +283,145 @@ pub(crate) struct ChunkedCopy {
     peak_inflight: AtomicU64,
     started: Instant,
     progress: Arc<AtomicU64>,
-    failed: Mutex<Option<(ErrorCode, String)>>,
+    /// Set by `Engine::cancel` on an in-progress task; units observe
+    /// it between ranges (and remote transfers between round-trips).
+    abort: Arc<AtomicBool>,
+    failed: Mutex<Option<Failure>>,
+}
+
+impl ChunkGrid {
+    pub fn new(
+        size: u64,
+        chunk_size: u64,
+        progress: Arc<AtomicU64>,
+        abort: Arc<AtomicBool>,
+    ) -> Self {
+        ChunkGrid {
+            size,
+            chunk_size,
+            // Zero-byte transfers still need one unit so the task
+            // reaches a terminal state through the normal path.
+            nchunks: size.div_ceil(chunk_size).max(1),
+            next_chunk: AtomicU64::new(0),
+            units_done: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            peak_inflight: AtomicU64::new(0),
+            started: Instant::now(),
+            progress,
+            abort,
+            failed: Mutex::new(None),
+        }
+    }
+
+    pub fn extra_units(&self) -> u64 {
+        self.nchunks - 1
+    }
+
+    pub fn progress(&self) -> &Arc<AtomicU64> {
+        &self.progress
+    }
+
+    /// Claim the next chunk range, or `None` when the grid is spent,
+    /// a unit already failed, or a cancel was requested (recorded as
+    /// the stop reason so `finalize` reports `Cancelled`).
+    pub fn claim(&self) -> Option<(u64, u64)> {
+        let idx = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.nchunks {
+            return None;
+        }
+        if self.abort_requested() {
+            self.cancel();
+            return None;
+        }
+        if self.failed.lock().is_some() {
+            return None;
+        }
+        let offset = idx * self.chunk_size;
+        Some((offset, self.chunk_size.min(self.size - offset)))
+    }
+
+    /// Has `Engine::cancel` asked this transfer to stop?
+    pub fn abort_requested(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    /// Record a mid-stream cancel (first stop reason wins).
+    pub fn cancel(&self) {
+        let mut failed = self.failed.lock();
+        if failed.is_none() {
+            *failed = Some(Failure::Cancelled);
+        }
+    }
+
+    pub fn fail(&self, error: (ErrorCode, String)) {
+        let mut failed = self.failed.lock();
+        if failed.is_none() {
+            *failed = Some(Failure::Error(error.0, error.1));
+        }
+    }
+
+    /// Track a unit entering execution; returns a guard that leaves on
+    /// drop and maintains the peak-concurrency high-water mark.
+    pub fn enter(&self) -> InflightGuard<'_> {
+        let inflight = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_inflight.fetch_max(inflight, Ordering::Relaxed);
+        InflightGuard { grid: self }
+    }
+
+    /// Count one finished unit; `true` when it was the last.
+    pub fn complete_unit(&self) -> bool {
+        self.units_done.fetch_add(1, Ordering::AcqRel) + 1 == self.nchunks
+    }
+
+    /// The stop reason as a terminal outcome, if any (consumed exactly
+    /// once, by `finalize`).
+    pub fn take_failure_outcome(&self) -> Option<PlanOutcome> {
+        self.failed.lock().take().map(|failure| match failure {
+            Failure::Error(code, message) => PlanOutcome::Failed(code, message),
+            Failure::Cancelled => PlanOutcome::Cancelled,
+        })
+    }
+
+    pub fn elapsed_usec(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    pub fn peak_workers(&self) -> u64 {
+        self.peak_inflight.load(Ordering::Relaxed)
+    }
+}
+
+pub(crate) struct InflightGuard<'a> {
+    grid: &'a ChunkGrid,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.grid.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A large single-file copy decomposed into fixed-size chunks.
+///
+/// The planner opens both files once, preallocates the destination,
+/// and the scheduler hands out one *sub-unit* per chunk; each unit
+/// claims the next unclaimed chunk index and copies that disjoint
+/// range.
+pub(crate) struct ChunkedCopy {
+    task_id: u64,
+    op: TaskOp,
+    src: File,
+    dst: File,
+    src_path: PathBuf,
+    dst_path: PathBuf,
+    src_permissions: Permissions,
+    grid: ChunkGrid,
 }
 
 impl ChunkedCopy {
     /// Open the file pair, preallocate the destination, and lay out
     /// the chunk grid. `size` must exceed `chunk_size`.
+    #[allow(clippy::too_many_arguments)]
     pub fn plan(
         task_id: u64,
         op: TaskOp,
@@ -267,6 +430,7 @@ impl ChunkedCopy {
         size: u64,
         chunk_size: u64,
         progress: Arc<AtomicU64>,
+        abort: Arc<AtomicBool>,
     ) -> io::Result<Arc<ChunkedCopy>> {
         let src = File::open(src_path)?;
         let src_permissions = src.metadata()?.permissions();
@@ -283,86 +447,63 @@ impl ChunkedCopy {
             src_path: src_path.to_path_buf(),
             dst_path: dst_path.to_path_buf(),
             src_permissions,
-            size,
-            chunk_size,
-            nchunks: size.div_ceil(chunk_size),
-            next_chunk: AtomicU64::new(0),
-            units_done: AtomicU64::new(0),
-            inflight: AtomicU64::new(0),
-            peak_inflight: AtomicU64::new(0),
-            started: Instant::now(),
-            progress,
-            failed: Mutex::new(None),
+            grid: ChunkGrid::new(size, chunk_size, progress, abort),
         }))
     }
+}
 
-    /// Number of scheduler sub-units beyond the planning dispatch.
-    pub fn extra_units(&self) -> u64 {
-        self.nchunks - 1
+impl TransferPlan for ChunkedCopy {
+    fn task_id(&self) -> u64 {
+        self.task_id
     }
 
-    /// Execute one claimed chunk. Returns `true` when this was the
-    /// final unit — the caller must then [`ChunkedCopy::finalize`].
-    pub fn run_unit(&self) -> bool {
-        let idx = self.next_chunk.fetch_add(1, Ordering::Relaxed);
-        if idx < self.nchunks && self.failed.lock().is_none() {
-            let inflight = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-            self.peak_inflight.fetch_max(inflight, Ordering::Relaxed);
-            let offset = idx * self.chunk_size;
-            let len = self.chunk_size.min(self.size - offset);
-            if let Err(e) = copy_range(&self.src, &self.dst, offset, len, &self.progress) {
-                self.fail(map_io(e));
+    fn extra_units(&self) -> u64 {
+        self.grid.extra_units()
+    }
+
+    fn run_unit(&self) -> bool {
+        if let Some((offset, len)) = self.grid.claim() {
+            let _guard = self.grid.enter();
+            if let Err(e) = copy_range(&self.src, &self.dst, offset, len, self.grid.progress()) {
+                self.grid.fail(map_io(e));
             }
-            self.inflight.fetch_sub(1, Ordering::Relaxed);
         }
-        self.complete_unit()
+        self.grid.complete_unit()
     }
 
-    /// Account for a unit that will never run (daemon shutdown drained
-    /// it). Returns `true` when this was the final unit.
-    pub fn abort_unit(&self, reason: &str) -> bool {
-        self.fail((ErrorCode::SystemError, reason.to_string()));
-        self.complete_unit()
-    }
-
-    fn fail(&self, error: (ErrorCode, String)) {
-        let mut failed = self.failed.lock();
-        if failed.is_none() {
-            *failed = Some(error);
-        }
-    }
-
-    fn complete_unit(&self) -> bool {
-        self.units_done.fetch_add(1, Ordering::AcqRel) + 1 == self.nchunks
+    fn abort_unit(&self, reason: &str) -> bool {
+        self.grid.fail((ErrorCode::SystemError, reason.to_string()));
+        self.grid.complete_unit()
     }
 
     /// Terminal bookkeeping, run exactly once by the last unit: on
     /// success propagate permissions and (for `Move`) unlink the
-    /// source. Returns the bytes moved.
-    pub fn finalize(&self) -> Result<u64, (ErrorCode, String)> {
-        if let Some(err) = self.failed.lock().take() {
+    /// source.
+    fn finalize(&self) -> PlanOutcome {
+        if let Some(outcome) = self.grid.take_failure_outcome() {
             // Don't leave the preallocated destination behind: it has
             // the full logical size, so a consumer checking existence
             // or length would mistake zero-filled holes for staged
             // data. (All units have completed — no concurrent writer.)
             let _ = fs::remove_file(&self.dst_path);
-            return Err(err);
+            return outcome;
         }
         let _ = self.dst.set_permissions(self.src_permissions.clone());
         if self.op == TaskOp::Move {
-            fs::remove_file(&self.src_path).map_err(map_io)?;
+            if let Err(e) = fs::remove_file(&self.src_path) {
+                let (code, message) = map_io(e);
+                return PlanOutcome::Failed(code, message);
+            }
         }
-        Ok(self.progress.load(Ordering::Relaxed))
+        PlanOutcome::Done(self.grid.progress().load(Ordering::Relaxed))
     }
 
-    /// Wall-clock µs since the planning dispatch.
-    pub fn elapsed_usec(&self) -> u64 {
-        self.started.elapsed().as_micros() as u64
+    fn elapsed_usec(&self) -> u64 {
+        self.grid.elapsed_usec()
     }
 
-    /// High-water mark of workers simultaneously copying chunks.
-    pub fn peak_workers(&self) -> u64 {
-        self.peak_inflight.load(Ordering::Relaxed)
+    fn peak_workers(&self) -> u64 {
+        self.grid.peak_workers()
     }
 }
 
@@ -412,13 +553,17 @@ mod tests {
             data.len() as u64,
             MIN_CHUNK_SIZE,
             Arc::clone(&progress),
+            Arc::new(AtomicBool::new(false)),
         )
         .unwrap();
         assert_eq!(plan.extra_units(), 2);
         assert!(!plan.run_unit());
         assert!(!plan.run_unit());
         assert!(plan.run_unit(), "third unit is last");
-        assert_eq!(plan.finalize().unwrap(), data.len() as u64);
+        match plan.finalize() {
+            PlanOutcome::Done(moved) => assert_eq!(moved, data.len() as u64),
+            _ => panic!("clean copy must finalize Done"),
+        }
         assert_eq!(fs::read(root.join("dst")).unwrap(), data);
     }
 
@@ -435,15 +580,49 @@ mod tests {
             data.len() as u64,
             MIN_CHUNK_SIZE,
             Arc::new(AtomicU64::new(0)),
+            Arc::new(AtomicBool::new(false)),
         )
         .unwrap();
         assert!(!plan.abort_unit("shutdown"));
         assert!(plan.run_unit(), "remaining unit completes the grid");
-        let (code, msg) = plan.finalize().unwrap_err();
-        assert_eq!(code, ErrorCode::SystemError);
-        assert!(msg.contains("shutdown"));
+        match plan.finalize() {
+            PlanOutcome::Failed(code, msg) => {
+                assert_eq!(code, ErrorCode::SystemError);
+                assert!(msg.contains("shutdown"));
+            }
+            _ => panic!("aborted copy must finalize Failed"),
+        }
         // The preallocated full-size destination must not survive a
         // failed transfer: its length would fake a complete stage-in.
+        assert!(!root.join("dst").exists());
+    }
+
+    #[test]
+    fn abort_flag_cancels_remaining_chunks() {
+        let root = temp_root("midcancel");
+        let data = pattern((MIN_CHUNK_SIZE * 3) as usize);
+        fs::write(root.join("src"), &data).unwrap();
+        let abort = Arc::new(AtomicBool::new(false));
+        let plan = ChunkedCopy::plan(
+            1,
+            TaskOp::Copy,
+            &root.join("src"),
+            &root.join("dst"),
+            data.len() as u64,
+            MIN_CHUNK_SIZE,
+            Arc::new(AtomicU64::new(0)),
+            Arc::clone(&abort),
+        )
+        .unwrap();
+        assert!(!plan.run_unit(), "first chunk copies normally");
+        abort.store(true, Ordering::SeqCst);
+        assert!(!plan.run_unit(), "aborted unit claims nothing");
+        assert!(plan.run_unit(), "last unit completes the grid");
+        assert!(
+            matches!(plan.finalize(), PlanOutcome::Cancelled),
+            "mid-stream abort must finalize Cancelled"
+        );
+        // A cancelled transfer leaves no half-written destination.
         assert!(!root.join("dst").exists());
     }
 

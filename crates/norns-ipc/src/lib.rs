@@ -1,19 +1,24 @@
 //! # norns-ipc — the real urd daemon
 //!
 //! While the `norns` crate models the service inside the cluster
-//! simulator, this crate is a *real* implementation of the daemon's
-//! local path: actual `AF_UNIX` sockets with split control/user
-//! permissions, an accept loop, framed protobuf-style messages
-//! (`norns-proto`), a policy-driven worker pool and genuine
-//! filesystem transfers. It backs the Fig. 4 request-rate benchmark
-//! (local clients hammering one urd) and the quickstart/memory-offload
-//! examples.
+//! simulator, this crate is a *real* implementation of the daemon:
+//! actual `AF_UNIX` sockets with split control/user permissions, an
+//! accept loop, framed protobuf-style messages (`norns-proto`), a
+//! policy-driven worker pool, genuine filesystem transfers, and a TCP
+//! *data plane* over which two daemons stage files between their
+//! dataspaces (`RemotePath` pulls and pushes — the paper's
+//! node-to-node staging scenarios). It backs the Fig. 4 request-rate
+//! benchmark (local clients hammering one urd) and the
+//! quickstart/memory-offload/remote-staging examples.
 //!
-//! * [`engine::Engine`] — registries, validation, a bounded dispatch
-//!   queue arbitrated through the shared `norns-sched` policies, a
-//!   joined worker pool, a sharded task table with per-shard condvar
-//!   `wait`, and a chunked zero-copy data plane with live progress.
-//! * [`daemon::UrdDaemon`] — socket lifecycle and request dispatch.
+//! * [`engine::Engine`] — registries (dataspaces, jobs, peers),
+//!   validation, a bounded dispatch queue arbitrated through the
+//!   shared `norns-sched` policies, a joined worker pool, a sharded
+//!   task table with per-shard condvar `wait`, a chunked zero-copy
+//!   local data plane and a remote-staging backend, both with live
+//!   progress and mid-stream cancel.
+//! * [`daemon::UrdDaemon`] — socket + data-plane lifecycle and request
+//!   dispatch; shutdown joins every acceptor and connection thread.
 //! * [`client::CtlClient`] / [`client::UserClient`] — blocking client
 //!   libraries mirroring `nornsctl` / `norns`.
 

@@ -229,11 +229,16 @@ fn status_reports_cancelled_tasks_and_chunk_size_over_wire() {
     let victim = ctl.submit(1, copy("victim"), None).unwrap();
     match ctl.cancel(victim) {
         Ok(()) => {
-            let st = ctl.status().unwrap();
-            assert_eq!(st.cancelled_tasks, 1);
+            // Pending-cancel is synchronous; a mid-stream cancel (the
+            // worker had already decomposed the victim) lands when its
+            // units drain — wait for the terminal state before
+            // checking the counter.
+            let stats = ctl.wait(victim, 0).unwrap();
+            assert_eq!(stats.state, TaskState::Cancelled);
+            assert_eq!(ctl.status().unwrap().cancelled_tasks, 1);
         }
-        // All four blockers may already have drained on a fast box and
-        // a worker grabbed the victim; the error is then the contract.
+        // The victim may have fully finished before the cancel landed;
+        // the error is then the contract.
         Err(norns_ipc::ClientError::Remote { code, .. }) => {
             assert_eq!(code, ErrorCode::TaskError);
         }
@@ -570,6 +575,213 @@ fn wire_shutdown_stops_the_daemon() {
             "daemon served a new client after shutdown"
         );
     }
+}
+
+/// A `PosixPath` with an absolute path must not escape the dataspace:
+/// `mount.join("/abs")` *replaces* the mount, so without the RootDir
+/// check any client could read or write any file the daemon can.
+#[test]
+fn absolute_paths_cannot_escape_the_dataspace() {
+    let (daemon, root) = start("abs-escape");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    // A secret outside the mount that must stay unreadable, and a
+    // target path that must stay unwritten.
+    let secret = root.join("outside-secret.dat");
+    std::fs::write(&secret, b"never staged").unwrap();
+    let abs_target = root.join("outside-written.dat");
+    let spec = |input: ResourceDesc, output: Option<ResourceDesc>| TaskSpec {
+        op: TaskOp::Copy,
+        priority: DEFAULT_PRIORITY,
+        input,
+        output,
+    };
+    let expect_denied = |r: Result<u64, norns_ipc::ClientError>, what: &str| match r {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::PermissionDenied, "{what}")
+        }
+        other => panic!("{what}: expected PermissionDenied, got {other:?}"),
+    };
+    // Absolute input: reading a file outside the mount.
+    expect_denied(
+        ctl.submit(
+            0,
+            spec(
+                ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: secret.to_string_lossy().into_owned(),
+                },
+                Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "stolen".into(),
+                }),
+            ),
+            None,
+        ),
+        "absolute input path",
+    );
+    // Absolute output: writing a file outside the mount.
+    std::fs::write(root.join("tmp0/in.dat"), b"data").unwrap();
+    expect_denied(
+        ctl.submit(
+            0,
+            spec(
+                ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "in.dat".into(),
+                },
+                Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: abs_target.to_string_lossy().into_owned(),
+                }),
+            ),
+            None,
+        ),
+        "absolute output path",
+    );
+    // Memory payload to an absolute path (the write primitive).
+    expect_denied(
+        ctl.submit(
+            0,
+            spec(
+                ResourceDesc::MemoryRegion { addr: 0, size: 4 },
+                Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: abs_target.to_string_lossy().into_owned(),
+                }),
+            ),
+            Some(b"pwnd"),
+        ),
+        "memory to absolute path",
+    );
+    // Absolute remove.
+    expect_denied(
+        ctl.submit(
+            0,
+            TaskSpec {
+                op: TaskOp::Remove,
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: secret.to_string_lossy().into_owned(),
+                },
+                output: None,
+            },
+            None,
+        ),
+        "absolute remove",
+    );
+    assert_eq!(std::fs::read(&secret).unwrap(), b"never staged");
+    assert!(!abs_target.exists(), "no file may appear outside the mount");
+    assert!(
+        !root.join("tmp0/stolen").exists(),
+        "no out-of-mount content may be staged in"
+    );
+}
+
+/// `shutdown` must unblock and join reader threads parked in `read()`
+/// on idle client connections — they must not linger until the client
+/// hangs up.
+#[test]
+fn shutdown_joins_reader_threads_despite_idle_clients() {
+    let (daemon, root) = start("idle-shutdown");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    // Idle connections whose reader threads are parked in read():
+    // two control clients (one of which has traffic behind it) and a
+    // user client that never sent a byte.
+    let _idle_ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    let _idle_user = UserClient::connect(&daemon.user_path).unwrap();
+    ctl.ping().unwrap();
+    let started = std::time::Instant::now();
+    daemon.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "shutdown must join idle connection threads promptly, took {elapsed:?}"
+    );
+    // The still-open idle connections are dead, not half-alive.
+    let mut idle = _idle_ctl;
+    assert!(idle.ping().is_err(), "connections are closed at shutdown");
+}
+
+/// User-socket wait/query are scoped to the submitter, exactly like
+/// cancel: one job cannot observe another's transfers.
+#[test]
+fn user_wait_and_query_require_ownership() {
+    let root = temp_root("observe-owner");
+    let daemon = UrdDaemon::spawn({
+        let mut cfg = DaemonConfig::in_dir(root.join("sockets"));
+        cfg.workers = 1;
+        cfg
+    })
+    .unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    ctl.register_job(JobDesc {
+        job_id: 7,
+        hosts: vec!["localhost".into()],
+        limits: vec![],
+    })
+    .unwrap();
+    ctl.add_process(7, 111, 1000, 1000).unwrap();
+    ctl.add_process(7, 222, 1000, 1000).unwrap();
+    let mut owner = UserClient::with_pid(&daemon.user_path, 111).unwrap();
+    let mut other = UserClient::with_pid(&daemon.user_path, 222).unwrap();
+    let task = owner
+        .submit(
+            TaskSpec {
+                op: TaskOp::Copy,
+                priority: DEFAULT_PRIORITY,
+                input: ResourceDesc::MemoryRegion { addr: 0, size: 4 },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "mine".into(),
+                }),
+            },
+            Some(b"mine"),
+        )
+        .unwrap();
+    // A foreign process can neither query nor wait on it — and the
+    // denial is immediate, not a blocked wait.
+    match other.query(task) {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::PermissionDenied)
+        }
+        r => panic!("foreign query must be denied, got {r:?}"),
+    }
+    match other.wait(task, 0) {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::PermissionDenied)
+        }
+        r => panic!("foreign wait must be denied, got {r:?}"),
+    }
+    // The owner observes normally; the administrative control API is
+    // unscoped.
+    let stats = owner.wait(task, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert!(owner.query(task).is_ok());
+    assert!(ctl.query(task).is_ok());
+}
+
+/// The control socket is 0600 and the user socket 0666 — and they are
+/// bound via a 0700 staging directory, so neither ever existed with
+/// umask-default permissions at its public path.
+#[test]
+fn socket_files_carry_split_permissions() {
+    use std::os::unix::fs::PermissionsExt;
+    let (daemon, _root) = start("sock-perms");
+    let mode = |p: &Path| std::fs::metadata(p).unwrap().permissions().mode() & 0o777;
+    assert_eq!(mode(&daemon.control_path), 0o600, "control socket");
+    assert_eq!(mode(&daemon.user_path), 0o666, "user socket");
+    // The staging directory is gone once the daemon is up.
+    let dir = daemon.control_path.parent().unwrap();
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".urd-staging"))
+        .collect();
+    assert!(leftovers.is_empty(), "staging dir must be cleaned up");
 }
 
 /// User-socket cancels are only honored for the caller's own tasks.

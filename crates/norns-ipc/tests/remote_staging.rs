@@ -1,0 +1,424 @@
+//! Remote staging over the TCP data plane: two real daemons on one
+//! host move files between their dataspaces in both directions
+//! (`RemotePath` pull and push), with live progress, mid-stream
+//! cancel, and proper failures for unknown/unreachable peers and
+//! escaping remote paths.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon, MIN_CHUNK_SIZE};
+use norns_proto::{
+    BackendKind, DataspaceDesc, ErrorCode, ResourceDesc, TaskOp, TaskSpec, TaskState,
+};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("norns-remote-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Position-dependent payload: any chunk-offset bug corrupts it.
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 211 + 23) % 251) as u8).collect()
+}
+
+/// One daemon of a two-node testbed: its own socket dir, one dataspace
+/// (`nsid`) backed by `<root>/<name>/ds`, and a loopback data plane.
+fn start_node(
+    root: &std::path::Path,
+    name: &str,
+    config: DaemonConfig,
+) -> (UrdDaemon, CtlClient, PathBuf) {
+    let daemon = UrdDaemon::spawn(config.with_data_addr("127.0.0.1:0")).unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    let mount = root.join(name).join("ds");
+    ctl.register_dataspace(DataspaceDesc {
+        nsid: format!("{name}-ds"),
+        kind: BackendKind::Tmpfs,
+        mount: mount.to_string_lossy().into_owned(),
+        quota: 0,
+        tracked: false,
+    })
+    .unwrap();
+    (daemon, ctl, mount)
+}
+
+/// Two daemons that know each other as peers `nodea` / `nodeb`.
+#[allow(clippy::type_complexity)]
+fn two_nodes(
+    tag: &str,
+    config_a: DaemonConfig,
+    config_b: DaemonConfig,
+) -> (
+    PathBuf,
+    (UrdDaemon, CtlClient, PathBuf),
+    (UrdDaemon, CtlClient, PathBuf),
+) {
+    let root = temp_root(tag);
+    let mut a = start_node(&root, "nodea", config_a);
+    let mut b = start_node(&root, "nodeb", config_b);
+    let addr_a = a.0.data_addr().unwrap().to_string();
+    let addr_b = b.0.data_addr().unwrap().to_string();
+    a.1.register_peer("nodeb", &addr_b).unwrap();
+    b.1.register_peer("nodea", &addr_a).unwrap();
+    (root, a, b)
+}
+
+fn remote(host: &str, nsid: &str, path: &str) -> ResourceDesc {
+    ResourceDesc::RemotePath {
+        host: host.into(),
+        nsid: nsid.into(),
+        path: path.into(),
+    }
+}
+
+fn local(nsid: &str, path: &str) -> ResourceDesc {
+    ResourceDesc::PosixPath {
+        nsid: nsid.into(),
+        path: path.into(),
+    }
+}
+
+#[test]
+fn push_and_pull_a_multichunk_file_between_two_daemons() {
+    let chunk = MIN_CHUNK_SIZE; // 64 KiB → 13 chunk sub-units
+    let cfg = |dir: PathBuf| DaemonConfig::in_dir(dir).with_chunk_size(chunk);
+    let root = temp_root("roundtrip");
+    let (daemon_a, mut ctl_a, mount_a) =
+        start_node(&root, "nodea", cfg(root.join("nodea/sockets")));
+    let (daemon_b, mut ctl_b, mount_b) =
+        start_node(&root, "nodeb", cfg(root.join("nodeb/sockets")));
+    ctl_a
+        .register_peer("nodeb", &daemon_b.data_addr().unwrap().to_string())
+        .unwrap();
+    ctl_b
+        .register_peer("nodea", &daemon_a.data_addr().unwrap().to_string())
+        .unwrap();
+    // Both daemons advertise their data plane in status.
+    assert_eq!(
+        ctl_a.status().unwrap().data_addr,
+        daemon_a.data_addr().unwrap().to_string()
+    );
+
+    let data = pattern((chunk * 12) as usize + 4097);
+    std::fs::write(mount_a.join("input.dat"), &data).unwrap();
+
+    // Push: A's dataspace → B's dataspace, submitted on A.
+    let push = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                local("nodea-ds", "input.dat"),
+                Some(remote("nodeb", "nodeb-ds", "staged/input.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    // Live progress is monotone while the push runs.
+    let mut samples = Vec::new();
+    loop {
+        let stats = ctl_a.query(push).unwrap_or_else(|e| panic!("query: {e}"));
+        samples.push(stats.bytes_moved);
+        if stats.state.is_terminal() {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(
+        samples.windows(2).all(|w| w[0] <= w[1]),
+        "bytes_moved must be monotone: {samples:?}"
+    );
+    let stats = ctl_a.wait(push, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(stats.bytes_moved, data.len() as u64);
+    assert_eq!(stats.bytes_total, data.len() as u64);
+    assert_eq!(
+        std::fs::read(mount_b.join("staged/input.dat")).unwrap(),
+        data,
+        "pushed bytes must arrive intact"
+    );
+
+    // Pull: B's dataspace → A's dataspace, submitted on A.
+    let pull = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                remote("nodeb", "nodeb-ds", "staged/input.dat"),
+                Some(local("nodea-ds", "out/roundtrip.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let stats = ctl_a.wait(pull, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(stats.bytes_moved, data.len() as u64);
+    assert_eq!(
+        stats.bytes_total,
+        data.len() as u64,
+        "pull learns the remote size from the probe"
+    );
+    assert_eq!(
+        std::fs::read(mount_a.join("out/roundtrip.dat")).unwrap(),
+        data,
+        "pulled bytes must round-trip intact"
+    );
+
+    // An empty file stages cleanly in both directions too.
+    std::fs::write(mount_a.join("empty.dat"), b"").unwrap();
+    let push = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                local("nodea-ds", "empty.dat"),
+                Some(remote("nodeb", "nodeb-ds", "empty.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let stats = ctl_a.wait(push, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(stats.bytes_moved, 0);
+    assert_eq!(std::fs::read(mount_b.join("empty.dat")).unwrap(), b"");
+}
+
+#[test]
+fn cancel_interrupts_a_remote_pull_mid_stream() {
+    // One worker and 64 KiB chunks: a 32 MiB pull is 512 sequential
+    // units, each a scheduler dispatch + framed round-trip — plenty
+    // of runway to land a cancel while the transfer is in progress.
+    let mut cfg_a =
+        DaemonConfig::in_dir(temp_root("cancel-a").join("sockets")).with_chunk_size(MIN_CHUNK_SIZE);
+    cfg_a.workers = 1;
+    let cfg_b = DaemonConfig::in_dir(temp_root("cancel-b").join("sockets"));
+    let (_root, (_daemon_a, mut ctl_a, mount_a), (_daemon_b, _ctl_b, mount_b)) =
+        two_nodes("cancel", cfg_a, cfg_b);
+    let size = (MIN_CHUNK_SIZE * 512) as usize;
+    std::fs::write(mount_b.join("big.dat"), pattern(size)).unwrap();
+
+    let pull = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                remote("nodeb", "nodeb-ds", "big.dat"),
+                Some(local("nodea-ds", "staged/big.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    // Wait for real mid-stream progress, then cancel.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = ctl_a.query(pull).unwrap();
+        if stats.state == TaskState::InProgress && stats.bytes_moved > 0 {
+            break;
+        }
+        assert!(
+            !stats.state.is_terminal(),
+            "512-unit transfer finished in {:?} before a cancel could land",
+            stats.state
+        );
+        assert!(Instant::now() < deadline, "transfer never started moving");
+        std::thread::yield_now();
+    }
+    ctl_a
+        .cancel(pull)
+        .expect("mid-stream cancel must be accepted");
+    let stats = ctl_a.wait(pull, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Cancelled);
+    assert!(
+        stats.bytes_moved < size as u64,
+        "cancel must interrupt before completion ({} of {size} moved)",
+        stats.bytes_moved
+    );
+    assert!(
+        !mount_a.join("staged/big.dat").exists(),
+        "a cancelled pull must not leave the preallocated destination"
+    );
+    assert_eq!(ctl_a.status().unwrap().cancelled_tasks, 1);
+}
+
+#[test]
+fn unknown_peer_is_rejected_at_submission() {
+    let root = temp_root("unknown-peer");
+    let (_daemon, mut ctl, _mount) = start_node(
+        &root,
+        "nodea",
+        DaemonConfig::in_dir(root.join("nodea/sockets")),
+    );
+    let err = ctl.submit(
+        1,
+        TaskSpec::new(
+            TaskOp::Copy,
+            remote("ghost", "whatever", "x"),
+            Some(local("nodea-ds", "y")),
+        ),
+        None,
+    );
+    match err {
+        Err(norns_ipc::ClientError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::NotFound);
+            assert!(
+                message.contains("ghost"),
+                "message names the peer: {message}"
+            );
+        }
+        other => panic!("expected remote NotFound, got {other:?}"),
+    }
+}
+
+#[test]
+fn unreachable_peer_fails_the_task_instead_of_hanging() {
+    let root = temp_root("unreachable");
+    let (daemon, mut ctl, mount) = start_node(
+        &root,
+        "nodea",
+        DaemonConfig::in_dir(root.join("nodea/sockets")),
+    );
+    // A loopback port with nothing listening: connects are refused
+    // immediately (no black-hole routing on 127.0.0.1), so the task
+    // must fail quickly rather than hang a worker.
+    ctl.register_peer("dead", "127.0.0.1:9").unwrap();
+    std::fs::write(mount.join("src.dat"), b"payload").unwrap();
+    let started = Instant::now();
+    let push = ctl
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                local("nodea-ds", "src.dat"),
+                Some(remote("dead", "their-ds", "dst.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let stats = ctl.wait(push, 0).unwrap();
+    assert_eq!(stats.state, TaskState::FinishedWithError);
+    assert_eq!(stats.error, ErrorCode::SystemError);
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "unreachable peer must fail within the connect timeout"
+    );
+    let detail = daemon.engine().error_message(push).unwrap();
+    assert!(
+        detail.contains("127.0.0.1:9"),
+        "failure detail names the peer address: {detail}"
+    );
+}
+
+#[test]
+fn serving_daemon_rejects_escaping_remote_paths() {
+    let (_root, (_daemon_a, mut ctl_a, mount_a), (_daemon_b, _ctl_b, mount_b)) = two_nodes(
+        "remote-escape",
+        DaemonConfig::in_dir(temp_root("resc-a").join("sockets")),
+        DaemonConfig::in_dir(temp_root("resc-b").join("sockets")),
+    );
+    std::fs::write(mount_a.join("src.dat"), b"payload").unwrap();
+    for escape in ["../outside.dat", "/etc/hostname"] {
+        // Push to an escaping remote path: the *serving* daemon's
+        // containment check rejects the Prepare.
+        let push = ctl_a
+            .submit(
+                1,
+                TaskSpec::new(
+                    TaskOp::Copy,
+                    local("nodea-ds", "src.dat"),
+                    Some(remote("nodeb", "nodeb-ds", escape)),
+                ),
+                None,
+            )
+            .unwrap();
+        let stats = ctl_a.wait(push, 0).unwrap();
+        assert_eq!(stats.state, TaskState::FinishedWithError, "push {escape}");
+        assert_eq!(stats.error, ErrorCode::PermissionDenied, "push {escape}");
+        // Pull from an escaping remote path: the Stat is rejected.
+        let pull = ctl_a
+            .submit(
+                1,
+                TaskSpec::new(
+                    TaskOp::Copy,
+                    remote("nodeb", "nodeb-ds", escape),
+                    Some(local("nodea-ds", "pulled.dat")),
+                ),
+                None,
+            )
+            .unwrap();
+        let stats = ctl_a.wait(pull, 0).unwrap();
+        assert_eq!(stats.state, TaskState::FinishedWithError, "pull {escape}");
+        assert_eq!(stats.error, ErrorCode::PermissionDenied, "pull {escape}");
+    }
+    assert!(!mount_b.join("outside.dat").exists());
+    assert!(
+        !mount_b.parent().unwrap().join("outside.dat").exists(),
+        "nothing may be written outside the serving dataspace"
+    );
+}
+
+#[test]
+fn unsupported_remote_combinations_are_rejected() {
+    let (_root, (_daemon_a, mut ctl_a, mount_a), _b) = two_nodes(
+        "remote-combos",
+        DaemonConfig::in_dir(temp_root("combo-a").join("sockets")),
+        DaemonConfig::in_dir(temp_root("combo-b").join("sockets")),
+    );
+    std::fs::write(mount_a.join("src.dat"), b"payload").unwrap();
+    let expect_badargs = |r: Result<u64, norns_ipc::ClientError>, what: &str| match r {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadArgs, "{what}")
+        }
+        other => panic!("{what}: expected BadArgs, got {other:?}"),
+    };
+    // Remote → remote relay.
+    expect_badargs(
+        ctl_a.submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                remote("nodeb", "nodeb-ds", "a"),
+                Some(remote("nodeb", "nodeb-ds", "b")),
+            ),
+            None,
+        ),
+        "remote-to-remote",
+    );
+    // Cross-node move.
+    expect_badargs(
+        ctl_a.submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Move,
+                local("nodea-ds", "src.dat"),
+                Some(remote("nodeb", "nodeb-ds", "moved")),
+            ),
+            None,
+        ),
+        "remote move",
+    );
+    // Remote remove.
+    expect_badargs(
+        ctl_a.submit(
+            1,
+            TaskSpec::new(TaskOp::Remove, remote("nodeb", "nodeb-ds", "x"), None),
+            None,
+        ),
+        "remote remove",
+    );
+    // Memory region → remote.
+    expect_badargs(
+        ctl_a.submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                ResourceDesc::MemoryRegion { addr: 0, size: 3 },
+                Some(remote("nodeb", "nodeb-ds", "mem")),
+            ),
+            Some(b"abc"),
+        ),
+        "memory to remote",
+    );
+}

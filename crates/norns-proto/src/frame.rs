@@ -22,9 +22,14 @@ use crate::wire::WireError;
 /// `TaskState::Cancelled` and `ErrorCode::Busy`. v3 added
 /// `cancelled_tasks` and `chunk_size` to `DaemonStatus` (the chunked
 /// data plane reports its knobs; `bytes_moved` in `TaskStats` became a
-/// live progress counter without a wire change). Older peers are
-/// rejected at the framing layer.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// live progress counter without a wire change). v4 added the remote
+/// staging data plane: the `DataRequest`/`DataResponse` message set
+/// spoken between daemons over TCP, `data_addr` in `DaemonStatus`,
+/// `RegisterPeer` on the control API, and a `pid` on the user-socket
+/// `WaitTask`/`QueryTask` (observation is scoped to the submitter the
+/// same way cancellation is). Older peers are rejected at the framing
+/// layer.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Frames larger than this are rejected outright (a corrupt or hostile
 /// peer must not make the daemon allocate gigabytes).

@@ -20,7 +20,8 @@ pub mod wire;
 
 pub use frame::{encode_frame, FrameError, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use messages::{
-    BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataspaceDesc, ErrorCode, JobDesc,
-    ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats, UserRequest, DEFAULT_PRIORITY,
+    BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataRequest, DataResponse, DataspaceDesc,
+    ErrorCode, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
+    UserRequest, DEFAULT_PRIORITY, MAX_DATA_RANGE,
 };
 pub use wire::{Wire, WireError};

@@ -246,7 +246,9 @@ pub enum TaskState {
     InProgress,
     Finished,
     FinishedWithError,
-    /// Cancelled while still pending; never ran.
+    /// Cancelled: dropped while still pending, or (for decomposed
+    /// chunked/remote transfers) interrupted mid-stream with partial
+    /// output cleaned up (v4).
     Cancelled,
 }
 
@@ -478,10 +480,17 @@ pub enum CtlRequest {
     QueryTask {
         task_id: u64,
     },
-    /// Drop the task if still pending (`TaskState::Cancelled`);
-    /// running or finished tasks are left untouched.
+    /// Drop the task if still pending (`TaskState::Cancelled`), or
+    /// interrupt it mid-stream if the data plane can abort it (chunked
+    /// and remote transfers); other running tasks are left untouched.
     CancelTask {
         task_id: u64,
+    },
+    /// Map a `RemotePath.host` to that daemon's data-plane address
+    /// (v4). Registering an existing host updates its address.
+    RegisterPeer {
+        host: String,
+        data_addr: String,
     },
 }
 
@@ -555,6 +564,11 @@ impl Wire for CtlRequest {
                 put_varint(buf, 13);
                 put_varint(buf, *task_id);
             }
+            CtlRequest::RegisterPeer { host, data_addr } => {
+                put_varint(buf, 14);
+                put_str(buf, host);
+                put_str(buf, data_addr);
+            }
         }
     }
 
@@ -596,6 +610,10 @@ impl Wire for CtlRequest {
             13 => CtlRequest::CancelTask {
                 task_id: get_varint(buf)?,
             },
+            14 => CtlRequest::RegisterPeer {
+                host: get_str(buf)?,
+                data_addr: get_str(buf)?,
+            },
             other => return Err(WireError::BadDiscriminant(other)),
         })
     }
@@ -609,11 +627,19 @@ pub enum UserRequest {
         pid: u64,
         spec: TaskSpec,
     },
+    /// Wait for one of the caller's own tasks (v4: carries the pid —
+    /// observation through the world-connectable user socket is scoped
+    /// to the submitter, exactly like cancellation, so one job cannot
+    /// watch another's transfers).
     WaitTask {
+        pid: u64,
         task_id: u64,
         timeout_usec: u64,
     },
+    /// Query one of the caller's own tasks (pid-scoped; see
+    /// [`UserRequest::WaitTask`]).
     QueryTask {
+        pid: u64,
         task_id: u64,
     },
     /// Drop the task if still pending; mirrors the control API but
@@ -635,15 +661,18 @@ impl Wire for UserRequest {
                 spec.encode(buf);
             }
             UserRequest::WaitTask {
+                pid,
                 task_id,
                 timeout_usec,
             } => {
                 put_varint(buf, 2);
+                put_varint(buf, *pid);
                 put_varint(buf, *task_id);
                 put_varint(buf, *timeout_usec);
             }
-            UserRequest::QueryTask { task_id } => {
+            UserRequest::QueryTask { pid, task_id } => {
                 put_varint(buf, 3);
+                put_varint(buf, *pid);
                 put_varint(buf, *task_id);
             }
             UserRequest::CancelTask { pid, task_id } => {
@@ -662,10 +691,12 @@ impl Wire for UserRequest {
                 spec: TaskSpec::decode(buf)?,
             },
             2 => UserRequest::WaitTask {
+                pid: get_varint(buf)?,
                 task_id: get_varint(buf)?,
                 timeout_usec: get_varint(buf)?,
             },
             3 => UserRequest::QueryTask {
+                pid: get_varint(buf)?,
                 task_id: get_varint(buf)?,
             },
             4 => UserRequest::CancelTask {
@@ -692,6 +723,9 @@ pub struct DaemonStatus {
     /// this are decomposed into chunk sub-units executed by multiple
     /// workers (v3).
     pub chunk_size: u64,
+    /// TCP address of the daemon's remote-staging data plane, empty
+    /// when no data-plane listener is configured (v4).
+    pub data_addr: String,
 }
 
 impl Wire for DaemonStatus {
@@ -704,6 +738,7 @@ impl Wire for DaemonStatus {
         put_varint(buf, self.registered_jobs);
         put_varint(buf, self.registered_dataspaces);
         put_varint(buf, self.chunk_size);
+        put_str(buf, &self.data_addr);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -716,6 +751,175 @@ impl Wire for DaemonStatus {
             registered_jobs: get_varint(buf)?,
             registered_dataspaces: get_varint(buf)?,
             chunk_size: get_varint(buf)?,
+            data_addr: get_str(buf)?,
+        })
+    }
+}
+
+/// Largest byte range one [`DataRequest::Fetch`] or
+/// [`DataRequest::Store`] may carry. Must stay comfortably under
+/// [`crate::MAX_FRAME_LEN`] (the payload travels inside one frame);
+/// transfers iterate ranges of at most this size per round-trip, which
+/// is also the granularity of live progress and mid-stream cancels.
+pub const MAX_DATA_RANGE: u64 = 4 << 20;
+
+/// Requests spoken on the TCP *data plane* between daemons (v4).
+///
+/// The wire format mirrors the control sockets — length-prefixed,
+/// versioned frames — but the peer is another urd, not a client: a
+/// daemon executing a `RemotePath` transfer fetches or stores file
+/// ranges inside the serving daemon's dataspaces. Paths go through the
+/// same dataspace containment checks as local submissions.
+///
+/// Security: the data plane carries no authentication (the paper's
+/// deployment model trusts the compute fabric). Bind it to loopback or
+/// an interconnect unreachable from user networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataRequest {
+    /// Size probe for a file inside a dataspace (pull planning).
+    Stat { nsid: String, path: String },
+    /// Read up to `len` bytes at `offset`; answered by
+    /// [`DataResponse::Data`] whose payload is the frame remainder.
+    Fetch {
+        nsid: String,
+        path: String,
+        offset: u64,
+        len: u64,
+    },
+    /// Create the destination (parents included) and preallocate it to
+    /// `size` bytes (push planning — the `fallocate` analog).
+    Prepare {
+        nsid: String,
+        path: String,
+        size: u64,
+    },
+    /// Write the frame-remainder payload at `offset`.
+    Store {
+        nsid: String,
+        path: String,
+        offset: u64,
+    },
+    /// Remove a partially staged destination after a failed or
+    /// cancelled push. Missing files are not an error.
+    Discard { nsid: String, path: String },
+}
+
+impl Wire for DataRequest {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            DataRequest::Stat { nsid, path } => {
+                put_varint(buf, 0);
+                put_str(buf, nsid);
+                put_str(buf, path);
+            }
+            DataRequest::Fetch {
+                nsid,
+                path,
+                offset,
+                len,
+            } => {
+                put_varint(buf, 1);
+                put_str(buf, nsid);
+                put_str(buf, path);
+                put_varint(buf, *offset);
+                put_varint(buf, *len);
+            }
+            DataRequest::Prepare { nsid, path, size } => {
+                put_varint(buf, 2);
+                put_str(buf, nsid);
+                put_str(buf, path);
+                put_varint(buf, *size);
+            }
+            DataRequest::Store { nsid, path, offset } => {
+                put_varint(buf, 3);
+                put_str(buf, nsid);
+                put_str(buf, path);
+                put_varint(buf, *offset);
+            }
+            DataRequest::Discard { nsid, path } => {
+                put_varint(buf, 4);
+                put_str(buf, nsid);
+                put_str(buf, path);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_varint(buf)? {
+            0 => DataRequest::Stat {
+                nsid: get_str(buf)?,
+                path: get_str(buf)?,
+            },
+            1 => DataRequest::Fetch {
+                nsid: get_str(buf)?,
+                path: get_str(buf)?,
+                offset: get_varint(buf)?,
+                len: get_varint(buf)?,
+            },
+            2 => DataRequest::Prepare {
+                nsid: get_str(buf)?,
+                path: get_str(buf)?,
+                size: get_varint(buf)?,
+            },
+            3 => DataRequest::Store {
+                nsid: get_str(buf)?,
+                path: get_str(buf)?,
+                offset: get_varint(buf)?,
+            },
+            4 => DataRequest::Discard {
+                nsid: get_str(buf)?,
+                path: get_str(buf)?,
+            },
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// Data-plane responses (v4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataResponse {
+    Ok,
+    Stat {
+        size: u64,
+    },
+    /// The fetched bytes follow as the frame remainder; a shorter
+    /// payload than requested means the range crossed end-of-file.
+    Data,
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+impl Wire for DataResponse {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            DataResponse::Ok => put_varint(buf, 0),
+            DataResponse::Stat { size } => {
+                put_varint(buf, 1);
+                put_varint(buf, *size);
+            }
+            DataResponse::Data => put_varint(buf, 2),
+            DataResponse::Error { code, message } => {
+                put_varint(buf, 3);
+                put_varint(buf, code.to_u64());
+                put_str(buf, message);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_varint(buf)? {
+            0 => DataResponse::Ok,
+            1 => DataResponse::Stat {
+                size: get_varint(buf)?,
+            },
+            2 => DataResponse::Data,
+            3 => DataResponse::Error {
+                code: ErrorCode::from_u64(get_varint(buf)?)?,
+                message: get_str(buf)?,
+            },
+            other => return Err(WireError::BadDiscriminant(other)),
         })
     }
 }
@@ -905,6 +1109,10 @@ mod tests {
             },
             CtlRequest::QueryTask { task_id: 7 },
             CtlRequest::CancelTask { task_id: 7 },
+            CtlRequest::RegisterPeer {
+                host: "node07".into(),
+                data_addr: "10.0.0.7:50051".into(),
+            },
         ];
         for r in reqs {
             let b = r.to_bytes();
@@ -932,10 +1140,14 @@ mod tests {
                 },
             },
             UserRequest::WaitTask {
+                pid: 99,
                 task_id: 3,
                 timeout_usec: 0,
             },
-            UserRequest::QueryTask { task_id: 3 },
+            UserRequest::QueryTask {
+                pid: 99,
+                task_id: 3,
+            },
             UserRequest::CancelTask {
                 pid: 99,
                 task_id: 3,
@@ -964,6 +1176,7 @@ mod tests {
                 registered_jobs: 4,
                 registered_dataspaces: 5,
                 chunk_size: 8 << 20,
+                data_addr: "127.0.0.1:40971".into(),
             }),
             Response::Dataspaces(vec![DataspaceDesc {
                 nsid: "nvme0".into(),
@@ -997,11 +1210,77 @@ mod tests {
     }
 
     #[test]
+    fn all_data_messages_roundtrip() {
+        let reqs = vec![
+            DataRequest::Stat {
+                nsid: "pmdk0".into(),
+                path: "job42/mesh.dat".into(),
+            },
+            DataRequest::Fetch {
+                nsid: "pmdk0".into(),
+                path: "job42/mesh.dat".into(),
+                offset: 8 << 20,
+                len: 1 << 20,
+            },
+            DataRequest::Prepare {
+                nsid: "tmp0".into(),
+                path: "staged/out.dat".into(),
+                size: 1 << 30,
+            },
+            DataRequest::Store {
+                nsid: "tmp0".into(),
+                path: "staged/out.dat".into(),
+                offset: 0,
+            },
+            DataRequest::Discard {
+                nsid: "tmp0".into(),
+                path: "staged/out.dat".into(),
+            },
+        ];
+        for r in reqs {
+            let b = r.to_bytes();
+            assert_eq!(DataRequest::from_bytes(b).unwrap(), r);
+        }
+        let resps = vec![
+            DataResponse::Ok,
+            DataResponse::Stat { size: 42 << 20 },
+            DataResponse::Data,
+            DataResponse::Error {
+                code: ErrorCode::PermissionDenied,
+                message: "path escape".into(),
+            },
+        ];
+        for r in resps {
+            let b = r.to_bytes();
+            assert_eq!(DataResponse::from_bytes(b).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn data_request_payload_rides_behind_the_header() {
+        // Data-plane frames carry the range payload after the encoded
+        // request, exactly like control-socket memory payloads.
+        let req = DataRequest::Store {
+            nsid: "tmp0".into(),
+            path: "x".into(),
+            offset: 7,
+        };
+        let mut framed = BytesMut::from(&req.to_bytes()[..]);
+        framed.extend_from_slice(b"range bytes");
+        let mut buf = framed.freeze();
+        let back = DataRequest::decode(&mut buf).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(&buf[..], b"range bytes");
+    }
+
+    #[test]
     fn garbage_decodes_to_error_not_panic() {
         for len in 0..64 {
             let garbage: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
             let _ = CtlRequest::from_bytes(Bytes::from(garbage.clone()));
             let _ = UserRequest::from_bytes(Bytes::from(garbage.clone()));
+            let _ = DataRequest::from_bytes(Bytes::from(garbage.clone()));
+            let _ = DataResponse::from_bytes(Bytes::from(garbage.clone()));
             let _ = Response::from_bytes(Bytes::from(garbage));
         }
     }
