@@ -1,0 +1,872 @@
+//! The real-mode workflow executor.
+//!
+//! `slurm-sim` proves the paper's §III orchestration against a
+//! simulated cluster; this module drives the *same* submission scripts
+//! against **live** [`norns_ipc::UrdDaemon`]s: register the job with
+//! every daemon it touches, submit its `#NORNS stage_in` tasks
+//! (including `RemotePath` legs routed through the peer registry),
+//! hold the job body until stage-in completes, run it, then stage out
+//! — with the simulator's failure semantics (stage-in timeout ⇒
+//! cancel plus staged-data cleanup, stage-in failure ⇒ job failed,
+//! workflow cancel-on-failure for downstream jobs, stage-out failure
+//! ⇒ data left in place and reported as leftovers).
+//!
+//! The event loop never polls individual tasks: each daemon with
+//! outstanding staging work is watched through one wire-level v5
+//! `WaitAny` round-trip covering *all* of its outstanding task ids, so
+//! the wire cost scales with completions, not with tasks × poll
+//! interval. [`WorkflowExecutor::wait_round_trips`] and
+//! [`WorkflowExecutor::query_round_trips`] expose the counters the
+//! examples assert on.
+
+use std::time::{Duration, Instant};
+
+use norns_ipc::{ClientError, CtlClient};
+use norns_proto::{ErrorCode, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState};
+
+use crate::script::{self, JobScript, Mapping, ScriptError, StageDirective, WorkflowPos};
+
+/// One daemon the executor drives, as the embedding describes it.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Host name, as it appears in `RemotePath.host` and job `hosts`.
+    pub name: String,
+    /// Path of the daemon's control socket (`urd.ctl.sock`).
+    pub control_path: std::path::PathBuf,
+    /// Dataspace ids hosted by this daemon; the executor routes each
+    /// stage directive endpoint to the node owning its `nsid`.
+    pub dataspaces: Vec<String>,
+}
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Kill a job whose stage-in has not finished by this deadline
+    /// ("until a pre-configured timeout is encountered", §III):
+    /// outstanding transfers are cancelled, already-staged destinations
+    /// removed, the job and its workflow successors cancelled.
+    pub stage_in_timeout: Duration,
+    /// Longest slice one `WaitAny` round-trip may block when *several*
+    /// daemons have outstanding work (the executor rotates between
+    /// them); with a single busy daemon the wait parks for the whole
+    /// remaining deadline instead.
+    pub heartbeat: Duration,
+    /// How long cancelled-but-running staging tasks are drained before
+    /// the executor gives up joining them.
+    pub cancel_grace: Duration,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            stage_in_timeout: Duration::from_secs(30),
+            heartbeat: Duration::from_millis(50),
+            cancel_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Executor-assigned job id (distinct from the daemons' task ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowJobId(pub u64);
+
+/// Real-mode job lifecycle, mirroring the simulator's states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowJobState {
+    Pending,
+    StagingIn,
+    Running,
+    StagingOut,
+    Completed,
+    Failed,
+    Cancelled,
+}
+
+impl FlowJobState {
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            FlowJobState::Completed | FlowJobState::Failed | FlowJobState::Cancelled
+        )
+    }
+}
+
+/// Lifecycle notifications, appended to [`WorkflowExecutor::events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowEvent {
+    Submitted { job: FlowJobId },
+    StageInStarted { job: FlowJobId, tasks: usize },
+    Started { job: FlowJobId },
+    StageOutStarted { job: FlowJobId, tasks: usize },
+    Completed { job: FlowJobId, leftovers: usize },
+    Failed { job: FlowJobId, reason: String },
+    Cancelled { job: FlowJobId, reason: String },
+}
+
+/// Executor failures (job-level failures are *states*, not errors).
+#[derive(Debug)]
+pub enum FlowError {
+    /// The submission script did not parse.
+    Script(ScriptError),
+    /// A wire call failed at the transport level.
+    Client(ClientError),
+    /// The workflow cannot be planned against the configured nodes
+    /// (unknown dataspace, unknown dependency, too few nodes, ...).
+    Plan(String),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Script(e) => write!(f, "script: {e}"),
+            FlowError::Client(e) => write!(f, "client: {e}"),
+            FlowError::Plan(m) => write!(f, "plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<ScriptError> for FlowError {
+    fn from(e: ScriptError) -> Self {
+        FlowError::Script(e)
+    }
+}
+
+impl From<ClientError> for FlowError {
+    fn from(e: ClientError) -> Self {
+        FlowError::Client(e)
+    }
+}
+
+/// The job body: what "running the application" means in real mode.
+pub enum JobBody {
+    /// Sleep for the duration (placeholder workloads and tests).
+    Sleep(Duration),
+    /// Run a closure; an `Err` fails the job (stage-out is skipped,
+    /// staged data is left in place for recovery).
+    Run(Box<dyn FnOnce() -> Result<(), String>>),
+}
+
+struct Node {
+    spec: NodeSpec,
+    ctl: CtlClient,
+    /// The node's advertised data-plane address (empty when remote
+    /// staging is disabled on it).
+    data_addr: String,
+}
+
+struct JobRec {
+    id: FlowJobId,
+    script: JobScript,
+    body: Option<JobBody>,
+    /// Indices into the executor's node table.
+    nodes: Vec<usize>,
+    /// Dependencies resolved to earlier job ids at submission.
+    deps: Vec<FlowJobId>,
+    state: FlowJobState,
+    failure: Option<String>,
+    /// Stage-out legs that failed; data stays on the nodes "for future
+    /// stage_out operations to try and recover" (§III).
+    leftovers: Vec<String>,
+}
+
+/// One outstanding staging task: which daemon runs it, its
+/// destination for post-timeout/failure cleanup (keyed by the node the
+/// destination is *local* to — the task's own node for plain paths,
+/// the owning peer for pushed `RemotePath` outputs), and a
+/// human-readable label for leftover reports.
+struct StageTask {
+    node: usize,
+    task_id: u64,
+    dst: Option<(usize, String, String)>,
+    label: String,
+}
+
+/// Drives parsed `#NORNS` scripts against live daemons. See the module
+/// docs for the lifecycle; workflow linkage is by job *name*, exactly
+/// like the simulator's `--workflow-prior-dependency=<name>` options.
+pub struct WorkflowExecutor {
+    config: FlowConfig,
+    nodes: Vec<Node>,
+    jobs: Vec<JobRec>,
+    next_node: usize,
+    peers_linked: bool,
+    events: Vec<FlowEvent>,
+    wait_round_trips: u64,
+    query_round_trips: u64,
+}
+
+impl WorkflowExecutor {
+    pub fn new(config: FlowConfig) -> Self {
+        WorkflowExecutor {
+            config,
+            nodes: Vec::new(),
+            jobs: Vec::new(),
+            next_node: 0,
+            peers_linked: false,
+            events: Vec::new(),
+            wait_round_trips: 0,
+            query_round_trips: 0,
+        }
+    }
+
+    /// Connect to a daemon's control socket and enroll it as a node.
+    pub fn add_node(&mut self, spec: NodeSpec) -> Result<(), FlowError> {
+        if self.nodes.iter().any(|n| n.spec.name == spec.name) {
+            return Err(FlowError::Plan(format!("duplicate node {:?}", spec.name)));
+        }
+        let mut ctl = CtlClient::connect(&spec.control_path)?;
+        let data_addr = ctl.status()?.data_addr;
+        self.nodes.push(Node {
+            spec,
+            ctl,
+            data_addr,
+        });
+        Ok(())
+    }
+
+    /// Parse and enqueue a submission script (`sbatch` analogue). The
+    /// job is validated against the node set now — unknown dataspaces,
+    /// unknown workflow dependencies and oversized allocations are
+    /// submission errors, not late failures.
+    pub fn submit(&mut self, script_text: &str, body: JobBody) -> Result<FlowJobId, FlowError> {
+        let script = script::parse(script_text)?;
+        if script.nodes == 0 {
+            return Err(FlowError::Plan(format!(
+                "job {:?} wants 0 nodes; a job needs at least one",
+                script.name
+            )));
+        }
+        if script.nodes > self.nodes.len() {
+            return Err(FlowError::Plan(format!(
+                "job {:?} wants {} nodes but the executor drives {}",
+                script.name,
+                script.nodes,
+                self.nodes.len()
+            )));
+        }
+        if self.jobs.iter().any(|j| j.script.name == script.name) {
+            return Err(FlowError::Plan(format!(
+                "duplicate job name {:?} in workflow",
+                script.name
+            )));
+        }
+        let deps = match &script.workflow {
+            WorkflowPos::None | WorkflowPos::Start => Vec::new(),
+            WorkflowPos::Dependent(names) | WorkflowPos::End(names) => names
+                .iter()
+                .map(|name| {
+                    self.jobs
+                        .iter()
+                        .find(|j| j.script.name == *name)
+                        .map(|j| j.id)
+                        .ok_or_else(|| {
+                            FlowError::Plan(format!("unknown workflow dependency {name:?}"))
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        // Round-robin node assignment, preserving the submit order the
+        // policies key on.
+        let mut nodes = Vec::with_capacity(script.nodes);
+        for k in 0..script.nodes {
+            nodes.push((self.next_node + k) % self.nodes.len());
+        }
+        self.next_node = (self.next_node + script.nodes) % self.nodes.len();
+        // Every directive must be routable before anything runs.
+        for (dir, is_in) in script
+            .stage_in
+            .iter()
+            .map(|d| (d, true))
+            .chain(script.stage_out.iter().map(|d| (d, false)))
+        {
+            for &node in self.directive_nodes(dir, &nodes, is_in)? {
+                self.plan_stage_task(node, dir)?;
+            }
+        }
+        let id = FlowJobId(self.jobs.len() as u64 + 1);
+        self.jobs.push(JobRec {
+            id,
+            script,
+            body: Some(body),
+            nodes,
+            deps,
+            state: FlowJobState::Pending,
+            failure: None,
+            leftovers: Vec::new(),
+        });
+        self.events.push(FlowEvent::Submitted { job: id });
+        Ok(id)
+    }
+
+    /// Run every submitted job to a terminal state, in submission
+    /// order, gating each on its workflow dependencies. Returns the
+    /// terminal state of each job.
+    pub fn run(&mut self) -> Result<Vec<(FlowJobId, FlowJobState)>, FlowError> {
+        self.link_peers()?;
+        for idx in 0..self.jobs.len() {
+            if self.jobs[idx].state != FlowJobState::Pending {
+                continue;
+            }
+            // "If a workflow job fails; then all subsequent jobs are
+            // cancelled."
+            let blocked = self.jobs[idx].deps.iter().any(|dep| {
+                self.jobs
+                    .iter()
+                    .find(|j| j.id == *dep)
+                    .is_some_and(|j| j.state != FlowJobState::Completed)
+            });
+            if blocked {
+                self.finish_job(idx, FlowJobState::Cancelled, "upstream workflow job failed");
+                continue;
+            }
+            self.run_job(idx)?;
+        }
+        Ok(self.jobs.iter().map(|j| (j.id, j.state)).collect())
+    }
+
+    // ---- observability ----
+
+    pub fn events(&self) -> &[FlowEvent] {
+        &self.events
+    }
+
+    pub fn job_state(&self, id: FlowJobId) -> Option<FlowJobState> {
+        self.jobs.iter().find(|j| j.id == id).map(|j| j.state)
+    }
+
+    pub fn failure(&self, id: FlowJobId) -> Option<&str> {
+        self.jobs
+            .iter()
+            .find(|j| j.id == id)
+            .and_then(|j| j.failure.as_deref())
+    }
+
+    pub fn leftovers(&self, id: FlowJobId) -> &[String] {
+        self.jobs
+            .iter()
+            .find(|j| j.id == id)
+            .map(|j| j.leftovers.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Wire-level `WaitAny` round-trips issued so far. The executor's
+    /// whole event loop goes through batch waits, so this grows with
+    /// *completions* (plus heartbeat slices when several daemons are
+    /// busy at once) — not with tasks × polling interval.
+    pub fn wait_round_trips(&self) -> u64 {
+        self.wait_round_trips
+    }
+
+    /// Wire-level per-task `QueryTask` round-trips issued so far —
+    /// stays 0: the executor never polls task state.
+    pub fn query_round_trips(&self) -> u64 {
+        self.query_round_trips
+    }
+
+    // ---- planning ----
+
+    /// Which of the job's nodes a directive applies to. Stage-in `all`
+    /// replicates to every node; `scatter`/`gather` degrade to `all`
+    /// in real mode (the executor cannot enumerate remote directories
+    /// at plan time); stage-out `all` moves one replica (node 0), the
+    /// others contribute per node.
+    fn directive_nodes<'a>(
+        &self,
+        dir: &StageDirective,
+        assigned: &'a [usize],
+        stage_in: bool,
+    ) -> Result<&'a [usize], FlowError> {
+        match dir.mapping {
+            Mapping::Node(k) => assigned.get(k..k + 1).ok_or_else(|| {
+                FlowError::Plan(format!(
+                    "mapping node:{k} out of range for a {}-node job",
+                    assigned.len()
+                ))
+            }),
+            Mapping::All if !stage_in => assigned.get(..1).ok_or_else(|| {
+                FlowError::Plan("stage-out `all` needs at least one assigned node".into())
+            }),
+            Mapping::All | Mapping::Scatter | Mapping::Gather => Ok(assigned),
+        }
+    }
+
+    /// Index of the node hosting a dataspace.
+    fn owner_of(&self, nsid: &str) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.spec.dataspaces.iter().any(|d| d == nsid))
+    }
+
+    /// Resolve a `nsid://path` endpoint as seen from `node`: local
+    /// dataspaces become `PosixPath`, dataspaces hosted by another
+    /// node become `RemotePath` through that node's daemon.
+    fn resolve_endpoint(&self, node: usize, location: &str) -> Result<ResourceDesc, FlowError> {
+        let (nsid, path) = script::split_location(location)?;
+        if self.nodes[node].spec.dataspaces.iter().any(|d| d == nsid) {
+            return Ok(ResourceDesc::PosixPath {
+                nsid: nsid.into(),
+                path: path.into(),
+            });
+        }
+        let owner = self
+            .nodes
+            .iter()
+            .find(|n| n.spec.dataspaces.iter().any(|d| d == nsid))
+            .ok_or_else(|| FlowError::Plan(format!("no node hosts dataspace {nsid:?}")))?;
+        Ok(ResourceDesc::RemotePath {
+            host: owner.spec.name.clone(),
+            nsid: nsid.into(),
+            path: path.into(),
+        })
+    }
+
+    /// Build the copy task a stage directive submits on `node`.
+    fn plan_stage_task(&self, node: usize, dir: &StageDirective) -> Result<TaskSpec, FlowError> {
+        let input = self.resolve_endpoint(node, &dir.origin)?;
+        let output = self.resolve_endpoint(node, &dir.destination)?;
+        if matches!(input, ResourceDesc::RemotePath { .. })
+            && matches!(output, ResourceDesc::RemotePath { .. })
+        {
+            return Err(FlowError::Plan(format!(
+                "stage {} → {} touches node {:?} on neither end; assign the job to a node \
+                 hosting one of the dataspaces",
+                dir.origin, dir.destination, self.nodes[node].spec.name
+            )));
+        }
+        Ok(TaskSpec::new(TaskOp::Copy, input, Some(output)))
+    }
+
+    /// Cross-register every node pair in the daemons' peer registries
+    /// (`RemotePath.host` → data-plane address), once per executor.
+    fn link_peers(&mut self) -> Result<(), FlowError> {
+        if self.peers_linked {
+            return Ok(());
+        }
+        let links: Vec<(String, String)> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.data_addr.is_empty())
+            .map(|n| (n.spec.name.clone(), n.data_addr.clone()))
+            .collect();
+        for i in 0..self.nodes.len() {
+            for (name, addr) in &links {
+                if *name != self.nodes[i].spec.name {
+                    self.nodes[i].ctl.register_peer(name, addr)?;
+                }
+            }
+        }
+        self.peers_linked = true;
+        Ok(())
+    }
+
+    // ---- job lifecycle ----
+
+    fn emit(&mut self, event: FlowEvent) {
+        self.events.push(event);
+    }
+
+    fn finish_job(&mut self, idx: usize, state: FlowJobState, reason: &str) {
+        let id = self.jobs[idx].id;
+        self.jobs[idx].state = state;
+        if !reason.is_empty() {
+            self.jobs[idx].failure = Some(reason.to_string());
+        }
+        let leftovers = self.jobs[idx].leftovers.len();
+        match state {
+            FlowJobState::Completed => self.emit(FlowEvent::Completed { job: id, leftovers }),
+            FlowJobState::Failed => self.emit(FlowEvent::Failed {
+                job: id,
+                reason: reason.to_string(),
+            }),
+            FlowJobState::Cancelled => self.emit(FlowEvent::Cancelled {
+                job: id,
+                reason: reason.to_string(),
+            }),
+            other => unreachable!("finish_job with non-terminal state {other:?}"),
+        }
+    }
+
+    fn run_job(&mut self, idx: usize) -> Result<(), FlowError> {
+        let id = self.jobs[idx].id;
+        let job_nodes = self.jobs[idx].nodes.clone();
+        let hosts: Vec<String> = job_nodes
+            .iter()
+            .map(|&n| self.nodes[n].spec.name.clone())
+            .collect();
+        // Register the job with every daemon it touches (quota-less;
+        // the embedding owns the grants, as Slurm does in the paper).
+        for &n in &job_nodes {
+            self.nodes[n].ctl.register_job(JobDesc {
+                job_id: id.0,
+                hosts: hosts.clone(),
+                limits: vec![],
+            })?;
+        }
+        let outcome = self.run_registered(idx, &job_nodes);
+        for &n in &job_nodes {
+            // Best-effort: the daemon may have been told to shut down
+            // by the failing path already.
+            let _ = self.nodes[n].ctl.unregister_job(id.0);
+        }
+        outcome
+    }
+
+    fn run_registered(&mut self, idx: usize, job_nodes: &[usize]) -> Result<(), FlowError> {
+        let id = self.jobs[idx].id;
+
+        // ---- stage-in, gating the body ----
+        self.jobs[idx].state = FlowJobState::StagingIn;
+        let stage_in = self.jobs[idx].script.stage_in.clone();
+        let tasks = match self.submit_stage_tasks(idx, job_nodes, &stage_in, true)? {
+            Ok(tasks) => tasks,
+            Err(reason) => {
+                self.finish_job(idx, FlowJobState::Failed, &reason);
+                return Ok(());
+            }
+        };
+        self.emit(FlowEvent::StageInStarted {
+            job: id,
+            tasks: tasks.len(),
+        });
+        let deadline = Instant::now() + self.config.stage_in_timeout;
+        match self.drain_stage_tasks(tasks, Some(deadline))? {
+            StageOutcome::AllFinished => {}
+            StageOutcome::TaskFailed { detail, staged, .. } => {
+                self.cleanup_staged(&staged)?;
+                self.finish_job(
+                    idx,
+                    FlowJobState::Failed,
+                    &format!("stage-in failed: {detail}"),
+                );
+                return Ok(());
+            }
+            StageOutcome::DeadlinePassed { staged } => {
+                // "the scheduler will terminate the job and clean up
+                // all data already staged to nodes" (§III).
+                self.cleanup_staged(&staged)?;
+                self.finish_job(idx, FlowJobState::Cancelled, "stage-in timeout");
+                return Ok(());
+            }
+        }
+
+        // ---- the application ----
+        self.jobs[idx].state = FlowJobState::Running;
+        self.emit(FlowEvent::Started { job: id });
+        let body = self.jobs[idx].body.take().expect("body taken once");
+        let body_result = match body {
+            JobBody::Sleep(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            JobBody::Run(f) => f(),
+        };
+        if let Err(reason) = body_result {
+            // Staged data is deliberately left in place: a failed
+            // application's inputs and partial outputs are what the
+            // operator debugs with.
+            self.finish_job(
+                idx,
+                FlowJobState::Failed,
+                &format!("job body failed: {reason}"),
+            );
+            return Ok(());
+        }
+
+        // ---- stage-out ----
+        self.jobs[idx].state = FlowJobState::StagingOut;
+        let stage_out = self.jobs[idx].script.stage_out.clone();
+        let tasks = match self.submit_stage_tasks(idx, job_nodes, &stage_out, false)? {
+            Ok(tasks) => tasks,
+            Err(reason) => {
+                // Stage-out submission failure leaves the data on the
+                // nodes for recovery; the job itself completed.
+                self.jobs[idx].leftovers.push(reason);
+                self.finish_job(idx, FlowJobState::Completed, "");
+                return Ok(());
+            }
+        };
+        if !tasks.is_empty() {
+            self.emit(FlowEvent::StageOutStarted {
+                job: id,
+                tasks: tasks.len(),
+            });
+        }
+        match self.drain_stage_tasks(tasks, None)? {
+            StageOutcome::AllFinished => {}
+            StageOutcome::TaskFailed {
+                detail, abandoned, ..
+            } => {
+                // "leave the data on the node local resources for
+                // future stage_out operations to try and recover" —
+                // including the sibling legs cancelled because of the
+                // failure: their data was never staged out either.
+                self.jobs[idx].leftovers.push(detail);
+                for t in abandoned {
+                    self.jobs[idx]
+                        .leftovers
+                        .push(format!("cancelled before staging out: {}", t.label));
+                }
+            }
+            StageOutcome::DeadlinePassed { .. } => {
+                unreachable!("stage-out drains without a deadline")
+            }
+        }
+        self.finish_job(idx, FlowJobState::Completed, "");
+        Ok(())
+    }
+
+    /// Submit one stage phase's tasks. The outer `Result` is a wire
+    /// failure (aborts the executor); the inner one is a daemon-side
+    /// rejection (fails or degrades the job).
+    #[allow(clippy::type_complexity)]
+    fn submit_stage_tasks(
+        &mut self,
+        idx: usize,
+        job_nodes: &[usize],
+        directives: &[StageDirective],
+        stage_in: bool,
+    ) -> Result<Result<Vec<StageTask>, String>, FlowError> {
+        let job_id = self.jobs[idx].id.0;
+        let mut tasks = Vec::new();
+        for dir in directives {
+            let targets = self.directive_nodes(dir, job_nodes, stage_in)?.to_vec();
+            for node in targets {
+                let spec = self.plan_stage_task(node, dir)?;
+                // Remember stage-in destinations for timeout/failure
+                // cleanup — keyed by the node they are local to, so a
+                // pushed RemotePath output is removed on its *owning*
+                // peer, not the node that ran the push.
+                let dst = match (stage_in, &spec.output) {
+                    (true, Some(ResourceDesc::PosixPath { nsid, path })) => {
+                        Some((node, nsid.clone(), path.clone()))
+                    }
+                    (true, Some(ResourceDesc::RemotePath { nsid, path, .. })) => self
+                        .owner_of(nsid)
+                        .map(|owner| (owner, nsid.clone(), path.clone())),
+                    _ => None,
+                };
+                let label = format!(
+                    "{} → {} on {:?}",
+                    dir.origin, dir.destination, self.nodes[node].spec.name
+                );
+                match self.nodes[node].ctl.submit(job_id, spec, None) {
+                    Ok(task_id) => tasks.push(StageTask {
+                        node,
+                        task_id,
+                        dst,
+                        label,
+                    }),
+                    Err(ClientError::Remote { code, message }) => {
+                        // Cancel what was already submitted; the job
+                        // fails as a unit.
+                        self.cancel_and_drain(&tasks)?;
+                        return Ok(Err(format!(
+                            "stage task {} → {} on {:?} rejected: {code:?}: {message}",
+                            dir.origin, dir.destination, self.nodes[node].spec.name
+                        )));
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(Ok(tasks))
+    }
+
+    /// Wait for every task in the set through per-daemon `WaitAny`
+    /// round-trips. On the first non-`Finished` completion the rest
+    /// are cancelled and drained; on deadline expiry likewise.
+    fn drain_stage_tasks(
+        &mut self,
+        mut outstanding: Vec<StageTask>,
+        deadline: Option<Instant>,
+    ) -> Result<StageOutcome, FlowError> {
+        let mut staged: Vec<StageTask> = Vec::new();
+        let mut rotate = 0usize;
+        while !outstanding.is_empty() {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    self.cancel_and_drain(&outstanding)?;
+                    return Ok(StageOutcome::DeadlinePassed { staged });
+                }
+            }
+            // Pick the next daemon (round-robin) with outstanding work
+            // and batch-wait on *all* of its outstanding ids at once.
+            let busy: Vec<usize> = {
+                let mut nodes: Vec<usize> = outstanding.iter().map(|t| t.node).collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                nodes
+            };
+            let node = busy[rotate % busy.len()];
+            rotate += 1;
+            let ids: Vec<u64> = outstanding
+                .iter()
+                .filter(|t| t.node == node)
+                .map(|t| t.task_id)
+                .collect();
+            // With one busy daemon the wait parks until the deadline;
+            // with several it takes heartbeat slices so no daemon's
+            // completions starve the others' turn.
+            let slice = if busy.len() == 1 {
+                deadline.map(|d| d.saturating_duration_since(Instant::now()))
+            } else {
+                let hb = self.config.heartbeat;
+                Some(match deadline {
+                    Some(d) => hb.min(d.saturating_duration_since(Instant::now())),
+                    None => hb,
+                })
+            };
+            let timeout_usec = match slice {
+                // 0 would mean "forever" on the wire; an expired
+                // deadline is handled at the top of the loop.
+                Some(s) => (s.as_micros() as u64).max(1),
+                None => 0,
+            };
+            self.wait_round_trips += 1;
+            match self.nodes[node].ctl.wait_any(&ids, timeout_usec) {
+                Ok((task_id, stats)) => {
+                    let pos = outstanding
+                        .iter()
+                        .position(|t| t.node == node && t.task_id == task_id)
+                        .expect("completion belongs to the waited set");
+                    let done = outstanding.swap_remove(pos);
+                    if stats.state == TaskState::Finished {
+                        staged.push(done);
+                    } else {
+                        let detail = format!(
+                            "{} (task {task_id}) ended {:?} ({:?})",
+                            done.label, stats.state, stats.error
+                        );
+                        self.cancel_and_drain(&outstanding)?;
+                        return Ok(StageOutcome::TaskFailed {
+                            detail,
+                            staged,
+                            abandoned: outstanding,
+                        });
+                    }
+                }
+                Err(ClientError::Remote {
+                    code: ErrorCode::Timeout,
+                    ..
+                }) => {} // deadline re-checked at the top of the loop
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(StageOutcome::AllFinished)
+    }
+
+    /// Cancel every task in the set, then drain the stragglers a
+    /// worker had already picked up (bounded by `cancel_grace`) so no
+    /// transfer is left racing the job's teardown.
+    fn cancel_and_drain(&mut self, tasks: &[StageTask]) -> Result<(), FlowError> {
+        for t in tasks {
+            match self.nodes[t.node].ctl.cancel(t.task_id) {
+                Ok(()) | Err(ClientError::Remote { .. }) => {} // running/finished: drained below
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let grace = Instant::now() + self.config.cancel_grace;
+        let mut left: Vec<&StageTask> = tasks.iter().collect();
+        while !left.is_empty() && Instant::now() < grace {
+            let node = left[0].node;
+            let ids: Vec<u64> = left
+                .iter()
+                .filter(|t| t.node == node)
+                .map(|t| t.task_id)
+                .collect();
+            let remaining = grace.saturating_duration_since(Instant::now());
+            self.wait_round_trips += 1;
+            match self.nodes[node]
+                .ctl
+                .wait_any(&ids, (remaining.as_micros() as u64).max(1))
+            {
+                Ok((task_id, _)) => left.retain(|t| !(t.node == node && t.task_id == task_id)),
+                Err(ClientError::Remote {
+                    code: ErrorCode::Timeout,
+                    ..
+                }) => {}
+                // The whole set may already be gone (cancelled tasks
+                // are terminal, completion GC may collect them).
+                Err(ClientError::Remote { .. }) => {
+                    left.retain(|t| t.node != node);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove the destinations of already-finished stage-in transfers
+    /// after a timeout or failure killed the job (§III cleanup). Each
+    /// removal is submitted to the node the destination is local to
+    /// (its owning peer for pushed `RemotePath` legs). Joining the
+    /// removals is bounded by `cancel_grace`: the timeout path must
+    /// never wait unboundedly behind the very congestion that made the
+    /// job miss its deadline.
+    fn cleanup_staged(&mut self, staged: &[StageTask]) -> Result<(), FlowError> {
+        let mut removals: Vec<(usize, u64)> = Vec::new();
+        for t in staged {
+            let Some((owner, nsid, path)) = &t.dst else {
+                continue;
+            };
+            let spec = TaskSpec::new(
+                TaskOp::Remove,
+                ResourceDesc::PosixPath {
+                    nsid: nsid.clone(),
+                    path: path.clone(),
+                },
+                None,
+            );
+            match self.nodes[*owner].ctl.submit(0, spec, None) {
+                Ok(task_id) => removals.push((*owner, task_id)),
+                Err(ClientError::Remote { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let grace = Instant::now() + self.config.cancel_grace;
+        while !removals.is_empty() {
+            let remaining = grace.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break; // removals keep running daemon-side; stop waiting
+            }
+            let node = removals[0].0;
+            let ids: Vec<u64> = removals
+                .iter()
+                .filter(|(n, _)| *n == node)
+                .map(|(_, id)| *id)
+                .collect();
+            self.wait_round_trips += 1;
+            match self.nodes[node]
+                .ctl
+                .wait_any(&ids, (remaining.as_micros() as u64).max(1))
+            {
+                Ok((task_id, _)) => removals.retain(|(n, id)| !(*n == node && *id == task_id)),
+                Err(ClientError::Remote {
+                    code: ErrorCode::Timeout,
+                    ..
+                }) => {}
+                Err(ClientError::Remote { .. }) => removals.retain(|(n, _)| *n != node),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How one stage phase's task set resolved.
+enum StageOutcome {
+    AllFinished,
+    TaskFailed {
+        detail: String,
+        /// Tasks that finished successfully before the failure.
+        staged: Vec<StageTask>,
+        /// Tasks cancelled (or drained) because a sibling failed —
+        /// their directives were never carried out.
+        abandoned: Vec<StageTask>,
+    },
+    DeadlinePassed {
+        staged: Vec<StageTask>,
+    },
+}

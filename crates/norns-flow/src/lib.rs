@@ -1,0 +1,35 @@
+//! # norns-flow — real-mode workflow execution
+//!
+//! The paper's headline is *Slurm driving NORNS*: jobs move through
+//! Pending → StagingIn → Running → StagingOut, with data movement
+//! expressed as `#NORNS` script directives and executed asynchronously
+//! by the urd daemons. The `slurm-sim` crate reproduces that
+//! orchestration inside the cluster simulator; this crate reproduces
+//! it against **live daemons**:
+//!
+//! * [`script`] — the single submission-script parser shared by both
+//!   worlds (`#SBATCH` options, `--workflow-*`, `#NORNS`
+//!   stage_in/stage_out/persist), plus [`script::render`] for
+//!   normalized resubmission. `slurm-sim` re-exports this module, so a
+//!   script debugged in the simulator runs unchanged here.
+//! * [`executor`] — [`executor::WorkflowExecutor`]: registers jobs and
+//!   staging tasks with real [`norns_ipc::UrdDaemon`]s over the wire
+//!   protocol, routes cross-node directives through the peer registry
+//!   as `RemotePath` legs, gates each job body on stage-in completion,
+//!   and applies the simulator's failure semantics (stage-in timeout ⇒
+//!   cancel + cleanup, cancel-on-failure for workflow successors,
+//!   stage-out failures reported as recoverable leftovers). Its event
+//!   loop blocks in the wire's v5 `WaitAny` batch-wait — one parked
+//!   round-trip per daemon covers every outstanding staging task — so
+//!   it never polls per task.
+
+pub mod executor;
+pub mod script;
+
+pub use executor::{
+    FlowConfig, FlowError, FlowEvent, FlowJobId, FlowJobState, JobBody, NodeSpec, WorkflowExecutor,
+};
+pub use script::{
+    parse, render, split_location, JobScript, Mapping, PersistDirective, PersistOp, ScriptError,
+    StageDirective, WorkflowPos,
+};

@@ -1,0 +1,338 @@
+//! The real-mode workflow executor against live urd daemons: script →
+//! stage-in → body → stage-out on real sockets and real files, with
+//! the simulator's failure semantics (stage-in failure ⇒ Failed +
+//! staged-data cleanup, stage-in timeout ⇒ Cancelled, workflow
+//! cancel-on-failure).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use norns_flow::{
+    FlowConfig, FlowError, FlowEvent, FlowJobState, JobBody, NodeSpec, WorkflowExecutor,
+};
+use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
+use norns_proto::{BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("norns-flow-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn a daemon named `name` hosting one dataspace `nsid` backed by
+/// `<root>/<name>/ds`; returns the daemon handle (mount dir is
+/// `<root>/<name>/ds`).
+fn spawn_node(root: &Path, name: &str, nsid: &str, workers: usize) -> UrdDaemon {
+    let daemon = UrdDaemon::spawn(
+        DaemonConfig::in_dir(root.join(name).join("sockets"))
+            .with_chunk_size(1 << 30)
+            .with_data_addr("127.0.0.1:0"),
+    )
+    .unwrap();
+    let _ = workers;
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    ctl.register_dataspace(DataspaceDesc {
+        nsid: nsid.into(),
+        kind: BackendKind::PosixFilesystem,
+        mount: root.join(name).join("ds").to_string_lossy().into_owned(),
+        quota: 0,
+        tracked: false,
+    })
+    .unwrap();
+    daemon
+}
+
+fn node_spec(daemon: &UrdDaemon, name: &str, nsids: &[&str]) -> NodeSpec {
+    NodeSpec {
+        name: name.into(),
+        control_path: daemon.control_path.clone(),
+        dataspaces: nsids.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+#[test]
+fn single_node_workflow_stages_in_runs_and_stages_out() {
+    let root = temp_root("single");
+    let daemon = spawn_node(&root, "n0", "tmp0", 4);
+    let mount = root.join("n0/ds");
+    fs::write(mount.join("input.dat"), b"mesh bytes").unwrap();
+
+    let mut exec = WorkflowExecutor::new(FlowConfig::default());
+    exec.add_node(node_spec(&daemon, "n0", &["tmp0"])).unwrap();
+    let body_mount = mount.clone();
+    let job = exec
+        .submit(
+            "#SBATCH --job-name=solo\n\
+             #NORNS stage_in tmp0://input.dat tmp0://work/in.dat\n\
+             #NORNS stage_out tmp0://work/out.dat tmp0://results/out.dat\n",
+            JobBody::Run(Box::new(move || {
+                // The body sees its staged input and produces output in
+                // the same dataspace.
+                let staged = fs::read(body_mount.join("work/in.dat")).map_err(|e| e.to_string())?;
+                assert_eq!(staged, b"mesh bytes");
+                fs::write(body_mount.join("work/out.dat"), b"result bytes")
+                    .map_err(|e| e.to_string())
+            })),
+        )
+        .unwrap();
+    let outcomes = exec.run().unwrap();
+    assert_eq!(outcomes, vec![(job, FlowJobState::Completed)]);
+    assert_eq!(
+        fs::read(mount.join("results/out.dat")).unwrap(),
+        b"result bytes"
+    );
+    assert!(exec.leftovers(job).is_empty());
+    // The event log shows the gated lifecycle in order.
+    let kinds: Vec<&str> = exec
+        .events()
+        .iter()
+        .map(|e| match e {
+            FlowEvent::Submitted { .. } => "submitted",
+            FlowEvent::StageInStarted { .. } => "stage-in",
+            FlowEvent::Started { .. } => "started",
+            FlowEvent::StageOutStarted { .. } => "stage-out",
+            FlowEvent::Completed { .. } => "completed",
+            FlowEvent::Failed { .. } => "failed",
+            FlowEvent::Cancelled { .. } => "cancelled",
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        vec!["submitted", "stage-in", "started", "stage-out", "completed"]
+    );
+    // The executor batch-waits; it never polls tasks one by one.
+    assert_eq!(exec.query_round_trips(), 0);
+    assert!(exec.wait_round_trips() >= 2, "one per stage completion");
+    drop(daemon);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stage_in_failure_fails_job_cleans_staged_data_and_cancels_downstream() {
+    let root = temp_root("failure");
+    let daemon = spawn_node(&root, "n0", "tmp0", 1);
+    let mount = root.join("n0/ds");
+    fs::write(mount.join("good.dat"), b"ok").unwrap();
+    // "ghost.dat" does not exist: its stage-in task fails.
+
+    let mut exec = WorkflowExecutor::new(FlowConfig::default());
+    exec.add_node(node_spec(&daemon, "n0", &["tmp0"])).unwrap();
+    let first = exec
+        .submit(
+            "#SBATCH --job-name=first\n\
+             #SBATCH --workflow-start\n\
+             #NORNS stage_in tmp0://good.dat tmp0://staged/good.dat\n\
+             #NORNS stage_in tmp0://ghost.dat tmp0://staged/ghost.dat\n",
+            JobBody::Run(Box::new(|| panic!("body must never run: stage-in failed"))),
+        )
+        .unwrap();
+    let second = exec
+        .submit(
+            "#SBATCH --job-name=second\n\
+             #SBATCH --workflow-prior-dependency=first\n",
+            JobBody::Run(Box::new(|| {
+                panic!("downstream of a failed job must not run")
+            })),
+        )
+        .unwrap();
+    let third = exec
+        .submit(
+            "#SBATCH --job-name=third\n\
+             #SBATCH --workflow-end\n\
+             #SBATCH --workflow-prior-dependency=second\n",
+            JobBody::Sleep(Duration::ZERO),
+        )
+        .unwrap();
+    exec.run().unwrap();
+    assert_eq!(exec.job_state(first), Some(FlowJobState::Failed));
+    assert!(exec.failure(first).unwrap().contains("stage-in failed"));
+    // Cancel-on-failure cascades through the dependency chain.
+    assert_eq!(exec.job_state(second), Some(FlowJobState::Cancelled));
+    assert_eq!(exec.job_state(third), Some(FlowJobState::Cancelled));
+    assert_eq!(
+        exec.failure(second),
+        Some("upstream workflow job failed"),
+        "cascade reason recorded"
+    );
+    // §III cleanup: the directive that *did* stage before the failure
+    // is removed again.
+    assert!(
+        !mount.join("staged/good.dat").exists(),
+        "staged data of the doomed job must be cleaned up"
+    );
+    assert!(mount.join("good.dat").exists(), "origins are untouched");
+    drop(daemon);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stage_in_timeout_cancels_job() {
+    let root = temp_root("timeout");
+    let daemon = UrdDaemon::spawn(
+        DaemonConfig::in_dir(root.join("n0").join("sockets"))
+            .with_chunk_size(1 << 30)
+            .with_queue_capacity(64),
+    )
+    .unwrap();
+    // Single-purpose daemon with 4 workers; jam every worker with big
+    // monolithic copies so the job's stage-in task stays pending past
+    // its deadline.
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    let mount = root.join("n0/ds");
+    ctl.register_dataspace(DataspaceDesc {
+        nsid: "tmp0".into(),
+        kind: BackendKind::PosixFilesystem,
+        mount: mount.to_string_lossy().into_owned(),
+        quota: 0,
+        tracked: false,
+    })
+    .unwrap();
+    fs::write(mount.join("blocker.dat"), vec![7u8; 48 << 20]).unwrap();
+    fs::write(mount.join("input.dat"), b"late").unwrap();
+    let mut blockers = Vec::new();
+    for i in 0..8 {
+        blockers.push(
+            ctl.submit(
+                1,
+                TaskSpec::new(
+                    TaskOp::Copy,
+                    ResourceDesc::PosixPath {
+                        nsid: "tmp0".into(),
+                        path: "blocker.dat".into(),
+                    },
+                    Some(ResourceDesc::PosixPath {
+                        nsid: "tmp0".into(),
+                        path: format!("blocker-copy-{i}.dat"),
+                    }),
+                ),
+                None,
+            )
+            .unwrap(),
+        );
+    }
+
+    let mut exec = WorkflowExecutor::new(FlowConfig {
+        stage_in_timeout: Duration::from_millis(100),
+        ..FlowConfig::default()
+    });
+    exec.add_node(node_spec(&daemon, "n0", &["tmp0"])).unwrap();
+    let job = exec
+        .submit(
+            "#SBATCH --job-name=late\n\
+             #NORNS stage_in tmp0://input.dat tmp0://work/in.dat\n",
+            JobBody::Run(Box::new(|| {
+                panic!("body must never run: stage-in timed out")
+            })),
+        )
+        .unwrap();
+    exec.run().unwrap();
+    assert_eq!(exec.job_state(job), Some(FlowJobState::Cancelled));
+    assert_eq!(exec.failure(job), Some("stage-in timeout"));
+    for b in blockers {
+        ctl.wait(b, 0).unwrap();
+    }
+    drop(daemon);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn planning_errors_surface_at_submission() {
+    let root = temp_root("plan");
+    let daemon = spawn_node(&root, "n0", "tmp0", 1);
+    let mut exec = WorkflowExecutor::new(FlowConfig::default());
+    exec.add_node(node_spec(&daemon, "n0", &["tmp0"])).unwrap();
+    // Unknown dataspace.
+    assert!(matches!(
+        exec.submit(
+            "#SBATCH --job-name=a\n#NORNS stage_in nope://x tmp0://x\n",
+            JobBody::Sleep(Duration::ZERO),
+        ),
+        Err(FlowError::Plan(_))
+    ));
+    // Unknown workflow dependency.
+    assert!(matches!(
+        exec.submit(
+            "#SBATCH --job-name=b\n#SBATCH --workflow-prior-dependency=ghost\n",
+            JobBody::Sleep(Duration::ZERO),
+        ),
+        Err(FlowError::Plan(_))
+    ));
+    // More nodes than the executor drives.
+    assert!(matches!(
+        exec.submit(
+            "#SBATCH --job-name=c\n#SBATCH --nodes=5\n",
+            JobBody::Sleep(Duration::ZERO),
+        ),
+        Err(FlowError::Plan(_))
+    ));
+    // Zero nodes: a clean plan error, not a panic while planning a
+    // stage-out `all` directive over an empty allocation.
+    assert!(matches!(
+        exec.submit(
+            "#SBATCH --job-name=z\n#SBATCH --nodes=0\n#NORNS stage_out tmp0://a tmp0://b all\n",
+            JobBody::Sleep(Duration::ZERO),
+        ),
+        Err(FlowError::Plan(_))
+    ));
+    // Broken script grammar.
+    assert!(matches!(
+        exec.submit("#SBATCH --nodes=1\n", JobBody::Sleep(Duration::ZERO)),
+        Err(FlowError::Script(_))
+    ));
+    drop(daemon);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn remote_leg_routes_through_peer_registry() {
+    let root = temp_root("remote");
+    let daemon_a = spawn_node(&root, "nodea", "lustre0", 2);
+    let daemon_b = spawn_node(&root, "nodeb", "pmdk0", 2);
+    let mount_a = root.join("nodea/ds");
+    let mount_b = root.join("nodeb/ds");
+    fs::create_dir_all(mount_a.join("case")).unwrap();
+    fs::write(mount_a.join("case/mesh.dat"), vec![42u8; 1 << 16]).unwrap();
+
+    let mut exec = WorkflowExecutor::new(FlowConfig::default());
+    exec.add_node(node_spec(&daemon_a, "nodea", &["lustre0"]))
+        .unwrap();
+    exec.add_node(node_spec(&daemon_b, "nodeb", &["pmdk0"]))
+        .unwrap();
+    // A 1-node job: the round-robin assigns it to nodea first; force it
+    // onto nodeb by submitting a placeholder job for nodea... instead,
+    // make it a 2-node job with node:1 mappings so the staging runs on
+    // nodeb, whose pmdk0 is local and whose lustre0 legs are remote.
+    let body_mount = mount_b.clone();
+    let job = exec
+        .submit(
+            "#SBATCH --job-name=remote\n\
+             #SBATCH --nodes=2\n\
+             #NORNS stage_in lustre0://case/mesh.dat pmdk0://job/mesh.dat node:1\n\
+             #NORNS stage_out pmdk0://job/out.dat lustre0://results/out.dat node:1\n",
+            JobBody::Run(Box::new(move || {
+                let staged =
+                    fs::read(body_mount.join("job/mesh.dat")).map_err(|e| e.to_string())?;
+                assert_eq!(staged, vec![42u8; 1 << 16]);
+                fs::write(body_mount.join("job/out.dat"), b"remote result")
+                    .map_err(|e| e.to_string())
+            })),
+        )
+        .unwrap();
+    exec.run().unwrap();
+    assert_eq!(exec.job_state(job), Some(FlowJobState::Completed));
+    // The pull landed on nodeb, the push landed back on nodea.
+    assert_eq!(
+        fs::read(mount_b.join("job/mesh.dat")).unwrap(),
+        vec![42u8; 1 << 16]
+    );
+    assert_eq!(
+        fs::read(mount_a.join("results/out.dat")).unwrap(),
+        b"remote result"
+    );
+    assert_eq!(exec.query_round_trips(), 0);
+    drop(daemon_a);
+    drop(daemon_b);
+    let _ = fs::remove_dir_all(&root);
+}

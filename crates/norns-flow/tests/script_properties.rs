@@ -1,0 +1,286 @@
+//! Property tests for the shared submission-script parser: randomized
+//! scripts survive parse→render→parse, stay stable under whitespace
+//! noise, comment interleaving and cross-category directive
+//! reordering, and malformed directives produce `ScriptError`s —
+//! never panics.
+
+use proptest::prelude::*;
+
+use norns_flow::script::{
+    parse, render, JobScript, Mapping, PersistDirective, PersistOp, ScriptError, StageDirective,
+    WorkflowPos,
+};
+
+/// Small deterministic xorshift so each sampled `u64` seed expands
+/// into a whole random script (the shim has no recursive generators).
+struct R(u64);
+
+impl R {
+    fn next(&mut self) -> u64 {
+        // Never zero: seed 0 would stick.
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn ident(&mut self, prefix: &str) -> String {
+        const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        let len = 1 + self.below(7) as usize;
+        let mut s = String::from(prefix);
+        for _ in 0..len {
+            s.push(ALPHA[self.below(ALPHA.len() as u64) as usize] as char);
+        }
+        s
+    }
+
+    fn location(&mut self) -> String {
+        format!(
+            "{}://{}/{}",
+            self.ident("ns"),
+            self.ident("d"),
+            self.ident("f")
+        )
+    }
+
+    fn mapping(&mut self) -> Mapping {
+        match self.below(4) {
+            0 => Mapping::All,
+            1 => Mapping::Scatter,
+            2 => Mapping::Gather,
+            _ => Mapping::Node(self.below(16) as usize),
+        }
+    }
+
+    fn stage(&mut self) -> StageDirective {
+        StageDirective {
+            origin: self.location(),
+            destination: self.location(),
+            mapping: self.mapping(),
+        }
+    }
+
+    fn script(&mut self) -> JobScript {
+        let workflow = match self.below(4) {
+            0 => WorkflowPos::None,
+            1 => WorkflowPos::Start,
+            2 => {
+                WorkflowPos::Dependent((0..1 + self.below(3)).map(|_| self.ident("dep")).collect())
+            }
+            _ => WorkflowPos::End((0..1 + self.below(3)).map(|_| self.ident("dep")).collect()),
+        };
+        JobScript {
+            name: self.ident("job"),
+            nodes: 1 + self.below(64) as usize,
+            time_limit: std::time::Duration::from_secs(self.below(360_000)),
+            workflow,
+            stage_in: (0..self.below(4)).map(|_| self.stage()).collect(),
+            stage_out: (0..self.below(4)).map(|_| self.stage()).collect(),
+            persist: (0..self.below(3))
+                .map(|_| PersistDirective {
+                    op: match self.below(4) {
+                        0 => PersistOp::Store,
+                        1 => PersistOp::Delete,
+                        2 => PersistOp::Share,
+                        _ => PersistOp::Unshare,
+                    },
+                    location: self.location(),
+                    user: self.ident("u"),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Re-emit a script as randomized text: per-category line order is
+/// preserved (it is Vec order in `JobScript`), categories interleave
+/// randomly, and noise — comments, blank lines, shell commands,
+/// leading/trailing whitespace, extra token padding — is sprinkled
+/// throughout.
+fn noisy_render(script: &JobScript, r: &mut R) -> String {
+    // One queue per category whose internal order matters.
+    let mut sbatch: Vec<String> = vec![
+        format!("#SBATCH --job-name={}", script.name),
+        format!("#SBATCH --nodes={}", script.nodes),
+        format!("#SBATCH --time={}", script.time_limit.as_secs()),
+    ];
+    match &script.workflow {
+        WorkflowPos::None => {}
+        WorkflowPos::Start => sbatch.push("#SBATCH --workflow-start".into()),
+        WorkflowPos::Dependent(deps) => {
+            for d in deps {
+                sbatch.push(format!("#SBATCH --workflow-prior-dependency={d}"));
+            }
+        }
+        WorkflowPos::End(deps) => {
+            // --workflow-end may precede or follow its dependencies.
+            sbatch.push("#SBATCH --workflow-end".into());
+            let at = 3 + r.below(2) as usize; // before or after the deps
+            for d in deps {
+                sbatch.push(format!("#SBATCH --workflow-prior-dependency={d}"));
+            }
+            let end = sbatch.remove(3);
+            let at = at.min(sbatch.len());
+            sbatch.insert(at, end);
+        }
+    }
+    let mapping = |m: &Mapping| match m {
+        Mapping::All => "all".to_string(),
+        Mapping::Scatter => "scatter".to_string(),
+        Mapping::Gather => "gather".to_string(),
+        Mapping::Node(k) => format!("node:{k}"),
+    };
+    let stage_in: Vec<String> = script
+        .stage_in
+        .iter()
+        .map(|d| {
+            format!(
+                "#NORNS stage_in {} {} {}",
+                d.origin,
+                d.destination,
+                mapping(&d.mapping)
+            )
+        })
+        .collect();
+    let stage_out: Vec<String> = script
+        .stage_out
+        .iter()
+        .map(|d| {
+            format!(
+                "#NORNS stage_out {} {} {}",
+                d.origin,
+                d.destination,
+                mapping(&d.mapping)
+            )
+        })
+        .collect();
+    let persist: Vec<String> = script
+        .persist
+        .iter()
+        .map(|p| {
+            let op = match p.op {
+                PersistOp::Store => "store",
+                PersistOp::Delete => "delete",
+                PersistOp::Share => "share",
+                PersistOp::Unshare => "unshare",
+            };
+            format!("#NORNS persist {} {} {}", op, p.location, p.user)
+        })
+        .collect();
+    // Random merge of the category queues.
+    let mut queues = [sbatch, stage_in, stage_out, persist];
+    let mut lines: Vec<String> = vec!["#!/bin/bash".into()];
+    while queues.iter().any(|q| !q.is_empty()) {
+        let pick = r.below(4) as usize;
+        if let Some(line) = (!queues[pick].is_empty()).then(|| queues[pick].remove(0)) {
+            lines.push(line);
+        }
+    }
+    // Inject noise and whitespace.
+    let mut out = String::new();
+    for line in lines {
+        for _ in 0..r.below(3) {
+            out.push_str(["# a comment", "", "srun ./app --nodes=900", "\t "][r.below(4) as usize]);
+            out.push('\n');
+        }
+        // Leading/trailing whitespace around the directive itself; the
+        // parser trims per line. Inflate inter-token gaps in #NORNS
+        // lines (split_whitespace absorbs them).
+        let mut noisy = line.clone();
+        if noisy.starts_with("#NORNS") && r.below(2) == 0 {
+            noisy = noisy.replace(' ', "   ");
+        }
+        let pad = ["", " ", "\t", "  \t"][r.below(4) as usize];
+        out.push_str(pad);
+        out.push_str(&noisy);
+        out.push_str(["", " ", "\t"][r.below(3) as usize]);
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn parse_render_parse_is_identity(seed: u64) {
+        let script = R(seed | 1).script();
+        let rendered = render(&script);
+        let reparsed = parse(&rendered).unwrap_or_else(|e| {
+            panic!("rendered script failed to parse: {e}\n{rendered}")
+        });
+        prop_assert_eq!(&reparsed, &script);
+        // render is a fixed point: render(parse(render(s))) == render(s).
+        prop_assert_eq!(render(&reparsed), rendered);
+    }
+
+    #[test]
+    fn parse_survives_whitespace_comments_and_reordering(seed: u64) {
+        let mut r = R(seed | 1);
+        let script = r.script();
+        let noisy = noisy_render(&script, &mut r);
+        let reparsed = parse(&noisy).unwrap_or_else(|e| {
+            panic!("noisy script failed to parse: {e}\n{noisy}")
+        });
+        prop_assert_eq!(reparsed, script);
+    }
+
+    #[test]
+    fn arbitrary_directive_lines_never_panic(seed: u64) {
+        let mut r = R(seed | 1);
+        // Random token soup after the directive markers: must yield
+        // Ok or ScriptError, never a panic.
+        let mut text = String::from("#SBATCH --job-name=x\n");
+        for _ in 0..r.below(6) {
+            let prefix = ["#NORNS ", "#SBATCH ", "#NORNS stage_in ", "#NORNS persist "]
+                [r.below(4) as usize];
+            text.push_str(prefix);
+            for _ in 0..r.below(5) {
+                text.push_str(&r.ident("t"));
+                text.push(' ');
+            }
+            text.push('\n');
+        }
+        let _ = parse(&text);
+    }
+}
+
+#[test]
+fn known_invalid_directives_error_cleanly() {
+    let cases = [
+        ("#SBATCH --job-name=x\n#NORNS stage_in one\n", "arity"),
+        ("#SBATCH --job-name=x\n#NORNS stage_in a b c d e\n", "arity"),
+        (
+            "#SBATCH --job-name=x\n#NORNS stage_in a b teleport\n",
+            "mapping",
+        ),
+        (
+            "#SBATCH --job-name=x\n#NORNS stage_in a b node:-1\n",
+            "mapping",
+        ),
+        (
+            "#SBATCH --job-name=x\n#NORNS persist vaporize l u\n",
+            "persist op",
+        ),
+        ("#SBATCH --job-name=x\n#NORNS frobnicate\n", "verb"),
+        ("#SBATCH --job-name=x\n#SBATCH --nodes=banana\n", "nodes"),
+        ("#SBATCH --job-name=x\n#SBATCH --time=1:2:3:4\n", "time"),
+        ("#SBATCH --job-name=x\n#SBATCH bogus\n", "option"),
+    ];
+    for (text, what) in cases {
+        assert!(
+            matches!(
+                parse(text),
+                Err(ScriptError::BadDirective(_)
+                    | ScriptError::BadMapping(_)
+                    | ScriptError::BadOption(_)
+                    | ScriptError::BadTime(_))
+            ),
+            "{what}: {text:?} must be a clean ScriptError, got {:?}",
+            parse(text)
+        );
+    }
+}

@@ -116,6 +116,16 @@ fn expect_stats(r: Response) -> ClientResult<TaskStats> {
     }
 }
 
+fn expect_completion(r: Response) -> ClientResult<(u64, TaskStats)> {
+    match r {
+        Response::TaskCompleted { task_id, stats } => Ok((task_id, stats)),
+        Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response: {other:?}"
+        ))),
+    }
+}
+
 /// The administrative (`nornsctl`) client.
 pub struct CtlClient(Connection);
 
@@ -202,10 +212,33 @@ impl CtlClient {
         expect_task_id(self.call(&CtlRequest::SubmitTask { job_id, spec }, payload)?)
     }
 
+    /// Block until the task is terminal or the timeout expires.
+    /// `timeout_usec == 0` means wait forever; an expired nonzero
+    /// timeout returns the task's in-flight snapshot (state still
+    /// `Pending`/`InProgress`), never an error.
     pub fn wait(&mut self, task_id: u64, timeout_usec: u64) -> ClientResult<TaskStats> {
         expect_stats(self.call(
             &CtlRequest::WaitTask {
                 task_id,
+                timeout_usec,
+            },
+            None,
+        )?)
+    }
+
+    /// Block until *any* task of the set is terminal (v5 batch wait):
+    /// one round-trip returns the first completion as `(task_id,
+    /// stats)` instead of N polling loops. `timeout_usec == 0` means
+    /// wait forever; an expired nonzero timeout surfaces as a
+    /// [`ClientError::Remote`] carrying [`ErrorCode::Timeout`].
+    pub fn wait_any(
+        &mut self,
+        task_ids: &[u64],
+        timeout_usec: u64,
+    ) -> ClientResult<(u64, TaskStats)> {
+        expect_completion(self.call(
+            &CtlRequest::WaitAny {
+                task_ids: task_ids.to_vec(),
                 timeout_usec,
             },
             None,
@@ -266,12 +299,35 @@ impl UserClient {
 
     /// `norns_wait`. Scoped to this client's pid: waiting on another
     /// submitter's task yields `PermissionDenied` (v4).
+    /// `timeout_usec == 0` means wait forever; an expired nonzero
+    /// timeout returns the in-flight snapshot, never an error.
     pub fn wait(&mut self, task_id: u64, timeout_usec: u64) -> ClientResult<TaskStats> {
         let pid = self.pid;
         expect_stats(self.call(
             &UserRequest::WaitTask {
                 pid,
                 task_id,
+                timeout_usec,
+            },
+            None,
+        )?)
+    }
+
+    /// Block until any task of the set is terminal (v5 batch wait);
+    /// every id must be one of this client's own submissions.
+    /// `timeout_usec == 0` means wait forever; an expired nonzero
+    /// timeout surfaces as a [`ClientError::Remote`] carrying
+    /// [`ErrorCode::Timeout`].
+    pub fn wait_any(
+        &mut self,
+        task_ids: &[u64],
+        timeout_usec: u64,
+    ) -> ClientResult<(u64, TaskStats)> {
+        let pid = self.pid;
+        expect_completion(self.call(
+            &UserRequest::WaitAny {
+                pid,
+                task_ids: task_ids.to_vec(),
                 timeout_usec,
             },
             None,

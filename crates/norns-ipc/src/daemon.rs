@@ -567,6 +567,13 @@ fn stats_response(r: Result<norns_proto::TaskStats, (ErrorCode, String)>) -> Res
     }
 }
 
+fn completion_response(r: Result<(u64, norns_proto::TaskStats), (ErrorCode, String)>) -> Response {
+    match r {
+        Ok((task_id, stats)) => Response::TaskCompleted { task_id, stats },
+        Err((code, message)) => Response::Error { code, message },
+    }
+}
+
 fn handle_ctl(shared: &Arc<Shared>, frame: Bytes) -> Response {
     let engine = &shared.engine;
     let mut b = frame;
@@ -643,6 +650,10 @@ fn handle_ctl(shared: &Arc<Shared>, frame: Bytes) -> Response {
             None => err_response(ErrorCode::NotFound, format!("task {task_id}")),
         },
         CtlRequest::CancelTask { task_id } => from_engine(engine.cancel(task_id, None)),
+        CtlRequest::WaitAny {
+            task_ids,
+            timeout_usec,
+        } => completion_response(engine.wait_any(&task_ids, timeout_usec)),
     }
 }
 
@@ -690,6 +701,15 @@ fn handle_user(engine: &Arc<Engine>, frame: Bytes) -> Response {
         UserRequest::CancelTask { pid, task_id } => {
             from_engine(engine.cancel(task_id, Some(USER_KEY_BIT | pid)))
         }
+        UserRequest::WaitAny {
+            pid,
+            task_ids,
+            timeout_usec,
+        } => completion_response(engine.wait_any_scoped(
+            &task_ids,
+            timeout_usec,
+            Some(USER_KEY_BIT | pid),
+        )),
     }
 }
 

@@ -1267,6 +1267,65 @@ impl Engine {
             .ok_or((ErrorCode::NotFound, format!("task {task_id}")))
     }
 
+    /// Block until *any* task of the set reaches a terminal state —
+    /// the wire's v5 `WaitAny` batch-wait op. Returns the first
+    /// completion as `(task_id, stats)`; when several tasks are
+    /// already terminal, the earliest in `task_ids` wins.
+    ///
+    /// One parked wait covers the whole set regardless of how many
+    /// task-table shards it spans, so an orchestrator watching N
+    /// staging tasks costs one blocked call, not N pollers.
+    /// `timeout_usec == 0` means wait forever; a nonzero timeout that
+    /// expires yields [`ErrorCode::Timeout`]. An unknown id (or one
+    /// collected by `clear_completions` mid-wait) yields
+    /// [`ErrorCode::NotFound`]; an empty set is [`ErrorCode::BadArgs`].
+    pub fn wait_any(
+        &self,
+        task_ids: &[u64],
+        timeout_usec: u64,
+    ) -> Result<(u64, TaskStats), (ErrorCode, String)> {
+        self.wait_any_scoped(task_ids, timeout_usec, None)
+    }
+
+    /// [`Engine::wait_any`] with the user-socket ownership rule
+    /// applied: every id in the set must belong to `requester`.
+    pub fn wait_any_scoped(
+        &self,
+        task_ids: &[u64],
+        timeout_usec: u64,
+        requester: Option<u64>,
+    ) -> Result<(u64, TaskStats), (ErrorCode, String)> {
+        if task_ids.is_empty() {
+            return Err((ErrorCode::BadArgs, "empty wait set".into()));
+        }
+        if task_ids.len() > norns_proto::MAX_WAIT_SET {
+            return Err((
+                ErrorCode::BadArgs,
+                format!(
+                    "wait set of {} exceeds the {}-id cap",
+                    task_ids.len(),
+                    norns_proto::MAX_WAIT_SET
+                ),
+            ));
+        }
+        for &id in task_ids {
+            self.check_owner(id, requester)?;
+        }
+        let deadline = if timeout_usec == 0 {
+            None
+        } else {
+            Some(Instant::now() + std::time::Duration::from_micros(timeout_usec))
+        };
+        match self.tasks.wait_any(task_ids, deadline) {
+            shard::MultiWait::Done(id, stats) => Ok((id, stats)),
+            shard::MultiWait::Gone(id) => Err((ErrorCode::NotFound, format!("task {id}"))),
+            shard::MultiWait::TimedOut => Err((
+                ErrorCode::Timeout,
+                format!("no task of {} completed in time", task_ids.len()),
+            )),
+        }
+    }
+
     pub fn clear_completions(&self) {
         self.tasks.retain(|t| !t.stats.state.is_terminal());
     }
@@ -1813,6 +1872,59 @@ mod tests {
             "chunked task left in {:?}",
             stats.state
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn wait_any_returns_first_completion_and_scopes_ownership() {
+        let root = temp_root("waitany");
+        let engine = Engine::with_policy(1, 64, Box::new(Fcfs));
+        register_tmp0(&engine, &root);
+        // Blocker pins the single worker so the two waited tasks are
+        // still pending when wait_any parks.
+        fs::write(root.join("tmp0/blocker-src"), vec![2u8; 32 << 20]).unwrap();
+        let blocker = engine
+            .submit(7, copy_spec("blocker-src", "blocker-dst"), None)
+            .unwrap();
+        let mem = |path: &str| {
+            TaskSpec::new(
+                TaskOp::Copy,
+                ResourceDesc::MemoryRegion { addr: 0, size: 4 },
+                Some(ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: path.into(),
+                }),
+            )
+        };
+        let a = engine.submit(7, mem("a"), Some(b"aaaa".to_vec())).unwrap();
+        let b = engine.submit(7, mem("b"), Some(b"bbbb".to_vec())).unwrap();
+        // Nothing terminal yet: a short timeout expires.
+        assert!(matches!(
+            engine.wait_any(&[a, b], 5_000),
+            Err((ErrorCode::Timeout, _))
+        ));
+        // FCFS: `a` finishes first; the batch wait names it.
+        let (done, stats) = engine.wait_any(&[a, b], 0).unwrap();
+        assert_eq!(done, a);
+        assert_eq!(stats.state, TaskState::Finished);
+        engine.wait(b, 0).unwrap();
+        engine.wait(blocker, 0).unwrap();
+        // Degenerate and unauthorized sets.
+        assert!(matches!(
+            engine.wait_any(&[], 0),
+            Err((ErrorCode::BadArgs, _))
+        ));
+        assert!(matches!(
+            engine.wait_any(&[a, 999], 0),
+            Err((ErrorCode::NotFound, _))
+        ));
+        assert!(matches!(
+            engine.wait_any_scoped(&[a, b], 0, Some(8)),
+            Err((ErrorCode::PermissionDenied, _))
+        ));
+        // Every id owned by the requester: the scoped wait succeeds.
+        let (done, _) = engine.wait_any_scoped(&[b, a], 0, Some(7)).unwrap();
+        assert_eq!(done, b, "earliest listed terminal wins");
         engine.shutdown();
     }
 

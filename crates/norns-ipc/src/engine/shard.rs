@@ -12,7 +12,7 @@
 //! lock traffic spreads evenly.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,10 +62,35 @@ struct Shard {
     cv: Condvar,
 }
 
+/// What a [`ShardedTaskTable::wait_any`] call resolved to.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum MultiWait {
+    /// First task of the set to reach a terminal state.
+    Done(u64, TaskStats),
+    /// A waited id is not (or no longer) in the table — it never
+    /// existed, or completion-list GC collected it mid-wait.
+    Gone(u64),
+    /// The deadline passed with every task still in flight.
+    TimedOut,
+}
+
 /// The id-sharded task table with per-shard condvars.
+///
+/// Single-task waits park on the task's shard. Batch waits
+/// ([`ShardedTaskTable::wait_any`]) span shards, so they park on one
+/// dedicated multi-wait condvar instead; terminal transitions bump its
+/// epoch only while batch waiters are registered (`multi_waiters`), so
+/// the common single-wait path pays one relaxed atomic load and no
+/// extra lock.
 pub(crate) struct ShardedTaskTable {
     shards: Box<[Shard]>,
     mask: u64,
+    /// Completion epoch guarding the multi-wait condvar; bumped by
+    /// every terminal transition while batch waiters exist.
+    multi: Mutex<u64>,
+    multi_cv: Condvar,
+    /// Number of threads currently parked in (or entering) `wait_any`.
+    multi_waiters: AtomicUsize,
 }
 
 impl ShardedTaskTable {
@@ -80,6 +105,9 @@ impl ShardedTaskTable {
         ShardedTaskTable {
             shards: shards.into_boxed_slice(),
             mask: n as u64 - 1,
+            multi: Mutex::new(0),
+            multi_cv: Condvar::new(),
+            multi_waiters: AtomicUsize::new(0),
         }
     }
 
@@ -112,7 +140,9 @@ impl ShardedTaskTable {
     }
 
     /// Mutate one entry and wake only this shard's waiters (terminal
-    /// transitions) — no global thundering herd.
+    /// transitions) — no global thundering herd. Batch waiters (which
+    /// park on the multi-wait condvar, not a shard) are woken too, but
+    /// only when some are registered.
     pub fn update_and_wake<R>(
         &self,
         task_id: u64,
@@ -121,6 +151,13 @@ impl ShardedTaskTable {
         let shard = self.shard(task_id);
         let result = shard.entries.lock().get_mut(&task_id).map(f);
         shard.cv.notify_all();
+        // SeqCst pairs with the waiter's registration: either the
+        // waiter's pre-park scan sees the state update above, or this
+        // load sees its registration and wakes it.
+        if self.multi_waiters.load(Ordering::SeqCst) > 0 {
+            *self.multi.lock() += 1;
+            self.multi_cv.notify_all();
+        }
         result
     }
 
@@ -142,6 +179,55 @@ impl ShardedTaskTable {
                     }
                 }
                 None => shard.cv.wait(&mut entries),
+            }
+        }
+    }
+
+    /// Block until *any* task of the set reaches a terminal state or
+    /// the deadline passes (`None` → wait forever). One parked wait on
+    /// the multi-wait condvar covers the whole set regardless of how
+    /// many shards it spans; ids are scanned in order, so when several
+    /// tasks are already terminal the earliest in `task_ids` wins.
+    pub fn wait_any(&self, task_ids: &[u64], deadline: Option<Instant>) -> MultiWait {
+        // Register before the first scan: a completion between the scan
+        // and the park sees the registration and bumps the epoch, so
+        // the park cannot miss it.
+        self.multi_waiters.fetch_add(1, Ordering::SeqCst);
+        let outcome = self.wait_any_registered(task_ids, deadline);
+        self.multi_waiters.fetch_sub(1, Ordering::SeqCst);
+        outcome
+    }
+
+    fn wait_any_registered(&self, task_ids: &[u64], deadline: Option<Instant>) -> MultiWait {
+        let mut epoch = self.multi.lock();
+        loop {
+            // Scan while holding the epoch lock: any terminal
+            // transition after this scan must serialize on the lock we
+            // hold and will be observed by the post-park rescan.
+            for &id in task_ids {
+                match self.read(id, |t| t.stats.state.is_terminal().then(|| t.snapshot())) {
+                    None => return MultiWait::Gone(id),
+                    Some(Some(stats)) => return MultiWait::Done(id, stats),
+                    Some(None) => {}
+                }
+            }
+            match deadline {
+                Some(d) => {
+                    if self.multi_cv.wait_until(&mut epoch, d).timed_out() {
+                        // Final rescan: a completion racing the timeout
+                        // should win, like the single-task wait's
+                        // timed-out snapshot does.
+                        for &id in task_ids {
+                            if let Some(Some(stats)) =
+                                self.read(id, |t| t.stats.state.is_terminal().then(|| t.snapshot()))
+                            {
+                                return MultiWait::Done(id, stats);
+                            }
+                        }
+                        return MultiWait::TimedOut;
+                    }
+                }
+                None => self.multi_cv.wait(&mut epoch),
             }
         }
     }
@@ -222,6 +308,45 @@ mod tests {
         let stats = table.wait(1, Some(deadline)).unwrap();
         assert_eq!(stats.state, TaskState::InProgress);
         assert!(table.wait(999, Some(deadline)).is_none());
+    }
+
+    #[test]
+    fn wait_any_returns_first_completion_across_shards() {
+        let table = Arc::new(ShardedTaskTable::new(4));
+        // Ids 1..=4 land on four different shards.
+        for id in 1..=4 {
+            table.insert(id, entry(TaskState::Pending));
+        }
+        let t2 = Arc::clone(&table);
+        let waiter = std::thread::spawn(move || t2.wait_any(&[1, 2, 3, 4], None));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        table.update_and_wake(3, |t| t.stats.state = TaskState::Finished);
+        match waiter.join().unwrap() {
+            MultiWait::Done(3, stats) => assert_eq!(stats.state, TaskState::Finished),
+            other => panic!("expected Done(3), got {other:?}"),
+        }
+        assert_eq!(table.multi_waiters.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wait_any_fast_path_prefers_earliest_listed_terminal() {
+        let table = ShardedTaskTable::new(4);
+        table.insert(1, entry(TaskState::InProgress));
+        table.insert(2, entry(TaskState::Finished));
+        table.insert(3, entry(TaskState::Cancelled));
+        match table.wait_any(&[1, 2, 3], None) {
+            MultiWait::Done(2, _) => {}
+            other => panic!("expected Done(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_any_times_out_and_reports_unknown_ids() {
+        let table = ShardedTaskTable::new(2);
+        table.insert(1, entry(TaskState::InProgress));
+        let deadline = Instant::now() + std::time::Duration::from_millis(10);
+        assert_eq!(table.wait_any(&[1], Some(deadline)), MultiWait::TimedOut);
+        assert_eq!(table.wait_any(&[1, 999], None), MultiWait::Gone(999));
     }
 
     #[test]

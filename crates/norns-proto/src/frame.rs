@@ -27,9 +27,13 @@ use crate::wire::WireError;
 /// spoken between daemons over TCP, `data_addr` in `DaemonStatus`,
 /// `RegisterPeer` on the control API, and a `pid` on the user-socket
 /// `WaitTask`/`QueryTask` (observation is scoped to the submitter the
-/// same way cancellation is). Older peers are rejected at the framing
-/// layer.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// same way cancellation is). v5 added the `WaitAny` batch-wait op on
+/// both sockets (one parked round-trip returns the first completion of
+/// a task set, capped at `MAX_WAIT_SET` ids) and its
+/// `Response::TaskCompleted` answer — the primitive real-mode workflow
+/// orchestrators block on instead of polling per task. Older peers are
+/// rejected at the framing layer.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Frames larger than this are rejected outright (a corrupt or hostile
 /// peer must not make the daemon allocate gigabytes).

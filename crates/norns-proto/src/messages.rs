@@ -492,6 +492,16 @@ pub enum CtlRequest {
         host: String,
         data_addr: String,
     },
+    /// Block until *any* task in the set reaches a terminal state
+    /// (v5). Answered by [`Response::TaskCompleted`] naming the first
+    /// completion; `timeout_usec == 0` means wait forever, a nonzero
+    /// timeout that expires yields [`ErrorCode::Timeout`]. The set is
+    /// capped at [`MAX_WAIT_SET`] ids. This is the batch-wait primitive
+    /// workflow orchestrators use instead of polling each task.
+    WaitAny {
+        task_ids: Vec<u64>,
+        timeout_usec: u64,
+    },
 }
 
 impl Wire for CtlRequest {
@@ -569,6 +579,14 @@ impl Wire for CtlRequest {
                 put_str(buf, host);
                 put_str(buf, data_addr);
             }
+            CtlRequest::WaitAny {
+                task_ids,
+                timeout_usec,
+            } => {
+                put_varint(buf, 15);
+                put_task_set(buf, task_ids);
+                put_varint(buf, *timeout_usec);
+            }
         }
     }
 
@@ -614,9 +632,37 @@ impl Wire for CtlRequest {
                 host: get_str(buf)?,
                 data_addr: get_str(buf)?,
             },
+            15 => CtlRequest::WaitAny {
+                task_ids: get_task_set(buf)?,
+                timeout_usec: get_varint(buf)?,
+            },
             other => return Err(WireError::BadDiscriminant(other)),
         })
     }
+}
+
+/// Largest task-id set one `WaitAny` request may carry (v5). A hostile
+/// length prefix must not trigger a huge allocation, and a daemon
+/// handler scanning the set on every completion wake must stay cheap.
+pub const MAX_WAIT_SET: usize = 4096;
+
+fn put_task_set(buf: &mut BytesMut, ids: &[u64]) {
+    put_varint(buf, ids.len() as u64);
+    for id in ids {
+        put_varint(buf, *id);
+    }
+}
+
+fn get_task_set(buf: &mut Bytes) -> Result<Vec<u64>, WireError> {
+    let n = get_varint(buf)?;
+    if n > MAX_WAIT_SET as u64 {
+        return Err(WireError::BadLength(n));
+    }
+    let mut ids = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        ids.push(get_varint(buf)?);
+    }
+    Ok(ids)
 }
 
 /// Requests accepted on the *user* socket (Table I, bottom half).
@@ -649,6 +695,14 @@ pub enum UserRequest {
         pid: u64,
         task_id: u64,
     },
+    /// Block until any task in the set is terminal (v5); every id must
+    /// belong to the declared pid (the same scoping as `WaitTask`).
+    /// `timeout_usec == 0` means wait forever.
+    WaitAny {
+        pid: u64,
+        task_ids: Vec<u64>,
+        timeout_usec: u64,
+    },
 }
 
 impl Wire for UserRequest {
@@ -680,6 +734,16 @@ impl Wire for UserRequest {
                 put_varint(buf, *pid);
                 put_varint(buf, *task_id);
             }
+            UserRequest::WaitAny {
+                pid,
+                task_ids,
+                timeout_usec,
+            } => {
+                put_varint(buf, 5);
+                put_varint(buf, *pid);
+                put_task_set(buf, task_ids);
+                put_varint(buf, *timeout_usec);
+            }
         }
     }
 
@@ -702,6 +766,11 @@ impl Wire for UserRequest {
             4 => UserRequest::CancelTask {
                 pid: get_varint(buf)?,
                 task_id: get_varint(buf)?,
+            },
+            5 => UserRequest::WaitAny {
+                pid: get_varint(buf)?,
+                task_ids: get_task_set(buf)?,
+                timeout_usec: get_varint(buf)?,
             },
             other => return Err(WireError::BadDiscriminant(other)),
         })
@@ -928,11 +997,22 @@ impl Wire for DataResponse {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     Ok,
-    Error { code: ErrorCode, message: String },
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
     Status(DaemonStatus),
     Dataspaces(Vec<DataspaceDesc>),
-    TaskSubmitted { task_id: u64 },
+    TaskSubmitted {
+        task_id: u64,
+    },
     TaskStatus(TaskStats),
+    /// Answer to `WaitAny` (v5): which task of the waited set reached a
+    /// terminal state first, with its final stats.
+    TaskCompleted {
+        task_id: u64,
+        stats: TaskStats,
+    },
 }
 
 impl Wire for Response {
@@ -960,6 +1040,11 @@ impl Wire for Response {
                 put_varint(buf, 5);
                 stats.encode(buf);
             }
+            Response::TaskCompleted { task_id, stats } => {
+                put_varint(buf, 6);
+                put_varint(buf, *task_id);
+                stats.encode(buf);
+            }
         }
     }
 
@@ -976,6 +1061,10 @@ impl Wire for Response {
                 task_id: get_varint(buf)?,
             },
             5 => Response::TaskStatus(TaskStats::decode(buf)?),
+            6 => Response::TaskCompleted {
+                task_id: get_varint(buf)?,
+                stats: TaskStats::decode(buf)?,
+            },
             other => return Err(WireError::BadDiscriminant(other)),
         })
     }
@@ -1113,6 +1202,14 @@ mod tests {
                 host: "node07".into(),
                 data_addr: "10.0.0.7:50051".into(),
             },
+            CtlRequest::WaitAny {
+                task_ids: vec![1, 7, 1 << 40],
+                timeout_usec: 500_000,
+            },
+            CtlRequest::WaitAny {
+                task_ids: vec![],
+                timeout_usec: 0,
+            },
         ];
         for r in reqs {
             let b = r.to_bytes();
@@ -1151,6 +1248,11 @@ mod tests {
             UserRequest::CancelTask {
                 pid: 99,
                 task_id: 3,
+            },
+            UserRequest::WaitAny {
+                pid: 99,
+                task_ids: vec![3, 4, 5],
+                timeout_usec: 0,
             },
         ];
         for r in reqs {
@@ -1202,6 +1304,17 @@ mod tests {
                 wait_usec: 0,
                 elapsed_usec: 0,
             }),
+            Response::TaskCompleted {
+                task_id: 9,
+                stats: TaskStats {
+                    state: TaskState::FinishedWithError,
+                    error: ErrorCode::NotFound,
+                    bytes_total: 10,
+                    bytes_moved: 3,
+                    wait_usec: 4,
+                    elapsed_usec: 5,
+                },
+            },
         ];
         for r in resps {
             let b = r.to_bytes();
@@ -1283,6 +1396,24 @@ mod tests {
             let _ = DataResponse::from_bytes(Bytes::from(garbage.clone()));
             let _ = Response::from_bytes(Bytes::from(garbage));
         }
+    }
+
+    #[test]
+    fn oversized_wait_set_rejected() {
+        // A hostile count must be rejected before any per-id decode
+        // loop allocates or spins.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 15); // CtlRequest::WaitAny
+        put_varint(&mut buf, MAX_WAIT_SET as u64 + 1);
+        assert!(matches!(
+            CtlRequest::from_bytes(buf.freeze()),
+            Err(WireError::BadLength(_))
+        ));
+        let ids: Vec<u64> = (0..MAX_WAIT_SET as u64).collect();
+        roundtrip(CtlRequest::WaitAny {
+            task_ids: ids,
+            timeout_usec: 1,
+        });
     }
 
     #[test]
