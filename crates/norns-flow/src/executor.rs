@@ -11,18 +11,42 @@
 //! workflow cancel-on-failure for downstream jobs, stage-out failure
 //! ⇒ data left in place and reported as leftovers).
 //!
+//! [`WorkflowExecutor::run`] is an event-driven **DAG engine**: every
+//! dependency-ready job is admitted concurrently, job bodies run on
+//! worker threads, and all jobs' outstanding staging tasks are
+//! multiplexed through per-daemon v5 `WaitAny` batch waits — job B's
+//! stage-in proceeds while job A computes and stages out, which is the
+//! overlap the paper's asynchronous staging exists to deliver (§III).
+//!
+//! Mapping semantics match the simulator: `node:k` places data on the
+//! k-th assigned node, stage-in `all` replicates to every node,
+//! stage-out `all` moves one replica, and `scatter`/`gather` are
+//! **real** — the executor enumerates the origin directory over the
+//! wire's v6 `ListDir` op and splits the children round-robin across
+//! the assigned nodes (scatter) or merges each node's children into
+//! one destination (gather), never replicating. Stage-out frees the
+//! staged source: local legs are `Move` tasks (the engine degrades
+//! them to `rename(2)` on the same filesystem) and remote pushes are
+//! followed by a `Remove` of the source once the push succeeds.
+//!
 //! The event loop never polls individual tasks: each daemon with
 //! outstanding staging work is watched through one wire-level v5
 //! `WaitAny` round-trip covering *all* of its outstanding task ids, so
-//! the wire cost scales with completions, not with tasks × poll
+//! the wire cost scales with completions (plus heartbeat slices while
+//! several event sources are live at once), not with tasks × poll
 //! interval. [`WorkflowExecutor::wait_round_trips`] and
 //! [`WorkflowExecutor::query_round_trips`] expose the counters the
 //! examples assert on.
 
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use norns_ipc::{ClientError, CtlClient};
-use norns_proto::{ErrorCode, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState};
+use norns_proto::{
+    ErrorCode, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState, TaskStats, MAX_WAIT_SET,
+};
 
 use crate::script::{self, JobScript, Mapping, ScriptError, StageDirective, WorkflowPos};
 
@@ -34,7 +58,11 @@ pub struct NodeSpec {
     /// Path of the daemon's control socket (`urd.ctl.sock`).
     pub control_path: std::path::PathBuf,
     /// Dataspace ids hosted by this daemon; the executor routes each
-    /// stage directive endpoint to the node owning its `nsid`.
+    /// stage directive endpoint to a node owning its `nsid`. Several
+    /// nodes may host the *same* nsid (the node-local storage pattern:
+    /// each daemon backs it with its own mount) — a location then
+    /// resolves to the local replica on nodes that host it and to the
+    /// first hosting node for everyone else.
     pub dataspaces: Vec<String>,
 }
 
@@ -46,10 +74,11 @@ pub struct FlowConfig {
     /// outstanding transfers are cancelled, already-staged destinations
     /// removed, the job and its workflow successors cancelled.
     pub stage_in_timeout: Duration,
-    /// Longest slice one `WaitAny` round-trip may block when *several*
-    /// daemons have outstanding work (the executor rotates between
-    /// them); with a single busy daemon the wait parks for the whole
-    /// remaining deadline instead.
+    /// Longest slice one `WaitAny` round-trip may block while several
+    /// event sources are live (more than one daemon with outstanding
+    /// staging work, or a job body running concurrently with staging);
+    /// with a single busy daemon and nothing else in flight the wait
+    /// parks for the whole remaining deadline instead.
     pub heartbeat: Duration,
     /// How long cancelled-but-running staging tasks are drained before
     /// the executor gives up joining them.
@@ -140,12 +169,15 @@ impl From<ClientError> for FlowError {
 }
 
 /// The job body: what "running the application" means in real mode.
+/// Bodies execute on executor-owned worker threads, so several jobs'
+/// computations (and other jobs' staging) overlap.
 pub enum JobBody {
     /// Sleep for the duration (placeholder workloads and tests).
     Sleep(Duration),
     /// Run a closure; an `Err` fails the job (stage-out is skipped,
-    /// staged data is left in place for recovery).
-    Run(Box<dyn FnOnce() -> Result<(), String>>),
+    /// staged data is left in place for recovery). A panic inside the
+    /// closure is caught and fails the job the same way.
+    Run(Box<dyn FnOnce() -> Result<(), String> + Send>),
 }
 
 struct Node {
@@ -165,23 +197,84 @@ struct JobRec {
     /// Dependencies resolved to earlier job ids at submission.
     deps: Vec<FlowJobId>,
     state: FlowJobState,
+    /// Whether the job is currently registered with its daemons (set
+    /// on successful registration of *every* node, cleared at
+    /// teardown; a partial registration is rolled back immediately and
+    /// never observable here).
+    registered: bool,
     failure: Option<String>,
     /// Stage-out legs that failed; data stays on the nodes "for future
     /// stage_out operations to try and recover" (§III).
     leftovers: Vec<String>,
 }
 
+/// A staging task before submission: which daemon runs it, the spec,
+/// the destination to remove should the job be killed mid-stage-in,
+/// and the local source to release after a successful remote push.
+struct PlannedTask {
+    node: usize,
+    spec: TaskSpec,
+    dst: Option<(usize, String, String)>,
+    release: Option<(String, String)>,
+    label: String,
+}
+
 /// One outstanding staging task: which daemon runs it, its
 /// destination for post-timeout/failure cleanup (keyed by the node the
 /// destination is *local* to — the task's own node for plain paths,
-/// the owning peer for pushed `RemotePath` outputs), and a
-/// human-readable label for leftover reports.
+/// the owning peer for pushed `RemotePath` outputs), the source to
+/// release after a successful push, and a human-readable label for
+/// leftover reports.
 struct StageTask {
     node: usize,
     task_id: u64,
     dst: Option<(usize, String, String)>,
+    /// `(nsid, path)` of a local stage-out source to `Remove` once the
+    /// push succeeds — the copy-based remote leg's analog of `Move`'s
+    /// source-freeing (the paper's stage-out releases burst-buffer
+    /// capacity).
+    release: Option<(String, String)>,
     label: String,
 }
+
+/// Per-job phase inside the DAG engine's run loop.
+enum Phase {
+    StagingIn { deadline: Instant },
+    Running,
+    StagingOut,
+}
+
+/// An admitted, non-terminal job: its phase plus the staging tasks the
+/// central `WaitAny` multiplexer is watching for it.
+struct ActiveJob {
+    phase: Phase,
+    outstanding: Vec<StageTask>,
+    /// Stage-in tasks that already finished (their destinations are
+    /// what a timeout/failure must clean up).
+    staged: Vec<StageTask>,
+}
+
+/// What the central event wait produced.
+enum Next {
+    Body(usize, Result<(), String>),
+    Staging {
+        node: usize,
+        task_id: u64,
+        stats: TaskStats,
+    },
+    /// A daemon stopped answering its control socket at the transport
+    /// level: every job with staging outstanding there degrades, the
+    /// rest of the workflow continues.
+    DaemonLost {
+        node: usize,
+        error: String,
+    },
+    /// A heartbeat slice or deadline wait expired; the loop re-checks
+    /// deadlines and admissions.
+    Tick,
+}
+
+type BodyResult = (usize, Result<(), String>);
 
 /// Drives parsed `#NORNS` scripts against live daemons. See the module
 /// docs for the lifecycle; workflow linkage is by job *name*, exactly
@@ -192,6 +285,7 @@ pub struct WorkflowExecutor {
     jobs: Vec<JobRec>,
     next_node: usize,
     peers_linked: bool,
+    rotate: usize,
     events: Vec<FlowEvent>,
     wait_round_trips: u64,
     query_round_trips: u64,
@@ -205,6 +299,7 @@ impl WorkflowExecutor {
             jobs: Vec::new(),
             next_node: 0,
             peers_linked: false,
+            rotate: 0,
             events: Vec::new(),
             wait_round_trips: 0,
             query_round_trips: 0,
@@ -229,7 +324,10 @@ impl WorkflowExecutor {
     /// Parse and enqueue a submission script (`sbatch` analogue). The
     /// job is validated against the node set now — unknown dataspaces,
     /// unknown workflow dependencies and oversized allocations are
-    /// submission errors, not late failures.
+    /// submission errors, not late failures. (`scatter`/`gather`
+    /// directives are *expanded* only when the job is admitted: their
+    /// child lists come from live directory enumeration, typically of
+    /// data an upstream job has yet to produce.)
     pub fn submit(&mut self, script_text: &str, body: JobBody) -> Result<FlowJobId, FlowError> {
         let script = script::parse(script_text)?;
         if script.nodes == 0 {
@@ -281,9 +379,7 @@ impl WorkflowExecutor {
             .map(|d| (d, true))
             .chain(script.stage_out.iter().map(|d| (d, false)))
         {
-            for &node in self.directive_nodes(dir, &nodes, is_in)? {
-                self.plan_stage_task(node, dir)?;
-            }
+            self.validate_directive(dir, &nodes, is_in)?;
         }
         let id = FlowJobId(self.jobs.len() as u64 + 1);
         self.jobs.push(JobRec {
@@ -293,6 +389,7 @@ impl WorkflowExecutor {
             nodes,
             deps,
             state: FlowJobState::Pending,
+            registered: false,
             failure: None,
             leftovers: Vec::new(),
         });
@@ -300,30 +397,65 @@ impl WorkflowExecutor {
         Ok(id)
     }
 
-    /// Run every submitted job to a terminal state, in submission
-    /// order, gating each on its workflow dependencies. Returns the
-    /// terminal state of each job.
+    /// Run every submitted job to a terminal state. All
+    /// dependency-ready jobs execute **concurrently**: bodies on
+    /// worker threads, staging multiplexed through per-daemon batch
+    /// waits, each job gated only on its own workflow dependencies.
+    /// Returns the terminal state of each job in submission order.
     pub fn run(&mut self) -> Result<Vec<(FlowJobId, FlowJobState)>, FlowError> {
         self.link_peers()?;
-        for idx in 0..self.jobs.len() {
-            if self.jobs[idx].state != FlowJobState::Pending {
-                continue;
-            }
-            // "If a workflow job fails; then all subsequent jobs are
-            // cancelled."
-            let blocked = self.jobs[idx].deps.iter().any(|dep| {
-                self.jobs
-                    .iter()
-                    .find(|j| j.id == *dep)
-                    .is_some_and(|j| j.state != FlowJobState::Completed)
-            });
-            if blocked {
-                self.finish_job(idx, FlowJobState::Cancelled, "upstream workflow job failed");
-                continue;
-            }
-            self.run_job(idx)?;
+        let (tx, rx) = mpsc::channel::<BodyResult>();
+        let mut active: HashMap<usize, ActiveJob> = HashMap::new();
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+        self.run_loop(&tx, &rx, &mut active, &mut threads);
+        // Bodies are finite; join them so no thread outlives the call
+        // (their completions were all consumed by the loop).
+        drop(tx);
+        for handle in threads {
+            let _ = handle.join();
         }
         Ok(self.jobs.iter().map(|j| (j.id, j.state)).collect())
+    }
+
+    fn run_loop(
+        &mut self,
+        tx: &mpsc::Sender<BodyResult>,
+        rx: &mpsc::Receiver<BodyResult>,
+        active: &mut HashMap<usize, ActiveJob>,
+        threads: &mut Vec<JoinHandle<()>>,
+    ) {
+        loop {
+            // Admit every dependency-ready job; cancel those whose
+            // upstream failed ("if a workflow job fails; then all
+            // subsequent jobs are cancelled").
+            self.admit_ready(active, tx, threads);
+            // Deliver any body completions that already arrived.
+            let mut progressed = false;
+            while let Ok((idx, result)) = rx.try_recv() {
+                self.body_finished(idx, result, active);
+                progressed = true;
+            }
+            if progressed {
+                continue; // completions may have unblocked admissions
+            }
+            if self.expire_deadlines(active) {
+                continue;
+            }
+            if active.is_empty() {
+                debug_assert!(self.jobs.iter().all(|j| j.state.is_terminal()));
+                return;
+            }
+            match self.await_event(active, rx) {
+                Next::Body(idx, result) => self.body_finished(idx, result, active),
+                Next::Staging {
+                    node,
+                    task_id,
+                    stats,
+                } => self.staging_event(node, task_id, stats, active, tx, threads),
+                Next::DaemonLost { node, error } => self.daemon_lost(node, &error, active),
+                Next::Tick => {}
+            }
+        }
     }
 
     // ---- observability ----
@@ -353,8 +485,8 @@ impl WorkflowExecutor {
 
     /// Wire-level `WaitAny` round-trips issued so far. The executor's
     /// whole event loop goes through batch waits, so this grows with
-    /// *completions* (plus heartbeat slices when several daemons are
-    /// busy at once) — not with tasks × polling interval.
+    /// *completions* (plus heartbeat slices while several event
+    /// sources are live at once) — not with tasks × polling interval.
     pub fn wait_round_trips(&self) -> u64 {
         self.wait_round_trips
     }
@@ -367,75 +499,286 @@ impl WorkflowExecutor {
 
     // ---- planning ----
 
-    /// Which of the job's nodes a directive applies to. Stage-in `all`
-    /// replicates to every node; `scatter`/`gather` degrade to `all`
-    /// in real mode (the executor cannot enumerate remote directories
-    /// at plan time); stage-out `all` moves one replica (node 0), the
-    /// others contribute per node.
-    fn directive_nodes<'a>(
+    /// Submission-time routability check for one directive. Whole-path
+    /// mappings are planned in full (and the plan discarded);
+    /// `scatter`/`gather` check that both endpoints' dataspaces are
+    /// hosted — their per-child expansion happens at admission, once
+    /// the directory contents exist.
+    fn validate_directive(
         &self,
         dir: &StageDirective,
-        assigned: &'a [usize],
+        assigned: &[usize],
         stage_in: bool,
-    ) -> Result<&'a [usize], FlowError> {
-        match dir.mapping {
-            Mapping::Node(k) => assigned.get(k..k + 1).ok_or_else(|| {
+    ) -> Result<(), FlowError> {
+        let whole_path_targets: &[usize] = match (stage_in, dir.mapping) {
+            (_, Mapping::Node(k)) => assigned.get(k..k + 1).ok_or_else(|| {
                 FlowError::Plan(format!(
                     "mapping node:{k} out of range for a {}-node job",
                     assigned.len()
                 ))
-            }),
-            Mapping::All if !stage_in => assigned.get(..1).ok_or_else(|| {
-                FlowError::Plan("stage-out `all` needs at least one assigned node".into())
-            }),
-            Mapping::All | Mapping::Scatter | Mapping::Gather => Ok(assigned),
+            })?,
+            // Stage-in `all`/`gather` replicate to every node;
+            // stage-out `all` moves one replica (node 0).
+            (true, Mapping::All | Mapping::Gather) => assigned,
+            (false, Mapping::All) => &assigned[..1],
+            (_, Mapping::Scatter) | (false, Mapping::Gather) => {
+                for loc in [&dir.origin, &dir.destination] {
+                    let (nsid, _) = script::split_location(loc)?;
+                    if self.owner_of(nsid).is_none() {
+                        return Err(FlowError::Plan(format!("no node hosts dataspace {nsid:?}")));
+                    }
+                }
+                return Ok(());
+            }
+        };
+        for &node in whole_path_targets {
+            self.plan_task(node, &dir.origin, &dir.destination, stage_in)
+                .map_err(FlowError::Plan)?;
         }
+        Ok(())
     }
 
-    /// Index of the node hosting a dataspace.
+    /// Index of the first node hosting a dataspace.
     fn owner_of(&self, nsid: &str) -> Option<usize> {
         self.nodes
             .iter()
             .position(|n| n.spec.dataspaces.iter().any(|d| d == nsid))
     }
 
+    /// Does `node` host `nsid` locally?
+    fn hosts(&self, node: usize, nsid: &str) -> bool {
+        self.nodes[node].spec.dataspaces.iter().any(|d| d == nsid)
+    }
+
     /// Resolve a `nsid://path` endpoint as seen from `node`: local
     /// dataspaces become `PosixPath`, dataspaces hosted by another
     /// node become `RemotePath` through that node's daemon.
-    fn resolve_endpoint(&self, node: usize, location: &str) -> Result<ResourceDesc, FlowError> {
-        let (nsid, path) = script::split_location(location)?;
-        if self.nodes[node].spec.dataspaces.iter().any(|d| d == nsid) {
+    fn resolve_endpoint(&self, node: usize, location: &str) -> Result<ResourceDesc, String> {
+        let (nsid, path) = script::split_location(location).map_err(|e| e.to_string())?;
+        if self.hosts(node, nsid) {
             return Ok(ResourceDesc::PosixPath {
                 nsid: nsid.into(),
                 path: path.into(),
             });
         }
         let owner = self
-            .nodes
-            .iter()
-            .find(|n| n.spec.dataspaces.iter().any(|d| d == nsid))
-            .ok_or_else(|| FlowError::Plan(format!("no node hosts dataspace {nsid:?}")))?;
+            .owner_of(nsid)
+            .ok_or_else(|| format!("no node hosts dataspace {nsid:?}"))?;
         Ok(ResourceDesc::RemotePath {
-            host: owner.spec.name.clone(),
+            host: self.nodes[owner].spec.name.clone(),
             nsid: nsid.into(),
             path: path.into(),
         })
     }
 
-    /// Build the copy task a stage directive submits on `node`.
-    fn plan_stage_task(&self, node: usize, dir: &StageDirective) -> Result<TaskSpec, FlowError> {
-        let input = self.resolve_endpoint(node, &dir.origin)?;
-        let output = self.resolve_endpoint(node, &dir.destination)?;
+    /// Plan the task one origin→destination leg submits on `node`.
+    /// Stage-in legs are plain copies (with the destination recorded
+    /// for §III cleanup). Stage-out legs *free their source*: local
+    /// legs are `Move` tasks, remote pushes are copies whose source is
+    /// released by a follow-up `Remove` once the push succeeds.
+    fn plan_task(
+        &self,
+        node: usize,
+        origin: &str,
+        destination: &str,
+        stage_in: bool,
+    ) -> Result<PlannedTask, String> {
+        let input = self.resolve_endpoint(node, origin)?;
+        let output = self.resolve_endpoint(node, destination)?;
         if matches!(input, ResourceDesc::RemotePath { .. })
             && matches!(output, ResourceDesc::RemotePath { .. })
         {
-            return Err(FlowError::Plan(format!(
-                "stage {} → {} touches node {:?} on neither end; assign the job to a node \
-                 hosting one of the dataspaces",
-                dir.origin, dir.destination, self.nodes[node].spec.name
-            )));
+            return Err(format!(
+                "stage {origin} → {destination} touches node {:?} on neither end; assign the \
+                 job to a node hosting one of the dataspaces",
+                self.nodes[node].spec.name
+            ));
         }
-        Ok(TaskSpec::new(TaskOp::Copy, input, Some(output)))
+        let (op, dst, release) = if stage_in {
+            // Remember stage-in destinations for timeout/failure
+            // cleanup — keyed by the node they are local to, so a
+            // pushed RemotePath output is removed on its *owning*
+            // peer, not the node that ran the push.
+            let dst = match &output {
+                ResourceDesc::PosixPath { nsid, path } => Some((node, nsid.clone(), path.clone())),
+                ResourceDesc::RemotePath { nsid, path, .. } => self
+                    .owner_of(nsid)
+                    .map(|owner| (owner, nsid.clone(), path.clone())),
+                ResourceDesc::MemoryRegion { .. } => None,
+            };
+            (TaskOp::Copy, dst, None)
+        } else {
+            match (&input, &output) {
+                (ResourceDesc::PosixPath { .. }, ResourceDesc::PosixPath { .. }) => {
+                    (TaskOp::Move, None, None)
+                }
+                // Cross-node staging is copy-only on the data plane;
+                // the source is released separately after the push.
+                (ResourceDesc::PosixPath { nsid, path }, ResourceDesc::RemotePath { .. }) => {
+                    (TaskOp::Copy, None, Some((nsid.clone(), path.clone())))
+                }
+                // Remote origin: nothing local to free.
+                _ => (TaskOp::Copy, None, None),
+            }
+        };
+        let label = format!(
+            "{origin} → {destination} on {:?}",
+            self.nodes[node].spec.name
+        );
+        Ok(PlannedTask {
+            node,
+            spec: TaskSpec::new(op, input, Some(output)),
+            dst,
+            release,
+            label,
+        })
+    }
+
+    /// Append `child` to a `nsid://path` location.
+    fn join_location(location: &str, child: &str) -> String {
+        if location.ends_with("://") || location.ends_with('/') {
+            format!("{location}{child}")
+        } else {
+            format!("{location}/{child}")
+        }
+    }
+
+    /// Expand one phase's directives into concrete per-node tasks. An
+    /// `Err` fails (stage-in) or degrades (stage-out) the job — it is
+    /// never a run-level abort.
+    fn expand_phase(
+        &mut self,
+        assigned: &[usize],
+        directives: &[StageDirective],
+        stage_in: bool,
+    ) -> Result<Vec<PlannedTask>, String> {
+        let mut out = Vec::new();
+        for dir in directives {
+            match (stage_in, dir.mapping) {
+                (_, Mapping::Node(k)) => out.push(self.plan_task(
+                    assigned[k],
+                    &dir.origin,
+                    &dir.destination,
+                    stage_in,
+                )?),
+                (true, Mapping::All | Mapping::Gather) => {
+                    for &node in assigned {
+                        out.push(self.plan_task(node, &dir.origin, &dir.destination, true)?);
+                    }
+                }
+                (false, Mapping::All) => {
+                    out.push(self.plan_task(assigned[0], &dir.origin, &dir.destination, false)?)
+                }
+                (true, Mapping::Scatter) => out.extend(self.plan_scatter(assigned, dir)?),
+                (false, Mapping::Scatter | Mapping::Gather) => {
+                    out.extend(self.plan_gather(assigned, dir)?)
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stage-in `scatter`: enumerate the origin directory on its
+    /// owning node (wire v6 `ListDir`) and deal the children
+    /// round-robin across the assigned nodes — each child lands on
+    /// exactly one node, matching `slurm-sim`'s placement. A plain
+    /// file cannot be split: it lands whole on the first node, also
+    /// like the simulator.
+    fn plan_scatter(
+        &mut self,
+        assigned: &[usize],
+        dir: &StageDirective,
+    ) -> Result<Vec<PlannedTask>, String> {
+        let (nsid, path) = script::split_location(&dir.origin).map_err(|e| e.to_string())?;
+        let owner = self
+            .owner_of(nsid)
+            .ok_or_else(|| format!("no node hosts dataspace {nsid:?}"))?;
+        let (nsid, path) = (nsid.to_string(), path.to_string());
+        match self.nodes[owner].ctl.list_dir(&nsid, &path) {
+            Ok(children) => children
+                .iter()
+                .enumerate()
+                .map(|(i, child)| {
+                    self.plan_task(
+                        assigned[i % assigned.len()],
+                        &Self::join_location(&dir.origin, child),
+                        &Self::join_location(&dir.destination, child),
+                        true,
+                    )
+                })
+                .collect(),
+            Err(ClientError::Remote {
+                code: ErrorCode::BadArgs,
+                ..
+            }) => Ok(vec![self.plan_task(
+                assigned[0],
+                &dir.origin,
+                &dir.destination,
+                true,
+            )?]),
+            Err(e) => Err(format!("cannot enumerate {}: {e}", dir.origin)),
+        }
+    }
+
+    /// Stage-out `gather` (and `scatter`, which the simulator treats
+    /// identically on the way out): every assigned node hosting the
+    /// origin dataspace locally contributes the children it holds,
+    /// merged into one destination directory — per child, so remote
+    /// pushes (file-only on the data plane) work and nothing is
+    /// replicated. Nodes without the directory contribute nothing; a
+    /// plain file moves whole.
+    fn plan_gather(
+        &mut self,
+        assigned: &[usize],
+        dir: &StageDirective,
+    ) -> Result<Vec<PlannedTask>, String> {
+        let (nsid, path) = script::split_location(&dir.origin).map_err(|e| e.to_string())?;
+        let (nsid, path) = (nsid.to_string(), path.to_string());
+        let contributors: Vec<usize> = assigned
+            .iter()
+            .copied()
+            .filter(|&n| self.hosts(n, &nsid))
+            .collect();
+        if contributors.is_empty() {
+            // The origin lives off-allocation; degrade to the `all`
+            // behavior (one whole-path task on the first node).
+            return Ok(vec![self.plan_task(
+                assigned[0],
+                &dir.origin,
+                &dir.destination,
+                false,
+            )?]);
+        }
+        let mut out = Vec::new();
+        for node in contributors {
+            match self.nodes[node].ctl.list_dir(&nsid, &path) {
+                Ok(children) => {
+                    for child in &children {
+                        out.push(self.plan_task(
+                            node,
+                            &Self::join_location(&dir.origin, child),
+                            &Self::join_location(&dir.destination, child),
+                            false,
+                        )?);
+                    }
+                }
+                Err(ClientError::Remote {
+                    code: ErrorCode::BadArgs,
+                    ..
+                }) => out.push(self.plan_task(node, &dir.origin, &dir.destination, false)?),
+                Err(ClientError::Remote {
+                    code: ErrorCode::NotFound,
+                    ..
+                }) => {} // this node staged nothing under the origin
+                Err(e) => {
+                    return Err(format!(
+                        "cannot enumerate {} on {:?}: {e}",
+                        dir.origin, self.nodes[node].spec.name
+                    ))
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Cross-register every node pair in the daemons' peer registries
@@ -467,11 +810,36 @@ impl WorkflowExecutor {
         self.events.push(event);
     }
 
+    /// Terminal bookkeeping: best-effort unregistration from every
+    /// daemon the job touched (teardown problems are recorded, never
+    /// propagated — one job's sick daemon must not strand the others),
+    /// then the state transition and its event.
     fn finish_job(&mut self, idx: usize, state: FlowJobState, reason: &str) {
         let id = self.jobs[idx].id;
+        let mut problems = Vec::new();
+        if self.jobs[idx].registered {
+            self.jobs[idx].registered = false;
+            for n in self.jobs[idx].nodes.clone() {
+                match self.nodes[n].ctl.unregister_job(id.0) {
+                    // Remote errors mean "already gone" (e.g. the
+                    // daemon was shut down) — not worth recording.
+                    Ok(()) | Err(ClientError::Remote { .. }) => {}
+                    Err(e) => {
+                        problems.push(format!("unregister on {:?}: {e}", self.nodes[n].spec.name))
+                    }
+                }
+            }
+        }
         self.jobs[idx].state = state;
         if !reason.is_empty() {
-            self.jobs[idx].failure = Some(reason.to_string());
+            // Append: earlier best-effort-teardown detail (recorded by
+            // note_problems on e.g. the submission-failure path) must
+            // survive the terminal reason.
+            let failure = &mut self.jobs[idx].failure;
+            *failure = Some(match failure.take() {
+                Some(existing) => format!("{reason}; {existing}"),
+                None => reason.to_string(),
+            });
         }
         let leftovers = self.jobs[idx].leftovers.len();
         match state {
@@ -486,9 +854,77 @@ impl WorkflowExecutor {
             }),
             other => unreachable!("finish_job with non-terminal state {other:?}"),
         }
+        self.note_problems(idx, problems);
     }
 
-    fn run_job(&mut self, idx: usize) -> Result<(), FlowError> {
+    /// Append best-effort-teardown details to the job's failure
+    /// string (diagnostics only; they change no state).
+    fn note_problems(&mut self, idx: usize, problems: Vec<String>) {
+        if problems.is_empty() {
+            return;
+        }
+        let detail = problems.join("; ");
+        let failure = &mut self.jobs[idx].failure;
+        *failure = Some(match failure.take() {
+            Some(existing) => format!("{existing}; teardown: {detail}"),
+            None => format!("teardown: {detail}"),
+        });
+    }
+
+    /// Admission fixpoint: start every Pending job whose dependencies
+    /// all completed; cancel every Pending job with a failed or
+    /// cancelled dependency (cascading through chains in one pass).
+    fn admit_ready(
+        &mut self,
+        active: &mut HashMap<usize, ActiveJob>,
+        tx: &mpsc::Sender<BodyResult>,
+        threads: &mut Vec<JoinHandle<()>>,
+    ) {
+        loop {
+            let mut changed = false;
+            for idx in 0..self.jobs.len() {
+                if self.jobs[idx].state != FlowJobState::Pending {
+                    continue;
+                }
+                let mut ready = true;
+                let mut doomed = false;
+                for dep in self.jobs[idx].deps.clone() {
+                    match self
+                        .jobs
+                        .iter()
+                        .find(|j| j.id == dep)
+                        .map(|j| j.state)
+                        .expect("deps resolved at submission")
+                    {
+                        FlowJobState::Completed => {}
+                        s if s.is_terminal() => doomed = true,
+                        _ => ready = false,
+                    }
+                }
+                if doomed {
+                    self.finish_job(idx, FlowJobState::Cancelled, "upstream workflow job failed");
+                    changed = true;
+                } else if ready {
+                    self.start_job(idx, active, tx, threads);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Register the job with its daemons (rolling back on partial
+    /// failure — nodes `0..k` must not stay registered forever when
+    /// node `k` refuses), then plan and submit its stage-in tasks.
+    fn start_job(
+        &mut self,
+        idx: usize,
+        active: &mut HashMap<usize, ActiveJob>,
+        tx: &mpsc::Sender<BodyResult>,
+        threads: &mut Vec<JoinHandle<()>>,
+    ) {
         let id = self.jobs[idx].id;
         let job_nodes = self.jobs[idx].nodes.clone();
         let hosts: Vec<String> = job_nodes
@@ -497,72 +933,162 @@ impl WorkflowExecutor {
             .collect();
         // Register the job with every daemon it touches (quota-less;
         // the embedding owns the grants, as Slurm does in the paper).
+        let mut registered: Vec<usize> = Vec::new();
         for &n in &job_nodes {
-            self.nodes[n].ctl.register_job(JobDesc {
+            match self.nodes[n].ctl.register_job(JobDesc {
                 job_id: id.0,
                 hosts: hosts.clone(),
                 limits: vec![],
-            })?;
+            }) {
+                Ok(()) => registered.push(n),
+                Err(e) => {
+                    // Roll back what was already registered before
+                    // failing the job; a `?`-style early return here
+                    // would leak registrations on nodes 0..k.
+                    for &r in &registered {
+                        let _ = self.nodes[r].ctl.unregister_job(id.0);
+                    }
+                    self.finish_job(
+                        idx,
+                        FlowJobState::Failed,
+                        &format!(
+                            "job registration on {:?} failed: {e}",
+                            self.nodes[n].spec.name
+                        ),
+                    );
+                    return;
+                }
+            }
         }
-        let outcome = self.run_registered(idx, &job_nodes);
-        for &n in &job_nodes {
-            // Best-effort: the daemon may have been told to shut down
-            // by the failing path already.
-            let _ = self.nodes[n].ctl.unregister_job(id.0);
-        }
-        outcome
-    }
-
-    fn run_registered(&mut self, idx: usize, job_nodes: &[usize]) -> Result<(), FlowError> {
-        let id = self.jobs[idx].id;
-
-        // ---- stage-in, gating the body ----
+        self.jobs[idx].registered = true;
         self.jobs[idx].state = FlowJobState::StagingIn;
         let stage_in = self.jobs[idx].script.stage_in.clone();
-        let tasks = match self.submit_stage_tasks(idx, job_nodes, &stage_in, true)? {
-            Ok(tasks) => tasks,
+        let planned = match self.expand_phase(&job_nodes, &stage_in, true) {
+            Ok(p) => p,
             Err(reason) => {
                 self.finish_job(idx, FlowJobState::Failed, &reason);
-                return Ok(());
+                return;
             }
         };
-        self.emit(FlowEvent::StageInStarted {
-            job: id,
-            tasks: tasks.len(),
-        });
-        let deadline = Instant::now() + self.config.stage_in_timeout;
-        match self.drain_stage_tasks(tasks, Some(deadline))? {
-            StageOutcome::AllFinished => {}
-            StageOutcome::TaskFailed { detail, staged, .. } => {
-                self.cleanup_staged(&staged)?;
-                self.finish_job(
-                    idx,
-                    FlowJobState::Failed,
-                    &format!("stage-in failed: {detail}"),
-                );
-                return Ok(());
+        match self.submit_planned(idx, planned, true) {
+            Ok(tasks) => {
+                self.emit(FlowEvent::StageInStarted {
+                    job: id,
+                    tasks: tasks.len(),
+                });
+                if tasks.is_empty() {
+                    self.begin_body(idx, active, tx, threads);
+                } else {
+                    active.insert(
+                        idx,
+                        ActiveJob {
+                            phase: Phase::StagingIn {
+                                deadline: Instant::now() + self.config.stage_in_timeout,
+                            },
+                            outstanding: tasks,
+                            staged: Vec::new(),
+                        },
+                    );
+                }
             }
-            StageOutcome::DeadlinePassed { staged } => {
-                // "the scheduler will terminate the job and clean up
-                // all data already staged to nodes" (§III).
-                self.cleanup_staged(&staged)?;
-                self.finish_job(idx, FlowJobState::Cancelled, "stage-in timeout");
-                return Ok(());
+            Err(reason) => self.finish_job(idx, FlowJobState::Failed, &reason),
+        }
+    }
+
+    /// Submit one phase's planned tasks. A daemon-side rejection
+    /// cancels what was already submitted (cleaning any stage-in data
+    /// that finished meanwhile) and fails the phase as a unit;
+    /// transport errors are treated the same way — per-job failures,
+    /// never run-level aborts.
+    fn submit_planned(
+        &mut self,
+        idx: usize,
+        planned: Vec<PlannedTask>,
+        stage_in: bool,
+    ) -> Result<Vec<StageTask>, String> {
+        let job_id = self.jobs[idx].id.0;
+        let mut tasks: Vec<StageTask> = Vec::new();
+        for p in planned {
+            match self.nodes[p.node].ctl.submit(job_id, p.spec, None) {
+                Ok(task_id) => tasks.push(StageTask {
+                    node: p.node,
+                    task_id,
+                    dst: p.dst,
+                    release: p.release,
+                    label: p.label,
+                }),
+                Err(e) => {
+                    let reason = format!("stage task {} rejected: {e}", p.label);
+                    let (finished, mut problems) = self.cancel_and_drain(&tasks);
+                    if stage_in {
+                        let staged: Vec<StageTask> = tasks
+                            .into_iter()
+                            .filter(|t| finished.contains(&(t.node, t.task_id)))
+                            .collect();
+                        problems.extend(self.cleanup_staged(&staged));
+                    }
+                    self.note_problems(idx, problems);
+                    return Err(reason);
+                }
             }
         }
+        Ok(tasks)
+    }
 
-        // ---- the application ----
+    /// Move the job into its Running phase: the body executes on a
+    /// worker thread (panics caught and mapped to failures) and
+    /// reports through the run loop's channel, so other jobs' staging
+    /// and bodies proceed meanwhile.
+    fn begin_body(
+        &mut self,
+        idx: usize,
+        active: &mut HashMap<usize, ActiveJob>,
+        tx: &mpsc::Sender<BodyResult>,
+        threads: &mut Vec<JoinHandle<()>>,
+    ) {
         self.jobs[idx].state = FlowJobState::Running;
-        self.emit(FlowEvent::Started { job: id });
+        self.emit(FlowEvent::Started {
+            job: self.jobs[idx].id,
+        });
         let body = self.jobs[idx].body.take().expect("body taken once");
-        let body_result = match body {
-            JobBody::Sleep(d) => {
-                std::thread::sleep(d);
-                Ok(())
-            }
-            JobBody::Run(f) => f(),
-        };
-        if let Err(reason) = body_result {
+        let tx = tx.clone();
+        threads.push(std::thread::spawn(move || {
+            let result = match body {
+                JobBody::Sleep(d) => {
+                    std::thread::sleep(d);
+                    Ok(())
+                }
+                JobBody::Run(f) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                    .unwrap_or_else(|panic| {
+                        Err(panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "job body panicked".into()))
+                    }),
+            };
+            let _ = tx.send((idx, result));
+        }));
+        active.insert(
+            idx,
+            ActiveJob {
+                phase: Phase::Running,
+                outstanding: Vec::new(),
+                staged: Vec::new(),
+            },
+        );
+    }
+
+    /// A job body returned: fail the job, or plan and submit its
+    /// stage-out.
+    fn body_finished(
+        &mut self,
+        idx: usize,
+        result: Result<(), String>,
+        active: &mut HashMap<usize, ActiveJob>,
+    ) {
+        active.remove(&idx);
+        if let Err(reason) = result {
             // Staged data is deliberately left in place: a failed
             // application's inputs and partial outputs are what the
             // operator debugs with.
@@ -571,218 +1097,373 @@ impl WorkflowExecutor {
                 FlowJobState::Failed,
                 &format!("job body failed: {reason}"),
             );
-            return Ok(());
+            return;
         }
-
-        // ---- stage-out ----
         self.jobs[idx].state = FlowJobState::StagingOut;
+        let job_nodes = self.jobs[idx].nodes.clone();
         let stage_out = self.jobs[idx].script.stage_out.clone();
-        let tasks = match self.submit_stage_tasks(idx, job_nodes, &stage_out, false)? {
-            Ok(tasks) => tasks,
+        let submitted = self
+            .expand_phase(&job_nodes, &stage_out, false)
+            .and_then(|planned| self.submit_planned(idx, planned, false));
+        match submitted {
+            Ok(tasks) if tasks.is_empty() => self.finish_job(idx, FlowJobState::Completed, ""),
+            Ok(tasks) => {
+                self.emit(FlowEvent::StageOutStarted {
+                    job: self.jobs[idx].id,
+                    tasks: tasks.len(),
+                });
+                active.insert(
+                    idx,
+                    ActiveJob {
+                        phase: Phase::StagingOut,
+                        outstanding: tasks,
+                        staged: Vec::new(),
+                    },
+                );
+            }
             Err(reason) => {
-                // Stage-out submission failure leaves the data on the
-                // nodes for recovery; the job itself completed.
+                // Stage-out planning/submission failure leaves the
+                // data on the nodes for recovery; the job completed.
                 self.jobs[idx].leftovers.push(reason);
                 self.finish_job(idx, FlowJobState::Completed, "");
-                return Ok(());
             }
+        }
+    }
+
+    /// Kill every job whose stage-in deadline passed: cancel its
+    /// outstanding transfers, remove what it already staged, cancel
+    /// the job ("the scheduler will terminate the job and clean up all
+    /// data already staged to nodes", §III). Returns whether anything
+    /// expired.
+    fn expire_deadlines(&mut self, active: &mut HashMap<usize, ActiveJob>) -> bool {
+        let now = Instant::now();
+        let expired: Vec<usize> = active
+            .iter()
+            .filter(|(_, a)| matches!(a.phase, Phase::StagingIn { deadline } if now >= deadline))
+            .map(|(idx, _)| *idx)
+            .collect();
+        for &idx in &expired {
+            let job = active.remove(&idx).expect("selected from the map");
+            self.kill_staging_in(idx, job, FlowJobState::Cancelled, "stage-in timeout");
+        }
+        !expired.is_empty()
+    }
+
+    /// Tear down a StagingIn job that must die (task failure, timeout,
+    /// lost daemon): cancel and drain its outstanding transfers, fold
+    /// the drain's late finishers into the staged set — they staged
+    /// data too — remove every staged destination (§III cleanup), and
+    /// finish the job.
+    fn kill_staging_in(&mut self, idx: usize, job: ActiveJob, state: FlowJobState, reason: &str) {
+        let (finished, mut problems) = self.cancel_and_drain(&job.outstanding);
+        let mut staged = job.staged;
+        staged.extend(
+            job.outstanding
+                .into_iter()
+                .filter(|t| finished.contains(&(t.node, t.task_id))),
+        );
+        problems.extend(self.cleanup_staged(&staged));
+        self.finish_job(idx, state, reason);
+        self.note_problems(idx, problems);
+    }
+
+    /// Block until the next event: a body completion or a staging
+    /// completion on some daemon. With several event sources live the
+    /// waits take heartbeat slices so no source starves another; with
+    /// a single busy daemon and nothing else in flight the wait parks
+    /// for the whole remaining deadline (or forever during stage-out).
+    fn await_event(
+        &mut self,
+        active: &HashMap<usize, ActiveJob>,
+        rx: &mpsc::Receiver<BodyResult>,
+    ) -> Next {
+        let mut busy: Vec<usize> = active
+            .values()
+            .flat_map(|a| a.outstanding.iter().map(|t| t.node))
+            .collect();
+        busy.sort_unstable();
+        busy.dedup();
+        let bodies_running = active.values().any(|a| matches!(a.phase, Phase::Running));
+        let earliest_deadline: Option<Instant> = active
+            .values()
+            .filter_map(|a| match a.phase {
+                Phase::StagingIn { deadline } => Some(deadline),
+                _ => None,
+            })
+            .min();
+        if busy.is_empty() {
+            // Only job bodies are in flight: their completions are the
+            // only possible next event, so park on the channel.
+            debug_assert!(bodies_running, "active jobs but nothing to wait on");
+            let (idx, result) = rx.recv().expect("run() holds a sender");
+            return Next::Body(idx, result);
+        }
+        // Round-robin across the busy daemons, batch-waiting on all of
+        // each one's outstanding ids at once (across every job).
+        let node = busy[self.rotate % busy.len()];
+        self.rotate = self.rotate.wrapping_add(1);
+        let mut ids: Vec<u64> = active
+            .values()
+            .flat_map(|a| a.outstanding.iter())
+            .filter(|t| t.node == node)
+            .map(|t| t.task_id)
+            .collect();
+        ids.truncate(MAX_WAIT_SET);
+        let single_source = busy.len() == 1 && !bodies_running;
+        let slice = if single_source {
+            earliest_deadline.map(|d| d.saturating_duration_since(Instant::now()))
+        } else {
+            let hb = self.config.heartbeat;
+            Some(match earliest_deadline {
+                Some(d) => hb.min(d.saturating_duration_since(Instant::now())),
+                None => hb,
+            })
         };
-        if !tasks.is_empty() {
-            self.emit(FlowEvent::StageOutStarted {
-                job: id,
-                tasks: tasks.len(),
-            });
+        let timeout_usec = match slice {
+            // 0 would mean "forever" on the wire; an expired deadline
+            // is handled by the run loop's deadline check.
+            Some(s) => (s.as_micros() as u64).max(1),
+            None => 0,
+        };
+        self.wait_round_trips += 1;
+        match self.nodes[node].ctl.wait_any(&ids, timeout_usec) {
+            Ok((task_id, stats)) => Next::Staging {
+                node,
+                task_id,
+                stats,
+            },
+            Err(ClientError::Remote {
+                code: ErrorCode::Timeout,
+                ..
+            }) => Next::Tick,
+            // Any other failure means this daemon can no longer answer
+            // for its tasks (transport down, or a protocol-level
+            // disagreement that would spin forever if merely retried):
+            // degrade its jobs, keep driving the others — never abort
+            // the whole run.
+            Err(e) => Next::DaemonLost {
+                node,
+                error: e.to_string(),
+            },
         }
-        match self.drain_stage_tasks(tasks, None)? {
-            StageOutcome::AllFinished => {}
-            StageOutcome::TaskFailed {
-                detail, abandoned, ..
-            } => {
-                // "leave the data on the node local resources for
-                // future stage_out operations to try and recover" —
-                // including the sibling legs cancelled because of the
-                // failure: their data was never staged out either.
-                self.jobs[idx].leftovers.push(detail);
-                for t in abandoned {
-                    self.jobs[idx]
-                        .leftovers
-                        .push(format!("cancelled before staging out: {}", t.label));
-                }
-            }
-            StageOutcome::DeadlinePassed { .. } => {
-                unreachable!("stage-out drains without a deadline")
-            }
-        }
-        self.finish_job(idx, FlowJobState::Completed, "");
-        Ok(())
     }
 
-    /// Submit one stage phase's tasks. The outer `Result` is a wire
-    /// failure (aborts the executor); the inner one is a daemon-side
-    /// rejection (fails or degrades the job).
-    #[allow(clippy::type_complexity)]
-    fn submit_stage_tasks(
-        &mut self,
-        idx: usize,
-        job_nodes: &[usize],
-        directives: &[StageDirective],
-        stage_in: bool,
-    ) -> Result<Result<Vec<StageTask>, String>, FlowError> {
-        let job_id = self.jobs[idx].id.0;
-        let mut tasks = Vec::new();
-        for dir in directives {
-            let targets = self.directive_nodes(dir, job_nodes, stage_in)?.to_vec();
-            for node in targets {
-                let spec = self.plan_stage_task(node, dir)?;
-                // Remember stage-in destinations for timeout/failure
-                // cleanup — keyed by the node they are local to, so a
-                // pushed RemotePath output is removed on its *owning*
-                // peer, not the node that ran the push.
-                let dst = match (stage_in, &spec.output) {
-                    (true, Some(ResourceDesc::PosixPath { nsid, path })) => {
-                        Some((node, nsid.clone(), path.clone()))
-                    }
-                    (true, Some(ResourceDesc::RemotePath { nsid, path, .. })) => self
-                        .owner_of(nsid)
-                        .map(|owner| (owner, nsid.clone(), path.clone())),
-                    _ => None,
-                };
-                let label = format!(
-                    "{} → {} on {:?}",
-                    dir.origin, dir.destination, self.nodes[node].spec.name
-                );
-                match self.nodes[node].ctl.submit(job_id, spec, None) {
-                    Ok(task_id) => tasks.push(StageTask {
-                        node,
-                        task_id,
-                        dst,
-                        label,
-                    }),
-                    Err(ClientError::Remote { code, message }) => {
-                        // Cancel what was already submitted; the job
-                        // fails as a unit.
-                        self.cancel_and_drain(&tasks)?;
-                        return Ok(Err(format!(
-                            "stage task {} → {} on {:?} rejected: {code:?}: {message}",
-                            dir.origin, dir.destination, self.nodes[node].spec.name
-                        )));
-                    }
-                    Err(e) => return Err(e.into()),
+    /// A daemon stopped answering mid-wait. Every job with staging
+    /// outstanding there loses those legs: a StagingIn job dies (its
+    /// input cannot arrive — legs on healthy daemons are cancelled and
+    /// staged data cleaned, §III), a StagingOut job records the lost
+    /// legs as recoverable leftovers and still completes. Jobs and
+    /// legs on other daemons are untouched — one sick daemon must not
+    /// strand the rest of the workflow.
+    fn daemon_lost(&mut self, node: usize, error: &str, active: &mut HashMap<usize, ActiveJob>) {
+        let affected: Vec<usize> = active
+            .iter()
+            .filter(|(_, a)| a.outstanding.iter().any(|t| t.node == node))
+            .map(|(idx, _)| *idx)
+            .collect();
+        for idx in affected {
+            let mut job = active.remove(&idx).expect("selected from the map");
+            match job.phase {
+                Phase::StagingIn { .. } => {
+                    // The dead daemon's legs cannot be cancelled or
+                    // drained; strip them so teardown only talks to
+                    // live daemons.
+                    job.outstanding.retain(|t| t.node != node);
+                    self.kill_staging_in(
+                        idx,
+                        job,
+                        FlowJobState::Failed,
+                        &format!(
+                            "daemon {:?} unreachable during stage-in: {error}",
+                            self.nodes[node].spec.name
+                        ),
+                    );
                 }
-            }
-        }
-        Ok(Ok(tasks))
-    }
-
-    /// Wait for every task in the set through per-daemon `WaitAny`
-    /// round-trips. On the first non-`Finished` completion the rest
-    /// are cancelled and drained; on deadline expiry likewise.
-    fn drain_stage_tasks(
-        &mut self,
-        mut outstanding: Vec<StageTask>,
-        deadline: Option<Instant>,
-    ) -> Result<StageOutcome, FlowError> {
-        let mut staged: Vec<StageTask> = Vec::new();
-        let mut rotate = 0usize;
-        while !outstanding.is_empty() {
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    self.cancel_and_drain(&outstanding)?;
-                    return Ok(StageOutcome::DeadlinePassed { staged });
-                }
-            }
-            // Pick the next daemon (round-robin) with outstanding work
-            // and batch-wait on *all* of its outstanding ids at once.
-            let busy: Vec<usize> = {
-                let mut nodes: Vec<usize> = outstanding.iter().map(|t| t.node).collect();
-                nodes.sort_unstable();
-                nodes.dedup();
-                nodes
-            };
-            let node = busy[rotate % busy.len()];
-            rotate += 1;
-            let ids: Vec<u64> = outstanding
-                .iter()
-                .filter(|t| t.node == node)
-                .map(|t| t.task_id)
-                .collect();
-            // With one busy daemon the wait parks until the deadline;
-            // with several it takes heartbeat slices so no daemon's
-            // completions starve the others' turn.
-            let slice = if busy.len() == 1 {
-                deadline.map(|d| d.saturating_duration_since(Instant::now()))
-            } else {
-                let hb = self.config.heartbeat;
-                Some(match deadline {
-                    Some(d) => hb.min(d.saturating_duration_since(Instant::now())),
-                    None => hb,
-                })
-            };
-            let timeout_usec = match slice {
-                // 0 would mean "forever" on the wire; an expired
-                // deadline is handled at the top of the loop.
-                Some(s) => (s.as_micros() as u64).max(1),
-                None => 0,
-            };
-            self.wait_round_trips += 1;
-            match self.nodes[node].ctl.wait_any(&ids, timeout_usec) {
-                Ok((task_id, stats)) => {
-                    let pos = outstanding
-                        .iter()
-                        .position(|t| t.node == node && t.task_id == task_id)
-                        .expect("completion belongs to the waited set");
-                    let done = outstanding.swap_remove(pos);
-                    if stats.state == TaskState::Finished {
-                        staged.push(done);
+                Phase::Running => unreachable!("Running jobs have no outstanding staging"),
+                Phase::StagingOut => {
+                    let mut kept = Vec::new();
+                    for t in job.outstanding {
+                        if t.node == node {
+                            self.jobs[idx].leftovers.push(format!(
+                                "lost with daemon {:?}: {}",
+                                self.nodes[node].spec.name, t.label
+                            ));
+                        } else {
+                            kept.push(t);
+                        }
+                    }
+                    job.outstanding = kept;
+                    if job.outstanding.is_empty() {
+                        self.finish_job(idx, FlowJobState::Completed, "");
                     } else {
-                        let detail = format!(
-                            "{} (task {task_id}) ended {:?} ({:?})",
-                            done.label, stats.state, stats.error
-                        );
-                        self.cancel_and_drain(&outstanding)?;
-                        return Ok(StageOutcome::TaskFailed {
-                            detail,
-                            staged,
-                            abandoned: outstanding,
-                        });
+                        active.insert(idx, job);
                     }
                 }
-                Err(ClientError::Remote {
-                    code: ErrorCode::Timeout,
-                    ..
-                }) => {} // deadline re-checked at the top of the loop
-                Err(e) => return Err(e.into()),
             }
         }
-        Ok(StageOutcome::AllFinished)
+    }
+
+    /// Route one staging completion to the job that owns it and
+    /// advance that job's state machine.
+    fn staging_event(
+        &mut self,
+        node: usize,
+        task_id: u64,
+        stats: TaskStats,
+        active: &mut HashMap<usize, ActiveJob>,
+        tx: &mpsc::Sender<BodyResult>,
+        threads: &mut Vec<JoinHandle<()>>,
+    ) {
+        let Some(idx) = active
+            .iter()
+            .find(|(_, a)| {
+                a.outstanding
+                    .iter()
+                    .any(|t| t.node == node && t.task_id == task_id)
+            })
+            .map(|(idx, _)| *idx)
+        else {
+            return; // stale completion of an already-drained task
+        };
+        let job = active.get_mut(&idx).expect("found above");
+        let pos = job
+            .outstanding
+            .iter()
+            .position(|t| t.node == node && t.task_id == task_id)
+            .expect("found above");
+        let done = job.outstanding.swap_remove(pos);
+        let ok = stats.state == TaskState::Finished;
+        match job.phase {
+            Phase::StagingIn { .. } => {
+                if ok {
+                    job.staged.push(done);
+                    if job.outstanding.is_empty() {
+                        active.remove(&idx);
+                        self.begin_body(idx, active, tx, threads);
+                    }
+                } else {
+                    let detail = format!(
+                        "{} (task {task_id}) ended {:?} ({:?})",
+                        done.label, stats.state, stats.error
+                    );
+                    let job = active.remove(&idx).expect("present");
+                    self.kill_staging_in(
+                        idx,
+                        job,
+                        FlowJobState::Failed,
+                        &format!("stage-in failed: {detail}"),
+                    );
+                }
+            }
+            Phase::Running => unreachable!("Running jobs have no outstanding staging"),
+            Phase::StagingOut => {
+                if ok {
+                    // Release the local source of a successful remote
+                    // push — the copy-based leg's analog of `Move`
+                    // freeing staged capacity. The Remove joins the
+                    // outstanding set so completion still gates on it.
+                    if let Some((nsid, path)) = &done.release {
+                        let spec = TaskSpec::new(
+                            TaskOp::Remove,
+                            ResourceDesc::PosixPath {
+                                nsid: nsid.clone(),
+                                path: path.clone(),
+                            },
+                            None,
+                        );
+                        let label = format!(
+                            "release {nsid}://{path} on {:?}",
+                            self.nodes[done.node].spec.name
+                        );
+                        let job_id = self.jobs[idx].id.0;
+                        match self.nodes[done.node].ctl.submit(job_id, spec, None) {
+                            Ok(release_id) => job.outstanding.push(StageTask {
+                                node: done.node,
+                                task_id: release_id,
+                                dst: None,
+                                release: None,
+                                label,
+                            }),
+                            Err(e) => self.jobs[idx]
+                                .leftovers
+                                .push(format!("{label} not submitted: {e}")),
+                        }
+                    }
+                    let job = active.get_mut(&idx).expect("present");
+                    if job.outstanding.is_empty() {
+                        active.remove(&idx);
+                        self.finish_job(idx, FlowJobState::Completed, "");
+                    }
+                } else {
+                    // "leave the data on the node local resources for
+                    // future stage_out operations to try and recover"
+                    // — including the sibling legs cancelled because
+                    // of the failure: their data was never staged out
+                    // either.
+                    let detail = format!(
+                        "{} (task {task_id}) ended {:?} ({:?})",
+                        done.label, stats.state, stats.error
+                    );
+                    let job = active.remove(&idx).expect("present");
+                    self.jobs[idx].leftovers.push(detail);
+                    let (finished, problems) = self.cancel_and_drain(&job.outstanding);
+                    for t in &job.outstanding {
+                        if !finished.contains(&(t.node, t.task_id)) {
+                            self.jobs[idx]
+                                .leftovers
+                                .push(format!("cancelled before staging out: {}", t.label));
+                        }
+                    }
+                    self.finish_job(idx, FlowJobState::Completed, "");
+                    self.note_problems(idx, problems);
+                }
+            }
+        }
     }
 
     /// Cancel every task in the set, then drain the stragglers a
     /// worker had already picked up (bounded by `cancel_grace`) so no
-    /// transfer is left racing the job's teardown.
-    fn cancel_and_drain(&mut self, tasks: &[StageTask]) -> Result<(), FlowError> {
+    /// transfer is left racing the job's teardown. Best-effort: wire
+    /// problems are *returned* for the caller to record, never
+    /// propagated — teardown of one job must not strand the others.
+    /// Also returns the `(node, task_id)` keys of tasks that ended
+    /// `Finished` anyway (their work completed despite the cancel, so
+    /// e.g. stage-in cleanup must cover their destinations too) —
+    /// keyed per node because task ids are per-daemon counters and
+    /// collide across daemons.
+    fn cancel_and_drain(&mut self, tasks: &[StageTask]) -> (Vec<(usize, u64)>, Vec<String>) {
+        let mut finished: Vec<(usize, u64)> = Vec::new();
+        let mut problems: Vec<String> = Vec::new();
         for t in tasks {
             match self.nodes[t.node].ctl.cancel(t.task_id) {
                 Ok(()) | Err(ClientError::Remote { .. }) => {} // running/finished: drained below
-                Err(e) => return Err(e.into()),
+                Err(e) => problems.push(format!("cancel {}: {e}", t.label)),
             }
         }
         let grace = Instant::now() + self.config.cancel_grace;
         let mut left: Vec<&StageTask> = tasks.iter().collect();
         while !left.is_empty() && Instant::now() < grace {
             let node = left[0].node;
-            let ids: Vec<u64> = left
+            let mut ids: Vec<u64> = left
                 .iter()
                 .filter(|t| t.node == node)
                 .map(|t| t.task_id)
                 .collect();
+            // Over-cap sets are waited in MAX_WAIT_SET windows: each
+            // completion shrinks `left`, letting later ids in.
+            ids.truncate(MAX_WAIT_SET);
             let remaining = grace.saturating_duration_since(Instant::now());
             self.wait_round_trips += 1;
             match self.nodes[node]
                 .ctl
                 .wait_any(&ids, (remaining.as_micros() as u64).max(1))
             {
-                Ok((task_id, _)) => left.retain(|t| !(t.node == node && t.task_id == task_id)),
+                Ok((task_id, stats)) => {
+                    if stats.state == TaskState::Finished {
+                        finished.push((node, task_id));
+                    }
+                    left.retain(|t| !(t.node == node && t.task_id == task_id));
+                }
                 Err(ClientError::Remote {
                     code: ErrorCode::Timeout,
                     ..
@@ -792,10 +1473,13 @@ impl WorkflowExecutor {
                 Err(ClientError::Remote { .. }) => {
                     left.retain(|t| t.node != node);
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    problems.push(format!("drain on {:?}: {e}", self.nodes[node].spec.name));
+                    left.retain(|t| t.node != node);
+                }
             }
         }
-        Ok(())
+        (finished, problems)
     }
 
     /// Remove the destinations of already-finished stage-in transfers
@@ -804,8 +1488,10 @@ impl WorkflowExecutor {
     /// (its owning peer for pushed `RemotePath` legs). Joining the
     /// removals is bounded by `cancel_grace`: the timeout path must
     /// never wait unboundedly behind the very congestion that made the
-    /// job miss its deadline.
-    fn cleanup_staged(&mut self, staged: &[StageTask]) -> Result<(), FlowError> {
+    /// job miss its deadline. Best-effort like [`Self::cancel_and_drain`]:
+    /// problems are returned, never propagated.
+    fn cleanup_staged(&mut self, staged: &[StageTask]) -> Vec<String> {
+        let mut problems: Vec<String> = Vec::new();
         let mut removals: Vec<(usize, u64)> = Vec::new();
         for t in staged {
             let Some((owner, nsid, path)) = &t.dst else {
@@ -822,7 +1508,7 @@ impl WorkflowExecutor {
             match self.nodes[*owner].ctl.submit(0, spec, None) {
                 Ok(task_id) => removals.push((*owner, task_id)),
                 Err(ClientError::Remote { .. }) => {}
-                Err(e) => return Err(e.into()),
+                Err(e) => problems.push(format!("cleanup of {}: {e}", t.label)),
             }
         }
         let grace = Instant::now() + self.config.cancel_grace;
@@ -832,11 +1518,12 @@ impl WorkflowExecutor {
                 break; // removals keep running daemon-side; stop waiting
             }
             let node = removals[0].0;
-            let ids: Vec<u64> = removals
+            let mut ids: Vec<u64> = removals
                 .iter()
                 .filter(|(n, _)| *n == node)
                 .map(|(_, id)| *id)
                 .collect();
+            ids.truncate(MAX_WAIT_SET);
             self.wait_round_trips += 1;
             match self.nodes[node]
                 .ctl
@@ -848,25 +1535,15 @@ impl WorkflowExecutor {
                     ..
                 }) => {}
                 Err(ClientError::Remote { .. }) => removals.retain(|(n, _)| *n != node),
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    problems.push(format!(
+                        "cleanup wait on {:?}: {e}",
+                        self.nodes[node].spec.name
+                    ));
+                    removals.retain(|(n, _)| *n != node);
+                }
             }
         }
-        Ok(())
+        problems
     }
-}
-
-/// How one stage phase's task set resolved.
-enum StageOutcome {
-    AllFinished,
-    TaskFailed {
-        detail: String,
-        /// Tasks that finished successfully before the failure.
-        staged: Vec<StageTask>,
-        /// Tasks cancelled (or drained) because a sibling failed —
-        /// their directives were never carried out.
-        abandoned: Vec<StageTask>,
-    },
-    DeadlinePassed {
-        staged: Vec<StageTask>,
-    },
 }

@@ -12,16 +12,22 @@
 //!   stage_in/stage_out/persist), plus [`script::render`] for
 //!   normalized resubmission. `slurm-sim` re-exports this module, so a
 //!   script debugged in the simulator runs unchanged here.
-//! * [`executor`] — [`executor::WorkflowExecutor`]: registers jobs and
-//!   staging tasks with real [`norns_ipc::UrdDaemon`]s over the wire
-//!   protocol, routes cross-node directives through the peer registry
-//!   as `RemotePath` legs, gates each job body on stage-in completion,
-//!   and applies the simulator's failure semantics (stage-in timeout ⇒
-//!   cancel + cleanup, cancel-on-failure for workflow successors,
-//!   stage-out failures reported as recoverable leftovers). Its event
-//!   loop blocks in the wire's v5 `WaitAny` batch-wait — one parked
-//!   round-trip per daemon covers every outstanding staging task — so
-//!   it never polls per task.
+//! * [`executor`] — [`executor::WorkflowExecutor`]: an event-driven
+//!   DAG engine that registers jobs and staging tasks with real
+//!   [`norns_ipc::UrdDaemon`]s over the wire protocol, admits every
+//!   dependency-ready job **concurrently** (bodies on worker threads,
+//!   all jobs' staging multiplexed through per-daemon v5 `WaitAny`
+//!   batch waits — one job's stage-in overlaps another's computation,
+//!   the paper's headline behavior), routes cross-node directives
+//!   through the peer registry as `RemotePath` legs, expands
+//!   `scatter`/`gather` by enumerating directories over the v6
+//!   `ListDir` op (children split round-robin across nodes, merged
+//!   back on stage-out — no replication), frees stage-out sources
+//!   (`Move` locally, push-then-`Remove` remotely), and applies the
+//!   simulator's failure semantics (stage-in timeout ⇒ cancel +
+//!   cleanup, cancel-on-failure for workflow successors, stage-out
+//!   failures reported as recoverable leftovers). It never polls per
+//!   task.
 
 pub mod executor;
 pub mod script;

@@ -2,7 +2,10 @@
 //! stage-in → body → stage-out on real sockets and real files, with
 //! the simulator's failure semantics (stage-in failure ⇒ Failed +
 //! staged-data cleanup, stage-in timeout ⇒ Cancelled, workflow
-//! cancel-on-failure).
+//! cancel-on-failure) — now under **concurrent** DAG execution: every
+//! dependency-ready job runs at once, one job's staging overlapping
+//! another's computation, with real `scatter`/`gather` mapping via the
+//! wire's v6 directory enumeration.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -102,10 +105,289 @@ fn single_node_workflow_stages_in_runs_and_stages_out() {
         kinds,
         vec!["submitted", "stage-in", "started", "stage-out", "completed"]
     );
+    // Stage-out *releases* the staged source (a Move, degraded to a
+    // rename by the engine): the paper's stage-out frees burst-buffer
+    // capacity, it does not duplicate into the destination.
+    assert!(
+        !mount.join("work/out.dat").exists(),
+        "stage-out must free its source"
+    );
     // The executor batch-waits; it never polls tasks one by one.
     assert_eq!(exec.query_round_trips(), 0);
     assert!(exec.wait_round_trips() >= 2, "one per stage completion");
     drop(daemon);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn independent_jobs_execute_concurrently() {
+    let root = temp_root("overlap");
+    let daemon_a = spawn_node(&root, "n0", "dsa", 2);
+    let daemon_b = spawn_node(&root, "n1", "dsb", 2);
+    let mount_a = root.join("n0/ds");
+    let mount_b = root.join("n1/ds");
+    fs::write(mount_a.join("in.dat"), b"a input").unwrap();
+    fs::write(mount_b.join("in.dat"), b"b input").unwrap();
+
+    let mut exec = WorkflowExecutor::new(FlowConfig {
+        heartbeat: Duration::from_millis(10),
+        ..FlowConfig::default()
+    });
+    exec.add_node(node_spec(&daemon_a, "n0", &["dsa"])).unwrap();
+    exec.add_node(node_spec(&daemon_b, "n1", &["dsb"])).unwrap();
+    // `slow` (submitted first, lands on n0) computes for a while;
+    // `quick` (lands on n1) is dependency-free and must not wait for
+    // it: its staging proceeds while slow's body runs.
+    let slow = exec
+        .submit(
+            "#SBATCH --job-name=slow\n\
+             #NORNS stage_in dsa://in.dat dsa://work/in.dat\n",
+            JobBody::Sleep(Duration::from_millis(600)),
+        )
+        .unwrap();
+    let quick = exec
+        .submit(
+            "#SBATCH --job-name=quick\n\
+             #NORNS stage_in dsb://in.dat dsb://work/in.dat\n\
+             #NORNS stage_out dsb://work/in.dat dsb://results/out.dat\n",
+            JobBody::Sleep(Duration::ZERO),
+        )
+        .unwrap();
+    let outcomes = exec.run().unwrap();
+    assert_eq!(
+        outcomes,
+        vec![
+            (slow, FlowJobState::Completed),
+            (quick, FlowJobState::Completed)
+        ]
+    );
+    // The overlap proof: quick's stage-in starts before slow's
+    // terminal event, and quick finishes its whole lifecycle while
+    // slow is still computing — the old sequential executor ran slow
+    // to completion first.
+    let pos = |pred: &dyn Fn(&FlowEvent) -> bool| exec.events().iter().position(pred).unwrap();
+    let quick_stage_in =
+        pos(&|e| matches!(e, FlowEvent::StageInStarted { job, .. } if *job == quick));
+    let quick_done = pos(&|e| matches!(e, FlowEvent::Completed { job, .. } if *job == quick));
+    let slow_done = pos(&|e| matches!(e, FlowEvent::Completed { job, .. } if *job == slow));
+    assert!(
+        quick_stage_in < slow_done,
+        "quick's stage-in must start before slow completes"
+    );
+    assert!(
+        quick_done < slow_done,
+        "quick must run to completion while slow is still computing"
+    );
+    drop(daemon_a);
+    drop(daemon_b);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn partial_job_registration_rolls_back() {
+    let root = temp_root("rollback");
+    let daemon_a = spawn_node(&root, "n0", "dsa", 2);
+    let daemon_b = spawn_node(&root, "n1", "dsb", 2);
+
+    // Occupy job id 1 on the *second* node: the executor's first job
+    // gets FlowJobId(1), so its registration succeeds on n0 and is
+    // rejected on n1 — the regression is n0's registration leaking.
+    let mut ctl_b = CtlClient::connect(&daemon_b.control_path).unwrap();
+    ctl_b
+        .register_job(norns_proto::JobDesc {
+            job_id: 1,
+            hosts: vec!["elsewhere".into()],
+            limits: vec![],
+        })
+        .unwrap();
+
+    let mut exec = WorkflowExecutor::new(FlowConfig::default());
+    exec.add_node(node_spec(&daemon_a, "n0", &["dsa"])).unwrap();
+    exec.add_node(node_spec(&daemon_b, "n1", &["dsb"])).unwrap();
+    let job = exec
+        .submit(
+            "#SBATCH --job-name=doomed\n#SBATCH --nodes=2\n",
+            JobBody::Run(Box::new(|| panic!("body must never run"))),
+        )
+        .unwrap();
+    exec.run().unwrap();
+    assert_eq!(exec.job_state(job), Some(FlowJobState::Failed));
+    assert!(exec.failure(job).unwrap().contains("registration"));
+    // Node 0's registration was rolled back — nothing leaked.
+    let mut ctl_a = CtlClient::connect(&daemon_a.control_path).unwrap();
+    assert_eq!(ctl_a.status().unwrap().registered_jobs, 0);
+    assert_eq!(
+        ctl_b.status().unwrap().registered_jobs,
+        1,
+        "only the squatter"
+    );
+    drop(daemon_a);
+    drop(daemon_b);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn scatter_splits_children_and_gather_merges_them_back() {
+    let root = temp_root("scatter");
+    // n0 hosts the shared `lustre` tier and its own node-local
+    // `pmdk0`; n1 hosts its own `pmdk0` (same nsid, different mount —
+    // the node-local storage pattern).
+    let daemon_a = UrdDaemon::spawn(
+        DaemonConfig::in_dir(root.join("n0").join("sockets"))
+            .with_chunk_size(1 << 30)
+            .with_data_addr("127.0.0.1:0"),
+    )
+    .unwrap();
+    let daemon_b = UrdDaemon::spawn(
+        DaemonConfig::in_dir(root.join("n1").join("sockets"))
+            .with_chunk_size(1 << 30)
+            .with_data_addr("127.0.0.1:0"),
+    )
+    .unwrap();
+    let lustre = root.join("n0/lustre");
+    let pmdk_a = root.join("n0/pmdk");
+    let pmdk_b = root.join("n1/pmdk");
+    let register = |daemon: &UrdDaemon, nsid: &str, mount: &Path| {
+        let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+        ctl.register_dataspace(DataspaceDesc {
+            nsid: nsid.into(),
+            kind: BackendKind::PosixFilesystem,
+            mount: mount.to_string_lossy().into_owned(),
+            quota: 0,
+            tracked: false,
+        })
+        .unwrap();
+    };
+    register(&daemon_a, "lustre", &lustre);
+    register(&daemon_a, "pmdk0", &pmdk_a);
+    register(&daemon_b, "pmdk0", &pmdk_b);
+    fs::create_dir_all(lustre.join("case")).unwrap();
+    for i in 0..4 {
+        fs::write(lustre.join(format!("case/part{i}.dat")), vec![i; 1 << 10]).unwrap();
+    }
+
+    let mut exec = WorkflowExecutor::new(FlowConfig::default());
+    exec.add_node(node_spec(&daemon_a, "n0", &["lustre", "pmdk0"]))
+        .unwrap();
+    exec.add_node(node_spec(&daemon_b, "n1", &["pmdk0"]))
+        .unwrap();
+    let out_a = pmdk_a.clone();
+    let out_b = pmdk_b.clone();
+    let job = exec
+        .submit(
+            "#SBATCH --job-name=sg\n\
+             #SBATCH --nodes=2\n\
+             #NORNS stage_in lustre://case pmdk0://case scatter\n\
+             #NORNS stage_out pmdk0://out lustre://final gather\n",
+            JobBody::Run(Box::new(move || {
+                // Each "node" produces its own output under pmdk0://out.
+                for (mount, tag) in [(&out_a, "n0"), (&out_b, "n1")] {
+                    fs::create_dir_all(mount.join("out")).map_err(|e| e.to_string())?;
+                    fs::write(mount.join(format!("out/from-{tag}.dat")), tag.as_bytes())
+                        .map_err(|e| e.to_string())?;
+                }
+                Ok(())
+            })),
+        )
+        .unwrap();
+    exec.run().unwrap();
+    assert_eq!(exec.job_state(job), Some(FlowJobState::Completed));
+    assert!(exec.leftovers(job).is_empty(), "{:?}", exec.leftovers(job));
+
+    // Scatter: sorted children dealt round-robin — part0,2 on n0,
+    // part1,3 on n1, each on exactly one node (no replication).
+    for i in 0..4u8 {
+        let (holder, other) = if i % 2 == 0 {
+            (&pmdk_a, &pmdk_b)
+        } else {
+            (&pmdk_b, &pmdk_a)
+        };
+        let rel = format!("case/part{i}.dat");
+        assert_eq!(
+            fs::read(holder.join(&rel)).unwrap(),
+            vec![i; 1 << 10],
+            "child {rel} staged to its node"
+        );
+        assert!(
+            !other.join(&rel).exists(),
+            "scatter must not replicate {rel}"
+        );
+    }
+    // Gather: both nodes' children merged into one destination, and
+    // the node-local sources freed (Move on n0 whose lustre is local,
+    // push + release on n1).
+    assert_eq!(fs::read(lustre.join("final/from-n0.dat")).unwrap(), b"n0");
+    assert_eq!(fs::read(lustre.join("final/from-n1.dat")).unwrap(), b"n1");
+    assert!(
+        !pmdk_a.join("out/from-n0.dat").exists(),
+        "gather frees n0 source"
+    );
+    assert!(
+        !pmdk_b.join("out/from-n1.dat").exists(),
+        "gather frees n1 source"
+    );
+    drop(daemon_a);
+    drop(daemon_b);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn teardown_failures_do_not_strand_other_jobs() {
+    let root = temp_root("teardown");
+    let daemon_a = spawn_node(&root, "n0", "dsa", 2);
+    let daemon_b = spawn_node(&root, "n1", "dsb", 2);
+    let mount_a = root.join("n0/ds");
+    let mount_b = root.join("n1/ds");
+    fs::write(mount_a.join("in.dat"), b"doomed input").unwrap();
+    fs::write(mount_b.join("in.dat"), b"survivor input").unwrap();
+
+    let mut exec = WorkflowExecutor::new(FlowConfig::default());
+    exec.add_node(node_spec(&daemon_a, "n0", &["dsa"])).unwrap();
+    exec.add_node(node_spec(&daemon_b, "n1", &["dsb"])).unwrap();
+    // `doomed` (on n0) kills its own daemon from inside the body: its
+    // stage-out submission and unregistration then fail at the
+    // *transport* level. The regression: those errors used to abort
+    // run(), stranding every other in-flight job.
+    let ctl_path = daemon_a.control_path.clone();
+    let doomed = exec
+        .submit(
+            "#SBATCH --job-name=doomed\n\
+             #NORNS stage_in dsa://in.dat dsa://work/in.dat\n\
+             #NORNS stage_out dsa://work/in.dat dsa://results/out.dat\n",
+            JobBody::Run(Box::new(move || {
+                let mut ctl = CtlClient::connect(&ctl_path).map_err(|e| e.to_string())?;
+                ctl.send_command(norns_proto::DaemonCommand::Shutdown)
+                    .map_err(|e| e.to_string())
+            })),
+        )
+        .unwrap();
+    let survivor = exec
+        .submit(
+            "#SBATCH --job-name=survivor\n\
+             #NORNS stage_in dsb://in.dat dsb://work/in.dat\n\
+             #NORNS stage_out dsb://work/in.dat dsb://results/out.dat\n",
+            JobBody::Sleep(Duration::from_millis(100)),
+        )
+        .unwrap();
+    let outcomes = exec.run().unwrap();
+    // The doomed job completed (stage-out degraded to recoverable
+    // leftovers), with the transport detail recorded, and the
+    // survivor ran its full lifecycle untouched.
+    assert_eq!(
+        outcomes,
+        vec![
+            (doomed, FlowJobState::Completed),
+            (survivor, FlowJobState::Completed)
+        ]
+    );
+    assert!(!exec.leftovers(doomed).is_empty(), "stage-out was lost");
+    assert!(exec.leftovers(survivor).is_empty());
+    assert_eq!(
+        fs::read(mount_b.join("results/out.dat")).unwrap(),
+        b"survivor input"
+    );
+    drop(daemon_a);
+    drop(daemon_b);
     let _ = fs::remove_dir_all(&root);
 }
 

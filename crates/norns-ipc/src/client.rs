@@ -253,6 +253,27 @@ impl CtlClient {
     pub fn cancel(&mut self, task_id: u64) -> ClientResult<()> {
         expect_ok(self.call(&CtlRequest::CancelTask { task_id }, None)?)
     }
+
+    /// Enumerate a dataspace directory's children (v6): names only,
+    /// sorted, at most [`norns_proto::MAX_DIR_ENTRIES`] of them
+    /// (larger directories are refused, not truncated). A
+    /// non-directory path yields [`ErrorCode::BadArgs`]; scatter
+    /// planners use that to fall back to single-file placement.
+    pub fn list_dir(&mut self, nsid: &str, path: &str) -> ClientResult<Vec<String>> {
+        match self.call(
+            &CtlRequest::ListDir {
+                nsid: nsid.to_string(),
+                path: path.to_string(),
+            },
+            None,
+        )? {
+            Response::DirEntries { entries } => Ok(entries),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
 }
 
 /// The application (`norns`) client.

@@ -654,6 +654,10 @@ fn handle_ctl(shared: &Arc<Shared>, frame: Bytes) -> Response {
             task_ids,
             timeout_usec,
         } => completion_response(engine.wait_any(&task_ids, timeout_usec)),
+        CtlRequest::ListDir { nsid, path } => match engine.list_dir(&nsid, &path) {
+            Ok(entries) => Response::DirEntries { entries },
+            Err((code, message)) => Response::Error { code, message },
+        },
     }
 }
 

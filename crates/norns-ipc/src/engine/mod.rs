@@ -573,6 +573,40 @@ impl Engine {
         Ok(mount.join(rel))
     }
 
+    /// Enumerate the children of a directory inside a dataspace (the
+    /// wire's v6 `ListDir` op): names only, sorted, capped at
+    /// [`norns_proto::MAX_DIR_ENTRIES`] — larger directories are
+    /// refused rather than silently truncated, so a scatter planner
+    /// can never believe it covered a directory it did not. The path
+    /// goes through the same containment checks as task submissions;
+    /// a non-directory path is [`ErrorCode::BadArgs`].
+    pub fn list_dir(&self, nsid: &str, path: &str) -> Result<Vec<String>, (ErrorCode, String)> {
+        let local = self.resolve_local(nsid, path)?;
+        let meta = fs::metadata(&local).map_err(map_io)?;
+        if !meta.is_dir() {
+            return Err((
+                ErrorCode::BadArgs,
+                format!("{nsid}://{path} is not a directory"),
+            ));
+        }
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&local).map_err(map_io)? {
+            let entry = entry.map_err(map_io)?;
+            if names.len() >= norns_proto::MAX_DIR_ENTRIES {
+                return Err((
+                    ErrorCode::BadArgs,
+                    format!(
+                        "{nsid}://{path} has more than {} entries",
+                        norns_proto::MAX_DIR_ENTRIES
+                    ),
+                ));
+            }
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
     fn resolve(&self, r: &ResourceDesc) -> Result<PathBuf, (ErrorCode, String)> {
         match r {
             ResourceDesc::PosixPath { nsid, path } => self.resolve_local(nsid, path),

@@ -74,6 +74,55 @@ fn listing2_flow_over_real_sockets() {
 }
 
 #[test]
+fn list_dir_enumerates_sorted_contained_and_typed() {
+    let (daemon, root) = start("listdir");
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    setup_dataspace(&mut ctl, &root);
+    let mount = root.join("tmp0");
+    std::fs::create_dir_all(mount.join("case/sub")).unwrap();
+    std::fs::write(mount.join("case/beta.dat"), b"b").unwrap();
+    std::fs::write(mount.join("case/alpha.dat"), b"a").unwrap();
+
+    // Names only, sorted, directories included.
+    assert_eq!(
+        ctl.list_dir("tmp0", "case").unwrap(),
+        vec![
+            "alpha.dat".to_string(),
+            "beta.dat".to_string(),
+            "sub".to_string()
+        ]
+    );
+    assert_eq!(
+        ctl.list_dir("tmp0", "case/sub").unwrap(),
+        Vec::<String>::new()
+    );
+    // A file is BadArgs (scatter planners fall back to single-file
+    // placement on this), a missing path NotFound, and the same
+    // containment rules as task submission apply.
+    for (path, code) in [
+        ("case/alpha.dat", ErrorCode::BadArgs),
+        ("ghost", ErrorCode::NotFound),
+        ("../..", ErrorCode::PermissionDenied),
+        ("/etc", ErrorCode::PermissionDenied),
+    ] {
+        match ctl.list_dir("tmp0", path) {
+            Err(norns_ipc::ClientError::Remote { code: got, .. }) => {
+                assert_eq!(got, code, "path {path:?}")
+            }
+            other => panic!("list_dir({path:?}) = {other:?}"),
+        }
+    }
+    match ctl.list_dir("nope", "x") {
+        Err(norns_ipc::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound)
+        }
+        other => panic!("unknown nsid = {other:?}"),
+    }
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn user_socket_reports_dataspaces() {
     let (daemon, root) = start("dsinfo");
     let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();

@@ -31,9 +31,13 @@ use crate::wire::WireError;
 /// both sockets (one parked round-trip returns the first completion of
 /// a task set, capped at `MAX_WAIT_SET` ids) and its
 /// `Response::TaskCompleted` answer — the primitive real-mode workflow
-/// orchestrators block on instead of polling per task. Older peers are
-/// rejected at the framing layer.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// orchestrators block on instead of polling per task. v6 added the
+/// `ListDir` directory-enumeration op on the control API and its
+/// `Response::DirEntries` answer (capped at `MAX_DIR_ENTRIES` names) —
+/// what real-mode `scatter`/`gather` planning uses to split a
+/// directory's children across a job's nodes instead of replicating
+/// them. Older peers are rejected at the framing layer.
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Frames larger than this are rejected outright (a corrupt or hostile
 /// peer must not make the daemon allocate gigabytes).

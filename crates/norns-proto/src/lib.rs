@@ -22,6 +22,6 @@ pub use frame::{encode_frame, FrameError, FrameReader, MAX_FRAME_LEN, PROTOCOL_V
 pub use messages::{
     BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataRequest, DataResponse, DataspaceDesc,
     ErrorCode, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
-    UserRequest, DEFAULT_PRIORITY, MAX_DATA_RANGE, MAX_WAIT_SET,
+    UserRequest, DEFAULT_PRIORITY, MAX_DATA_RANGE, MAX_DIR_ENTRIES, MAX_WAIT_SET,
 };
 pub use wire::{Wire, WireError};

@@ -502,6 +502,17 @@ pub enum CtlRequest {
         task_ids: Vec<u64>,
         timeout_usec: u64,
     },
+    /// Enumerate the children of a directory inside a dataspace (v6).
+    /// Answered by [`Response::DirEntries`] with the child names
+    /// sorted, capped at [`MAX_DIR_ENTRIES`]. This is what real-mode
+    /// `scatter`/`gather` planning uses to split a directory's
+    /// children across a job's nodes. Paths go through the same
+    /// dataspace containment checks as task submissions; a
+    /// non-directory path yields [`ErrorCode::BadArgs`].
+    ListDir {
+        nsid: String,
+        path: String,
+    },
 }
 
 impl Wire for CtlRequest {
@@ -587,6 +598,11 @@ impl Wire for CtlRequest {
                 put_task_set(buf, task_ids);
                 put_varint(buf, *timeout_usec);
             }
+            CtlRequest::ListDir { nsid, path } => {
+                put_varint(buf, 16);
+                put_str(buf, nsid);
+                put_str(buf, path);
+            }
         }
     }
 
@@ -636,6 +652,10 @@ impl Wire for CtlRequest {
                 task_ids: get_task_set(buf)?,
                 timeout_usec: get_varint(buf)?,
             },
+            16 => CtlRequest::ListDir {
+                nsid: get_str(buf)?,
+                path: get_str(buf)?,
+            },
             other => return Err(WireError::BadDiscriminant(other)),
         })
     }
@@ -663,6 +683,32 @@ fn get_task_set(buf: &mut Bytes) -> Result<Vec<u64>, WireError> {
         ids.push(get_varint(buf)?);
     }
     Ok(ids)
+}
+
+/// Largest entry list one [`Response::DirEntries`] may carry (v6).
+/// Like [`MAX_WAIT_SET`], a hostile length prefix must not trigger a
+/// huge allocation, and a scatter planner looping over the entries
+/// must stay bounded; daemons refuse to enumerate larger directories
+/// rather than silently truncating.
+pub const MAX_DIR_ENTRIES: usize = 4096;
+
+fn put_name_list(buf: &mut BytesMut, names: &[String]) {
+    put_varint(buf, names.len() as u64);
+    for name in names {
+        put_str(buf, name);
+    }
+}
+
+fn get_name_list(buf: &mut Bytes) -> Result<Vec<String>, WireError> {
+    let n = get_varint(buf)?;
+    if n > MAX_DIR_ENTRIES as u64 {
+        return Err(WireError::BadLength(n));
+    }
+    let mut names = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        names.push(get_str(buf)?);
+    }
+    Ok(names)
 }
 
 /// Requests accepted on the *user* socket (Table I, bottom half).
@@ -1013,6 +1059,11 @@ pub enum Response {
         task_id: u64,
         stats: TaskStats,
     },
+    /// Answer to `ListDir` (v6): the directory's child names, sorted,
+    /// at most [`MAX_DIR_ENTRIES`] of them.
+    DirEntries {
+        entries: Vec<String>,
+    },
 }
 
 impl Wire for Response {
@@ -1045,6 +1096,10 @@ impl Wire for Response {
                 put_varint(buf, *task_id);
                 stats.encode(buf);
             }
+            Response::DirEntries { entries } => {
+                put_varint(buf, 7);
+                put_name_list(buf, entries);
+            }
         }
     }
 
@@ -1064,6 +1119,9 @@ impl Wire for Response {
             6 => Response::TaskCompleted {
                 task_id: get_varint(buf)?,
                 stats: TaskStats::decode(buf)?,
+            },
+            7 => Response::DirEntries {
+                entries: get_name_list(buf)?,
             },
             other => return Err(WireError::BadDiscriminant(other)),
         })
@@ -1210,6 +1268,10 @@ mod tests {
                 task_ids: vec![],
                 timeout_usec: 0,
             },
+            CtlRequest::ListDir {
+                nsid: "lustre".into(),
+                path: "case".into(),
+            },
         ];
         for r in reqs {
             let b = r.to_bytes();
@@ -1315,6 +1377,10 @@ mod tests {
                     elapsed_usec: 5,
                 },
             },
+            Response::DirEntries { entries: vec![] },
+            Response::DirEntries {
+                entries: vec!["processor0".into(), "processor1".into()],
+            },
         ];
         for r in resps {
             let b = r.to_bytes();
@@ -1414,6 +1480,21 @@ mod tests {
             task_ids: ids,
             timeout_usec: 1,
         });
+    }
+
+    #[test]
+    fn oversized_dir_entry_list_rejected() {
+        // A hostile entry count must be rejected before the per-name
+        // decode loop allocates or spins.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 7); // Response::DirEntries
+        put_varint(&mut buf, MAX_DIR_ENTRIES as u64 + 1);
+        assert!(matches!(
+            Response::from_bytes(buf.freeze()),
+            Err(WireError::BadLength(_))
+        ));
+        let entries: Vec<String> = (0..MAX_DIR_ENTRIES).map(|i| format!("f{i}")).collect();
+        roundtrip(Response::DirEntries { entries });
     }
 
     #[test]

@@ -3,15 +3,15 @@
 //! framing layer), and malformed input — truncated frames, wrong
 //! version bytes, oversized length prefixes, arbitrary garbage — is
 //! rejected with an error, never a panic. This is the compatibility
-//! gate a protocol bump (v5 added `WaitAny`/`TaskCompleted`) must
-//! keep green.
+//! gate a protocol bump (v6 added `ListDir`/`DirEntries`) must keep
+//! green.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use norns_proto::{
     encode_frame, BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataRequest, DataResponse,
     DataspaceDesc, ErrorCode, FrameError, FrameReader, JobDesc, ResourceDesc, Response, TaskOp,
-    TaskSpec, TaskState, TaskStats, UserRequest, Wire, MAX_FRAME_LEN, MAX_WAIT_SET,
-    PROTOCOL_VERSION,
+    TaskSpec, TaskState, TaskStats, UserRequest, Wire, MAX_DIR_ENTRIES, MAX_FRAME_LEN,
+    MAX_WAIT_SET, PROTOCOL_VERSION,
 };
 
 fn sample_spec() -> TaskSpec {
@@ -103,6 +103,14 @@ fn ctl_corpus() -> Vec<CtlRequest> {
         CtlRequest::WaitAny {
             task_ids: (0..MAX_WAIT_SET as u64).collect(),
             timeout_usec: u64::MAX,
+        },
+        CtlRequest::ListDir {
+            nsid: "lustre".into(),
+            path: "case/run1".into(),
+        },
+        CtlRequest::ListDir {
+            nsid: "pmdk0".into(),
+            path: "".into(),
         },
     ];
     for cmd in [
@@ -210,6 +218,13 @@ fn response_corpus() -> Vec<Response> {
         }),
         Response::Dataspaces(vec![]),
         Response::TaskSubmitted { task_id: u64::MAX },
+        Response::DirEntries { entries: vec![] },
+        Response::DirEntries {
+            entries: vec!["processor0".into(), "αβγ — non-ascii name".into()],
+        },
+        Response::DirEntries {
+            entries: (0..MAX_DIR_ENTRIES).map(|i| format!("f{i}")).collect(),
+        },
     ];
     // Every error code and every task state cross the wire somewhere.
     for code in [
@@ -307,7 +322,7 @@ fn wrong_version_byte_rejected_for_every_message() {
         let bytes = msg.to_bytes();
         let mut buf = BytesMut::new();
         buf.put_u32_le(bytes.len() as u32 + 1);
-        buf.put_u8(PROTOCOL_VERSION.wrapping_sub(1)); // a v4 peer
+        buf.put_u8(PROTOCOL_VERSION.wrapping_sub(1)); // a v5 peer
         buf.put_slice(&bytes);
         let mut reader = FrameReader::new();
         reader.extend(&buf);
@@ -350,6 +365,18 @@ fn hostile_wait_set_count_rejected() {
     }
     buf.put_u8(0x01);
     assert!(CtlRequest::from_bytes(buf.freeze()).is_err());
+}
+
+#[test]
+fn hostile_dir_entry_count_rejected() {
+    let mut buf = BytesMut::new();
+    buf.put_u8(7); // Response::DirEntries
+                   // Count claims u64::MAX names follow.
+    for _ in 0..9 {
+        buf.put_u8(0xff);
+    }
+    buf.put_u8(0x01);
+    assert!(Response::from_bytes(buf.freeze()).is_err());
 }
 
 #[test]

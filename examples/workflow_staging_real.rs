@@ -168,20 +168,33 @@ fn main() {
         "double reversal restored the mesh"
     );
 
-    // 5. The batch-wait guarantee: 4 staging tasks crossed the wire,
-    //    the executor issued zero per-task polls and at most one
-    //    parked WaitAny round-trip per task — where a 2 ms poller
-    //    would have issued hundreds of QueryTask round-trips.
-    let staging_tasks = 4;
+    // Stage-out *freed* the staged data: prep's local out.dat was
+    // released after its push (copy + Remove), post's final.dat moved
+    // (rename) — the paper's stage-out returns burst-buffer capacity.
+    assert!(
+        !mount_b.join("job/out.dat").exists(),
+        "pushed stage-out source released"
+    );
+    assert!(
+        !mount_a.join("post/final.dat").exists(),
+        "local stage-out is a move"
+    );
+
+    // 5. The batch-wait guarantee: 5 wire tasks (4 staging legs plus
+    //    the Remove releasing prep's pushed source), zero per-task
+    //    polls and at most one parked WaitAny round-trip per task —
+    //    where a 2 ms poller would have issued hundreds of QueryTask
+    //    round-trips.
+    let wire_tasks = 5;
     println!(
-        "staging tasks: {staging_tasks}, WaitAny round-trips: {}, QueryTask round-trips: {}",
+        "wire tasks: {wire_tasks}, WaitAny round-trips: {}, QueryTask round-trips: {}",
         exec.wait_round_trips(),
         exec.query_round_trips()
     );
     assert_eq!(exec.query_round_trips(), 0, "no per-task polling");
     assert!(
-        exec.wait_round_trips() <= staging_tasks,
-        "blocked in WaitAny: {} round-trips for {staging_tasks} tasks",
+        exec.wait_round_trips() <= wire_tasks,
+        "blocked in WaitAny: {} round-trips for {wire_tasks} tasks",
         exec.wait_round_trips()
     );
 

@@ -168,3 +168,206 @@ fn sjf_orders_identically_in_sim_and_real() {
     assert_eq!(sim, by_size);
     assert_eq!(real_order(Box::new(ShortestFirst), "sjf"), sim);
 }
+
+/// Sim-vs-real differential for the *mapping* semantics: a `scatter`
+/// stage-in must place each enumerated child on exactly one node —
+/// and on the *same* node — in both worlds (mirroring the simulator's
+/// `scatter_mapping_splits_children_across_nodes`), never
+/// replicating the way real-mode `scatter` used to when it degraded
+/// to `all`.
+mod scatter_gather {
+    use std::fs;
+    use std::path::{Path, PathBuf};
+    use std::time::Duration;
+
+    use norns::{HasNorns, NornsWorld, TaskCompletion};
+    use norns_flow::{FlowConfig, FlowJobState, JobBody, NodeSpec, WorkflowExecutor};
+    use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
+    use norns_proto::{BackendKind, DataspaceDesc};
+    use simcore::{CompletedFlow, FluidModel, FluidSystem, Sim, SimDuration};
+    use simstore::{Cred, Mode};
+    use slurm_sim::{submit_script, HasSlurm, JobState, SchedConfig, Slurmctld};
+
+    const NODES: usize = 2;
+    const CHILDREN: [&str; 4] = ["part0.dat", "part1.dat", "part2.dat", "part3.dat"];
+    const SCRIPT: &str = "#SBATCH --job-name=sg\n\
+                          #SBATCH --nodes=2\n\
+                          #NORNS stage_in lustre://case pmdk0://case scatter\n";
+
+    struct Model {
+        world: NornsWorld,
+        ctld: Slurmctld,
+    }
+
+    impl FluidModel for Model {
+        fn fluid_mut(&mut self) -> &mut FluidSystem {
+            &mut self.world.fluid
+        }
+        fn on_flow_complete(sim: &mut Sim<Self>, done: CompletedFlow) {
+            norns::handle_flow_complete(sim, done);
+        }
+    }
+
+    impl HasNorns for Model {
+        fn norns_mut(&mut self) -> &mut NornsWorld {
+            &mut self.world
+        }
+        fn on_task_complete(sim: &mut Sim<Self>, completion: TaskCompletion) {
+            slurm_sim::handle_task_complete(sim, &completion);
+        }
+    }
+
+    impl HasSlurm for Model {
+        fn ctld_mut(&mut self) -> &mut Slurmctld {
+            &mut self.ctld
+        }
+    }
+
+    /// Which children each node holds once the simulated job reaches
+    /// Running (stage-in complete), as `node → sorted child names`.
+    fn sim_placement() -> Vec<Vec<String>> {
+        let tb = cluster::nextgenio_quiet(NODES);
+        let ctld = Slurmctld::new(NODES, SchedConfig::default());
+        let mut sim = Sim::new(
+            Model {
+                world: tb.world,
+                ctld,
+            },
+            7,
+        );
+        for n in 0..NODES {
+            norns::sim::ops::register_dataspace(&mut sim, n, "pmdk0", "pmdk0", false).unwrap();
+            norns::sim::ops::register_dataspace(&mut sim, n, "lustre", "lustre", false).unwrap();
+        }
+        let cred = Cred::new(1000, 1000);
+        {
+            let t = sim.model.world.storage.resolve("lustre").unwrap();
+            for c in CHILDREN {
+                sim.model
+                    .world
+                    .storage
+                    .ns_mut(t, None)
+                    .write_file(&format!("case/{c}"), 1 << 20, &cred, Mode(0o644))
+                    .unwrap();
+            }
+        }
+        let id = submit_script(
+            &mut sim,
+            SCRIPT,
+            cred,
+            slurm_sim::JobBody::Fixed(SimDuration::from_secs(60)),
+        )
+        .unwrap();
+        while sim.model.ctld.job(id).unwrap().state != JobState::Running && sim.step() {}
+        assert_eq!(sim.model.ctld.job(id).unwrap().state, JobState::Running);
+        let t = sim.model.world.storage.resolve("pmdk0").unwrap();
+        (0..NODES)
+            .map(|n| {
+                CHILDREN
+                    .iter()
+                    .filter(|c| {
+                        sim.model
+                            .world
+                            .storage
+                            .ns(t, Some(n))
+                            .exists(&format!("case/{c}"))
+                    })
+                    .map(|c| c.to_string())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn spawn(root: &Path, name: &str) -> UrdDaemon {
+        UrdDaemon::spawn(
+            DaemonConfig::in_dir(root.join(name).join("sockets"))
+                .with_chunk_size(1 << 30)
+                .with_data_addr("127.0.0.1:0"),
+        )
+        .unwrap()
+    }
+
+    fn register(daemon: &UrdDaemon, nsid: &str, mount: &Path) {
+        let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+        ctl.register_dataspace(DataspaceDesc {
+            nsid: nsid.into(),
+            kind: BackendKind::PosixFilesystem,
+            mount: mount.to_string_lossy().into_owned(),
+            quota: 0,
+            tracked: false,
+        })
+        .unwrap();
+    }
+
+    /// The same workload against two live daemons: node 0 hosts the
+    /// shared `lustre` tier plus its node-local `pmdk0`, node 1 its
+    /// own `pmdk0` (same nsid, own mount — the node-local pattern).
+    fn real_placement() -> Vec<Vec<String>> {
+        let root: PathBuf =
+            std::env::temp_dir().join(format!("norns-diff-scatter-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        let daemon_a = spawn(&root, "n0");
+        let daemon_b = spawn(&root, "n1");
+        let lustre = root.join("n0/lustre");
+        let pmdk = [root.join("n0/pmdk"), root.join("n1/pmdk")];
+        register(&daemon_a, "lustre", &lustre);
+        register(&daemon_a, "pmdk0", &pmdk[0]);
+        register(&daemon_b, "pmdk0", &pmdk[1]);
+        fs::create_dir_all(lustre.join("case")).unwrap();
+        for c in CHILDREN {
+            fs::write(lustre.join("case").join(c), vec![7u8; 1 << 10]).unwrap();
+        }
+        let mut exec = WorkflowExecutor::new(FlowConfig::default());
+        exec.add_node(NodeSpec {
+            name: "n0".into(),
+            control_path: daemon_a.control_path.clone(),
+            dataspaces: vec!["lustre".into(), "pmdk0".into()],
+        })
+        .unwrap();
+        exec.add_node(NodeSpec {
+            name: "n1".into(),
+            control_path: daemon_b.control_path.clone(),
+            dataspaces: vec!["pmdk0".into()],
+        })
+        .unwrap();
+        let job = exec.submit(SCRIPT, JobBody::Sleep(Duration::ZERO)).unwrap();
+        exec.run().unwrap();
+        assert_eq!(exec.job_state(job), Some(FlowJobState::Completed));
+        let placement = pmdk
+            .iter()
+            .map(|mount| {
+                CHILDREN
+                    .iter()
+                    .filter(|c| mount.join("case").join(c).exists())
+                    .map(|c| c.to_string())
+                    .collect()
+            })
+            .collect();
+        drop(daemon_a);
+        drop(daemon_b);
+        let _ = fs::remove_dir_all(&root);
+        placement
+    }
+
+    #[test]
+    fn scatter_places_children_identically_in_sim_and_real() {
+        let sim = sim_placement();
+        // The sim's contract first: round-robin over sorted children,
+        // no replication.
+        assert_eq!(
+            sim,
+            vec![
+                vec!["part0.dat".to_string(), "part2.dat".to_string()],
+                vec!["part1.dat".to_string(), "part3.dat".to_string()],
+            ],
+            "sim scatter must deal sorted children round-robin"
+        );
+        let real = real_placement();
+        assert_eq!(
+            real, sim,
+            "real-mode scatter must place every child on the same node as the simulator, \
+             with no replication"
+        );
+    }
+}
