@@ -15,6 +15,7 @@
 use std::fs;
 use std::time::Instant;
 
+use norns_bench::json::{BenchDoc, Json};
 use norns_bench::{gibps, quick_mode, Report};
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
 use norns_proto::{
@@ -107,6 +108,7 @@ fn main() {
             "partial_progress_seen",
         ],
     );
+    let mut doc = BenchDoc::new("remote");
 
     let mut any_partial = false;
     for &chunk_mib in &[1u64, 4, 8] {
@@ -174,24 +176,35 @@ fn main() {
             "pulled bytes intact (chunk {chunk_mib} MiB)"
         );
 
-        report.row([
-            "local".into(),
-            chunk_mib.to_string(),
-            gibps(size as f64 / local_secs),
-            "-".into(),
-        ]);
-        report.row([
-            "push".into(),
-            chunk_mib.to_string(),
-            gibps(size as f64 / push_secs),
-            any_partial.to_string(),
-        ]);
-        report.row([
-            "pull".into(),
-            chunk_mib.to_string(),
-            gibps(size as f64 / pull_secs),
-            any_partial.to_string(),
-        ]);
+        for (direction, secs) in [
+            ("local", local_secs),
+            ("push", push_secs),
+            ("pull", pull_secs),
+        ] {
+            report.row([
+                direction.into(),
+                chunk_mib.to_string(),
+                gibps(size as f64 / secs),
+                if direction == "local" {
+                    "-".into()
+                } else {
+                    any_partial.to_string()
+                },
+            ]);
+            doc.row(
+                "ablation_remote",
+                vec![
+                    ("scenario", Json::str(format!("chunk_ablation_{direction}"))),
+                    ("chunk_mib", Json::num(chunk_mib as f64)),
+                    ("bytes", Json::num(size as f64)),
+                    ("secs", Json::num(secs)),
+                    (
+                        "gib_per_s",
+                        Json::num(size as f64 / secs / (1u64 << 30) as f64),
+                    ),
+                ],
+            );
+        }
     }
 
     assert!(
@@ -202,7 +215,16 @@ fn main() {
         "one {size_mib} MiB file staged over 127.0.0.1 between two live daemons, best-of-{reps}"
     ));
     report.note("local = same-daemon copy of the same file (no-network baseline)");
-    report.finish();
+    report.print();
+    doc.note(
+        "chunk ablation: one file staged both ways per chunk size; local = same-daemon baseline"
+            .to_string(),
+    );
+    // Shares BENCH_remote.json with bench_suite; only the
+    // "ablation_remote" rows are replaced.
+    let path = doc.merge_into().unwrap();
+    println!("  json: {}", path.display());
+    println!();
 
     let _ = fs::remove_dir_all(&root);
 }

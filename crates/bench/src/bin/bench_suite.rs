@@ -1,0 +1,581 @@
+//! The canonical perf suite: four scenarios, four `BENCH_*.json`
+//! files at the repo root.
+//!
+//! ```text
+//! cargo run --release --bin bench_suite            # full run
+//! NORNS_QUICK=1 cargo run --release --bin bench_suite   # CI smoke
+//! cargo run --release --bin bench_suite -- --check      # validate files only
+//! ```
+//!
+//! Scenarios (one output file each, schema in `norns_bench::json`):
+//!
+//! 1. **control** — control-plane ops/sec against a live urd daemon
+//!    over its AF_UNIX socket (ping and status round-trips).
+//! 2. **local** — chunked same-daemon copy bandwidth (no network).
+//! 3. **remote** — loopback push + pull bandwidth across data-plane
+//!    window sizes. Window 1 *is* the old stop-and-wait protocol, so
+//!    every run carries its own baseline; the suite fails if the
+//!    windowed (≥4) data plane is not strictly faster than that
+//!    same-run baseline in both directions.
+//! 4. **flow** — end-to-end makespan of a two-job `#NORNS` workflow
+//!    (remote pull, compute, remote push, dependent local staging)
+//!    driven by the norns-flow executor against two live daemons.
+//!
+//! `--check` reloads the four files, validates their schema, and
+//! re-asserts the remote regression gate from the recorded rows —
+//! CI runs the suite in quick mode and then this mode.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use norns_bench::json::{self, BenchDoc, Json};
+use norns_bench::{gibps, quick_mode, Report};
+use norns_flow::{FlowConfig, FlowJobState, JobBody, NodeSpec, WorkflowExecutor};
+use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
+use norns_proto::{
+    BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec, TaskState, DEFAULT_PRIORITY,
+};
+
+const MIB: u64 = 1 << 20;
+const SOURCE: &str = "bench_suite";
+
+/// Window sizes swept by the remote scenario; 1 is the stop-and-wait
+/// baseline, the rest exercise the pipelined data plane.
+fn windows() -> &'static [usize] {
+    if quick_mode() {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16]
+    }
+}
+
+fn spawn_node(root: &Path, name: &str, config: DaemonConfig) -> (UrdDaemon, CtlClient) {
+    let daemon = UrdDaemon::spawn(config).unwrap();
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    ctl.register_dataspace(DataspaceDesc {
+        nsid: format!("{name}-ds"),
+        kind: BackendKind::PosixFilesystem,
+        mount: root.join(name).join("ds").to_string_lossy().into_owned(),
+        quota: 0,
+        tracked: false,
+    })
+    .unwrap();
+    (daemon, ctl)
+}
+
+fn copy_spec(input: ResourceDesc, output: ResourceDesc) -> TaskSpec {
+    TaskSpec {
+        op: TaskOp::Copy,
+        priority: DEFAULT_PRIORITY,
+        input,
+        output: Some(output),
+    }
+}
+
+fn posix(nsid: &str, path: &str) -> ResourceDesc {
+    ResourceDesc::PosixPath {
+        nsid: nsid.into(),
+        path: path.into(),
+    }
+}
+
+fn remote(host: &str, nsid: &str, path: &str) -> ResourceDesc {
+    ResourceDesc::RemotePath {
+        host: host.into(),
+        nsid: nsid.into(),
+        path: path.into(),
+    }
+}
+
+/// Submit one transfer and block in the wire's WaitTask until it
+/// finishes; returns elapsed seconds.
+fn timed_copy(ctl: &mut CtlClient, spec: TaskSpec, size: u64) -> f64 {
+    let start = Instant::now();
+    let id = ctl.submit(1, spec, None).unwrap();
+    let stats = ctl.wait(id, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished, "transfer failed");
+    assert_eq!(stats.bytes_moved, size, "byte count");
+    start.elapsed().as_secs_f64()
+}
+
+fn patterned(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+// --- scenario 1: control-plane ops/sec ------------------------------
+
+fn measure_ops(ctl: &mut CtlClient, ops: u64, mut f: impl FnMut(&mut CtlClient)) -> f64 {
+    let start = Instant::now();
+    for _ in 0..ops {
+        f(ctl);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn bench_control(root: &Path) -> BenchDoc {
+    let ops = if quick_mode() { 2_000u64 } else { 20_000 };
+    let (_daemon, mut ctl) = spawn_node(
+        root,
+        "ctrl",
+        DaemonConfig::in_dir(root.join("ctrl/sockets")),
+    );
+
+    let mut doc = BenchDoc::new("control");
+    let mut report = Report::new(
+        "bench_control",
+        "control-plane round-trips over AF_UNIX",
+        ["op", "ops_per_s", "mean_usec"],
+    );
+    let timings = [
+        ("ping", measure_ops(&mut ctl, ops, |c| c.ping().unwrap())),
+        (
+            "status",
+            measure_ops(&mut ctl, ops, |c| {
+                c.status().unwrap();
+            }),
+        ),
+    ];
+    for (op, secs) in timings {
+        let rate = ops as f64 / secs;
+        report.row([
+            op.to_string(),
+            format!("{rate:.0}"),
+            format!("{:.1}", secs * 1e6 / ops as f64),
+        ]);
+        doc.row(
+            SOURCE,
+            vec![
+                ("scenario", Json::str("control_roundtrip")),
+                ("op", Json::str(op)),
+                ("ops", Json::num(ops as f64)),
+                ("ops_per_s", Json::num(rate)),
+                ("mean_usec", Json::num(secs * 1e6 / ops as f64)),
+            ],
+        );
+    }
+    doc.note(format!(
+        "{ops} sequential round-trips per op against one live daemon, single client"
+    ));
+    report.print();
+    doc
+}
+
+// --- scenario 2: local chunked copy ---------------------------------
+
+fn bench_local(root: &Path) -> BenchDoc {
+    let size = if quick_mode() { 64 * MIB } else { 256 * MIB };
+    let reps = if quick_mode() { 2 } else { 3 };
+    let (_daemon, mut ctl) = spawn_node(
+        root,
+        "local",
+        DaemonConfig::in_dir(root.join("local/sockets")),
+    );
+    let payload = patterned(size as usize);
+    fs::write(root.join("local/ds/src.dat"), &payload).unwrap();
+
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let _ = fs::remove_file(root.join("local/ds/dst.dat"));
+        best = best.min(timed_copy(
+            &mut ctl,
+            copy_spec(posix("local-ds", "src.dat"), posix("local-ds", "dst.dat")),
+            size,
+        ));
+    }
+    assert_eq!(
+        fs::read(root.join("local/ds/dst.dat")).unwrap(),
+        payload,
+        "local copy intact"
+    );
+
+    let mut doc = BenchDoc::new("local");
+    doc.row(
+        SOURCE,
+        vec![
+            ("scenario", Json::str("local_copy")),
+            ("bytes", Json::num(size as f64)),
+            ("secs", Json::num(best)),
+            (
+                "gib_per_s",
+                Json::num(size as f64 / best / (1u64 << 30) as f64),
+            ),
+        ],
+    );
+    doc.note(format!(
+        "same-daemon chunked copy of one {} MiB file, default chunk size, best-of-{reps}",
+        size / MIB
+    ));
+    let mut report = Report::new(
+        "bench_local",
+        "same-daemon chunked copy (no network)",
+        ["bytes_mib", "gib_per_s"],
+    );
+    report.row([(size / MIB).to_string(), gibps(size as f64 / best)]);
+    report.print();
+    doc
+}
+
+// --- scenario 3: remote push/pull across window sizes ----------------
+
+fn bench_remote(root: &Path) -> BenchDoc {
+    let size = if quick_mode() { 64 * MIB } else { 256 * MIB };
+    let reps = if quick_mode() { 2 } else { 3 };
+    let payload = patterned(size as usize);
+
+    let mut doc = BenchDoc::new("remote");
+    let mut report = Report::new(
+        "bench_remote",
+        "loopback push/pull vs data-plane window size (window 1 = stop-and-wait)",
+        ["window", "push_gib_per_s", "pull_gib_per_s"],
+    );
+    // (window, push GiB/s, pull GiB/s)
+    let mut results: Vec<(usize, f64, f64)> = Vec::new();
+
+    for &window in windows() {
+        let node_root = root.join(format!("w{window}"));
+        let mk = |name: &str| {
+            DaemonConfig::in_dir(node_root.join(name).join("sockets"))
+                .with_data_addr("127.0.0.1:0")
+                .with_remote_window(window)
+        };
+        let (daemon_a, mut ctl_a) = spawn_node(&node_root, "nodea", mk("nodea"));
+        let (daemon_b, mut ctl_b) = spawn_node(&node_root, "nodeb", mk("nodeb"));
+        ctl_a
+            .register_peer("nodeb", &daemon_b.data_addr().unwrap().to_string())
+            .unwrap();
+        ctl_b
+            .register_peer("nodea", &daemon_a.data_addr().unwrap().to_string())
+            .unwrap();
+        fs::write(node_root.join("nodea/ds/src.dat"), &payload).unwrap();
+
+        let mut push_secs = f64::MAX;
+        for _ in 0..reps {
+            let _ = fs::remove_file(node_root.join("nodeb/ds/pushed.dat"));
+            push_secs = push_secs.min(timed_copy(
+                &mut ctl_a,
+                copy_spec(
+                    posix("nodea-ds", "src.dat"),
+                    remote("nodeb", "nodeb-ds", "pushed.dat"),
+                ),
+                size,
+            ));
+        }
+        assert_eq!(
+            fs::read(node_root.join("nodeb/ds/pushed.dat")).unwrap(),
+            payload,
+            "pushed bytes intact (window {window})"
+        );
+
+        let mut pull_secs = f64::MAX;
+        for _ in 0..reps {
+            let _ = fs::remove_file(node_root.join("nodea/ds/pulled.dat"));
+            pull_secs = pull_secs.min(timed_copy(
+                &mut ctl_a,
+                copy_spec(
+                    remote("nodeb", "nodeb-ds", "pushed.dat"),
+                    posix("nodea-ds", "pulled.dat"),
+                ),
+                size,
+            ));
+        }
+        assert_eq!(
+            fs::read(node_root.join("nodea/ds/pulled.dat")).unwrap(),
+            payload,
+            "pulled bytes intact (window {window})"
+        );
+
+        let push_rate = size as f64 / push_secs;
+        let pull_rate = size as f64 / pull_secs;
+        results.push((window, push_rate, pull_rate));
+        report.row([window.to_string(), gibps(push_rate), gibps(pull_rate)]);
+        for (dir, secs, rate) in [
+            ("push", push_secs, push_rate),
+            ("pull", pull_secs, pull_rate),
+        ] {
+            doc.row(
+                SOURCE,
+                vec![
+                    ("scenario", Json::str(format!("remote_{dir}"))),
+                    ("window", Json::num(window as f64)),
+                    ("bytes", Json::num(size as f64)),
+                    ("secs", Json::num(secs)),
+                    ("gib_per_s", Json::num(rate / (1u64 << 30) as f64)),
+                ],
+            );
+        }
+        let _ = fs::remove_dir_all(&node_root);
+    }
+
+    // Regression gate: the pipelined data plane (any window ≥ 4) must
+    // beat the same-run stop-and-wait baseline in both directions.
+    let (_, base_push, base_pull) = results[0];
+    assert_eq!(results[0].0, 1, "window sweep must start at the baseline");
+    let best_push = results
+        .iter()
+        .filter(|(w, _, _)| *w >= 4)
+        .map(|(_, p, _)| *p)
+        .fold(0.0f64, f64::max);
+    let best_pull = results
+        .iter()
+        .filter(|(w, _, _)| *w >= 4)
+        .map(|(_, _, p)| *p)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_push > base_push,
+        "windowed push ({}) did not beat stop-and-wait ({}) — pipelining regression",
+        gibps(best_push),
+        gibps(base_push)
+    );
+    assert!(
+        best_pull > base_pull,
+        "windowed pull ({}) did not beat stop-and-wait ({}) — pipelining regression",
+        gibps(best_pull),
+        gibps(base_pull)
+    );
+
+    doc.note(format!(
+        "one {} MiB file staged over 127.0.0.1 between two live daemons, default chunk size, best-of-{reps}",
+        size / MIB
+    ));
+    doc.note("window=1 is the stop-and-wait baseline; the suite fails unless some window>=4 beats it in both directions".to_string());
+    report.note(format!(
+        "windowed best: push {} vs baseline {}, pull {} vs baseline {}",
+        gibps(best_push),
+        gibps(base_push),
+        gibps(best_pull),
+        gibps(base_pull)
+    ));
+    report.print();
+    doc
+}
+
+// --- scenario 4: norns-flow end-to-end makespan ----------------------
+
+fn bench_flow(root: &Path) -> BenchDoc {
+    let mesh_bytes = if quick_mode() { 8 * MIB } else { 64 * MIB };
+    let reps = if quick_mode() { 1 } else { 2 };
+    let mut best = f64::MAX;
+    let mut wait_round_trips = 0u64;
+
+    for rep in 0..reps {
+        let run_root = root.join(format!("flow{rep}"));
+        let mk = |name: &str| {
+            DaemonConfig::in_dir(run_root.join(name).join("sockets"))
+                .with_chunk_size(MIB)
+                .with_data_addr("127.0.0.1:0")
+        };
+        // nodea owns the PFS-like tier, nodeb the node-local one; the
+        // executor cross-registers the peers itself.
+        let daemon_a = UrdDaemon::spawn(mk("nodea")).unwrap();
+        let daemon_b = UrdDaemon::spawn(mk("nodeb")).unwrap();
+        for (daemon, name, nsid, kind) in [
+            (&daemon_a, "nodea", "lustre0", BackendKind::Lustre),
+            (&daemon_b, "nodeb", "pmdk0", BackendKind::NvmDax),
+        ] {
+            let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+            ctl.register_dataspace(DataspaceDesc {
+                nsid: nsid.into(),
+                kind,
+                mount: run_root
+                    .join(name)
+                    .join("ds")
+                    .to_string_lossy()
+                    .into_owned(),
+                quota: 0,
+                tracked: false,
+            })
+            .unwrap();
+        }
+        let mount_a = run_root.join("nodea/ds");
+        let mount_b = run_root.join("nodeb/ds");
+        fs::create_dir_all(mount_a.join("case")).unwrap();
+        let mesh = patterned(mesh_bytes as usize);
+        fs::write(mount_a.join("case/mesh.dat"), &mesh).unwrap();
+
+        let mut exec = WorkflowExecutor::new(FlowConfig::default());
+        exec.add_node(NodeSpec {
+            name: "nodea".into(),
+            control_path: daemon_a.control_path.clone(),
+            dataspaces: vec!["lustre0".into()],
+        })
+        .unwrap();
+        exec.add_node(NodeSpec {
+            name: "nodeb".into(),
+            control_path: daemon_b.control_path.clone(),
+            dataspaces: vec!["pmdk0".into()],
+        })
+        .unwrap();
+
+        let body_mount = mount_b.clone();
+        exec.submit(
+            "#!/bin/bash\n\
+             #SBATCH --job-name=prep\n\
+             #SBATCH --nodes=2\n\
+             #SBATCH --workflow-start\n\
+             #NORNS stage_in lustre0://case/mesh.dat pmdk0://job/mesh.dat node:1\n\
+             #NORNS stage_out pmdk0://job/out.dat lustre0://results/prep.dat node:1\n",
+            JobBody::Run(Box::new(move || {
+                let staged =
+                    fs::read(body_mount.join("job/mesh.dat")).map_err(|e| e.to_string())?;
+                let mut out = staged;
+                out.reverse();
+                fs::write(body_mount.join("job/out.dat"), out).map_err(|e| e.to_string())
+            })),
+        )
+        .unwrap();
+        let body_mount = mount_a.clone();
+        exec.submit(
+            "#!/bin/bash\n\
+             #SBATCH --job-name=post\n\
+             #SBATCH --workflow-end\n\
+             #SBATCH --workflow-prior-dependency=prep\n\
+             #NORNS stage_in lustre0://results/prep.dat lustre0://post/in.dat\n\
+             #NORNS stage_out lustre0://post/final.dat lustre0://results/final.dat\n",
+            JobBody::Run(Box::new(move || {
+                let data = fs::read(body_mount.join("post/in.dat")).map_err(|e| e.to_string())?;
+                let mut fixed = data;
+                fixed.reverse();
+                fs::write(body_mount.join("post/final.dat"), fixed).map_err(|e| e.to_string())
+            })),
+        )
+        .unwrap();
+
+        let start = Instant::now();
+        let outcomes = exec.run().unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        assert!(
+            outcomes
+                .iter()
+                .all(|(_, state)| *state == FlowJobState::Completed),
+            "workflow failed: {outcomes:?}"
+        );
+        assert_eq!(
+            fs::read(mount_a.join("results/final.dat")).unwrap(),
+            mesh,
+            "end-to-end integrity"
+        );
+        best = best.min(secs);
+        wait_round_trips = exec.wait_round_trips();
+        drop(daemon_a);
+        drop(daemon_b);
+        let _ = fs::remove_dir_all(&run_root);
+    }
+
+    let mut doc = BenchDoc::new("flow");
+    doc.row(
+        SOURCE,
+        vec![
+            ("scenario", Json::str("flow_makespan")),
+            ("jobs", Json::num(2u32)),
+            ("mesh_bytes", Json::num(mesh_bytes as f64)),
+            ("secs", Json::num(best)),
+            ("wait_round_trips", Json::num(wait_round_trips as f64)),
+        ],
+    );
+    doc.note(format!(
+        "two-job #NORNS workflow (remote pull, compute, remote push, dependent local staging), {} MiB mesh, best-of-{reps}",
+        mesh_bytes / MIB
+    ));
+    let mut report = Report::new(
+        "bench_flow",
+        "norns-flow two-job workflow makespan",
+        ["mesh_mib", "makespan_s", "wait_round_trips"],
+    );
+    report.row([
+        (mesh_bytes / MIB).to_string(),
+        format!("{best:.3}"),
+        wait_round_trips.to_string(),
+    ]);
+    report.print();
+    doc
+}
+
+// --- `--check`: validate the emitted files ---------------------------
+
+/// Reload all four documents, validate the schema, and re-assert the
+/// remote regression gate from the recorded rows.
+fn check() -> Result<(), String> {
+    for bench in ["control", "local", "remote", "flow"] {
+        let doc = json::load(bench)?;
+        let rows = doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+        if rows.is_empty() {
+            return Err(format!("BENCH_{bench}.json has no rows"));
+        }
+        println!("BENCH_{bench}.json: ok ({} rows)", rows.len());
+    }
+
+    // The remote doc must show the pipelined data plane beating its
+    // same-run stop-and-wait baseline in both directions.
+    let remote = json::load("remote")?;
+    let rows = remote.get("rows").and_then(Json::as_arr).unwrap();
+    for dir in ["push", "pull"] {
+        let scenario = format!("remote_{dir}");
+        let rate = |row: &Json| row.get("gib_per_s").and_then(Json::as_f64);
+        let suite_rows: Vec<&Json> = rows
+            .iter()
+            .filter(|r| {
+                r.get("source").and_then(Json::as_str) == Some(SOURCE)
+                    && r.get("scenario").and_then(Json::as_str) == Some(scenario.as_str())
+            })
+            .collect();
+        let window_of = |row: &Json| row.get("window").and_then(Json::as_f64);
+        let baseline = suite_rows
+            .iter()
+            .find(|r| window_of(r) == Some(1.0))
+            .and_then(|r| rate(r))
+            .ok_or(format!("no window=1 {scenario} baseline row"))?;
+        let best_windowed = suite_rows
+            .iter()
+            .filter(|r| window_of(r).map(|w| w >= 4.0).unwrap_or(false))
+            .filter_map(|r| rate(r))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !best_windowed.is_finite() {
+            return Err(format!("no window>=4 {scenario} rows"));
+        }
+        if best_windowed <= baseline {
+            return Err(format!(
+                "{scenario}: windowed {best_windowed:.3} GiB/s <= stop-and-wait {baseline:.3} GiB/s"
+            ));
+        }
+        println!(
+            "BENCH_remote.json: {scenario} windowed {best_windowed:.3} > baseline {baseline:.3} GiB/s"
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        if let Err(e) = check() {
+            eprintln!("bench check failed: {e}");
+            std::process::exit(1);
+        }
+        println!("bench check passed");
+        return;
+    }
+
+    let root = std::env::temp_dir().join(format!("norns-bench-suite-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(&root).unwrap();
+
+    for doc in [
+        bench_control(&root),
+        bench_local(&root),
+        bench_remote(&root),
+        bench_flow(&root),
+    ] {
+        // merge_into so rows from other binaries (ablation_remote in
+        // BENCH_remote.json) survive a suite refresh.
+        let path = doc.merge_into().unwrap();
+        println!("  json: {}", path.display());
+    }
+    println!();
+
+    let _ = fs::remove_dir_all(&root);
+
+    if let Err(e) = check() {
+        eprintln!("bench check failed after run: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,603 @@
+//! Machine-readable benchmark output: the `BENCH_*.json` files.
+//!
+//! The workspace builds offline (no serde), so this module carries a
+//! deliberately small JSON value type, parser, and serializer — just
+//! enough for the bench documents the suite emits and CI validates.
+//!
+//! Every `BENCH_<name>.json` document has the same shape:
+//!
+//! ```json
+//! {
+//!   "bench": "remote",
+//!   "schema": 1,
+//!   "quick": false,
+//!   "rows": [ {"source": "bench_suite", "scenario": "...", ...}, ... ],
+//!   "notes": ["..."]
+//! }
+//! ```
+//!
+//! `rows` is a flat list of measurement objects; each carries a
+//! `source` naming the binary that produced it, so different binaries
+//! can merge into one document ([`BenchDoc::merge_into`] replaces only
+//! its own source's rows) and the perf trajectory across PRs stays in
+//! one place per scenario family.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Schema version stamped into every document; bump on breaking
+/// changes to the shape above.
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// Where the `BENCH_*.json` files land: the repo root by default
+/// (committed, unlike `results/`), overridable for tests via
+/// `NORNS_BENCH_DIR`.
+pub fn bench_dir() -> PathBuf {
+    let dir = std::env::var("NORNS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// A JSON value. Numbers are `f64` (every value the suite emits fits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered (the serializer must be deterministic so
+    /// `BENCH_*.json` diffs stay readable).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn num(v: impl Into<f64>) -> Json {
+        Json::Num(v.into())
+    }
+
+    /// Object field lookup (`None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at offset {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xc0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+/// One `BENCH_<name>.json` document under construction.
+pub struct BenchDoc {
+    pub bench: String,
+    pub quick: bool,
+    pub rows: Vec<Json>,
+    pub notes: Vec<String>,
+}
+
+impl BenchDoc {
+    pub fn new(bench: &str) -> BenchDoc {
+        BenchDoc {
+            bench: bench.to_string(),
+            quick: crate::quick_mode(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one measurement row. `source` names the producing binary;
+    /// the remaining fields are scenario-specific.
+    pub fn row(&mut self, source: &str, fields: Vec<(&str, Json)>) {
+        let mut obj = vec![("source".to_string(), Json::str(source))];
+        obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        self.rows.push(Json::Obj(obj));
+    }
+
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bench".into(), Json::str(&self.bench)),
+            ("schema".into(), Json::Num(SCHEMA_VERSION)),
+            ("quick".into(), Json::Bool(self.quick)),
+            ("rows".into(), Json::Arr(self.rows.clone())),
+            (
+                "notes".into(),
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
+    /// Path of this document: `<bench_dir>/BENCH_<name>.json`.
+    pub fn path(bench: &str) -> PathBuf {
+        bench_dir().join(format!("BENCH_{bench}.json"))
+    }
+
+    /// Write the document, replacing the file wholesale.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = Self::path(&self.bench);
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        Ok(path)
+    }
+
+    /// Merge this document's rows into an existing `BENCH_*.json`:
+    /// rows from the same `source`s as ours are replaced, rows from
+    /// other sources are preserved (so `bench_suite` and
+    /// `ablation_remote` share `BENCH_remote.json` without clobbering
+    /// each other). Notes carry no source attribution, so ours are
+    /// appended with duplicates dropped. A missing or invalid existing
+    /// file degrades to a plain write.
+    pub fn merge_into(&self) -> std::io::Result<PathBuf> {
+        let path = Self::path(&self.bench);
+        let existing = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .filter(|doc| validate(doc).is_ok());
+        let Some(existing) = existing else {
+            return self.write();
+        };
+        let my_sources: Vec<&str> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.get("source").and_then(Json::as_str))
+            .collect();
+        let mut rows: Vec<Json> = existing
+            .get("rows")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|r| {
+                r.get("source")
+                    .and_then(Json::as_str)
+                    .map(|s| !my_sources.contains(&s))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        rows.extend(self.rows.iter().cloned());
+        let mut notes: Vec<String> = existing
+            .get("notes")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|n| n.as_str().map(String::from))
+            .collect();
+        for note in &self.notes {
+            if !notes.contains(note) {
+                notes.push(note.clone());
+            }
+        }
+        let merged = BenchDoc {
+            bench: self.bench.clone(),
+            // A merged doc is "quick" only if every contribution was.
+            quick: self.quick
+                && existing
+                    .get("quick")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(true),
+            rows,
+            notes,
+        };
+        std::fs::write(&path, merged.to_json().to_pretty())?;
+        Ok(path)
+    }
+}
+
+/// Validate the canonical document shape: `bench` (string), `schema`
+/// (number, current version), `quick` (bool), `rows` (array of objects
+/// each carrying a string `source`), `notes` (array of strings).
+pub fn validate(doc: &Json) -> Result<(), String> {
+    doc.get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'bench'")?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric field 'schema'")?;
+    if schema != SCHEMA_VERSION {
+        return Err(format!("schema {schema} != supported {SCHEMA_VERSION}"));
+    }
+    doc.get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing bool field 'quick'")?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'rows'")?;
+    for (i, row) in rows.iter().enumerate() {
+        if !matches!(row, Json::Obj(_)) {
+            return Err(format!("rows[{i}] is not an object"));
+        }
+        row.get("source")
+            .and_then(Json::as_str)
+            .ok_or(format!("rows[{i}] missing string field 'source'"))?;
+    }
+    let notes = doc
+        .get("notes")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'notes'")?;
+    if notes.iter().any(|n| n.as_str().is_none()) {
+        return Err("notes must be strings".into());
+    }
+    Ok(())
+}
+
+/// Load and validate `BENCH_<name>.json`.
+pub fn load(bench: &str) -> Result<Json, String> {
+    let path = BenchDoc::path(bench);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    validate(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let mut doc = BenchDoc::new("testbench");
+        doc.quick = true;
+        doc.row(
+            "unit_test",
+            vec![
+                ("scenario", Json::str("x")),
+                ("gib_per_s", Json::num(1.25)),
+                ("bytes", Json::num(1u32 << 30)),
+                ("ok", Json::Bool(true)),
+            ],
+        );
+        doc.note("a \"quoted\" note\nwith a newline");
+        let text = doc.to_json().to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        validate(&parsed).unwrap();
+        assert_eq!(
+            parsed.get("bench").and_then(Json::as_str),
+            Some("testbench")
+        );
+        let rows = parsed.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("gib_per_s").and_then(Json::as_f64), Some(1.25));
+        assert_eq!(
+            rows[0].get("bytes").and_then(Json::as_f64),
+            Some((1u32 << 30) as f64)
+        );
+        assert_eq!(
+            parsed.get("notes").and_then(Json::as_arr).unwrap()[0].as_str(),
+            Some("a \"quoted\" note\nwith a newline")
+        );
+    }
+
+    #[test]
+    fn integers_serialize_without_decimal_point() {
+        let text = Json::num(67108864u32).to_pretty();
+        assert_eq!(text.trim(), "67108864");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("nope").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_shapes() {
+        let missing = Json::parse(r#"{"bench": "x"}"#).unwrap();
+        assert!(validate(&missing).is_err());
+        let bad_row = Json::parse(
+            r#"{"bench":"x","schema":1,"quick":false,"rows":[{"no_source":1}],"notes":[]}"#,
+        )
+        .unwrap();
+        assert!(validate(&bad_row).is_err());
+        let good = Json::parse(
+            r#"{"bench":"x","schema":1,"quick":false,"rows":[{"source":"s"}],"notes":["n"]}"#,
+        )
+        .unwrap();
+        assert!(validate(&good).is_ok());
+    }
+
+    #[test]
+    fn merge_replaces_own_source_and_keeps_others() {
+        let dir = std::env::temp_dir().join(format!("norns-json-merge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("NORNS_BENCH_DIR", dir.to_str().unwrap());
+
+        let mut first = BenchDoc::new("mergetest");
+        first.row("tool_a", vec![("v", Json::num(1u32))]);
+        first.row("tool_b", vec![("v", Json::num(2u32))]);
+        first.write().unwrap();
+
+        let mut second = BenchDoc::new("mergetest");
+        second.row("tool_b", vec![("v", Json::num(99u32))]);
+        second.merge_into().unwrap();
+
+        let doc = load("mergetest").unwrap();
+        let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        let by_source = |s: &str| {
+            rows.iter()
+                .find(|r| r.get("source").and_then(Json::as_str) == Some(s))
+                .unwrap()
+                .get("v")
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(by_source("tool_a"), 1.0, "other sources preserved");
+        assert_eq!(by_source("tool_b"), 99.0, "own source replaced");
+
+        std::env::remove_var("NORNS_BENCH_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

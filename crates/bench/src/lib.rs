@@ -6,6 +6,8 @@
 
 use std::path::PathBuf;
 
+pub mod json;
+
 pub use simcore::metrics::{CsvTable, Summary};
 
 /// Where experiment CSVs land (`results/` at the workspace root).
@@ -65,6 +67,18 @@ impl Report {
 
     /// Print the report and write `results/<id>.csv`.
     pub fn finish(self) {
+        self.print();
+        let path = results_dir().join(format!("{}.csv", self.id));
+        match self.table.write_to(&path) {
+            Ok(()) => println!("  csv: {}", path.display()),
+            Err(e) => println!("  csv write failed: {e}"),
+        }
+        println!();
+    }
+
+    /// Print the banner, aligned table, and notes without writing a
+    /// CSV — for binaries whose canonical output is a `BENCH_*.json`.
+    pub fn print(&self) {
         println!("================================================================");
         println!("{} — {}", self.id, self.title);
         println!("================================================================");
@@ -101,12 +115,6 @@ impl Report {
         for note in &self.notes {
             println!("  note: {note}");
         }
-        let path = results_dir().join(format!("{}.csv", self.id));
-        match self.table.write_to(&path) {
-            Ok(()) => println!("  csv: {}", path.display()),
-            Err(e) => println!("  csv write failed: {e}"),
-        }
-        println!();
     }
 }
 

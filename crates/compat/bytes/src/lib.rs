@@ -159,6 +159,12 @@ impl BytesMut {
         self.data.extend_from_slice(other);
     }
 
+    /// Drop all unconsumed bytes, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.head = 0;
+    }
+
     pub fn freeze(self) -> Bytes {
         let start = self.head;
         let end = self.data.len();

@@ -31,7 +31,7 @@ use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 
 use norns_proto::{
-    encode_frame, CtlRequest, DaemonCommand, DataRequest, DataResponse, ErrorCode, FrameReader,
+    frame_header, CtlRequest, DaemonCommand, DataRequest, DataResponse, ErrorCode, FrameReader,
     Response, UserRequest, Wire, MAX_DATA_RANGE,
 };
 
@@ -61,6 +61,9 @@ pub struct DaemonConfig {
     /// peer data-plane address. Peers can also be added at runtime via
     /// `CtlRequest::RegisterPeer`.
     pub peers: Vec<(String, String)>,
+    /// Range requests each worker keeps in flight per data-plane
+    /// connection during remote staging; `1` is stop-and-wait.
+    pub remote_window: usize,
 }
 
 impl DaemonConfig {
@@ -73,6 +76,7 @@ impl DaemonConfig {
             policy: PolicyKind::Fcfs,
             data_addr: None,
             peers: Vec::new(),
+            remote_window: crate::engine::DEFAULT_REMOTE_WINDOW,
         }
     }
 
@@ -104,6 +108,13 @@ impl DaemonConfig {
         self.peers.push((host.into(), data_addr.into()));
         self
     }
+
+    /// Set the remote-staging request window (requests in flight per
+    /// data-plane connection; 1 reproduces stop-and-wait).
+    pub fn with_remote_window(mut self, window: usize) -> Self {
+        self.remote_window = window;
+        self
+    }
 }
 
 /// A running daemon; dropping it shuts the listeners down.
@@ -129,6 +140,7 @@ impl UrdDaemon {
                 workers: config.workers,
                 queue_capacity: config.queue_capacity,
                 chunk_size: config.chunk_size,
+                remote_window: config.remote_window,
                 ..EngineConfig::default()
             },
             config.policy.to_policy(),
@@ -485,16 +497,27 @@ fn spawn_data_acceptor(listener: TcpListener, shared: Arc<Shared>) {
     shared.acceptors.lock().push(handle);
 }
 
+/// Buffered responses past this size are flushed mid-batch: bounds the
+/// daemon's per-connection memory against a client pipelining many
+/// large `Fetch` requests and gets bytes moving while the remaining
+/// frames decode.
+const RESPONSE_FLUSH_THRESHOLD: usize = 1 << 20;
+
 /// Framed request/response loop shared by every connection kind; the
-/// closure turns one request frame into one fully encoded response
-/// frame body (request payload handling differs per protocol).
+/// closure appends one fully framed response (header included) to the
+/// output buffer. Responses to a batch of pipelined requests are
+/// written back in as few syscalls as possible: one `write` per read
+/// batch in the common case, with a mid-batch flush only past
+/// [`RESPONSE_FLUSH_THRESHOLD`] — a client keeping a window of
+/// requests in flight is never stalled by per-response flushes.
 fn serve_frames(
     stream: &mut (impl Read + Write),
     shared: &Arc<Shared>,
-    mut handle: impl FnMut(Bytes) -> BytesMut,
+    mut handle: impl FnMut(Bytes, &mut BytesMut),
 ) {
     let mut reader = FrameReader::new();
     let mut buf = [0u8; 64 * 1024];
+    let mut out = BytesMut::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -507,38 +530,57 @@ fn serve_frames(
         loop {
             match reader.next_frame() {
                 Ok(Some(frame)) => {
-                    let body = handle(frame);
-                    let framed = encode_frame(&body);
-                    if stream.write_all(&framed).is_err() {
-                        return;
+                    handle(frame, &mut out);
+                    if out.len() >= RESPONSE_FLUSH_THRESHOLD {
+                        if stream.write_all(&out).is_err() {
+                            return;
+                        }
+                        out.clear();
                     }
                 }
                 Ok(None) => break,
                 Err(_) => return, // protocol violation: drop the client
             }
         }
+        if !out.is_empty() {
+            if stream.write_all(&out).is_err() {
+                return;
+            }
+            out.clear();
+        }
     }
 }
 
+/// Append one framed response with no trailing payload.
+fn frame_response(out: &mut BytesMut, response: &impl Wire) {
+    let body = response.to_bytes();
+    out.extend_from_slice(&frame_header(body.len()));
+    out.extend_from_slice(&body);
+}
+
 fn serve_connection(mut stream: UnixStream, shared: &Arc<Shared>, control: bool) {
-    serve_frames(&mut stream, shared, |frame| {
+    serve_frames(&mut stream, shared, |frame, out| {
         let response = if control {
             handle_ctl(shared, frame)
         } else {
             handle_user(&shared.engine, frame)
         };
-        BytesMut::from(&response.to_bytes()[..])
+        frame_response(out, &response);
     });
 }
 
 fn serve_data_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    serve_frames(&mut stream, shared, |frame| {
-        let (response, payload) = handle_data(&shared.engine, frame);
-        let mut body = BytesMut::from(&response.to_bytes()[..]);
-        if let Some(p) = payload {
-            body.extend_from_slice(&p);
-        }
-        body
+    // One scratch payload buffer per connection, grown to the largest
+    // `Fetch` seen and reused across requests — pipelining multiplies
+    // the request rate, and a fresh multi-megabyte allocation per
+    // range would make the allocator the bottleneck.
+    let mut scratch: Vec<u8> = Vec::new();
+    serve_frames(&mut stream, shared, move |frame, out| {
+        let (response, payload_len) = handle_data(&shared.engine, frame, &mut scratch);
+        let body = response.to_bytes();
+        out.extend_from_slice(&frame_header(body.len() + payload_len));
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&scratch[..payload_len]);
     });
 }
 
@@ -717,17 +759,17 @@ fn handle_user(engine: &Arc<Engine>, frame: Bytes) -> Response {
     }
 }
 
-fn data_err(code: ErrorCode, message: impl Into<String>) -> (DataResponse, Option<Vec<u8>>) {
+fn data_err(code: ErrorCode, message: impl Into<String>) -> (DataResponse, usize) {
     (
         DataResponse::Error {
             code,
             message: message.into(),
         },
-        None,
+        0,
     )
 }
 
-fn map_io_data(e: std::io::Error) -> (DataResponse, Option<Vec<u8>>) {
+fn map_io_data(e: std::io::Error) -> (DataResponse, usize) {
     let code = match e.kind() {
         std::io::ErrorKind::NotFound => ErrorCode::NotFound,
         std::io::ErrorKind::PermissionDenied => ErrorCode::PermissionDenied,
@@ -739,8 +781,11 @@ fn map_io_data(e: std::io::Error) -> (DataResponse, Option<Vec<u8>>) {
 
 /// Serve one data-plane request from a peer daemon. Every path goes
 /// through the engine's dataspace containment checks — a remote peer
-/// gets no more filesystem reach than a local client.
-fn handle_data(engine: &Arc<Engine>, frame: Bytes) -> (DataResponse, Option<Vec<u8>>) {
+/// gets no more filesystem reach than a local client. A `Fetch`
+/// payload is produced into `scratch` (grown but never shrunk, reused
+/// across a connection's requests); the returned count is how many of
+/// its leading bytes are the response payload.
+fn handle_data(engine: &Arc<Engine>, frame: Bytes, scratch: &mut Vec<u8>) -> (DataResponse, usize) {
     let mut b = frame;
     let req = match DataRequest::decode(&mut b) {
         Ok(r) => r,
@@ -758,7 +803,7 @@ fn handle_data(engine: &Arc<Engine>, frame: Bytes) -> (DataResponse, Option<Vec<
                     ErrorCode::BadArgs,
                     "directory trees cannot be staged remotely",
                 ),
-                Ok(meta) => (DataResponse::Stat { size: meta.len() }, None),
+                Ok(meta) => (DataResponse::Stat { size: meta.len() }, 0),
                 Err(e) => map_io_data(e),
             }
         }
@@ -782,19 +827,23 @@ fn handle_data(engine: &Arc<Engine>, frame: Bytes) -> (DataResponse, Option<Vec<
                 Ok(f) => f,
                 Err(e) => return map_io_data(e),
             };
-            let mut buf = vec![0u8; len as usize];
+            let want = len as usize;
+            if scratch.len() < want {
+                // Grow-only: the zero-fill happens once per
+                // high-water mark, not per request.
+                scratch.resize(want, 0);
+            }
             let mut filled = 0usize;
-            while filled < buf.len() {
+            while filled < want {
                 use std::os::unix::fs::FileExt;
-                match file.read_at(&mut buf[filled..], offset + filled as u64) {
+                match file.read_at(&mut scratch[filled..want], offset + filled as u64) {
                     Ok(0) => break, // EOF: short payload tells the peer
                     Ok(n) => filled += n,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                     Err(e) => return map_io_data(e),
                 }
             }
-            buf.truncate(filled);
-            (DataResponse::Data, Some(buf))
+            (DataResponse::Data, filled)
         }
         DataRequest::Prepare { nsid, path, size } => {
             let local = match engine.resolve_local(&nsid, &path) {
@@ -807,7 +856,7 @@ fn handle_data(engine: &Arc<Engine>, frame: Bytes) -> (DataResponse, Option<Vec<
                 }
             }
             match std::fs::File::create(&local).and_then(|f| f.set_len(size)) {
-                Ok(()) => (DataResponse::Ok, None),
+                Ok(()) => (DataResponse::Ok, 0),
                 Err(e) => map_io_data(e),
             }
         }
@@ -836,7 +885,7 @@ fn handle_data(engine: &Arc<Engine>, frame: Bytes) -> (DataResponse, Option<Vec<
             };
             use std::os::unix::fs::FileExt;
             match file.write_all_at(&payload, offset) {
-                Ok(()) => (DataResponse::Ok, None),
+                Ok(()) => (DataResponse::Ok, 0),
                 Err(e) => map_io_data(e),
             }
         }
@@ -846,8 +895,8 @@ fn handle_data(engine: &Arc<Engine>, frame: Bytes) -> (DataResponse, Option<Vec<
                 Err((code, message)) => return data_err(code, message),
             };
             match std::fs::remove_file(&local) {
-                Ok(()) => (DataResponse::Ok, None),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => (DataResponse::Ok, None),
+                Ok(()) => (DataResponse::Ok, 0),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => (DataResponse::Ok, 0),
                 Err(e) => map_io_data(e),
             }
         }

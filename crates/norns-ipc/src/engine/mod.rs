@@ -53,6 +53,7 @@ use norns_sched::{
     ArbitrationPolicy, Fcfs, JobFairShare, PendingTask, Scheduler, ShortestFirst, WeightedPriority,
 };
 
+pub use remote::{DEFAULT_REMOTE_WINDOW, MAX_REMOTE_WINDOW};
 pub use shard::DEFAULT_SHARDS;
 pub use transfer::{DEFAULT_CHUNK_SIZE, MIN_CHUNK_SIZE};
 
@@ -129,6 +130,10 @@ pub struct EngineConfig {
     pub chunk_size: u64,
     /// Task-table shard count (rounded up to a power of two).
     pub shards: usize,
+    /// Range requests each worker keeps in flight per data-plane
+    /// connection during remote staging; `1` is stop-and-wait, clamped
+    /// to `1..=`[`MAX_REMOTE_WINDOW`](crate::MAX_REMOTE_WINDOW).
+    pub remote_window: usize,
 }
 
 impl Default for EngineConfig {
@@ -138,6 +143,7 @@ impl Default for EngineConfig {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             chunk_size: DEFAULT_CHUNK_SIZE,
             shards: DEFAULT_SHARDS,
+            remote_window: DEFAULT_REMOTE_WINDOW,
         }
     }
 }
@@ -216,6 +222,9 @@ pub struct Engine {
     /// transfer — observability for the `ablation_chunk` bench.
     peak_chunk_workers: AtomicU64,
     chunk_size: u64,
+    /// Requests kept in flight per data-plane connection (remote
+    /// staging); 1 = stop-and-wait.
+    remote_window: usize,
     /// Advertised data-plane address (set by the daemon once its TCP
     /// listener is bound; empty on engines without a data plane).
     data_addr: Mutex<String>,
@@ -270,6 +279,7 @@ impl Engine {
             cancelled: AtomicU64::new(0),
             peak_chunk_workers: AtomicU64::new(0),
             chunk_size: config.chunk_size.max(MIN_CHUNK_SIZE),
+            remote_window: config.remote_window.clamp(1, MAX_REMOTE_WINDOW),
             data_addr: Mutex::new(String::new()),
             accepting: AtomicBool::new(true),
             workers: Mutex::new(Vec::new()),
@@ -354,6 +364,12 @@ impl Engine {
     /// Active data-plane chunk size in bytes.
     pub fn chunk_size(&self) -> u64 {
         self.chunk_size
+    }
+
+    /// Requests kept in flight per data-plane connection during remote
+    /// staging (1 = stop-and-wait).
+    pub fn remote_window(&self) -> usize {
+        self.remote_window
     }
 
     /// High-water mark of workers simultaneously executing chunks of a
@@ -1220,6 +1236,7 @@ impl Engine {
                     &rpath,
                     &local,
                     self.chunk_size,
+                    self.remote_window,
                     Arc::clone(progress),
                     Arc::clone(abort),
                 )?;
@@ -1237,6 +1254,7 @@ impl Engine {
                     &rpath,
                     &local,
                     self.chunk_size,
+                    self.remote_window,
                     Arc::clone(progress),
                     Arc::clone(abort),
                 )?;

@@ -30,5 +30,5 @@ pub use client::{ClientError, ClientResult, CtlClient, UserClient};
 pub use daemon::{DaemonConfig, UrdDaemon};
 pub use engine::{
     Engine, EngineConfig, IpcPolicy, PolicyKind, DEFAULT_CHUNK_SIZE, DEFAULT_QUEUE_CAPACITY,
-    DEFAULT_SHARDS, MIN_CHUNK_SIZE,
+    DEFAULT_REMOTE_WINDOW, DEFAULT_SHARDS, MAX_REMOTE_WINDOW, MIN_CHUNK_SIZE,
 };

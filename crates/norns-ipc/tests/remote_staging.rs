@@ -244,6 +244,229 @@ fn cancel_interrupts_a_remote_pull_mid_stream() {
 }
 
 #[test]
+fn window_one_reproduces_stop_and_wait() {
+    // The pipelined path with a window of 1 must behave exactly like
+    // the old stop-and-wait loop: one range in flight, same stepping,
+    // same results.
+    let cfg = |tag: &str| {
+        DaemonConfig::in_dir(temp_root(tag).join("sockets"))
+            .with_chunk_size(MIN_CHUNK_SIZE)
+            .with_remote_window(1)
+    };
+    let (_root, (_daemon_a, mut ctl_a, mount_a), (_daemon_b, _ctl_b, mount_b)) =
+        two_nodes("win1", cfg("win1-a"), cfg("win1-b"));
+    let data = pattern((MIN_CHUNK_SIZE * 7) as usize + 333);
+    std::fs::write(mount_a.join("src.dat"), &data).unwrap();
+
+    let push = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                local("nodea-ds", "src.dat"),
+                Some(remote("nodeb", "nodeb-ds", "dst.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let stats = ctl_a.wait(push, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(stats.bytes_moved, data.len() as u64);
+    assert_eq!(std::fs::read(mount_b.join("dst.dat")).unwrap(), data);
+
+    let pull = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                remote("nodeb", "nodeb-ds", "dst.dat"),
+                Some(local("nodea-ds", "back.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let stats = ctl_a.wait(pull, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(stats.bytes_moved, data.len() as u64);
+    assert_eq!(std::fs::read(mount_a.join("back.dat")).unwrap(), data);
+}
+
+#[test]
+fn wide_window_preserves_patterned_content_integrity() {
+    // A 4 MiB chunk with a window of 16 subdivides into many in-flight
+    // ranges per chunk; the position-dependent pattern catches any
+    // range that lands at the wrong offset (and NORNS_NO_SENDFILE=1 in
+    // CI exercises the buffered push fallback the same way).
+    let chunk = 4 << 20;
+    let cfg = |tag: &str| {
+        DaemonConfig::in_dir(temp_root(tag).join("sockets"))
+            .with_chunk_size(chunk)
+            .with_remote_window(16)
+    };
+    let (_root, (_daemon_a, mut ctl_a, mount_a), (_daemon_b, _ctl_b, mount_b)) =
+        two_nodes("wide", cfg("wide-a"), cfg("wide-b"));
+    // 3 chunks plus a ragged tail, so full windows and partial final
+    // ranges both occur.
+    let data = pattern((chunk * 3) as usize + 70_001);
+    std::fs::write(mount_a.join("src.dat"), &data).unwrap();
+
+    let push = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                local("nodea-ds", "src.dat"),
+                Some(remote("nodeb", "nodeb-ds", "dst.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let stats = ctl_a.wait(push, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(stats.bytes_moved, data.len() as u64);
+    assert_eq!(
+        std::fs::read(mount_b.join("dst.dat")).unwrap(),
+        data,
+        "windowed push must place every range at its absolute offset"
+    );
+
+    let pull = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                remote("nodeb", "nodeb-ds", "dst.dat"),
+                Some(local("nodea-ds", "back.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let stats = ctl_a.wait(pull, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Finished);
+    assert_eq!(
+        std::fs::read(mount_a.join("back.dat")).unwrap(),
+        data,
+        "windowed pull must place every range at its absolute offset"
+    );
+}
+
+#[test]
+fn cancel_interrupts_a_pull_with_a_full_window_in_flight() {
+    // 4 MiB chunks with a window of 8 keep eight 512 KiB ranges in
+    // flight per chunk; one worker and a 128 MiB transfer leave ample
+    // runway to land a cancel while a window is outstanding. The
+    // cancel must drain cleanly: task Cancelled, destination removed.
+    let chunk: u64 = 4 << 20;
+    let mut cfg_a = DaemonConfig::in_dir(temp_root("wincancel-a").join("sockets"))
+        .with_chunk_size(chunk)
+        .with_remote_window(8);
+    cfg_a.workers = 1;
+    let cfg_b = DaemonConfig::in_dir(temp_root("wincancel-b").join("sockets"));
+    let (_root, (_daemon_a, mut ctl_a, mount_a), (_daemon_b, _ctl_b, mount_b)) =
+        two_nodes("wincancel", cfg_a, cfg_b);
+    let size = (chunk * 32) as usize;
+    std::fs::write(mount_b.join("big.dat"), pattern(size)).unwrap();
+
+    let pull = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                remote("nodeb", "nodeb-ds", "big.dat"),
+                Some(local("nodea-ds", "staged/big.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = ctl_a.query(pull).unwrap();
+        if stats.state == TaskState::InProgress && stats.bytes_moved > 0 {
+            break;
+        }
+        assert!(
+            !stats.state.is_terminal(),
+            "32-unit transfer finished in {:?} before a cancel could land",
+            stats.state
+        );
+        assert!(Instant::now() < deadline, "transfer never started moving");
+        std::thread::yield_now();
+    }
+    ctl_a
+        .cancel(pull)
+        .expect("mid-window cancel must be accepted");
+    let stats = ctl_a.wait(pull, 0).unwrap();
+    assert_eq!(stats.state, TaskState::Cancelled);
+    assert!(
+        stats.bytes_moved < size as u64,
+        "cancel must interrupt before completion ({} of {size} moved)",
+        stats.bytes_moved
+    );
+    assert!(
+        !mount_a.join("staged/big.dat").exists(),
+        "a cancelled pull must not leave the preallocated destination"
+    );
+}
+
+#[test]
+fn peer_death_mid_window_fails_bounded() {
+    // Killing the serving daemon while a window of requests is in
+    // flight must fail the task promptly — the drained connection
+    // errors, the fresh-connection retry is refused, and the worker
+    // moves on. No hang, no partial output left behind.
+    let chunk: u64 = 4 << 20;
+    let mut cfg_a = DaemonConfig::in_dir(temp_root("windeath-a").join("sockets"))
+        .with_chunk_size(chunk)
+        .with_remote_window(8);
+    cfg_a.workers = 1;
+    let cfg_b = DaemonConfig::in_dir(temp_root("windeath-b").join("sockets"));
+    let (_root, (_daemon_a, mut ctl_a, mount_a), (daemon_b, ctl_b, mount_b)) =
+        two_nodes("windeath", cfg_a, cfg_b);
+    let size = (chunk * 32) as usize;
+    std::fs::write(mount_b.join("big.dat"), pattern(size)).unwrap();
+
+    let pull = ctl_a
+        .submit(
+            1,
+            TaskSpec::new(
+                TaskOp::Copy,
+                remote("nodeb", "nodeb-ds", "big.dat"),
+                Some(local("nodea-ds", "staged/big.dat")),
+            ),
+            None,
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = ctl_a.query(pull).unwrap();
+        if stats.state == TaskState::InProgress && stats.bytes_moved > 0 {
+            break;
+        }
+        assert!(
+            !stats.state.is_terminal(),
+            "transfer finished in {:?} before the peer could die",
+            stats.state
+        );
+        assert!(Instant::now() < deadline, "transfer never started moving");
+        std::thread::yield_now();
+    }
+    drop(ctl_b);
+    daemon_b.shutdown();
+    let killed_at = Instant::now();
+    let stats = ctl_a.wait(pull, 0).unwrap();
+    assert_eq!(stats.state, TaskState::FinishedWithError);
+    assert_eq!(stats.error, ErrorCode::SystemError);
+    assert!(
+        killed_at.elapsed() < Duration::from_secs(60),
+        "peer death must fail the task promptly, not hang a window"
+    );
+    assert!(
+        !mount_a.join("staged/big.dat").exists(),
+        "a failed pull must not leave the preallocated destination"
+    );
+}
+
+#[test]
 fn unknown_peer_is_rejected_at_submission() {
     let root = temp_root("unknown-peer");
     let (_daemon, mut ctl, _mount) = start_node(

@@ -43,13 +43,22 @@ pub const PROTOCOL_VERSION: u8 = 6;
 /// peer must not make the daemon allocate gigabytes).
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 
+/// The 5-byte prefix (length + version) of a frame whose payload is
+/// `payload_len` bytes. Lets callers emit header and payload through
+/// one vectored write (or `sendfile` the payload straight from a
+/// file) instead of building a contiguous copy first.
+pub fn frame_header(payload_len: usize) -> [u8; 5] {
+    let len = payload_len as u32 + 1;
+    assert!(len <= MAX_FRAME_LEN, "frame too large");
+    let l = len.to_le_bytes();
+    [l[0], l[1], l[2], l[3], PROTOCOL_VERSION]
+}
+
 /// Wrap a payload in a frame.
 pub fn encode_frame(payload: &[u8]) -> Bytes {
-    let len = payload.len() as u32 + 1;
-    assert!(len <= MAX_FRAME_LEN, "frame too large");
-    let mut buf = BytesMut::with_capacity(4 + len as usize);
-    buf.put_u32_le(len);
-    buf.put_u8(PROTOCOL_VERSION);
+    let header = frame_header(payload.len());
+    let mut buf = BytesMut::with_capacity(header.len() + payload.len());
+    buf.put_slice(&header);
     buf.put_slice(payload);
     buf.freeze()
 }
@@ -128,6 +137,16 @@ impl FrameReader {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn frame_header_matches_encode_frame() {
+        for payload in [&b""[..], b"x", &[7u8; 1024]] {
+            let framed = encode_frame(payload);
+            let header = frame_header(payload.len());
+            assert_eq!(&framed[..5], &header);
+            assert_eq!(&framed[5..], payload);
+        }
+    }
 
     #[test]
     fn single_frame_roundtrip() {

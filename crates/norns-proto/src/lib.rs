@@ -18,7 +18,9 @@ pub mod frame;
 pub mod messages;
 pub mod wire;
 
-pub use frame::{encode_frame, FrameError, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use frame::{
+    encode_frame, frame_header, FrameError, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
 pub use messages::{
     BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataRequest, DataResponse, DataspaceDesc,
     ErrorCode, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
