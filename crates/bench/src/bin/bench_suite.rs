@@ -10,7 +10,11 @@
 //! Scenarios (one output file each, schema in `norns_bench::json`):
 //!
 //! 1. **control** — control-plane ops/sec against a live urd daemon
-//!    over its AF_UNIX socket (ping and status round-trips).
+//!    over its AF_UNIX socket: single-client round-trips (ping and
+//!    status) plus a concurrent sweep of client counts × wire-v7
+//!    pipeline depths. Depth 1 *is* the pre-v7 one-outstanding
+//!    discipline, so every run carries its own baseline; the suite
+//!    fails unless pipelined depth ≥ 8 beats it at 64+ clients.
 //! 2. **local** — chunked same-daemon copy bandwidth (no network).
 //! 3. **remote** — loopback push + pull bandwidth across data-plane
 //!    window sizes. Window 1 *is* the old stop-and-wait protocol, so
@@ -22,17 +26,18 @@
 //!    driven by the norns-flow executor against two live daemons.
 //!
 //! `--check` reloads the four files, validates their schema, and
-//! re-asserts the remote regression gate from the recorded rows —
-//! CI runs the suite in quick mode and then this mode.
+//! re-asserts the remote and control regression gates from the
+//! recorded rows — CI runs the suite in quick mode and then this mode.
 
 use std::fs;
 use std::path::Path;
-use std::time::Instant;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use norns_bench::json::{self, BenchDoc, Json};
 use norns_bench::{gibps, quick_mode, Report};
 use norns_flow::{FlowConfig, FlowJobState, JobBody, NodeSpec, WorkflowExecutor};
-use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
+use norns_ipc::{CtlClient, DaemonConfig, PipelinedCtl, UrdDaemon};
 use norns_proto::{
     BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec, TaskState, DEFAULT_PRIORITY,
 };
@@ -105,6 +110,94 @@ fn patterned(len: usize) -> Vec<u8> {
 
 // --- scenario 1: control-plane ops/sec ------------------------------
 
+/// Concurrent-client sweep: client counts × wire-v7 pipeline depths.
+/// Depth 1 is the in-run baseline (one request outstanding, i.e. the
+/// pre-v7 request/response discipline over the same reactor daemon).
+fn control_sweep() -> (&'static [usize], &'static [usize]) {
+    if quick_mode() {
+        (&[1, 64], &[1, 8])
+    } else {
+        (&[1, 64, 512], &[1, 8, 32])
+    }
+}
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// Raise the soft fd limit to the hard limit: both ends of every
+/// client connection live in this process.
+fn raise_nofile() {
+    const RLIMIT_NOFILE: i32 = 7;
+    let mut lim = RLimit { cur: 0, max: 0 };
+    unsafe {
+        if getrlimit(RLIMIT_NOFILE, &mut lim) == 0 && lim.cur < lim.max {
+            let want = RLimit {
+                cur: lim.max,
+                max: lim.max,
+            };
+            let _ = setrlimit(RLIMIT_NOFILE, &want);
+        }
+    }
+}
+
+/// `clients` threads each hold one control connection and drive
+/// `per_client` pings with up to `depth` outstanding. Returns
+/// (total_ops, ops_per_s); only the ping loop is timed, not the
+/// connection setup.
+fn measure_concurrent(
+    control_path: &Path,
+    clients: usize,
+    depth: usize,
+    per_client: usize,
+) -> (u64, f64) {
+    let start_line = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let start_line = Arc::clone(&start_line);
+        let control_path = control_path.to_path_buf();
+        handles.push(std::thread::spawn(move || {
+            let mut conn = PipelinedCtl::connect(&control_path).unwrap();
+            start_line.wait();
+            let mut issued = 0usize;
+            let mut done = 0usize;
+            while issued < depth.min(per_client) {
+                conn.issue_ping().unwrap();
+                issued += 1;
+            }
+            while done < per_client {
+                let responses = conn.poll(Duration::from_secs(30)).unwrap();
+                for (_tag, resp) in responses {
+                    assert!(
+                        matches!(resp, norns_proto::Response::Ok),
+                        "ping answered {resp:?}"
+                    );
+                    done += 1;
+                    if issued < per_client {
+                        conn.issue_ping().unwrap();
+                        issued += 1;
+                    }
+                }
+            }
+        }));
+    }
+    start_line.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let total = (clients * per_client) as u64;
+    (total, total as f64 / secs)
+}
+
 fn measure_ops(ctl: &mut CtlClient, ops: u64, mut f: impl FnMut(&mut CtlClient)) -> f64 {
     let start = Instant::now();
     for _ in 0..ops {
@@ -115,11 +208,12 @@ fn measure_ops(ctl: &mut CtlClient, ops: u64, mut f: impl FnMut(&mut CtlClient))
 
 fn bench_control(root: &Path) -> BenchDoc {
     let ops = if quick_mode() { 2_000u64 } else { 20_000 };
-    let (_daemon, mut ctl) = spawn_node(
+    let (daemon, mut ctl) = spawn_node(
         root,
         "ctrl",
         DaemonConfig::in_dir(root.join("ctrl/sockets")),
     );
+    let ctl_path = daemon.control_path.clone();
 
     let mut doc = BenchDoc::new("control");
     let mut report = Report::new(
@@ -158,6 +252,68 @@ fn bench_control(root: &Path) -> BenchDoc {
         "{ops} sequential round-trips per op against one live daemon, single client"
     ));
     report.print();
+
+    // Concurrent storm: clients × pipeline depth over the same daemon.
+    raise_nofile();
+    let (client_counts, depths) = control_sweep();
+    let total_target = if quick_mode() { 8_000usize } else { 40_000 };
+    let mut sweep_report = Report::new(
+        "bench_control_concurrent",
+        "concurrent clients x wire-v7 pipeline depth (ping ops/sec; depth 1 = baseline)",
+        ["clients", "depth", "ops", "ops_per_s"],
+    );
+    // (clients, depth, ops/s)
+    let mut sweep: Vec<(usize, usize, f64)> = Vec::new();
+    for &clients in client_counts {
+        for &depth in depths {
+            let per_client = (total_target / clients).clamp(depth * 2, 20_000);
+            let (total, rate) = measure_concurrent(&ctl_path, clients, depth, per_client);
+            sweep.push((clients, depth, rate));
+            sweep_report.row([
+                clients.to_string(),
+                depth.to_string(),
+                total.to_string(),
+                format!("{rate:.0}"),
+            ]);
+            doc.row(
+                SOURCE,
+                vec![
+                    ("scenario", Json::str("control_concurrent")),
+                    ("clients", Json::num(clients as f64)),
+                    ("depth", Json::num(depth as f64)),
+                    ("ops", Json::num(total as f64)),
+                    ("ops_per_s", Json::num(rate)),
+                ],
+            );
+        }
+    }
+    // Regression gate: under real concurrency (64+ clients) the
+    // pipelined discipline (depth >= 8) must beat the one-outstanding
+    // baseline measured in the same run.
+    for &clients in client_counts.iter().filter(|c| **c >= 64) {
+        let rate_at = |d: usize| {
+            sweep
+                .iter()
+                .find(|(c, dd, _)| *c == clients && *dd == d)
+                .map(|(_, _, r)| *r)
+                .expect("swept combination")
+        };
+        let baseline = rate_at(1);
+        let best_deep = depths
+            .iter()
+            .filter(|d| **d >= 8)
+            .map(|&d| rate_at(d))
+            .fold(0.0f64, f64::max);
+        assert!(
+            best_deep > baseline,
+            "at {clients} clients, pipelined depth>=8 ({best_deep:.0} ops/s) did not beat depth 1 ({baseline:.0} ops/s) — pipelining regression"
+        );
+        sweep_report.note(format!(
+            "{clients} clients: pipelined best {best_deep:.0} ops/s vs depth-1 baseline {baseline:.0} ops/s"
+        ));
+    }
+    doc.note("control_concurrent rows storm one daemon with N pipelined clients; the suite fails unless depth>=8 beats the same-run depth-1 baseline at 64+ clients".to_string());
+    sweep_report.print();
     doc
 }
 
@@ -540,6 +696,59 @@ fn check() -> Result<(), String> {
         }
         println!(
             "BENCH_remote.json: {scenario} windowed {best_windowed:.3} > baseline {baseline:.3} GiB/s"
+        );
+    }
+
+    // The control doc must show wire-v7 pipelining beating the
+    // one-outstanding baseline under concurrency (64+ clients).
+    let control = json::load("control")?;
+    let rows = control.get("rows").and_then(Json::as_arr).unwrap();
+    let concurrent: Vec<&Json> = rows
+        .iter()
+        .filter(|r| {
+            r.get("source").and_then(Json::as_str) == Some(SOURCE)
+                && r.get("scenario").and_then(Json::as_str) == Some("control_concurrent")
+        })
+        .collect();
+    if concurrent.is_empty() {
+        return Err("BENCH_control.json has no control_concurrent rows".into());
+    }
+    let field = |row: &Json, key: &str| row.get(key).and_then(Json::as_f64);
+    let mut client_counts: Vec<u64> = concurrent
+        .iter()
+        .filter_map(|r| field(r, "clients"))
+        .map(|c| c as u64)
+        .filter(|c| *c >= 64)
+        .collect();
+    client_counts.sort_unstable();
+    client_counts.dedup();
+    if client_counts.is_empty() {
+        return Err("no control_concurrent rows with clients >= 64".into());
+    }
+    for clients in client_counts {
+        let at = |pred: &dyn Fn(f64) -> bool| {
+            concurrent
+                .iter()
+                .filter(|r| field(r, "clients") == Some(clients as f64))
+                .filter(|r| field(r, "depth").map(pred).unwrap_or(false))
+                .filter_map(|r| field(r, "ops_per_s"))
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let baseline = at(&|d| d == 1.0);
+        let best_deep = at(&|d| d >= 8.0);
+        if !baseline.is_finite() {
+            return Err(format!("no depth=1 baseline row at {clients} clients"));
+        }
+        if !best_deep.is_finite() {
+            return Err(format!("no depth>=8 rows at {clients} clients"));
+        }
+        if best_deep <= baseline {
+            return Err(format!(
+                "control_concurrent at {clients} clients: pipelined {best_deep:.0} ops/s <= depth-1 {baseline:.0} ops/s"
+            ));
+        }
+        println!(
+            "BENCH_control.json: {clients} clients pipelined {best_deep:.0} > depth-1 {baseline:.0} ops/s"
         );
     }
     Ok(())

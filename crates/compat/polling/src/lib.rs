@@ -1,0 +1,363 @@
+//! Offline stand-in for the `polling` crate: a thin, safe wrapper
+//! around Linux `epoll(7)` plus an `eventfd(2)` waker.
+//!
+//! The workspace builds with no network access, so — like the
+//! `copy_file_range`/`sendfile` fast paths in `norns-ipc` — the
+//! syscalls are declared directly against glibc instead of through the
+//! `libc` crate. Only the subset the urd reactor needs is implemented:
+//!
+//! * [`Poller`] — create an epoll instance; `add`/`modify`/`delete`
+//!   file descriptors with a `u64` key and read/write interest;
+//!   level-triggered `wait` with an optional timeout.
+//! * [`Waker`] — an eventfd registered on a poller under a caller
+//!   chosen key; `wake()` from any thread makes a concurrent or
+//!   subsequent `wait` return.
+//!
+//! Level-triggered is deliberate: a reader that stops at a partial
+//! drain is re-notified on the next `wait`, which keeps the reactor's
+//! state machine simple (no starvation bookkeeping for edge modes).
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use std::ffi::{c_int, c_uint, c_void};
+
+// Declared directly (glibc) — the workspace builds offline with no
+// libc crate. `epoll_event` is packed on x86_64 (and only there);
+// keeping the struct packed matches the kernel ABI this repo targets.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// The interest set registered for a file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn bits(self) -> u32 {
+        let mut e = EPOLLRDHUP;
+        if self.readable {
+            e |= EPOLLIN;
+        }
+        if self.writable {
+            e |= EPOLLOUT;
+        }
+        e
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The key the fd was registered under.
+    pub key: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer hung up or the fd errored; drain then close.
+    pub hangup: bool,
+}
+
+/// A level-triggered epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest.bits(),
+            data: key,
+        };
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Register `fd` under `key`. The fd must outlive its registration
+    /// (callers delete before closing).
+    pub fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, key, interest)
+    }
+
+    /// Change the interest set (and key) of a registered fd.
+    pub fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, key, interest)
+    }
+
+    /// Deregister a fd.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // The event argument must be non-null on pre-2.6.9 kernels;
+        // passing one unconditionally costs nothing.
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Wait for readiness. `None` blocks indefinitely; `Some(d)` waits
+    /// at most `d` (rounded up to a millisecond so a nonzero timeout
+    /// can never spin at zero). Appends to `events` and returns how
+    /// many were added; `Ok(0)` is a timeout. EINTR retries
+    /// internally.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(i32::MAX as u128) as c_int
+                }
+            }
+        };
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 64];
+        let n = loop {
+            let r =
+                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms) };
+            if r >= 0 {
+                break r as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // Interrupted: retry with the original timeout. A small
+            // over-wait under signal storms is acceptable for this
+            // reactor (timeouts are re-derived every loop turn).
+        };
+        for ev in &raw[..n] {
+            let bits = ev.events;
+            events.push(Event {
+                key: ev.data,
+                readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                writable: bits & EPOLLOUT != 0,
+                hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+// The epoll fd is just an fd; waiting from one thread while another
+// calls add/modify/delete is exactly the kernel-supported use.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+/// Wakes a [`Poller`] out of `wait` from any thread via an eventfd
+/// registered under a caller-chosen key. The owning reactor must call
+/// [`Waker::drain`] when it sees the key, or level-triggered epoll
+/// will re-report it forever.
+#[derive(Debug)]
+pub struct Waker {
+    efd: RawFd,
+}
+
+impl Waker {
+    /// Create the eventfd and register it on `poller` under `key`.
+    pub fn new(poller: &Poller, key: u64) -> io::Result<Waker> {
+        let efd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        if let Err(e) = poller.add(efd, key, Interest::READ) {
+            unsafe {
+                close(efd);
+            }
+            return Err(e);
+        }
+        Ok(Waker { efd })
+    }
+
+    /// Make the poller's current (or next) `wait` return. Never
+    /// blocks: an eventfd only fails the write once its counter
+    /// saturates, at which point the poller is awake anyway.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            let _ = write(self.efd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    /// Reset the counter after the poller observed the wake.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe {
+            let _ = read(self.efd, (&mut buf as *mut u64).cast(), 8);
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.efd);
+        }
+    }
+}
+
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn readable_when_bytes_arrive() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing yet: a short wait times out.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no data, no events");
+
+        a.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+        let mut buf = [0u8; 8];
+        let got = (&b).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"ping");
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        // A fresh socket with room in its send buffer is writable.
+        poller.add(a.as_raw_fd(), 1, Interest::WRITE).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+        // Drop write interest: no more events.
+        poller.modify(a.as_raw_fd(), 1, Interest::READ).unwrap();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        poller.delete(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn hangup_reported() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].hangup, "peer close must surface as hangup");
+    }
+
+    #[test]
+    fn waker_unblocks_wait_across_threads() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::new(Waker::new(&poller, u64::MAX).unwrap());
+        let w = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake();
+        });
+        let start = Instant::now();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, u64::MAX);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "woken, not timed out"
+        );
+        waker.drain();
+        // Drained: the next wait times out instead of spinning on the
+        // level-triggered eventfd.
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker stays quiet");
+        t.join().unwrap();
+    }
+}

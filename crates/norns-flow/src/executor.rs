@@ -14,7 +14,7 @@
 //! [`WorkflowExecutor::run`] is an event-driven **DAG engine**: every
 //! dependency-ready job is admitted concurrently, job bodies run on
 //! worker threads, and all jobs' outstanding staging tasks are
-//! multiplexed through per-daemon v5 `WaitAny` batch waits — job B's
+//! multiplexed through per-daemon parked v7 `WaitAny` waits — job B's
 //! stage-in proceeds while job A computes and stages out, which is the
 //! overlap the paper's asynchronous staging exists to deliver (§III).
 //!
@@ -30,23 +30,30 @@
 //! followed by a `Remove` of the source once the push succeeds.
 //!
 //! The event loop never polls individual tasks: each daemon with
-//! outstanding staging work is watched through one wire-level v5
-//! `WaitAny` round-trip covering *all* of its outstanding task ids, so
-//! the wire cost scales with completions (plus heartbeat slices while
-//! several event sources are live at once), not with tasks × poll
-//! interval. [`WorkflowExecutor::wait_round_trips`] and
+//! outstanding staging work holds one **parked** wire-v7 `WaitAny`
+//! (issued through a [`norns_ipc::PipelinedCtl`] connection) covering
+//! *all* of its outstanding task ids, and the executor sleeps on a
+//! single epoll set spanning every daemon's control socket. A wait is
+//! reissued only when the outstanding set gains an uncovered id, so
+//! the wire cost scales with completions, not with tasks × poll
+//! interval — and not with daemons × heartbeat either.
+//! [`WorkflowExecutor::wait_round_trips`] and
 //! [`WorkflowExecutor::query_round_trips`] expose the counters the
 //! examples assert on.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::os::unix::io::AsRawFd;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use norns_ipc::{ClientError, CtlClient};
+use norns_ipc::{ClientError, PipelinedCtl};
 use norns_proto::{
-    ErrorCode, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState, TaskStats, MAX_WAIT_SET,
+    ErrorCode, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
+    MAX_WAIT_SET,
 };
+use polling::{Event, Interest, Poller};
 
 use crate::script::{self, JobScript, Mapping, ScriptError, StageDirective, WorkflowPos};
 
@@ -182,10 +189,19 @@ pub enum JobBody {
 
 struct Node {
     spec: NodeSpec,
-    ctl: CtlClient,
+    ctl: PipelinedCtl,
     /// The node's advertised data-plane address (empty when remote
     /// staging is disabled on it).
     data_addr: String,
+    /// Tag of the multiplexed parked `WaitAny` (timeout 0: forever)
+    /// currently in flight on this daemon, if any.
+    wait_tag: Option<u64>,
+    /// Task ids that in-flight wait covers; a new outstanding id not
+    /// in here forces a re-issue.
+    covered: HashSet<u64>,
+    /// Task ids whose completion was already surfaced as an event —
+    /// superseded parked waits may announce the same task again.
+    delivered: HashSet<u64>,
 }
 
 struct JobRec {
@@ -285,8 +301,14 @@ pub struct WorkflowExecutor {
     jobs: Vec<JobRec>,
     next_node: usize,
     peers_linked: bool,
-    rotate: usize,
     events: Vec<FlowEvent>,
+    /// One epoll set over every node's pipelined control connection —
+    /// the event loop watches all daemons at once instead of
+    /// round-robining bounded waits across them.
+    poller: Poller,
+    /// Events decoded but not yet consumed by the run loop (one drain
+    /// can surface several completions).
+    ready: VecDeque<Next>,
     wait_round_trips: u64,
     query_round_trips: u64,
 }
@@ -299,8 +321,9 @@ impl WorkflowExecutor {
             jobs: Vec::new(),
             next_node: 0,
             peers_linked: false,
-            rotate: 0,
             events: Vec::new(),
+            poller: Poller::new().expect("epoll instance"),
+            ready: VecDeque::new(),
             wait_round_trips: 0,
             query_round_trips: 0,
         }
@@ -311,12 +334,18 @@ impl WorkflowExecutor {
         if self.nodes.iter().any(|n| n.spec.name == spec.name) {
             return Err(FlowError::Plan(format!("duplicate node {:?}", spec.name)));
         }
-        let mut ctl = CtlClient::connect(&spec.control_path)?;
+        let mut ctl = PipelinedCtl::connect(&spec.control_path)?;
         let data_addr = ctl.status()?.data_addr;
+        self.poller
+            .add(ctl.as_raw_fd(), self.nodes.len() as u64, Interest::READ)
+            .map_err(ClientError::Io)?;
         self.nodes.push(Node {
             spec,
             ctl,
             data_addr,
+            wait_tag: None,
+            covered: HashSet::new(),
+            delivered: HashSet::new(),
         });
         Ok(())
     }
@@ -1168,15 +1197,20 @@ impl WorkflowExecutor {
     }
 
     /// Block until the next event: a body completion or a staging
-    /// completion on some daemon. With several event sources live the
-    /// waits take heartbeat slices so no source starves another; with
-    /// a single busy daemon and nothing else in flight the wait parks
-    /// for the whole remaining deadline (or forever during stage-out).
+    /// completion on some daemon. Each busy daemon holds one parked
+    /// forever-wait (wire v7 pipelining) covering all its outstanding
+    /// ids; the executor epolls every control socket at once and
+    /// drains whichever answers. A wait is reissued only when the
+    /// outstanding set gains an id the parked one doesn't cover, so
+    /// round trips scale with completions, not with polling slices.
     fn await_event(
         &mut self,
         active: &HashMap<usize, ActiveJob>,
         rx: &mpsc::Receiver<BodyResult>,
     ) -> Next {
+        if let Some(next) = self.ready.pop_front() {
+            return next;
+        }
         let mut busy: Vec<usize> = active
             .values()
             .flat_map(|a| a.outstanding.iter().map(|t| t.node))
@@ -1198,53 +1232,127 @@ impl WorkflowExecutor {
             let (idx, result) = rx.recv().expect("run() holds a sender");
             return Next::Body(idx, result);
         }
-        // Round-robin across the busy daemons, batch-waiting on all of
-        // each one's outstanding ids at once (across every job).
-        let node = busy[self.rotate % busy.len()];
-        self.rotate = self.rotate.wrapping_add(1);
-        let mut ids: Vec<u64> = active
-            .values()
-            .flat_map(|a| a.outstanding.iter())
-            .filter(|t| t.node == node)
-            .map(|t| t.task_id)
-            .collect();
-        ids.truncate(MAX_WAIT_SET);
-        let single_source = busy.len() == 1 && !bodies_running;
-        let slice = if single_source {
-            earliest_deadline.map(|d| d.saturating_duration_since(Instant::now()))
-        } else {
+        // Make sure every busy daemon has a parked wait covering all
+        // of its outstanding ids (across every job).
+        for &node in &busy {
+            let mut ids: Vec<u64> = active
+                .values()
+                .flat_map(|a| a.outstanding.iter())
+                .filter(|t| t.node == node)
+                .map(|t| t.task_id)
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.truncate(MAX_WAIT_SET);
+            let covered = {
+                let n = &self.nodes[node];
+                n.wait_tag.is_some() && ids.iter().all(|id| n.covered.contains(id))
+            };
+            if !covered {
+                // A superseded wait may still fire for a task the new
+                // one also covers; `delivered` dedupes those.
+                self.wait_round_trips += 1;
+                match self.nodes[node].ctl.issue_wait_any(&ids, 0) {
+                    Ok(tag) => {
+                        let n = &mut self.nodes[node];
+                        n.wait_tag = Some(tag);
+                        n.covered = ids.into_iter().collect();
+                    }
+                    // The daemon can no longer take requests: degrade
+                    // its jobs, keep driving the others.
+                    Err(e) => {
+                        return Next::DaemonLost {
+                            node,
+                            error: e.to_string(),
+                        }
+                    }
+                }
+            }
+        }
+        // Drain anything that already arrived before sleeping.
+        for &node in &busy {
+            self.drain_node(node);
+        }
+        if let Some(next) = self.ready.pop_front() {
+            return next;
+        }
+        // Sleep on the epoll set. Body completions arrive over an mpsc
+        // channel the poller can't watch, so while bodies run the wait
+        // takes heartbeat slices; otherwise it parks until the nearest
+        // stage-in deadline (or forever during stage-out).
+        let slice = if bodies_running {
             let hb = self.config.heartbeat;
             Some(match earliest_deadline {
                 Some(d) => hb.min(d.saturating_duration_since(Instant::now())),
                 None => hb,
             })
+        } else {
+            earliest_deadline.map(|d| d.saturating_duration_since(Instant::now()))
         };
-        let timeout_usec = match slice {
-            // 0 would mean "forever" on the wire; an expired deadline
-            // is handled by the run loop's deadline check.
-            Some(s) => (s.as_micros() as u64).max(1),
-            None => 0,
+        let mut events: Vec<Event> = Vec::new();
+        match self.poller.wait(&mut events, slice) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => return Next::Tick,
+            Err(e) => panic!("epoll wait failed: {e}"),
+        }
+        for ev in &events {
+            let node = ev.key as usize;
+            if node < self.nodes.len() {
+                self.drain_node(node);
+            }
+        }
+        self.ready.pop_front().unwrap_or(Next::Tick)
+    }
+
+    /// Pull every decoded response off one daemon's pipelined
+    /// connection and queue the resulting events. Completions a
+    /// superseded wait already announced are dropped (task ids are
+    /// never reused by a daemon); stale bounded-wait timeouts are
+    /// ignored.
+    fn drain_node(&mut self, node: usize) {
+        let drained = match self.nodes[node].ctl.try_drain() {
+            Ok(d) => d,
+            Err(e) => {
+                self.ready.push_back(Next::DaemonLost {
+                    node,
+                    error: e.to_string(),
+                });
+                return;
+            }
         };
-        self.wait_round_trips += 1;
-        match self.nodes[node].ctl.wait_any(&ids, timeout_usec) {
-            Ok((task_id, stats)) => Next::Staging {
-                node,
-                task_id,
-                stats,
-            },
-            Err(ClientError::Remote {
-                code: ErrorCode::Timeout,
-                ..
-            }) => Next::Tick,
-            // Any other failure means this daemon can no longer answer
-            // for its tasks (transport down, or a protocol-level
-            // disagreement that would spin forever if merely retried):
-            // degrade its jobs, keep driving the others — never abort
-            // the whole run.
-            Err(e) => Next::DaemonLost {
-                node,
-                error: e.to_string(),
-            },
+        for (tag, response) in drained {
+            {
+                let n = &mut self.nodes[node];
+                if n.wait_tag == Some(tag) {
+                    n.wait_tag = None;
+                    n.covered.clear();
+                }
+            }
+            match response {
+                Response::TaskCompleted { task_id, stats }
+                    if self.nodes[node].delivered.insert(task_id) =>
+                {
+                    self.ready.push_back(Next::Staging {
+                        node,
+                        task_id,
+                        stats,
+                    });
+                }
+                Response::Error {
+                    code: ErrorCode::Timeout,
+                    ..
+                } => {}
+                Response::Error { code, message } => {
+                    self.ready.push_back(Next::DaemonLost {
+                        node,
+                        error: ClientError::Remote { code, message }.to_string(),
+                    });
+                }
+                // A pipelined wait only answers with TaskCompleted or
+                // Error; anything else is a stashed leftover from a
+                // blocking call and carries no event.
+                _ => {}
+            }
         }
     }
 

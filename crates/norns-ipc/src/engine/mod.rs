@@ -35,7 +35,8 @@ mod remote;
 mod shard;
 mod transfer;
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -194,6 +195,48 @@ enum Outcome {
     Chunked(Arc<dyn TransferPlan>),
 }
 
+/// Callback behind an asynchronously-parked wait
+/// ([`Engine::wait_task_async`] / [`Engine::wait_any_async`]): invoked
+/// exactly once — from the worker thread that drives the terminal
+/// transition, from the timer thread on timeout, or inline from the
+/// subscribing thread when the wait can resolve immediately. Callbacks
+/// must be quick and non-blocking (the reactor's pushes a completion
+/// into a queue and wakes an epoll loop).
+pub type WaitCallback = Box<dyn FnOnce(Result<(u64, TaskStats), (ErrorCode, String)>) + Send>;
+
+/// Timeout semantics differ between the two wait ops (mirroring the
+/// blocking API): an expired `WaitTask` returns the in-flight snapshot,
+/// an expired `WaitAny` is [`ErrorCode::Timeout`].
+enum WaitKind {
+    Single,
+    Any,
+}
+
+/// One parked asynchronous wait.
+struct WaitSub {
+    kind: WaitKind,
+    task_ids: Vec<u64>,
+    callback: WaitCallback,
+}
+
+/// Registry of parked waits. `by_task` is the inverted index a
+/// terminal transition consults; removal from `subs` under the lock is
+/// what guarantees each callback fires exactly once even when a
+/// completion, a timeout and an unsubscribe race.
+#[derive(Default)]
+struct WaitSubs {
+    next_id: u64,
+    subs: HashMap<u64, WaitSub>,
+    by_task: HashMap<u64, Vec<u64>>,
+}
+
+/// Deadline heap behind the lazily-spawned wait-timer thread.
+#[derive(Default)]
+struct WaitTimer {
+    heap: BinaryHeap<Reverse<(Instant, u64)>>,
+    stop: bool,
+}
+
 /// How a copy task's endpoints route through the data plane.
 enum Route {
     /// Both endpoints on this node.
@@ -231,6 +274,16 @@ pub struct Engine {
     accepting: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started_at: Instant,
+    /// Parked asynchronous waits (v7 pipelined `WaitTask`/`WaitAny`).
+    wait_subs: Mutex<WaitSubs>,
+    wait_timer: Mutex<WaitTimer>,
+    wait_timer_cv: Condvar,
+    wait_timer_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Listener `accept(2)` failures — maintained by the daemon's
+    /// reactor, reported in [`DaemonStatus`] (v7).
+    accept_errors: AtomicU64,
+    /// Open control/user connections — ditto.
+    open_connections: AtomicU64,
 }
 
 impl Engine {
@@ -284,6 +337,12 @@ impl Engine {
             accepting: AtomicBool::new(true),
             workers: Mutex::new(Vec::new()),
             started_at: Instant::now(),
+            wait_subs: Mutex::new(WaitSubs::default()),
+            wait_timer: Mutex::new(WaitTimer::default()),
+            wait_timer_cv: Condvar::new(),
+            wait_timer_thread: Mutex::new(None),
+            accept_errors: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
         });
         let mut handles = engine.workers.lock();
         for i in 0..workers {
@@ -328,6 +387,28 @@ impl Engine {
         for handle in handles {
             let _ = handle.join();
         }
+        // Stop the wait-timer thread, then fail any wait subscription
+        // still parked: every task is terminal after the joins above,
+        // so leftovers are registration races — they must not dangle
+        // past shutdown.
+        let timer = {
+            let mut tm = self.wait_timer.lock();
+            tm.stop = true;
+            tm.heap.clear();
+            self.wait_timer_thread.lock().take()
+        };
+        self.wait_timer_cv.notify_all();
+        if let Some(handle) = timer {
+            let _ = handle.join();
+        }
+        let leftovers: Vec<WaitSub> = {
+            let mut ws = self.wait_subs.lock();
+            ws.by_task.clear();
+            ws.subs.drain().map(|(_, sub)| sub).collect()
+        };
+        for sub in leftovers {
+            (sub.callback)(Err((ErrorCode::SystemError, "daemon shutting down".into())));
+        }
     }
 
     pub fn set_accepting(&self, on: bool) {
@@ -348,7 +429,35 @@ impl Engine {
             registered_dataspaces: registry.dataspaces.len() as u64,
             chunk_size: self.chunk_size,
             data_addr: self.data_addr.lock().clone(),
+            accept_errors: self.accept_errors.load(Ordering::SeqCst),
+            open_connections: self.open_connections.load(Ordering::SeqCst),
         }
+    }
+
+    /// Record a listener `accept(2)` failure (EMFILE and friends) —
+    /// called by the daemon's reactor so storms show up in `status`.
+    pub fn note_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Accept-failure count since start.
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::SeqCst)
+    }
+
+    /// A control/user connection was accepted.
+    pub fn conn_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A control/user connection was closed.
+    pub fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Currently-open control/user connections.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::SeqCst)
     }
 
     /// Name of the active arbitration policy.
@@ -931,14 +1040,23 @@ impl Engine {
     /// Counters move inside the shard-locked closure, before the wake:
     /// anyone whom the wake unblocks must already see them updated.
     fn mark_cancelled(&self, task_id: u64) {
-        self.tasks.update_and_wake(task_id, |t| {
-            if t.stats.state == TaskState::Pending {
-                t.stats.state = TaskState::Cancelled;
-                t.stats.wait_usec = t.submitted_at.elapsed().as_micros() as u64;
-                self.pending_count.fetch_sub(1, Ordering::SeqCst);
-                self.cancelled.fetch_add(1, Ordering::SeqCst);
-            }
-        });
+        let stats = self
+            .tasks
+            .update_and_wake(task_id, |t| {
+                if t.stats.state == TaskState::Pending {
+                    t.stats.state = TaskState::Cancelled;
+                    t.stats.wait_usec = t.submitted_at.elapsed().as_micros() as u64;
+                    self.pending_count.fetch_sub(1, Ordering::SeqCst);
+                    self.cancelled.fetch_add(1, Ordering::SeqCst);
+                    Some(t.stats.clone())
+                } else {
+                    None
+                }
+            })
+            .flatten();
+        if let Some(stats) = stats {
+            self.notify_task_waiters(task_id, &stats);
+        }
     }
 
     /// Worker thread: pull dispatchable entries (whole tasks and chunk
@@ -1081,7 +1199,7 @@ impl Engine {
     /// Move a task to its terminal state, fix up counters and wake the
     /// task's shard.
     fn complete_task(&self, task_id: u64, outcome: PlanOutcome, elapsed_usec: u64) {
-        self.tasks.update_and_wake(task_id, |t| {
+        let stats = self.tasks.update_and_wake(task_id, |t| {
             let mut cancelled = false;
             match outcome {
                 PlanOutcome::Done(moved) => {
@@ -1112,7 +1230,11 @@ impl Engine {
             } else {
                 self.completed.fetch_add(1, Ordering::SeqCst);
             }
+            t.stats.clone()
         });
+        if let Some(stats) = stats {
+            self.notify_task_waiters(task_id, &stats);
+        }
     }
 
     /// Execute (or plan) one transfer. Large single-file copies and
@@ -1376,6 +1498,256 @@ impl Engine {
                 format!("no task of {} completed in time", task_ids.len()),
             )),
         }
+    }
+
+    // ---- asynchronous waits (v7 pipelined control plane) ----
+    //
+    // The reactor daemon must not pin a thread per parked `WaitTask` /
+    // `WaitAny`: these register a one-shot callback instead. Every
+    // terminal transition funnels through `complete_task` or
+    // `mark_cancelled`, which notify the inverted `by_task` index; a
+    // nonzero timeout arms a deadline on a single lazily-spawned timer
+    // thread. Semantics mirror the blocking API exactly: an expired
+    // `WaitTask` delivers the in-flight snapshot, an expired `WaitAny`
+    // delivers `ErrorCode::Timeout`, `timeout_usec == 0` parks forever.
+
+    /// Asynchronous [`Engine::wait_scoped`]. Returns the subscription
+    /// id when the wait parked (cancel it with
+    /// [`Engine::unsubscribe_wait`] if the connection dies first), or
+    /// `None` when the callback already fired — inline for validation
+    /// failures and already-terminal tasks, or from a racing
+    /// completion. Either way the callback is invoked exactly once.
+    pub fn wait_task_async(
+        self: &Arc<Self>,
+        task_id: u64,
+        timeout_usec: u64,
+        requester: Option<u64>,
+        callback: WaitCallback,
+    ) -> Option<u64> {
+        if let Err(e) = self.check_owner(task_id, requester) {
+            callback(Err(e));
+            return None;
+        }
+        self.subscribe_wait(WaitKind::Single, vec![task_id], timeout_usec, callback)
+    }
+
+    /// Asynchronous [`Engine::wait_any_scoped`] (see
+    /// [`Engine::wait_task_async`] for the callback contract).
+    pub fn wait_any_async(
+        self: &Arc<Self>,
+        task_ids: &[u64],
+        timeout_usec: u64,
+        requester: Option<u64>,
+        callback: WaitCallback,
+    ) -> Option<u64> {
+        if task_ids.is_empty() {
+            callback(Err((ErrorCode::BadArgs, "empty wait set".into())));
+            return None;
+        }
+        if task_ids.len() > norns_proto::MAX_WAIT_SET {
+            callback(Err((
+                ErrorCode::BadArgs,
+                format!(
+                    "wait set of {} exceeds the {}-id cap",
+                    task_ids.len(),
+                    norns_proto::MAX_WAIT_SET
+                ),
+            )));
+            return None;
+        }
+        for &id in task_ids {
+            if let Err(e) = self.check_owner(id, requester) {
+                callback(Err(e));
+                return None;
+            }
+        }
+        self.subscribe_wait(WaitKind::Any, task_ids.to_vec(), timeout_usec, callback)
+    }
+
+    /// Drop a parked wait whose subscriber went away (connection
+    /// closed). Returns whether the subscription was still live; its
+    /// callback is dropped unfired.
+    pub fn unsubscribe_wait(&self, sub_id: u64) -> bool {
+        self.take_sub(sub_id).is_some()
+    }
+
+    /// Parked waits currently registered (observability for tests).
+    pub fn parked_waits(&self) -> usize {
+        self.wait_subs.lock().subs.len()
+    }
+
+    fn subscribe_wait(
+        self: &Arc<Self>,
+        kind: WaitKind,
+        task_ids: Vec<u64>,
+        timeout_usec: u64,
+        callback: WaitCallback,
+    ) -> Option<u64> {
+        let sub_id = {
+            let mut ws = self.wait_subs.lock();
+            ws.next_id += 1;
+            let sub_id = ws.next_id;
+            for &t in &task_ids {
+                ws.by_task.entry(t).or_default().push(sub_id);
+            }
+            ws.subs.insert(
+                sub_id,
+                WaitSub {
+                    kind,
+                    task_ids: task_ids.clone(),
+                    callback,
+                },
+            );
+            sub_id
+        };
+        // Subscribe *then* scan: a completion racing this registration
+        // either sees the sub in `by_task` (and fires it) or we see
+        // the terminal state here — a lost wakeup is impossible, and
+        // remove-under-lock in `take_sub` picks the single firing
+        // side. Scanning in set order preserves the blocking
+        // `wait_any` tie-break (earliest listed terminal task wins).
+        for &t in &task_ids {
+            match self.tasks.snapshot(t) {
+                Some(stats) if stats.state.is_terminal() => {
+                    if let Some(sub) = self.take_sub(sub_id) {
+                        (sub.callback)(Ok((t, stats)));
+                    }
+                    return None;
+                }
+                Some(_) => {}
+                None => {
+                    if let Some(sub) = self.take_sub(sub_id) {
+                        (sub.callback)(Err((ErrorCode::NotFound, format!("task {t}"))));
+                    }
+                    return None;
+                }
+            }
+        }
+        if timeout_usec > 0 {
+            self.arm_wait_deadline(
+                sub_id,
+                Instant::now() + std::time::Duration::from_micros(timeout_usec),
+            );
+        }
+        Some(sub_id)
+    }
+
+    /// Remove a subscription and its index entries; whoever gets the
+    /// `WaitSub` back owns the one permitted callback invocation.
+    fn take_sub(&self, sub_id: u64) -> Option<WaitSub> {
+        let mut ws = self.wait_subs.lock();
+        let sub = ws.subs.remove(&sub_id)?;
+        for t in &sub.task_ids {
+            if let Some(v) = ws.by_task.get_mut(t) {
+                v.retain(|s| *s != sub_id);
+                if v.is_empty() {
+                    ws.by_task.remove(t);
+                }
+            }
+        }
+        Some(sub)
+    }
+
+    /// Fire every subscription watching `task_id`. Called after a
+    /// terminal transition is visible in the task table; callbacks run
+    /// outside the registry lock.
+    fn notify_task_waiters(&self, task_id: u64, stats: &TaskStats) {
+        let callbacks: Vec<WaitCallback> = {
+            let mut ws = self.wait_subs.lock();
+            let Some(sub_ids) = ws.by_task.remove(&task_id) else {
+                return;
+            };
+            let mut cbs = Vec::with_capacity(sub_ids.len());
+            for sid in sub_ids {
+                if let Some(sub) = ws.subs.remove(&sid) {
+                    for t in &sub.task_ids {
+                        if *t != task_id {
+                            if let Some(v) = ws.by_task.get_mut(t) {
+                                v.retain(|s| *s != sid);
+                                if v.is_empty() {
+                                    ws.by_task.remove(t);
+                                }
+                            }
+                        }
+                    }
+                    cbs.push(sub.callback);
+                }
+            }
+            cbs
+        };
+        for cb in callbacks {
+            cb(Ok((task_id, stats.clone())));
+        }
+    }
+
+    fn arm_wait_deadline(self: &Arc<Self>, sub_id: u64, deadline: Instant) {
+        {
+            let mut tm = self.wait_timer.lock();
+            if tm.stop {
+                // Engine already shut down: resolve as an immediate
+                // timeout rather than leaving the sub to dangle.
+                drop(tm);
+                self.fire_wait_timeout(sub_id);
+                return;
+            }
+            tm.heap.push(Reverse((deadline, sub_id)));
+        }
+        self.wait_timer_cv.notify_one();
+        let mut slot = self.wait_timer_thread.lock();
+        if slot.is_none() {
+            let eng = Arc::clone(self);
+            *slot = Some(
+                std::thread::Builder::new()
+                    .name("urd-wait-timer".into())
+                    .spawn(move || eng.wait_timer_loop())
+                    .expect("spawn wait-timer thread"),
+            );
+        }
+    }
+
+    fn wait_timer_loop(self: &Arc<Self>) {
+        let mut tm = self.wait_timer.lock();
+        loop {
+            if tm.stop {
+                return;
+            }
+            match tm.heap.peek().copied() {
+                None => self.wait_timer_cv.wait(&mut tm),
+                Some(Reverse((deadline, sub_id))) if deadline <= Instant::now() => {
+                    tm.heap.pop();
+                    drop(tm);
+                    self.fire_wait_timeout(sub_id);
+                    tm = self.wait_timer.lock();
+                }
+                Some(Reverse((deadline, _))) => {
+                    let _ = self.wait_timer_cv.wait_until(&mut tm, deadline);
+                }
+            }
+        }
+    }
+
+    /// Resolve a deadline. A stale heap entry (sub already fired or
+    /// unsubscribed) is a no-op — `take_sub` decides.
+    fn fire_wait_timeout(&self, sub_id: u64) {
+        let Some(sub) = self.take_sub(sub_id) else {
+            return;
+        };
+        let result = match sub.kind {
+            // Blocking `WaitTask` returns the in-flight snapshot on an
+            // expired timeout; mirror that.
+            WaitKind::Single => {
+                let id = sub.task_ids[0];
+                match self.tasks.snapshot(id) {
+                    Some(stats) => Ok((id, stats)),
+                    None => Err((ErrorCode::NotFound, format!("task {id}"))),
+                }
+            }
+            WaitKind::Any => Err((
+                ErrorCode::Timeout,
+                format!("no task of {} completed in time", sub.task_ids.len()),
+            )),
+        };
+        (sub.callback)(result);
     }
 
     pub fn clear_completions(&self) {

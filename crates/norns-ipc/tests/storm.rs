@@ -1,0 +1,410 @@
+//! Thousand-client storm against one reactor daemon.
+//!
+//! `NORNS_STORM_CLIENTS` pipelined connections (default 1000, clamped
+//! to the process fd limit — the daemon lives in-process, so each
+//! connection costs two descriptors here) are opened from a handful of
+//! driver threads and mix every verb at once: pipelined submissions
+//! (a quarter designed to fail), pings, parked forever `WaitAny`s,
+//! queries, cancels, and blocking drains. The daemon must absorb the
+//! whole storm on its fixed reactor pool — the test measures the
+//! process thread count at peak concurrency to prove there is no
+//! thread-per-connection — and at quiesce its counters must balance
+//! exactly: nothing pending, nothing running, every accepted
+//! submission accounted once as completed or cancelled. After the
+//! daemon drops, the process fd and thread counts return to their
+//! pre-spawn baselines (no leak).
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use norns_ipc::{ClientError, CtlClient, DaemonConfig, PipelinedCtl, PipelinedUser, UrdDaemon};
+use norns_proto::{
+    BackendKind, CtlRequest, DataspaceDesc, ErrorCode, JobDesc, ResourceDesc, Response, TaskOp,
+    TaskSpec,
+};
+
+const DRIVERS: usize = 8;
+
+fn temp_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("norns-ipc-storm-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// Raise the soft fd limit to the hard limit and return the soft
+/// limit in force afterwards.
+fn raise_nofile() -> u64 {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    unsafe {
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.cur < lim.max {
+            let want = RLimit {
+                cur: lim.max,
+                max: lim.max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                lim.cur = lim.max;
+            }
+        }
+    }
+    lim.cur
+}
+
+fn proc_threads() -> usize {
+    fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap()
+}
+
+fn proc_fds() -> usize {
+    fs::read_dir("/proc/self/fd").unwrap().count()
+}
+
+fn storm_clients() -> usize {
+    std::env::var("NORNS_STORM_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn copy_spec(src: String, dst: String) -> TaskSpec {
+    TaskSpec::new(
+        TaskOp::Copy,
+        ResourceDesc::PosixPath {
+            nsid: "storm0".into(),
+            path: src,
+        },
+        Some(ResourceDesc::PosixPath {
+            nsid: "storm0".into(),
+            path: dst,
+        }),
+    )
+}
+
+/// One connection's slice of the storm: what it has in flight and
+/// which submissions were admitted.
+enum StormConn {
+    Ctl {
+        conn: PipelinedCtl,
+        submit_tags: Vec<u64>,
+        ids: Vec<u64>,
+    },
+    User {
+        conn: PipelinedUser,
+        submit_tags: Vec<u64>,
+        ids: Vec<u64>,
+    },
+}
+
+#[test]
+fn thousand_client_storm() {
+    let fd_budget = raise_nofile();
+    // Two unix-socket fds per connection (both ends live in this
+    // process) plus headroom for the daemon, the dataspace files and
+    // the harness itself.
+    let clients = storm_clients()
+        .min((fd_budget.saturating_sub(512) / 2) as usize)
+        .max(DRIVERS);
+    let root = temp_root();
+
+    let fds_before = proc_fds();
+    let threads_before = proc_threads();
+
+    let daemon = UrdDaemon::spawn(
+        DaemonConfig::in_dir(root.join("sockets"))
+            .with_queue_capacity(clients * 2 + 64)
+            .with_reactors(4),
+    )
+    .unwrap();
+    {
+        let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+        ctl.register_dataspace(DataspaceDesc {
+            nsid: "storm0".into(),
+            kind: BackendKind::PosixFilesystem,
+            mount: root.join("ds").to_string_lossy().into_owned(),
+            quota: 0,
+            tracked: false,
+        })
+        .unwrap();
+        for d in 0..DRIVERS as u64 {
+            ctl.register_job(JobDesc {
+                job_id: d + 1,
+                hosts: vec!["n0".into()],
+                limits: vec![],
+            })
+            .unwrap();
+            ctl.add_process(d + 1, 50_000 + d, 1000, 1000).unwrap();
+        }
+    }
+    fs::write(root.join("ds/seed.dat"), vec![7u8; 4 << 10]).unwrap();
+
+    let accepted = Arc::new(AtomicU64::new(0));
+    // Drivers rendezvous here once every connection is open with its
+    // initial burst in flight; the main thread measures the process
+    // thread count at that peak before releasing them.
+    let at_peak = Arc::new(Barrier::new(DRIVERS + 1));
+    let measured = Arc::new(Barrier::new(DRIVERS + 1));
+    let mut handles = Vec::new();
+    for d in 0..DRIVERS {
+        let accepted = Arc::clone(&accepted);
+        let at_peak = Arc::clone(&at_peak);
+        let measured = Arc::clone(&measured);
+        let control_path = daemon.control_path.clone();
+        let user_path = daemon.user_path.clone();
+        let my_conns = clients / DRIVERS + usize::from(d < clients % DRIVERS);
+        handles.push(std::thread::spawn(move || {
+            let job = d as u64 + 1;
+            let pid = 50_000 + d as u64;
+            // Phase 1: open every connection and fire its pipelined
+            // burst (two submissions — one referencing a missing
+            // source — and a ping) without reading anything back.
+            let mut conns: Vec<StormConn> = Vec::with_capacity(my_conns);
+            for c in 0..my_conns {
+                let good = copy_spec("seed.dat".into(), format!("out/{d}/{c}.dat"));
+                let ghost = copy_spec(format!("ghost-{d}-{c}.dat"), format!("bad/{d}/{c}.dat"));
+                if c % 8 == 7 {
+                    let mut conn = PipelinedUser::with_pid(&user_path, pid).unwrap();
+                    let t1 = conn.issue_submit(good, None).unwrap();
+                    let t2 = conn.issue_submit(ghost, None).unwrap();
+                    conns.push(StormConn::User {
+                        conn,
+                        submit_tags: vec![t1, t2],
+                        ids: Vec::new(),
+                    });
+                } else {
+                    let mut conn = PipelinedCtl::connect(&control_path).unwrap();
+                    let t1 = conn
+                        .issue(
+                            &CtlRequest::SubmitTask {
+                                job_id: job,
+                                spec: good,
+                            },
+                            None,
+                        )
+                        .unwrap();
+                    let t2 = conn
+                        .issue(
+                            &CtlRequest::SubmitTask {
+                                job_id: job,
+                                spec: ghost,
+                            },
+                            None,
+                        )
+                        .unwrap();
+                    let _ping = conn.issue_ping().unwrap();
+                    conns.push(StormConn::Ctl {
+                        conn,
+                        submit_tags: vec![t1, t2],
+                        ids: Vec::new(),
+                    });
+                }
+            }
+            at_peak.wait();
+            measured.wait();
+            // Phase 2: collect the submission answers (admission
+            // pushback is legal — a Busy just drops that task), then
+            // park a forever WaitAny over each connection's ids while
+            // also querying and cancelling.
+            for sc in &mut conns {
+                match sc {
+                    StormConn::Ctl {
+                        conn,
+                        submit_tags,
+                        ids,
+                    } => {
+                        for &tag in submit_tags.iter() {
+                            match conn.wait_for(tag).unwrap() {
+                                Response::TaskSubmitted { task_id } => {
+                                    accepted.fetch_add(1, Ordering::SeqCst);
+                                    ids.push(task_id);
+                                }
+                                Response::Error {
+                                    code: ErrorCode::Busy,
+                                    ..
+                                } => {}
+                                other => panic!("submit answered {other:?}"),
+                            }
+                        }
+                        if !ids.is_empty() {
+                            let wait_tag = conn.issue_wait_any(ids, 0).unwrap();
+                            let query_tag = conn.issue_query(ids[0]).unwrap();
+                            let cancel_tag = conn
+                                .issue(
+                                    &CtlRequest::CancelTask {
+                                        task_id: *ids.last().unwrap(),
+                                    },
+                                    None,
+                                )
+                                .unwrap();
+                            // Any cancel answer is legal: pending →
+                            // cancelled, running/finished → refusal.
+                            match conn.wait_for(cancel_tag).unwrap() {
+                                Response::Ok | Response::Error { .. } => {}
+                                other => panic!("cancel answered {other:?}"),
+                            }
+                            match conn.wait_for(query_tag).unwrap() {
+                                Response::TaskStatus(_) | Response::Error { .. } => {}
+                                other => panic!("query answered {other:?}"),
+                            }
+                            match conn.wait_for(wait_tag).unwrap() {
+                                Response::TaskCompleted { task_id, stats } => {
+                                    assert!(stats.state.is_terminal());
+                                    ids.retain(|t| *t != task_id);
+                                }
+                                other => panic!("parked wait answered {other:?}"),
+                            }
+                        }
+                        // Quiesce this connection: drain the remaining
+                        // ids through blocking batch waits.
+                        while !ids.is_empty() {
+                            let (id, stats) = conn.wait_any(ids, 0).unwrap();
+                            assert!(stats.state.is_terminal());
+                            ids.retain(|t| *t != id);
+                        }
+                    }
+                    StormConn::User {
+                        conn,
+                        submit_tags,
+                        ids,
+                    } => {
+                        for &tag in submit_tags.iter() {
+                            match conn.wait_for(tag).unwrap() {
+                                Response::TaskSubmitted { task_id } => {
+                                    accepted.fetch_add(1, Ordering::SeqCst);
+                                    ids.push(task_id);
+                                }
+                                Response::Error {
+                                    code: ErrorCode::Busy,
+                                    ..
+                                } => {}
+                                other => panic!("user submit answered {other:?}"),
+                            }
+                        }
+                        if !ids.is_empty() {
+                            let query_tag = conn.issue_query(ids[0]).unwrap();
+                            let cancel_tag = conn.issue_cancel(*ids.last().unwrap()).unwrap();
+                            match conn.wait_for(cancel_tag).unwrap() {
+                                Response::Ok | Response::Error { .. } => {}
+                                other => panic!("user cancel answered {other:?}"),
+                            }
+                            match conn.wait_for(query_tag).unwrap() {
+                                Response::TaskStatus(_) | Response::Error { .. } => {}
+                                other => panic!("user query answered {other:?}"),
+                            }
+                        }
+                        for &id in ids.iter() {
+                            let stats = conn.wait(id, 0).unwrap();
+                            assert!(stats.state.is_terminal());
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    at_peak.wait();
+    let threads_at_peak = proc_threads();
+    measured.wait();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The daemon's thread count must be bounded by its fixed pools
+    // (reactors + engine workers + wait timer), not by the number of
+    // connections: with thread-per-connection the peak would exceed
+    // the baseline by at least `clients`.
+    let peak_growth = threads_at_peak.saturating_sub(threads_before);
+    assert!(
+        peak_growth < DRIVERS + 64,
+        "thread count grew by {peak_growth} at {clients} clients — thread-per-connection?"
+    );
+
+    let accepted = accepted.load(Ordering::SeqCst);
+    assert!(
+        accepted > clients as u64,
+        "the storm must mostly be admitted (got {accepted} of {})",
+        clients * 2
+    );
+    let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+    let status = ctl.status().unwrap();
+    assert_eq!(status.pending_tasks, 0, "quiesced: nothing pending");
+    assert_eq!(status.running_tasks, 0, "quiesced: nothing running");
+    assert_eq!(
+        status.completed_tasks + status.cancelled_tasks,
+        accepted,
+        "every accepted submission is accounted exactly once: {status:?}"
+    );
+    assert_eq!(
+        status.accept_errors, 0,
+        "a clean storm must not trip the acceptor backoff"
+    );
+    drop(ctl);
+    drop(daemon);
+
+    // Everything the storm opened — client ends, accepted ends, the
+    // epoll/eventfd instances, the data-plane listener — must be gone.
+    let fds_after = proc_fds();
+    assert!(
+        fds_after <= fds_before + 4,
+        "fd leak: {fds_before} before the daemon, {fds_after} after drop"
+    );
+    let threads_after = proc_threads();
+    assert!(
+        threads_after <= threads_before + 2,
+        "thread leak: {threads_before} before the daemon, {threads_after} after drop"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// `demux` must reject frames whose tag was never issued or was
+/// already answered — a protocol violation surfaces as an error, never
+/// a panic or a silent drop.
+#[test]
+fn demux_rejects_unknown_and_duplicate_tags() {
+    use std::collections::HashSet;
+
+    use norns_ipc::client::demux;
+    use norns_proto::encode_tagged;
+
+    let mut pending: HashSet<u64> = [3u64, 9].into_iter().collect();
+
+    // Unknown tag: never issued.
+    let err = demux(&mut pending, encode_tagged(17, &Response::Ok)).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Protocol(ref m) if m.contains("17")),
+        "unknown tag must be a protocol error, got {err:?}"
+    );
+
+    // Issued tag demuxes fine...
+    let (tag, resp) = demux(&mut pending, encode_tagged(3, &Response::Ok)).unwrap();
+    assert_eq!(tag, 3);
+    assert!(matches!(resp, Response::Ok));
+
+    // ...but a second answer for the same tag is a duplicate.
+    let err = demux(&mut pending, encode_tagged(3, &Response::Ok)).unwrap_err();
+    assert!(matches!(err, ClientError::Protocol(_)));
+
+    // Garbage that fails varint/response decoding is an error too.
+    let garbage = bytes::Bytes::from_static(&[0xff; 3]);
+    assert!(demux(&mut pending, garbage).is_err());
+}

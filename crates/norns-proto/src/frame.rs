@@ -36,8 +36,16 @@ use crate::wire::WireError;
 /// `Response::DirEntries` answer (capped at `MAX_DIR_ENTRIES` names) —
 /// what real-mode `scatter`/`gather` planning uses to split a
 /// directory's children across a job's nodes instead of replicating
-/// them. Older peers are rejected at the framing layer.
-pub const PROTOCOL_VERSION: u8 = 6;
+/// them. v7 made the control and user planes pipelined: every request
+/// and response payload on those sockets is prefixed with a varint
+/// `tag` (see [`crate::encode_tagged`]) echoed back verbatim, so a
+/// client can keep many requests outstanding on one connection and
+/// match responses arriving out of order — long waits no longer
+/// monopolize a connection. `DaemonStatus` gained `accept_errors` and
+/// `open_connections` so connection storms are observable. The
+/// daemon-to-daemon data plane stays untagged (strictly sequential).
+/// Older peers are rejected at the framing layer.
+pub const PROTOCOL_VERSION: u8 = 7;
 
 /// Frames larger than this are rejected outright (a corrupt or hostile
 /// peer must not make the daemon allocate gigabytes).
@@ -61,6 +69,27 @@ pub fn encode_frame(payload: &[u8]) -> Bytes {
     buf.put_slice(&header);
     buf.put_slice(payload);
     buf.freeze()
+}
+
+/// Encode a v7 control/user-plane payload: varint `tag` followed by
+/// the message body. The daemon echoes the tag back on the matching
+/// response, which is what lets a client keep many requests
+/// outstanding on one connection and demultiplex out-of-order
+/// completions. Frame header and [`FrameReader`] are unchanged — the
+/// tag lives inside the payload.
+pub fn encode_tagged<T: crate::wire::Wire>(tag: u64, msg: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    crate::wire::put_varint(&mut buf, tag);
+    msg.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decode a v7 tagged payload into `(tag, message)`.
+pub fn decode_tagged<T: crate::wire::Wire>(payload: Bytes) -> Result<(u64, T), WireError> {
+    let mut buf = payload;
+    let tag = crate::wire::get_varint(&mut buf)?;
+    let msg = T::decode(&mut buf)?;
+    Ok((tag, msg))
 }
 
 /// Errors surfaced by the incremental reader.

@@ -19,7 +19,8 @@ pub mod messages;
 pub mod wire;
 
 pub use frame::{
-    encode_frame, frame_header, FrameError, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    decode_tagged, encode_frame, encode_tagged, frame_header, FrameError, FrameReader,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use messages::{
     BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataRequest, DataResponse, DataspaceDesc,

@@ -841,6 +841,11 @@ pub struct DaemonStatus {
     /// TCP address of the daemon's remote-staging data plane, empty
     /// when no data-plane listener is configured (v4).
     pub data_addr: String,
+    /// Listener `accept(2)` failures since start — nonzero under fd
+    /// exhaustion (EMFILE) or similar pressure (v7).
+    pub accept_errors: u64,
+    /// Control/user connections currently open on the reactor (v7).
+    pub open_connections: u64,
 }
 
 impl Wire for DaemonStatus {
@@ -854,6 +859,8 @@ impl Wire for DaemonStatus {
         put_varint(buf, self.registered_dataspaces);
         put_varint(buf, self.chunk_size);
         put_str(buf, &self.data_addr);
+        put_varint(buf, self.accept_errors);
+        put_varint(buf, self.open_connections);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -867,6 +874,8 @@ impl Wire for DaemonStatus {
             registered_dataspaces: get_varint(buf)?,
             chunk_size: get_varint(buf)?,
             data_addr: get_str(buf)?,
+            accept_errors: get_varint(buf)?,
+            open_connections: get_varint(buf)?,
         })
     }
 }
@@ -1341,6 +1350,8 @@ mod tests {
                 registered_dataspaces: 5,
                 chunk_size: 8 << 20,
                 data_addr: "127.0.0.1:40971".into(),
+                accept_errors: 9,
+                open_connections: 1024,
             }),
             Response::Dataspaces(vec![DataspaceDesc {
                 nsid: "nvme0".into(),

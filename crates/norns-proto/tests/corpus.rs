@@ -8,10 +8,10 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use norns_proto::{
-    encode_frame, BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataRequest, DataResponse,
-    DataspaceDesc, ErrorCode, FrameError, FrameReader, JobDesc, ResourceDesc, Response, TaskOp,
-    TaskSpec, TaskState, TaskStats, UserRequest, Wire, MAX_DIR_ENTRIES, MAX_FRAME_LEN,
-    MAX_WAIT_SET, PROTOCOL_VERSION,
+    decode_tagged, encode_frame, encode_tagged, BackendKind, CtlRequest, DaemonCommand,
+    DaemonStatus, DataRequest, DataResponse, DataspaceDesc, ErrorCode, FrameError, FrameReader,
+    JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats, UserRequest, Wire,
+    MAX_DIR_ENTRIES, MAX_FRAME_LEN, MAX_WAIT_SET, PROTOCOL_VERSION,
 };
 
 fn sample_spec() -> TaskSpec {
@@ -215,6 +215,8 @@ fn response_corpus() -> Vec<Response> {
             registered_dataspaces: 6,
             chunk_size: 8 << 20,
             data_addr: "127.0.0.1:40971".into(),
+            accept_errors: u64::MAX,
+            open_connections: 4096,
         }),
         Response::Dataspaces(vec![]),
         Response::TaskSubmitted { task_id: u64::MAX },
@@ -417,5 +419,78 @@ fn garbage_streams_never_panic() {
         reader.extend(&garbage);
         // Drain until the reader errors or wants more input.
         while let Ok(Some(_)) = reader.next_frame() {}
+    }
+}
+
+/// The tag values worth exercising: zero, a one-byte varint, the
+/// 1/2-byte varint boundary, and the full 10-byte encoding.
+const TAG_CORPUS: [u64; 5] = [0, 1, 0x7f, 0x80, u64::MAX];
+
+#[test]
+fn v7_tagged_payloads_roundtrip_for_every_message() {
+    for tag in TAG_CORPUS {
+        for msg in ctl_corpus() {
+            let (t, got) = decode_tagged::<CtlRequest>(encode_tagged(tag, &msg)).unwrap();
+            assert_eq!((t, got), (tag, msg));
+        }
+        for msg in user_corpus() {
+            let (t, got) = decode_tagged::<UserRequest>(encode_tagged(tag, &msg)).unwrap();
+            assert_eq!((t, got), (tag, msg));
+        }
+        for msg in response_corpus() {
+            let (t, got) = decode_tagged::<Response>(encode_tagged(tag, &msg)).unwrap();
+            assert_eq!((t, got), (tag, msg));
+        }
+    }
+}
+
+#[test]
+fn truncated_tagged_payloads_error_without_panic() {
+    // An empty payload has no tag at all.
+    assert!(decode_tagged::<Response>(Bytes::new()).is_err());
+    for tag in TAG_CORPUS {
+        for msg in response_corpus() {
+            let bytes = encode_tagged(tag, &msg);
+            for cut in 0..bytes.len() {
+                let _ = decode_tagged::<Response>(bytes.slice(0..cut));
+            }
+            assert!(
+                decode_tagged::<Response>(bytes.slice(0..bytes.len() - 1)).is_err(),
+                "tagged {msg:?} decoded with its last byte missing"
+            );
+        }
+    }
+    // A frame that is *only* a tag (varint present, message body
+    // absent) must also error, not panic.
+    for tag in TAG_CORPUS {
+        let mut buf = BytesMut::new();
+        norns_proto::wire::put_varint(&mut buf, tag);
+        assert!(decode_tagged::<CtlRequest>(buf.freeze()).is_err());
+    }
+}
+
+#[test]
+fn v7_tagged_frames_survive_the_framing_layer() {
+    // A pipelined burst: many tagged requests coalesced into one byte
+    // stream, delivered in awkward chunks, decode back in order with
+    // their tags intact.
+    let reqs: Vec<CtlRequest> = ctl_corpus();
+    let mut stream = BytesMut::new();
+    for (i, r) in reqs.iter().enumerate() {
+        stream.put_slice(&encode_frame(&encode_tagged(i as u64, r)));
+    }
+    let stream = stream.freeze();
+    let mut reader = FrameReader::new();
+    let mut seen = Vec::new();
+    for chunk in stream.chunks(7) {
+        reader.extend(chunk);
+        while let Some(frame) = reader.next_frame().unwrap() {
+            seen.push(decode_tagged::<CtlRequest>(frame).unwrap());
+        }
+    }
+    assert_eq!(seen.len(), reqs.len());
+    for (i, (tag, req)) in seen.into_iter().enumerate() {
+        assert_eq!(tag, i as u64);
+        assert_eq!(req, reqs[i]);
     }
 }
