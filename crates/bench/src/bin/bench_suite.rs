@@ -127,6 +127,9 @@ struct RLimit {
     max: u64,
 }
 
+// SAFETY: `RLimit` above is `#[repr(C)]` with two u64 fields, the
+// exact layout of glibc's `struct rlimit` on 64-bit Linux, and the
+// signatures match the headers.
 extern "C" {
     fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
     fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
@@ -137,6 +140,8 @@ extern "C" {
 fn raise_nofile() {
     const RLIMIT_NOFILE: i32 = 7;
     let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: both calls receive pointers to live, initialised stack
+    // `RLimit` values matching the declared parameter types.
     unsafe {
         if getrlimit(RLIMIT_NOFILE, &mut lim) == 0 && lim.cur < lim.max {
             let want = RLimit {

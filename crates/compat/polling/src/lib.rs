@@ -33,6 +33,10 @@ struct EpollEvent {
     data: u64,
 }
 
+// SAFETY: signatures transcribed from the glibc headers for x86_64
+// Linux; every call site passes fds owned by the enclosing type and
+// pointers derived from live stack/heap allocations of the declared
+// length.
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -117,6 +121,8 @@ pub struct Poller {
 
 impl Poller {
     pub fn new() -> io::Result<Poller> {
+        // SAFETY: no pointers involved; the returned fd (or -1) is
+        // range-checked by `cvt` before use.
         let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
         Ok(Poller { epfd })
     }
@@ -126,6 +132,9 @@ impl Poller {
             events: interest.bits(),
             data: key,
         };
+        // SAFETY: `ev` is a live stack value for the duration of the
+        // call; the kernel copies it before returning, so the pointer
+        // never outlives the borrow.
         cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
     }
 
@@ -145,6 +154,8 @@ impl Poller {
         // The event argument must be non-null on pre-2.6.9 kernels;
         // passing one unconditionally costs nothing.
         let mut ev = EpollEvent { events: 0, data: 0 };
+        // SAFETY: `ev` outlives the call (the kernel ignores it for
+        // DEL on modern kernels but may still read it).
         cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
     }
 
@@ -167,6 +178,10 @@ impl Poller {
         };
         let mut raw = [EpollEvent { events: 0, data: 0 }; 64];
         let n = loop {
+            // SAFETY: `raw` is a live array of exactly `raw.len()`
+            // `EpollEvent`s; the kernel writes at most `maxevents`
+            // entries, and only `raw[..n]` (kernel-initialised) is
+            // read afterwards.
             let r =
                 unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms) };
             if r >= 0 {
@@ -195,15 +210,21 @@ impl Poller {
 
 impl Drop for Poller {
     fn drop(&mut self) {
+        // SAFETY: `epfd` was returned by `epoll_create1` in `new` and
+        // is owned exclusively by this value, so this is the only
+        // close; double-close of someone else's fd is impossible.
         unsafe {
             close(self.epfd);
         }
     }
 }
 
-// The epoll fd is just an fd; waiting from one thread while another
-// calls add/modify/delete is exactly the kernel-supported use.
+// SAFETY: `Poller` is only an owned epoll fd. The kernel explicitly
+// supports one thread blocking in `epoll_wait` while others call
+// `epoll_ctl` on the same fd, so shared cross-thread use is sound.
 unsafe impl Send for Poller {}
+// SAFETY: see the `Send` impl above — all methods take `&self` and
+// delegate the synchronisation to the kernel.
 unsafe impl Sync for Poller {}
 
 /// Wakes a [`Poller`] out of `wait` from any thread via an eventfd
@@ -218,8 +239,13 @@ pub struct Waker {
 impl Waker {
     /// Create the eventfd and register it on `poller` under `key`.
     pub fn new(poller: &Poller, key: u64) -> io::Result<Waker> {
+        // SAFETY: no pointers; the returned fd (or -1) goes through
+        // `cvt` before use.
         let efd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
         if let Err(e) = poller.add(efd, key, Interest::READ) {
+            // SAFETY: `efd` was created two lines up, is not yet
+            // stored anywhere, and registration failed — closing it
+            // here is the sole owner releasing it.
             unsafe {
                 close(efd);
             }
@@ -233,6 +259,9 @@ impl Waker {
     /// saturates, at which point the poller is awake anyway.
     pub fn wake(&self) {
         let one: u64 = 1;
+        // SAFETY: the pointer refers to the live 8-byte stack value
+        // `one` and the length passed is exactly 8; eventfd writes
+        // must be 8 bytes.
         unsafe {
             let _ = write(self.efd, (&one as *const u64).cast(), 8);
         }
@@ -241,6 +270,9 @@ impl Waker {
     /// Reset the counter after the poller observed the wake.
     pub fn drain(&self) {
         let mut buf: u64 = 0;
+        // SAFETY: the pointer refers to the live 8-byte stack value
+        // `buf`, matching the passed length; the kernel writes at most
+        // 8 bytes into it.
         unsafe {
             let _ = read(self.efd, (&mut buf as *mut u64).cast(), 8);
         }
@@ -249,13 +281,21 @@ impl Waker {
 
 impl Drop for Waker {
     fn drop(&mut self) {
+        // SAFETY: `efd` is owned exclusively by this value (created in
+        // `new`, never duplicated), so this close cannot race another
+        // user of the descriptor.
         unsafe {
             close(self.efd);
         }
     }
 }
 
+// SAFETY: `Waker` is only an owned eventfd. `write(2)` on an eventfd
+// is atomic and thread-safe, which is the whole point: `wake()` is
+// called from arbitrary threads.
 unsafe impl Send for Waker {}
+// SAFETY: see the `Send` impl above — `wake`/`drain` take `&self` and
+// the kernel serialises the counter updates.
 unsafe impl Sync for Waker {}
 
 #[cfg(test)]

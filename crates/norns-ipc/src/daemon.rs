@@ -433,6 +433,11 @@ impl Shared {
         let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.reactor_threads.lock());
         for handle in threads {
             if handle.thread().id() != me {
+                // Shutdown is deliberately serialised behind
+                // `shutdown_done`: a second caller must block until
+                // the joins complete so it observes a fully torn-down
+                // daemon, and no other code path takes this mutex.
+                // norns-lint: allow(lock-across-blocking): shutdown join is intentionally serialised under `shutdown_done`
                 let _ = handle.join();
             }
         }

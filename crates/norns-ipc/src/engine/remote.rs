@@ -140,6 +140,8 @@ fn sendfile_once(socket: &TcpStream, file: &File, offset: u64, len: usize) -> io
     use std::os::unix::io::AsRawFd;
     // Declared directly (glibc) — the workspace builds offline with no
     // libc crate.
+    // SAFETY: signature transcribed from the glibc header for x86_64
+    // Linux (`sendfile64` is the default under _FILE_OFFSET_BITS=64).
     extern "C" {
         fn sendfile(
             out_fd: std::ffi::c_int,
@@ -149,6 +151,9 @@ fn sendfile_once(socket: &TcpStream, file: &File, offset: u64, len: usize) -> io
         ) -> isize;
     }
     let mut off = offset as i64;
+    // SAFETY: both fds are live for the duration of the call (borrowed
+    // from `&TcpStream` / `&File`), and `off` is a live stack i64 the
+    // kernel updates in place.
     let n = unsafe { sendfile(socket.as_raw_fd(), file.as_raw_fd(), &mut off, len) };
     if n < 0 {
         Err(io::Error::last_os_error())

@@ -68,6 +68,8 @@ fn copy_file_range_once(
     use std::os::unix::io::AsRawFd;
     // Declared directly (glibc ≥ 2.27) — the workspace builds offline
     // with no libc crate.
+    // SAFETY: signature transcribed from the glibc header; `loff_t` is
+    // i64 on every Linux target this repo builds for.
     extern "C" {
         fn copy_file_range(
             fd_in: std::ffi::c_int,
@@ -80,6 +82,9 @@ fn copy_file_range_once(
     }
     let mut off_in = src_off as i64;
     let mut off_out = dst_off as i64;
+    // SAFETY: both fds are live (borrowed from `&File`s) and the two
+    // offset pointers refer to live stack i64s the kernel advances;
+    // the explicit offsets mean no shared cursor is mutated.
     let n = unsafe {
         copy_file_range(
             src.as_raw_fd(),

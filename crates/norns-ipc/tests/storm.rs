@@ -42,6 +42,9 @@ struct RLimit {
 
 const RLIMIT_NOFILE: i32 = 7;
 
+// SAFETY: `RLimit` above is `#[repr(C)]` with two u64 fields, the
+// exact layout of glibc's `struct rlimit` on 64-bit Linux, and the
+// signatures match the headers.
 extern "C" {
     fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
     fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
@@ -51,6 +54,8 @@ extern "C" {
 /// limit in force afterwards.
 fn raise_nofile() -> u64 {
     let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: both calls receive pointers to live, initialised stack
+    // `RLimit` values matching the declared parameter types.
     unsafe {
         if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
             return 1024;

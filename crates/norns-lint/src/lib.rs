@@ -1,0 +1,565 @@
+//! `norns-lint`: a self-contained, offline static-analysis pass for
+//! this workspace. No crates.io dependencies — a hand-rolled lexer
+//! ([`lexer`]) feeds three analyses:
+//!
+//! * [`safety`] — `unsafe-safety-comment`: every `unsafe` block /
+//!   `unsafe fn` / `unsafe impl` and every `extern "C"` declaration
+//!   must carry a `// SAFETY:` comment stating the invariant it rests
+//!   on.
+//! * [`locks`] — `lock-across-blocking`: a `Mutex`/`RwLock` guard must
+//!   not be live across a deny-listed blocking call (`write_all`,
+//!   `connect`, `sleep`, `join`, ...) in reactor/engine code paths;
+//!   and `lock-order-cycle`: the per-function nested lock-acquisition
+//!   graph must be acyclic.
+//! * [`wire`] — `wire-exhaustiveness`: every variant of every
+//!   `norns-proto` message enum must appear in the wire corpus test
+//!   and every request variant in the daemon dispatch, so a future
+//!   protocol bump cannot ship a silently untested or unhandled
+//!   variant.
+//!
+//! Any finding can be waived **with a reason** via an inline marker on
+//! (or directly above) the offending line:
+//!
+//! ```text
+//! // norns-lint: allow(lock-across-blocking): shutdown is
+//! ```
+//!
+//! A marker without a reason is itself a finding
+//! (`bad-allow-marker`). Suppressed findings stay in the machine
+//! -readable report (`results/lint.json`) with their justification.
+
+pub mod lexer;
+pub mod locks;
+pub mod safety;
+pub mod wire;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The rules this tool knows. `BadAllowMarker` is not waivable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    UnsafeSafetyComment,
+    LockAcrossBlocking,
+    LockOrderCycle,
+    WireExhaustiveness,
+    BadAllowMarker,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnsafeSafetyComment => "unsafe-safety-comment",
+            Rule::LockAcrossBlocking => "lock-across-blocking",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::WireExhaustiveness => "wire-exhaustiveness",
+            Rule::BadAllowMarker => "bad-allow-marker",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Rule> {
+        Some(match s {
+            "unsafe-safety-comment" => Rule::UnsafeSafetyComment,
+            "lock-across-blocking" => Rule::LockAcrossBlocking,
+            "lock-order-cycle" => Rule::LockOrderCycle,
+            "wire-exhaustiveness" => Rule::WireExhaustiveness,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding. `allowed` carries the justification when an allow
+/// marker waived it; such findings do not fail `--check` but stay in
+/// the JSON inventory.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    pub allowed: Option<String>,
+}
+
+/// A parsed `// norns-lint: allow(rule): reason` marker. `target_line`
+/// is the code line the marker governs: its own line for trailing
+/// markers, the next line carrying code for standalone ones.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: Rule,
+    pub reason: String,
+    pub target_line: u32,
+}
+
+/// A lexed source file plus its allow markers, keyed by
+/// workspace-relative path.
+pub struct FileCtx {
+    pub path: PathBuf,
+    pub rel: String,
+    pub lexed: lexer::Lexed,
+    pub allows: Vec<Allow>,
+}
+
+impl FileCtx {
+    /// The waiver reason for `rule` at `line`, if any marker targets it.
+    pub fn allow_for(&self, rule: Rule, line: u32) -> Option<&str> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && a.target_line == line)
+            .map(|a| a.reason.as_str())
+    }
+}
+
+/// Which files each analysis runs over. Build one by hand for fixture
+/// tests, or use [`Config::workspace`] for the live tree.
+pub struct Config {
+    pub root: PathBuf,
+    /// `unsafe-safety-comment` scan set (normally: every `.rs` file).
+    pub safety_files: Vec<PathBuf>,
+    /// Lock-discipline scan set (reactor/engine code paths).
+    pub lock_files: Vec<PathBuf>,
+    pub wire: Option<wire::WireConfig>,
+}
+
+impl Config {
+    /// The live-workspace configuration: unsafe hygiene everywhere,
+    /// lock discipline over the concurrent crates (`norns-ipc`,
+    /// `norns-flow`), wire exhaustiveness over `norns-proto` against
+    /// the corpus test and the daemon/remote dispatch sites.
+    pub fn workspace(root: &Path) -> io::Result<Config> {
+        let mut safety_files = Vec::new();
+        walk_rs(root, &mut safety_files)?;
+        let mut lock_files = Vec::new();
+        for sub in ["crates/norns-ipc/src", "crates/norns-flow/src"] {
+            walk_rs(&root.join(sub), &mut lock_files)?;
+        }
+        let wire = wire::WireConfig {
+            messages: root.join("crates/norns-proto/src/messages.rs"),
+            corpus: root.join("crates/norns-proto/tests/corpus.rs"),
+            dispatch: vec![
+                wire::DispatchTarget {
+                    enums: vec![
+                        "CtlRequest".into(),
+                        "UserRequest".into(),
+                        "DataRequest".into(),
+                        "DaemonCommand".into(),
+                    ],
+                    file: root.join("crates/norns-ipc/src/daemon.rs"),
+                },
+                wire::DispatchTarget {
+                    enums: vec!["DataResponse".into()],
+                    file: root.join("crates/norns-ipc/src/engine/remote.rs"),
+                },
+            ],
+        };
+        Ok(Config {
+            root: root.to_path_buf(),
+            safety_files,
+            lock_files,
+            wire: Some(wire),
+        })
+    }
+}
+
+/// Recursively collect `.rs` files, skipping build output, VCS
+/// internals, and this tool's own lint fixtures (which are bad on
+/// purpose).
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// One `unsafe` / `extern "C"` site for the JSON inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// "unsafe block" | "unsafe fn" | "unsafe impl" | "extern block".
+    pub kind: &'static str,
+    pub has_safety_comment: bool,
+    pub allowed: bool,
+}
+
+/// One nested-acquisition edge: `acquired` was taken while `held` was
+/// live, in `func` at `file:line`.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub held: String,
+    pub acquired: String,
+    pub func: String,
+    pub file: String,
+    pub line: u32,
+    pub allowed: bool,
+}
+
+/// Wire-rule inventory: every enum and its variants, plus what the
+/// coverage cross-checks concluded.
+#[derive(Debug, Clone, Default)]
+pub struct WireSummary {
+    pub enums: BTreeMap<String, Vec<String>>,
+    pub corpus_missing: Vec<String>,
+    pub dispatch_missing: Vec<String>,
+}
+
+/// Everything one run produced.
+#[derive(Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub lock_names: Vec<String>,
+    pub lock_edges: Vec<LockEdge>,
+    pub wire: Option<WireSummary>,
+}
+
+impl Report {
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+
+    pub fn unsuppressed_count(&self) -> usize {
+        self.unsuppressed().count()
+    }
+
+    fn counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        for rule in [
+            Rule::UnsafeSafetyComment,
+            Rule::LockAcrossBlocking,
+            Rule::LockOrderCycle,
+            Rule::WireExhaustiveness,
+            Rule::BadAllowMarker,
+        ] {
+            counts.insert(rule.name(), (0, 0));
+        }
+        for f in &self.findings {
+            let slot = counts.entry(f.rule.name()).or_default();
+            if f.allowed.is_some() {
+                slot.1 += 1;
+            } else {
+                slot.0 += 1;
+            }
+        }
+        counts
+    }
+
+    /// The human-readable report `--check` prints.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in self.findings.iter().filter(|f| f.allowed.is_none()) {
+            s.push_str(&format!(
+                "error[{}]: {}\n  --> {}:{}\n",
+                f.rule, f.message, f.file, f.line
+            ));
+        }
+        let waived: Vec<&Finding> = self
+            .findings
+            .iter()
+            .filter(|f| f.allowed.is_some())
+            .collect();
+        if !waived.is_empty() {
+            s.push_str(&format!("{} waived finding(s):\n", waived.len()));
+            for f in waived {
+                s.push_str(&format!(
+                    "  allow[{}] {}:{} — {}\n",
+                    f.rule,
+                    f.file,
+                    f.line,
+                    f.allowed.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        s.push_str("rule                     fail  waived\n");
+        for (rule, (fail, waived)) in self.counts() {
+            s.push_str(&format!("{rule:<24} {fail:>4} {waived:>6}\n"));
+        }
+        s.push_str(&format!(
+            "unsafe sites: {} ({} with SAFETY), lock names: {}, lock edges: {}\n",
+            self.unsafe_sites.len(),
+            self.unsafe_sites
+                .iter()
+                .filter(|u| u.has_safety_comment)
+                .count(),
+            self.lock_names.len(),
+            self.lock_edges.len(),
+        ));
+        s
+    }
+
+    /// The machine-readable inventory written to `results/lint.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": 1,\n  \"counts\": {");
+        let counts = self.counts();
+        let mut first = true;
+        for (rule, (fail, waived)) in &counts {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {}: {{\"fail\": {fail}, \"waived\": {waived}}}",
+                json_str(rule)
+            ));
+        }
+        s.push_str("\n  },\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"allowed\": {}}}",
+                json_str(f.rule.name()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                match &f.allowed {
+                    Some(reason) => json_str(reason),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        s.push_str("\n  ],\n  \"unsafe_sites\": [");
+        for (i, u) in self.unsafe_sites.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"kind\": {}, \"safety_comment\": {}, \"allowed\": {}}}",
+                json_str(&u.file),
+                u.line,
+                json_str(u.kind),
+                u.has_safety_comment,
+                u.allowed
+            ));
+        }
+        s.push_str("\n  ],\n  \"lock_graph\": {\n    \"locks\": [");
+        for (i, name) in self.lock_names.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(name));
+        }
+        s.push_str("],\n    \"edges\": [");
+        for (i, e) in self.lock_edges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n      {{\"held\": {}, \"acquired\": {}, \"fn\": {}, \"file\": {}, \"line\": {}, \"allowed\": {}}}",
+                json_str(&e.held),
+                json_str(&e.acquired),
+                json_str(&e.func),
+                json_str(&e.file),
+                e.line,
+                e.allowed
+            ));
+        }
+        s.push_str("\n    ]\n  }");
+        if let Some(w) = &self.wire {
+            s.push_str(",\n  \"wire\": {\n    \"enums\": {");
+            let mut first = true;
+            for (name, variants) in &w.enums {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!("\n      {}: [", json_str(name)));
+                for (i, v) in variants.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&json_str(v));
+                }
+                s.push(']');
+            }
+            s.push_str("\n    },\n    \"corpus_missing\": [");
+            for (i, v) in w.corpus_missing.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&json_str(v));
+            }
+            s.push_str("],\n    \"dispatch_missing\": [");
+            for (i, v) in w.dispatch_missing.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&json_str(v));
+            }
+            s.push_str("]\n  }");
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Load, lex, and marker-parse one file. Marker parse errors become
+/// `bad-allow-marker` findings appended to `findings`.
+pub fn load_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) -> io::Result<FileCtx> {
+    let src = fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .into_owned();
+    let lexed = lexer::lex(&src);
+    let code_lines = lexed.code_lines();
+    let mut allows = Vec::new();
+    for comment in &lexed.comments {
+        for (off, line_text) in comment.text.lines().enumerate() {
+            let trimmed = line_text.trim_start_matches(['/', '!', '*']).trim();
+            let Some(rest) = trimmed.strip_prefix("norns-lint:") else {
+                continue;
+            };
+            let marker_line = comment.line + off as u32;
+            let rest = rest.trim();
+            let parsed = (|| {
+                let body = rest.strip_prefix("allow(")?;
+                let close = body.find(')')?;
+                let rule_name = body[..close].trim();
+                let after = body[close + 1..].trim();
+                let reason = after.strip_prefix(':')?.trim();
+                Some((rule_name.to_string(), reason.to_string()))
+            })();
+            let Some((rule_name, reason)) = parsed else {
+                findings.push(Finding {
+                    rule: Rule::BadAllowMarker,
+                    file: rel.clone(),
+                    line: marker_line,
+                    message: format!(
+                        "malformed marker `norns-lint: {rest}` — expected \
+                         `norns-lint: allow(<rule>): <reason>`"
+                    ),
+                    allowed: None,
+                });
+                continue;
+            };
+            let Some(rule) = Rule::from_name(&rule_name) else {
+                findings.push(Finding {
+                    rule: Rule::BadAllowMarker,
+                    file: rel.clone(),
+                    line: marker_line,
+                    message: format!("unknown rule `{rule_name}` in allow marker"),
+                    allowed: None,
+                });
+                continue;
+            };
+            if reason.is_empty() {
+                findings.push(Finding {
+                    rule: Rule::BadAllowMarker,
+                    file: rel.clone(),
+                    line: marker_line,
+                    message: format!(
+                        "allow({rule_name}) marker without a reason — every waiver \
+                         must say why"
+                    ),
+                    allowed: None,
+                });
+                continue;
+            }
+            // A trailing marker governs its own line; a standalone one
+            // governs the next line that carries code.
+            let target_line = if comment.trailing && off == 0 {
+                marker_line
+            } else {
+                code_lines
+                    .range(marker_line + 1..)
+                    .next()
+                    .copied()
+                    .unwrap_or(marker_line)
+            };
+            allows.push(Allow {
+                rule,
+                reason,
+                target_line,
+            });
+        }
+    }
+    Ok(FileCtx {
+        path: path.to_path_buf(),
+        rel,
+        lexed,
+        allows,
+    })
+}
+
+/// Run every configured analysis and assemble the report.
+pub fn run(cfg: &Config) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    // Load each file once, even when it is in several scan sets.
+    let mut cache: BTreeMap<PathBuf, FileCtx> = BTreeMap::new();
+    let load = |path: &Path,
+                findings: &mut Vec<Finding>,
+                cache: &mut BTreeMap<PathBuf, FileCtx>|
+     -> io::Result<()> {
+        if !cache.contains_key(path) {
+            let ctx = load_file(&cfg.root, path, findings)?;
+            cache.insert(path.to_path_buf(), ctx);
+        }
+        Ok(())
+    };
+
+    for path in cfg.safety_files.iter().chain(&cfg.lock_files) {
+        load(path, &mut report.findings, &mut cache)?;
+    }
+
+    for path in &cfg.safety_files {
+        let ctx = &cache[path];
+        safety::check(ctx, &mut report);
+    }
+
+    let lock_ctxs: Vec<&FileCtx> = cfg.lock_files.iter().map(|p| &cache[p]).collect();
+    locks::check(&lock_ctxs, &mut report);
+
+    if let Some(wire_cfg) = &cfg.wire {
+        wire::check(&cfg.root, wire_cfg, &mut report)?;
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    Ok(report)
+}

@@ -1,0 +1,141 @@
+//! Rule `unsafe-safety-comment`: every `unsafe` block, `unsafe fn`,
+//! `unsafe impl`, and `extern "C"` declaration block must carry a
+//! `// SAFETY:` comment stating the invariant that makes it sound.
+//!
+//! The comment is looked for (a) on any line of the statement holding
+//! the `unsafe` token — rustfmt may push the token onto a continuation
+//! line — or (b) in the contiguous comment block directly above that
+//! statement; attribute lines (`#[cfg(...)]`) between the comment and
+//! the site are skipped, matching how rustdoc comments attach.
+
+use crate::lexer::{Tok, Token};
+use crate::{FileCtx, Finding, Report, Rule, UnsafeSite};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Scan one file and append findings + inventory entries.
+pub fn check(ctx: &FileCtx, report: &mut Report) {
+    let toks = &ctx.lexed.tokens;
+    // Comments by line: standalone (whole-line) and any (incl.
+    // trailing), both needed for the two attachment forms.
+    let mut standalone: BTreeMap<u32, String> = BTreeMap::new();
+    let mut by_line: BTreeMap<u32, String> = BTreeMap::new();
+    for c in &ctx.lexed.comments {
+        for (off, text) in c.text.lines().enumerate() {
+            let line = c.line + off as u32;
+            by_line.entry(line).or_default().push_str(text);
+            if !(c.trailing && off == 0) {
+                standalone.entry(line).or_default().push_str(text);
+            }
+        }
+        // A line comment has exactly one line; cover the empty-text
+        // case (e.g. a bare `//`).
+        if c.text.is_empty() {
+            by_line.entry(c.line).or_default();
+            if !c.trailing {
+                standalone.entry(c.line).or_default();
+            }
+        }
+    }
+    // Lines whose first code token is `#` start an attribute.
+    let mut first_tok_on_line: BTreeMap<u32, &Tok> = BTreeMap::new();
+    let code_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+    for t in toks {
+        first_tok_on_line.entry(t.line).or_insert(&t.kind);
+    }
+
+    let has_safety = |stmt_line: u32, site_line: u32| -> bool {
+        // Anywhere within the statement, including trailing comments.
+        if (stmt_line..=site_line).any(|l| by_line.get(&l).is_some_and(|t| t.contains("SAFETY:"))) {
+            return true;
+        }
+        // Walk upward from the statement start through the contiguous
+        // comment block, skipping attribute lines.
+        let mut line = stmt_line;
+        while line > 1 {
+            line -= 1;
+            if let Some(text) = standalone.get(&line) {
+                if code_lines.contains(&line) {
+                    break; // comment trails other code: block ends
+                }
+                if text.contains("SAFETY:") {
+                    return true;
+                }
+                continue;
+            }
+            match first_tok_on_line.get(&line) {
+                Some(Tok::Punct('#')) => continue, // attribute line
+                _ => break,
+            }
+        }
+        false
+    };
+
+    let record = |stmt_line: u32, site_line: u32, kind: &'static str, report: &mut Report| {
+        let ok = has_safety(stmt_line, site_line);
+        let allow = ctx.allow_for(Rule::UnsafeSafetyComment, site_line);
+        report.unsafe_sites.push(UnsafeSite {
+            file: ctx.rel.clone(),
+            line: site_line,
+            kind,
+            has_safety_comment: ok,
+            allowed: allow.is_some(),
+        });
+        if !ok {
+            report.findings.push(Finding {
+                rule: Rule::UnsafeSafetyComment,
+                file: ctx.rel.clone(),
+                line: site_line,
+                message: format!("{kind} without a `// SAFETY:` comment"),
+                allowed: allow.map(str::to_string),
+            });
+        }
+    };
+
+    // The statement containing token `i` starts at the first token
+    // after the previous `;`, `{`, or `}` — the line a leading comment
+    // block would sit above.
+    let stmt_start = |i: usize| -> u32 {
+        let mut j = i;
+        while j > 0 {
+            match &toks[j - 1].kind {
+                Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+                _ => j -= 1,
+            }
+        }
+        toks[j].line
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Ident(w) if w == "unsafe" => {
+                let stmt = stmt_start(i);
+                let kind = match toks.get(i + 1).map(|t| &t.kind) {
+                    Some(Tok::Ident(n)) if n == "fn" => "unsafe fn",
+                    Some(Tok::Ident(n)) if n == "impl" => "unsafe impl",
+                    Some(Tok::Ident(n)) if n == "extern" => {
+                        // `unsafe extern "C"` (2024 style): report once
+                        // as an extern block, at the `unsafe` token.
+                        i += 1;
+                        "extern block"
+                    }
+                    _ => "unsafe block",
+                };
+                record(stmt, toks[i].line, kind, report);
+            }
+            Tok::Ident(w) if w == "extern" => {
+                if let Some(Token {
+                    kind: Tok::Str(abi),
+                    ..
+                }) = toks.get(i + 1)
+                {
+                    if abi == "C" {
+                        record(stmt_start(i), toks[i].line, "extern block", report);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}

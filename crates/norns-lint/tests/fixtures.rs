@@ -1,0 +1,186 @@
+//! Fixture-based self-tests: each rule flags its bad snippet and stays
+//! quiet on the good one. The snippets live under `tests/fixtures/`
+//! (a directory name the workspace scan skips, since they are bad on
+//! purpose) and are never compiled — they only pass through the lexer.
+
+use norns_lint::wire::{DispatchTarget, WireConfig};
+use norns_lint::{run, Config, Report, Rule};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_safety(names: &[&str]) -> Report {
+    let root = fixture_dir();
+    let cfg = Config {
+        safety_files: names.iter().map(|n| root.join(n)).collect(),
+        lock_files: Vec::new(),
+        wire: None,
+        root,
+    };
+    run(&cfg).expect("fixture lint run")
+}
+
+fn lint_locks(names: &[&str]) -> Report {
+    let root = fixture_dir();
+    let cfg = Config {
+        safety_files: Vec::new(),
+        lock_files: names.iter().map(|n| root.join(n)).collect(),
+        wire: None,
+        root,
+    };
+    run(&cfg).expect("fixture lint run")
+}
+
+fn rules(report: &Report) -> Vec<Rule> {
+    report.unsuppressed().map(|f| f.rule).collect()
+}
+
+#[test]
+fn safety_bad_flags_every_site_kind() {
+    let report = lint_safety(&["safety_bad.rs"]);
+    assert_eq!(
+        rules(&report),
+        vec![Rule::UnsafeSafetyComment; 4],
+        "extern block, unsafe block, unsafe fn, unsafe impl must all fire"
+    );
+    let kinds: Vec<&str> = report.unsafe_sites.iter().map(|u| u.kind).collect();
+    assert_eq!(
+        kinds,
+        vec!["extern block", "unsafe block", "unsafe fn", "unsafe impl"]
+    );
+    assert!(report.unsafe_sites.iter().all(|u| !u.has_safety_comment));
+}
+
+#[test]
+fn safety_good_accepts_every_attachment_form() {
+    let report = lint_safety(&["safety_good.rs"]);
+    assert_eq!(
+        report.unsuppressed_count(),
+        0,
+        "findings: {:?}",
+        report.findings
+    );
+    assert_eq!(report.unsafe_sites.len(), 6);
+    assert!(report.unsafe_sites.iter().all(|u| u.has_safety_comment));
+}
+
+#[test]
+fn guard_across_blocking_call_is_flagged() {
+    let report = lint_locks(&["locks_blocking_bad.rs"]);
+    assert_eq!(rules(&report), vec![Rule::LockAcrossBlocking]);
+    let f = report.unsuppressed().next().unwrap();
+    assert!(
+        f.message.contains("write_all") && f.message.contains("peers"),
+        "finding must name the call and the guard: {}",
+        f.message
+    );
+    assert_eq!(report.lock_names, vec!["peers".to_string()]);
+}
+
+#[test]
+fn released_guards_do_not_fire() {
+    let report = lint_locks(&["locks_blocking_good.rs"]);
+    assert_eq!(
+        report.unsuppressed_count(),
+        0,
+        "scope end, drop(), and same-statement temporaries all release: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn opposite_nesting_orders_are_a_cycle() {
+    let report = lint_locks(&["locks_cycle_bad.rs"]);
+    let rs = rules(&report);
+    assert!(
+        rs.contains(&Rule::LockOrderCycle),
+        "found instead: {:?}",
+        report.findings
+    );
+    let pairs: Vec<(&str, &str)> = report
+        .lock_edges
+        .iter()
+        .map(|e| (e.held.as_str(), e.acquired.as_str()))
+        .collect();
+    assert!(pairs.contains(&("alpha", "beta")) && pairs.contains(&("beta", "alpha")));
+}
+
+#[test]
+fn consistent_nesting_order_is_clean() {
+    let report = lint_locks(&["locks_cycle_good.rs"]);
+    assert_eq!(
+        report.unsuppressed_count(),
+        0,
+        "findings: {:?}",
+        report.findings
+    );
+    assert!(
+        report
+            .lock_edges
+            .iter()
+            .all(|e| (e.held.as_str(), e.acquired.as_str()) == ("alpha", "beta")),
+        "edges: {:?}",
+        report.lock_edges
+    );
+}
+
+#[test]
+fn malformed_markers_are_findings_themselves() {
+    let report = lint_safety(&["allow_bad.rs"]);
+    assert_eq!(
+        rules(&report),
+        vec![Rule::BadAllowMarker; 3],
+        "missing reason, unknown rule, and non-allow verb must each fire"
+    );
+}
+
+#[test]
+fn waived_finding_is_suppressed_but_inventoried() {
+    let report = lint_safety(&["allow_waived.rs"]);
+    assert_eq!(report.unsuppressed_count(), 0);
+    assert_eq!(report.findings.len(), 1, "the waived finding stays in JSON");
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::UnsafeSafetyComment);
+    assert_eq!(
+        f.allowed.as_deref(),
+        Some("fixture demonstrating a waiver"),
+        "the reason travels with the finding"
+    );
+    assert!(report.to_json().contains("fixture demonstrating a waiver"));
+}
+
+#[test]
+fn uncovered_wire_variants_are_flagged() {
+    let root = fixture_dir();
+    let cfg = Config {
+        safety_files: Vec::new(),
+        lock_files: Vec::new(),
+        wire: Some(WireConfig {
+            messages: root.join("wire_messages.rs"),
+            corpus: root.join("wire_corpus.rs"),
+            dispatch: vec![DispatchTarget {
+                enums: vec!["Color".into()],
+                file: root.join("wire_dispatch.rs"),
+            }],
+        }),
+        root,
+    };
+    let report = run(&cfg).expect("fixture lint run");
+    assert_eq!(
+        rules(&report),
+        vec![Rule::WireExhaustiveness; 2],
+        "findings: {:?}",
+        report.findings
+    );
+    let wire = report.wire.as_ref().unwrap();
+    assert_eq!(wire.enums["Color"], vec!["Red", "Green", "Blue"]);
+    assert_eq!(
+        wire.corpus_missing,
+        vec!["Color::Blue".to_string()],
+        "comment/string mentions of Color::Blue must not count as coverage"
+    );
+    assert_eq!(wire.dispatch_missing.len(), 1);
+    assert!(wire.dispatch_missing[0].starts_with("Color::Green"));
+}

@@ -1,0 +1,10 @@
+// Fixture: malformed allow markers, each a `bad-allow-marker` finding.
+
+// norns-lint: allow(unsafe-safety-comment):
+fn missing_reason() {}
+
+// norns-lint: allow(no-such-rule): because I said so
+fn unknown_rule() {}
+
+// norns-lint: deny(whatever)
+fn malformed() {}

@@ -1,0 +1,7 @@
+// Fixture: a well-formed waiver — the finding is recorded with its
+// justification but does not fail `--check`.
+
+fn peek(p: *const u8) -> u8 {
+    // norns-lint: allow(unsafe-safety-comment): fixture demonstrating a waiver
+    unsafe { *p }
+}

@@ -1,0 +1,17 @@
+// Fixture: a Mutex guard held across a deny-listed blocking call.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+struct Registry {
+    peers: Mutex<Vec<String>>,
+}
+
+impl Registry {
+    fn broadcast(&self, sock: &mut TcpStream) -> std::io::Result<()> {
+        let peers = self.peers.lock().unwrap();
+        sock.write_all(peers[0].as_bytes())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: the guard is released (scope end or explicit drop) before
+// the blocking call — no finding.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+struct Registry {
+    peers: Mutex<Vec<String>>,
+}
+
+impl Registry {
+    fn scoped(&self, sock: &mut TcpStream) -> std::io::Result<()> {
+        let first = {
+            let peers = self.peers.lock().unwrap();
+            peers[0].clone()
+        };
+        sock.write_all(first.as_bytes())
+    }
+
+    fn dropped(&self, sock: &mut TcpStream) -> std::io::Result<()> {
+        let peers = self.peers.lock().unwrap();
+        let first = peers[0].clone();
+        drop(peers);
+        sock.write_all(first.as_bytes())
+    }
+
+    fn temporary(&self, sock: &mut TcpStream) -> std::io::Result<()> {
+        let first = self.peers.lock().unwrap()[0].clone();
+        sock.write_all(first.as_bytes())
+    }
+}

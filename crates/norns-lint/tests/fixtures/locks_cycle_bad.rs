@@ -1,0 +1,23 @@
+// Fixture: two functions nest the same pair of locks in opposite
+// orders — a lock-order cycle (potential deadlock).
+
+use std::sync::Mutex;
+
+struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    fn backward(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *a + *b
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: both functions acquire alpha before beta — a consistent
+// order, so the acquisition graph is acyclic.
+
+use std::sync::Mutex;
+
+struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    fn sum(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    fn product(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a * *b
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: every form of unsafe site, none with a SAFETY comment.
+// Never compiled — consumed by tests/fixtures.rs through the linter.
+
+extern "C" {
+    fn getpid() -> i32;
+}
+
+fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe fn danger() {}
+
+struct T;
+
+unsafe impl Send for T {}

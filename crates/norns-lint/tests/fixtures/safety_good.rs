@@ -1,0 +1,34 @@
+// Fixture: the same sites as safety_bad.rs, each carrying a SAFETY
+// comment in one of the accepted attachment forms.
+
+// SAFETY: signature transcribed from the glibc headers.
+extern "C" {
+    fn getpid() -> i32;
+}
+
+fn peek(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// Doc comment, then an attribute between the comment and the site.
+// SAFETY: demonstration only — attributes are skipped when attaching.
+#[inline]
+unsafe fn danger() {}
+
+struct T;
+
+// SAFETY: `T` owns no thread-bound state.
+unsafe impl Send for T {}
+
+fn trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: trailing form; caller contract as in `peek`.
+}
+
+fn continuation(p: *const u8) -> u8 {
+    // SAFETY: rustfmt may push `unsafe` onto a continuation line; the
+    // comment attaches to the whole statement.
+    let v =
+        unsafe { *p };
+    v
+}

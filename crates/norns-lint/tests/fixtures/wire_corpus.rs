@@ -1,0 +1,7 @@
+// Fixture corpus: exercises Red and Green but never Blue. A mention
+// in a comment (Color::Blue) or string ("Color::Blue") must not count.
+
+fn corpus() {
+    let _ = (Color::Red, Color::Green);
+    let _ = "Color::Blue";
+}

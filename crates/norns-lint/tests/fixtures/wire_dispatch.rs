@@ -1,0 +1,10 @@
+// Fixture dispatch: handles Red and Blue; Green falls through the
+// wildcard arm — exactly what the rule exists to catch.
+
+fn dispatch(c: Color) {
+    match c {
+        Color::Red => {}
+        Color::Blue => {}
+        _ => {}
+    }
+}

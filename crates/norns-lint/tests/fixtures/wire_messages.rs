@@ -1,0 +1,8 @@
+// Fixture protocol file for the wire-exhaustiveness rule.
+
+pub enum Color {
+    Red,
+    #[allow(dead_code)]
+    Green,
+    Blue,
+}

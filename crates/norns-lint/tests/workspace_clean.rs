@@ -1,0 +1,52 @@
+//! The live workspace must lint clean — and the run must be
+//! non-trivial, so an accidentally empty scan set cannot masquerade as
+//! a pass.
+
+use norns_lint::Config;
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_no_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let cfg = Config::workspace(&root).expect("scan workspace");
+    let report = norns_lint::run(&cfg).expect("lint workspace");
+
+    let failures: Vec<String> = report
+        .unsuppressed()
+        .map(|f| format!("[{}] {}:{} {}", f.rule, f.file, f.line, f.message))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "workspace must lint clean:\n{}",
+        failures.join("\n")
+    );
+
+    // Guard against a silently degenerate run: the workspace has a
+    // known-substantial unsafe inventory and lock population.
+    assert!(
+        report.unsafe_sites.len() >= 15,
+        "unsafe inventory shrank suspiciously: {}",
+        report.unsafe_sites.len()
+    );
+    assert!(
+        report
+            .unsafe_sites
+            .iter()
+            .all(|u| u.has_safety_comment || u.allowed),
+        "every unsafe site carries a SAFETY comment or an explicit waiver"
+    );
+    assert!(
+        report.lock_names.len() >= 10,
+        "lock-name collection shrank suspiciously: {:?}",
+        report.lock_names
+    );
+    let wire = report.wire.as_ref().expect("wire summary present");
+    assert!(
+        wire.enums.len() >= 8,
+        "protocol enum parse shrank suspiciously: {:?}",
+        wire.enums.keys().collect::<Vec<_>>()
+    );
+}

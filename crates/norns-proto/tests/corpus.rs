@@ -61,6 +61,37 @@ fn ctl_corpus() -> Vec<CtlRequest> {
             tracked: false,
         }),
         CtlRequest::UnregisterDataspace { nsid: "l0".into() },
+        // Every remaining backend kind crosses the wire at least once
+        // (`norns-lint`'s wire-exhaustiveness rule holds this corpus
+        // to the full `BackendKind` enum).
+        CtlRequest::RegisterDataspace(DataspaceDesc {
+            nsid: "fs0".into(),
+            kind: BackendKind::PosixFilesystem,
+            mount: "/scratch".into(),
+            quota: 1 << 30,
+            tracked: true,
+        }),
+        CtlRequest::RegisterDataspace(DataspaceDesc {
+            nsid: "nvme0".into(),
+            kind: BackendKind::NvmeSsd,
+            mount: "/mnt/nvme0".into(),
+            quota: 1 << 38,
+            tracked: true,
+        }),
+        CtlRequest::RegisterDataspace(DataspaceDesc {
+            nsid: "tmp0".into(),
+            kind: BackendKind::Tmpfs,
+            mount: "/tmp/norns".into(),
+            quota: 1 << 28,
+            tracked: false,
+        }),
+        CtlRequest::RegisterDataspace(DataspaceDesc {
+            nsid: "bb0".into(),
+            kind: BackendKind::BurstBuffer,
+            mount: "/bb/alloc42".into(),
+            quota: u64::MAX,
+            tracked: true,
+        }),
         CtlRequest::RegisterJob(JobDesc {
             job_id: 42,
             hosts: vec!["n0".into(), "n1".into()],
@@ -85,6 +116,21 @@ fn ctl_corpus() -> Vec<CtlRequest> {
         CtlRequest::SubmitTask {
             job_id: 42,
             spec: sample_spec(),
+        },
+        CtlRequest::SubmitTask {
+            job_id: 42,
+            spec: TaskSpec {
+                op: TaskOp::Move,
+                priority: 0,
+                input: ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "stage/out.dat".into(),
+                },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "l0".into(),
+                    path: "archive/out.dat".into(),
+                }),
+            },
         },
         CtlRequest::WaitTask {
             task_id: 7,
