@@ -4,7 +4,8 @@
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use norns_proto::{
-    encode_frame, CtlRequest, FrameReader, ResourceDesc, TaskOp, TaskSpec, Wire, DEFAULT_PRIORITY,
+    encode_frame, CtlRequest, Durability, FrameReader, ResourceDesc, TaskOp, TaskSpec, Wire,
+    DEFAULT_PRIORITY,
 };
 
 fn submit_request() -> CtlRequest {
@@ -21,6 +22,7 @@ fn submit_request() -> CtlRequest {
                 nsid: "pmdk0".into(),
                 path: "work/mesh.dat".into(),
             }),
+            durability: Durability::LocalOnly,
         },
     }
 }

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
-use norns_proto::{BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec, DEFAULT_PRIORITY};
+use norns_proto::{
+    BackendKind, DataspaceDesc, Durability, ResourceDesc, TaskOp, TaskSpec, DEFAULT_PRIORITY,
+};
 
 fn bench_request_rate(c: &mut Criterion) {
     let root = std::env::temp_dir().join(format!("norns-bench-rr-{}", std::process::id()));
@@ -36,6 +38,7 @@ fn bench_request_rate(c: &mut Criterion) {
             path: "missing".into(),
         },
         output: None,
+        durability: Durability::LocalOnly,
     };
     c.bench_function("daemon_submit_rtt", |b| {
         b.iter(|| loop {

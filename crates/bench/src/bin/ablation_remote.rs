@@ -19,7 +19,8 @@ use norns_bench::json::{BenchDoc, Json};
 use norns_bench::{gibps, quick_mode, Report};
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
 use norns_proto::{
-    BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec, TaskState, DEFAULT_PRIORITY,
+    BackendKind, DataspaceDesc, Durability, ResourceDesc, TaskOp, TaskSpec, TaskState,
+    DEFAULT_PRIORITY,
 };
 
 const MIB: u64 = 1 << 20;
@@ -49,6 +50,7 @@ fn copy_spec(input: ResourceDesc, output: ResourceDesc) -> TaskSpec {
         priority: DEFAULT_PRIORITY,
         input,
         output: Some(output),
+        durability: Durability::LocalOnly,
     }
 }
 

@@ -1,4 +1,4 @@
-//! The canonical perf suite: four scenarios, four `BENCH_*.json`
+//! The canonical perf suite: five scenarios, five `BENCH_*.json`
 //! files at the repo root.
 //!
 //! ```text
@@ -24,10 +24,16 @@
 //! 4. **flow** — end-to-end makespan of a two-job `#NORNS` workflow
 //!    (remote pull, compute, remote push, dependent local staging)
 //!    driven by the norns-flow executor against two live daemons.
+//! 5. **replication** — stage-out ACK latency under each wire-v8
+//!    durability mode against a live replica peer, plus the time the
+//!    background queue takes to drain the replication lag to zero.
+//!    `local_plus_one` ACKs on the local leg, so the suite fails
+//!    unless it ACKs faster than `synchronous` in the same run.
 //!
-//! `--check` reloads the four files, validates their schema, and
-//! re-asserts the remote and control regression gates from the
-//! recorded rows — CI runs the suite in quick mode and then this mode.
+//! `--check` reloads the five files, validates their schema, and
+//! re-asserts the remote, control and replication regression gates
+//! from the recorded rows — CI runs the suite in quick mode and then
+//! this mode.
 
 use std::fs;
 use std::path::Path;
@@ -39,7 +45,8 @@ use norns_bench::{gibps, quick_mode, Report};
 use norns_flow::{FlowConfig, FlowJobState, JobBody, NodeSpec, WorkflowExecutor};
 use norns_ipc::{CtlClient, DaemonConfig, PipelinedCtl, UrdDaemon};
 use norns_proto::{
-    BackendKind, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec, TaskState, DEFAULT_PRIORITY,
+    BackendKind, DataspaceDesc, Durability, ResourceDesc, TaskOp, TaskSpec, TaskState,
+    DEFAULT_PRIORITY,
 };
 
 const MIB: u64 = 1 << 20;
@@ -75,6 +82,7 @@ fn copy_spec(input: ResourceDesc, output: ResourceDesc) -> TaskSpec {
         priority: DEFAULT_PRIORITY,
         input,
         output: Some(output),
+        durability: Durability::LocalOnly,
     }
 }
 
@@ -652,12 +660,152 @@ fn bench_flow(root: &Path) -> BenchDoc {
     doc
 }
 
+// --- scenario 5: replication ACK latency + lag drain -----------------
+
+/// Poll the origin's status until the replication-lag counters reach
+/// zero; returns the elapsed seconds.
+fn drain_lag(ctl: &mut CtlClient) -> f64 {
+    let start = Instant::now();
+    loop {
+        let status = ctl.status().unwrap();
+        if status.pending_replicas == 0 && status.pending_replica_bytes == 0 {
+            return start.elapsed().as_secs_f64();
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "replication lag stuck at {} replicas",
+            status.pending_replicas
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+fn bench_replication(root: &Path) -> BenchDoc {
+    let size = if quick_mode() { 4 * MIB } else { 32 * MIB };
+    let reps = if quick_mode() { 3 } else { 5 };
+    // Origin + one replica peer, both backing the cluster-wide `bb`
+    // dataspace with their own mounts (the naming convention the
+    // replication queue pushes along).
+    let spawn = |name: &str| {
+        let daemon = UrdDaemon::spawn(
+            DaemonConfig::in_dir(root.join("repl").join(name).join("sockets"))
+                .with_data_addr("127.0.0.1:0"),
+        )
+        .unwrap();
+        let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
+        ctl.register_dataspace(DataspaceDesc {
+            nsid: "bb".into(),
+            kind: BackendKind::PosixFilesystem,
+            mount: root
+                .join("repl")
+                .join(name)
+                .join("ds")
+                .to_string_lossy()
+                .into_owned(),
+            quota: 0,
+            tracked: false,
+        })
+        .unwrap();
+        (daemon, ctl)
+    };
+    let (_origin, mut ctl) = spawn("origin");
+    let (peer, _peer_ctl) = spawn("peer");
+    ctl.register_peer("peer0", &peer.data_addr().unwrap().to_string())
+        .unwrap();
+    let payload = patterned(size as usize);
+    fs::write(root.join("repl/origin/ds/src.dat"), &payload).unwrap();
+
+    let mut doc = BenchDoc::new("replication");
+    let mut report = Report::new(
+        "bench_replication",
+        "stage-out ACK latency per durability mode + lag-drain time (one replica peer)",
+        ["mode", "ack_msec", "drain_msec"],
+    );
+    // (mode, best ack secs)
+    let mut acks: Vec<(&str, f64)> = Vec::new();
+    for (mode_name, mode) in [
+        ("local_only", Durability::LocalOnly),
+        ("local_plus_one", Durability::LocalPlusOne),
+        ("synchronous", Durability::Synchronous),
+    ] {
+        let mut ack = f64::MAX;
+        let mut drain = f64::MAX;
+        for rep in 0..reps {
+            let spec = copy_spec(
+                posix("bb", "src.dat"),
+                posix("bb", &format!("out/{mode_name}/{rep}.dat")),
+            )
+            .with_durability(mode);
+            let start = Instant::now();
+            let id = ctl.submit(1, spec, None).unwrap();
+            let stats = ctl.wait(id, 0).unwrap();
+            let ack_secs = start.elapsed().as_secs_f64();
+            assert_eq!(stats.state, TaskState::Finished, "stage-out failed");
+            ack = ack.min(ack_secs);
+            // For `local_plus_one` this is the window between the
+            // early ACK and the background copy landing; the other
+            // modes quiesce (near-)instantly by construction.
+            drain = drain.min(drain_lag(&mut ctl));
+        }
+        acks.push((mode_name, ack));
+        report.row([
+            mode_name.to_string(),
+            format!("{:.2}", ack * 1e3),
+            format!("{:.2}", drain * 1e3),
+        ]);
+        doc.row(
+            SOURCE,
+            vec![
+                ("scenario", Json::str("replication_ack")),
+                ("mode", Json::str(mode_name)),
+                ("bytes", Json::num(size as f64)),
+                ("ack_usec", Json::num(ack * 1e6)),
+                ("drain_usec", Json::num(drain * 1e6)),
+            ],
+        );
+    }
+    // Every durable mode actually landed its copy on the peer.
+    for mode_name in ["local_plus_one", "synchronous"] {
+        assert_eq!(
+            fs::read(root.join(format!("repl/peer/ds/out/{mode_name}/0.dat"))).unwrap(),
+            payload,
+            "{mode_name} replica intact"
+        );
+    }
+    assert!(
+        !root.join("repl/peer/ds/out/local_only").exists(),
+        "local_only must not replicate"
+    );
+    // Regression gate: the whole point of the early ACK is that
+    // `local_plus_one` returns before the remote copy lands, so it
+    // must beat `synchronous` measured in the same run.
+    let rate_of = |name: &str| acks.iter().find(|(m, _)| *m == name).unwrap().1;
+    assert!(
+        rate_of("local_plus_one") < rate_of("synchronous"),
+        "local_plus_one ACK ({:.2} ms) did not beat synchronous ({:.2} ms) — early-ACK regression",
+        rate_of("local_plus_one") * 1e3,
+        rate_of("synchronous") * 1e3
+    );
+    doc.note(format!(
+        "one {} MiB stage-out per mode against a live loopback replica peer, best-of-{reps}; \
+         drain_usec is the ACK-to-zero-lag window",
+        size / MIB
+    ));
+    doc.note(
+        "the suite fails unless local_plus_one ACKs faster than synchronous in the same run"
+            .to_string(),
+    );
+    report.print();
+    doc
+}
+
 // --- `--check`: validate the emitted files ---------------------------
 
-/// Reload all four documents, validate the schema, and re-assert the
-/// remote regression gate from the recorded rows.
+/// Reload all five documents, validate the schema, and re-assert the
+/// remote, control and replication regression gates from the recorded
+/// rows.
 fn check() -> Result<(), String> {
-    for bench in ["control", "local", "remote", "flow"] {
+    for bench in ["control", "local", "remote", "flow", "replication"] {
         let doc = json::load(bench)?;
         let rows = doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
         if rows.is_empty() {
@@ -756,6 +904,35 @@ fn check() -> Result<(), String> {
             "BENCH_control.json: {clients} clients pipelined {best_deep:.0} > depth-1 {baseline:.0} ops/s"
         );
     }
+
+    // The replication doc must carry an ACK row per durability mode
+    // and show the early ACK beating the synchronous one.
+    let replication = json::load("replication")?;
+    let rows = replication.get("rows").and_then(Json::as_arr).unwrap();
+    let ack_of = |mode: &str| {
+        rows.iter()
+            .filter(|r| {
+                r.get("source").and_then(Json::as_str) == Some(SOURCE)
+                    && r.get("scenario").and_then(Json::as_str) == Some("replication_ack")
+                    && r.get("mode").and_then(Json::as_str) == Some(mode)
+            })
+            .filter_map(|r| r.get("ack_usec").and_then(Json::as_f64))
+            .fold(f64::INFINITY, f64::min)
+    };
+    for mode in ["local_only", "local_plus_one", "synchronous"] {
+        if !ack_of(mode).is_finite() {
+            return Err(format!("no replication_ack row for mode {mode}"));
+        }
+    }
+    let (plus_one, synchronous) = (ack_of("local_plus_one"), ack_of("synchronous"));
+    if plus_one >= synchronous {
+        return Err(format!(
+            "replication_ack: local_plus_one {plus_one:.0} usec >= synchronous {synchronous:.0} usec — early-ACK regression"
+        ));
+    }
+    println!(
+        "BENCH_replication.json: local_plus_one ACK {plus_one:.0} < synchronous {synchronous:.0} usec"
+    );
     Ok(())
 }
 
@@ -778,6 +955,7 @@ fn main() {
         bench_local(&root),
         bench_remote(&root),
         bench_flow(&root),
+        bench_replication(&root),
     ] {
         // merge_into so rows from other binaries (ablation_remote in
         // BENCH_remote.json) survive a suite refresh.

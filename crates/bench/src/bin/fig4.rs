@@ -15,7 +15,8 @@ use std::time::Instant;
 use norns_bench::{quick_mode, Report};
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
 use norns_proto::{
-    BackendKind, DaemonCommand, DataspaceDesc, ResourceDesc, TaskOp, TaskSpec, DEFAULT_PRIORITY,
+    BackendKind, DaemonCommand, DataspaceDesc, Durability, ResourceDesc, TaskOp, TaskSpec,
+    DEFAULT_PRIORITY,
 };
 
 fn main() {
@@ -75,6 +76,7 @@ fn main() {
                             path: "nonexistent".into(),
                         },
                         output: None,
+                        durability: Durability::LocalOnly,
                     };
                     for _ in 0..per_process {
                         let t0 = Instant::now();

@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 
 use norns_ipc::{ClientError, PipelinedCtl};
 use norns_proto::{
-    ErrorCode, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
+    Durability, ErrorCode, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
     MAX_WAIT_SET,
 };
 use polling::{Event, Interest, Poller};
@@ -90,6 +90,11 @@ pub struct FlowConfig {
     /// How long cancelled-but-running staging tasks are drained before
     /// the executor gives up joining them.
     pub cancel_grace: Duration,
+    /// Durability applied to stage-out legs of jobs whose script has
+    /// no `#NORNS durability` directive (wire v8). Durable modes plan
+    /// local stage-outs as copy+release instead of a move, so the
+    /// daemon's replication queue can still read the landed output.
+    pub durability: Durability,
 }
 
 impl Default for FlowConfig {
@@ -98,6 +103,7 @@ impl Default for FlowConfig {
             stage_in_timeout: Duration::from_secs(30),
             heartbeat: Duration::from_millis(50),
             cancel_grace: Duration::from_secs(5),
+            durability: Durability::LocalOnly,
         }
     }
 }
@@ -561,8 +567,15 @@ impl WorkflowExecutor {
             }
         };
         for &node in whole_path_targets {
-            self.plan_task(node, &dir.origin, &dir.destination, stage_in)
-                .map_err(FlowError::Plan)?;
+            // Routability dry-run; the mode never changes routing.
+            self.plan_task(
+                node,
+                &dir.origin,
+                &dir.destination,
+                stage_in,
+                Durability::LocalOnly,
+            )
+            .map_err(FlowError::Plan)?;
         }
         Ok(())
     }
@@ -604,13 +617,21 @@ impl WorkflowExecutor {
     /// Stage-in legs are plain copies (with the destination recorded
     /// for §III cleanup). Stage-out legs *free their source*: local
     /// legs are `Move` tasks, remote pushes are copies whose source is
-    /// released by a follow-up `Remove` once the push succeeds.
+    /// released by a follow-up `Remove` once the push succeeds. A
+    /// durable mode (`durability != local_only`) turns local stage-out
+    /// legs into copy+release carrying the durability policy — the
+    /// daemon's replication queue reads the *landed output*, so the
+    /// source can still be freed, but only after the copy, never as a
+    /// move that would leave nothing for the local leg to replicate.
+    /// Remote pushes already land their only copy off-node and carry
+    /// no durability field.
     fn plan_task(
         &self,
         node: usize,
         origin: &str,
         destination: &str,
         stage_in: bool,
+        durability: Durability,
     ) -> Result<PlannedTask, String> {
         let input = self.resolve_endpoint(node, origin)?;
         let output = self.resolve_endpoint(node, destination)?;
@@ -623,7 +644,7 @@ impl WorkflowExecutor {
                 self.nodes[node].spec.name
             ));
         }
-        let (op, dst, release) = if stage_in {
+        let (op, dst, release, applied) = if stage_in {
             // Remember stage-in destinations for timeout/failure
             // cleanup — keyed by the node they are local to, so a
             // pushed RemotePath output is removed on its *owning*
@@ -635,28 +656,45 @@ impl WorkflowExecutor {
                     .map(|owner| (owner, nsid.clone(), path.clone())),
                 ResourceDesc::MemoryRegion { .. } => None,
             };
-            (TaskOp::Copy, dst, None)
+            (TaskOp::Copy, dst, None, Durability::LocalOnly)
         } else {
             match (&input, &output) {
+                (ResourceDesc::PosixPath { nsid, path }, ResourceDesc::PosixPath { .. })
+                    if durability != Durability::LocalOnly =>
+                {
+                    (
+                        TaskOp::Copy,
+                        None,
+                        Some((nsid.clone(), path.clone())),
+                        durability,
+                    )
+                }
                 (ResourceDesc::PosixPath { .. }, ResourceDesc::PosixPath { .. }) => {
-                    (TaskOp::Move, None, None)
+                    (TaskOp::Move, None, None, Durability::LocalOnly)
                 }
                 // Cross-node staging is copy-only on the data plane;
                 // the source is released separately after the push.
-                (ResourceDesc::PosixPath { nsid, path }, ResourceDesc::RemotePath { .. }) => {
-                    (TaskOp::Copy, None, Some((nsid.clone(), path.clone())))
-                }
+                (ResourceDesc::PosixPath { nsid, path }, ResourceDesc::RemotePath { .. }) => (
+                    TaskOp::Copy,
+                    None,
+                    Some((nsid.clone(), path.clone())),
+                    Durability::LocalOnly,
+                ),
                 // Remote origin: nothing local to free.
-                _ => (TaskOp::Copy, None, None),
+                _ => (TaskOp::Copy, None, None, Durability::LocalOnly),
             }
         };
         let label = format!(
             "{origin} → {destination} on {:?}",
             self.nodes[node].spec.name
         );
+        let mut spec = TaskSpec::new(op, input, Some(output));
+        if applied != Durability::LocalOnly {
+            spec = spec.with_durability(applied);
+        }
         Ok(PlannedTask {
             node,
-            spec: TaskSpec::new(op, input, Some(output)),
+            spec,
             dst,
             release,
             label,
@@ -680,6 +718,7 @@ impl WorkflowExecutor {
         assigned: &[usize],
         directives: &[StageDirective],
         stage_in: bool,
+        durability: Durability,
     ) -> Result<Vec<PlannedTask>, String> {
         let mut out = Vec::new();
         for dir in directives {
@@ -689,18 +728,29 @@ impl WorkflowExecutor {
                     &dir.origin,
                     &dir.destination,
                     stage_in,
+                    durability,
                 )?),
                 (true, Mapping::All | Mapping::Gather) => {
                     for &node in assigned {
-                        out.push(self.plan_task(node, &dir.origin, &dir.destination, true)?);
+                        out.push(self.plan_task(
+                            node,
+                            &dir.origin,
+                            &dir.destination,
+                            true,
+                            durability,
+                        )?);
                     }
                 }
-                (false, Mapping::All) => {
-                    out.push(self.plan_task(assigned[0], &dir.origin, &dir.destination, false)?)
-                }
+                (false, Mapping::All) => out.push(self.plan_task(
+                    assigned[0],
+                    &dir.origin,
+                    &dir.destination,
+                    false,
+                    durability,
+                )?),
                 (true, Mapping::Scatter) => out.extend(self.plan_scatter(assigned, dir)?),
                 (false, Mapping::Scatter | Mapping::Gather) => {
-                    out.extend(self.plan_gather(assigned, dir)?)
+                    out.extend(self.plan_gather(assigned, dir, durability)?)
                 }
             }
         }
@@ -733,6 +783,7 @@ impl WorkflowExecutor {
                         &Self::join_location(&dir.origin, child),
                         &Self::join_location(&dir.destination, child),
                         true,
+                        Durability::LocalOnly,
                     )
                 })
                 .collect(),
@@ -744,6 +795,7 @@ impl WorkflowExecutor {
                 &dir.origin,
                 &dir.destination,
                 true,
+                Durability::LocalOnly,
             )?]),
             Err(e) => Err(format!("cannot enumerate {}: {e}", dir.origin)),
         }
@@ -760,6 +812,7 @@ impl WorkflowExecutor {
         &mut self,
         assigned: &[usize],
         dir: &StageDirective,
+        durability: Durability,
     ) -> Result<Vec<PlannedTask>, String> {
         let (nsid, path) = script::split_location(&dir.origin).map_err(|e| e.to_string())?;
         let (nsid, path) = (nsid.to_string(), path.to_string());
@@ -776,6 +829,7 @@ impl WorkflowExecutor {
                 &dir.origin,
                 &dir.destination,
                 false,
+                durability,
             )?]);
         }
         let mut out = Vec::new();
@@ -788,13 +842,20 @@ impl WorkflowExecutor {
                             &Self::join_location(&dir.origin, child),
                             &Self::join_location(&dir.destination, child),
                             false,
+                            durability,
                         )?);
                     }
                 }
                 Err(ClientError::Remote {
                     code: ErrorCode::BadArgs,
                     ..
-                }) => out.push(self.plan_task(node, &dir.origin, &dir.destination, false)?),
+                }) => out.push(self.plan_task(
+                    node,
+                    &dir.origin,
+                    &dir.destination,
+                    false,
+                    durability,
+                )?),
                 Err(ClientError::Remote {
                     code: ErrorCode::NotFound,
                     ..
@@ -992,7 +1053,7 @@ impl WorkflowExecutor {
         self.jobs[idx].registered = true;
         self.jobs[idx].state = FlowJobState::StagingIn;
         let stage_in = self.jobs[idx].script.stage_in.clone();
-        let planned = match self.expand_phase(&job_nodes, &stage_in, true) {
+        let planned = match self.expand_phase(&job_nodes, &stage_in, true, Durability::LocalOnly) {
             Ok(p) => p,
             Err(reason) => {
                 self.finish_job(idx, FlowJobState::Failed, &reason);
@@ -1131,8 +1192,14 @@ impl WorkflowExecutor {
         self.jobs[idx].state = FlowJobState::StagingOut;
         let job_nodes = self.jobs[idx].nodes.clone();
         let stage_out = self.jobs[idx].script.stage_out.clone();
+        // The script's `#NORNS durability` directive overrides the
+        // executor-wide default for this job's stage-outs.
+        let durability = self.jobs[idx]
+            .script
+            .durability
+            .unwrap_or(self.config.durability);
         let submitted = self
-            .expand_phase(&job_nodes, &stage_out, false)
+            .expand_phase(&job_nodes, &stage_out, false, durability)
             .and_then(|planned| self.submit_planned(idx, planned, false));
         match submitted {
             Ok(tasks) if tasks.is_empty() => self.finish_job(idx, FlowJobState::Completed, ""),

@@ -6,14 +6,18 @@
 //! Listing 1:
 //!
 //! ```text
-//! #NORNS stage_in  origin destination mapping
-//! #NORNS stage_out origin destination mapping
-//! #NORNS persist   operation location user
+//! #NORNS stage_in   origin destination mapping
+//! #NORNS stage_out  origin destination mapping
+//! #NORNS persist    operation location user
+//! #NORNS durability mode
 //! ```
 //!
 //! `origin`/`destination`/`location` are dataspace-qualified paths
 //! (`lustre://inputs/mesh`, `pmdk0://case`); `operation` is one of
-//! `store`, `delete`, `share`, `unshare`.
+//! `store`, `delete`, `share`, `unshare`; `mode` is one of
+//! `local_only`, `local_plus_one`, `synchronous` (wire v8) and applies
+//! to the job's stage-out legs — absent, the executor's configured
+//! default governs.
 //!
 //! This module is the **single** parser for both execution paths: the
 //! simulated scheduler (`slurm-sim` re-exports it) and the real-mode
@@ -23,6 +27,8 @@
 //! simulator converts to its own clock at the boundary.
 
 use std::time::Duration;
+
+use norns_proto::Durability;
 
 /// How data is distributed between a shared resource and the job's
 /// node-local dataspaces (the `mapping` argument).
@@ -131,6 +137,9 @@ pub struct JobScript {
     pub stage_in: Vec<StageDirective>,
     pub stage_out: Vec<StageDirective>,
     pub persist: Vec<PersistDirective>,
+    /// `#NORNS durability` override for the job's stage-outs; `None`
+    /// defers to the executor's configured default.
+    pub durability: Option<Durability>,
 }
 
 impl Default for JobScript {
@@ -143,6 +152,7 @@ impl Default for JobScript {
             stage_in: Vec::new(),
             stage_out: Vec::new(),
             persist: Vec::new(),
+            durability: None,
         }
     }
 }
@@ -254,6 +264,14 @@ pub fn parse(script: &str) -> Result<JobScript, ScriptError> {
                         mapping: Mapping::Gather,
                     });
                 }
+                ["durability", mode] => {
+                    out.durability = Some(match *mode {
+                        "local_only" => Durability::LocalOnly,
+                        "local_plus_one" => Durability::LocalPlusOne,
+                        "synchronous" => Durability::Synchronous,
+                        _ => return Err(ScriptError::BadDirective(line.to_string())),
+                    });
+                }
                 ["persist", op, location, user] => {
                     let op = match *op {
                         "store" => PersistOp::Store,
@@ -341,6 +359,14 @@ pub fn render(script: &JobScript) -> String {
             p.location,
             p.user
         ));
+    }
+    if let Some(durability) = script.durability {
+        let mode = match durability {
+            Durability::LocalOnly => "local_only",
+            Durability::LocalPlusOne => "local_plus_one",
+            Durability::Synchronous => "synchronous",
+        };
+        out.push_str(&format!("#NORNS durability {mode}\n"));
     }
     out
 }
@@ -457,6 +483,25 @@ srun picoFoam
     fn bad_directives_rejected() {
         assert!(parse("#SBATCH --job-name=x\n#NORNS stage_in only-one-arg\n").is_err());
         assert!(parse("#SBATCH --job-name=x\n#NORNS persist explode pmdk0://x u\n").is_err());
+        assert!(parse("#SBATCH --job-name=x\n#NORNS durability triplicate\n").is_err());
+        assert!(parse("#SBATCH --job-name=x\n#NORNS durability\n").is_err());
+    }
+
+    #[test]
+    fn durability_directive_forms() {
+        for (token, mode) in [
+            ("local_only", Durability::LocalOnly),
+            ("local_plus_one", Durability::LocalPlusOne),
+            ("synchronous", Durability::Synchronous),
+        ] {
+            let js = parse(&format!(
+                "#SBATCH --job-name=ckpt\n#NORNS durability {token}\n"
+            ))
+            .unwrap();
+            assert_eq!(js.durability, Some(mode));
+        }
+        // Absent directive defers to the executor default.
+        assert_eq!(parse("#SBATCH --job-name=x\n").unwrap().durability, None);
     }
 
     #[test]
@@ -499,6 +544,7 @@ srun picoFoam
                     location: "pmdk0://case".into(),
                     user: "alice".into(),
                 }],
+                durability: Some(Durability::LocalPlusOne),
             };
             assert_eq!(parse(&render(&js)).unwrap(), js);
         }

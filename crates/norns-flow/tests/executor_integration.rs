@@ -618,3 +618,69 @@ fn remote_leg_routes_through_peer_registry() {
     drop(daemon_b);
     let _ = fs::remove_dir_all(&root);
 }
+
+#[test]
+fn durability_directive_replicates_stage_out_to_a_peer() {
+    let root = temp_root("durable");
+    // Two nodes backing the *same* dataspace name with their own
+    // mounts — the node-local storage pattern replication relies on.
+    let daemon_a = spawn_node(&root, "n0", "bb", 2);
+    let daemon_b = spawn_node(&root, "n1", "bb", 2);
+    let mount_a = root.join("n0/ds");
+    let mount_b = root.join("n1/ds");
+
+    let mut exec = WorkflowExecutor::new(FlowConfig::default());
+    exec.add_node(node_spec(&daemon_a, "n0", &["bb"])).unwrap();
+    exec.add_node(node_spec(&daemon_b, "n1", &["bb"])).unwrap();
+    let body_mount = mount_a.clone();
+    let job = exec
+        .submit(
+            "#SBATCH --job-name=durable\n\
+             #NORNS stage_out bb://work/out.dat bb://results/out.dat\n\
+             #NORNS durability local_plus_one\n",
+            JobBody::Run(Box::new(move || {
+                fs::create_dir_all(body_mount.join("work")).map_err(|e| e.to_string())?;
+                fs::write(body_mount.join("work/out.dat"), b"checkpoint bytes")
+                    .map_err(|e| e.to_string())
+            })),
+        )
+        .unwrap();
+    assert_eq!(exec.run().unwrap(), vec![(job, FlowJobState::Completed)]);
+    assert!(exec.leftovers(job).is_empty());
+
+    // The durable leg still behaves like a stage-out locally: the
+    // destination holds the bytes and the source was released.
+    assert_eq!(
+        fs::read(mount_a.join("results/out.dat")).unwrap(),
+        b"checkpoint bytes"
+    );
+    assert!(
+        !mount_a.join("work/out.dat").exists(),
+        "durable stage-out must still free its source"
+    );
+
+    // `local_plus_one` ACKed on the local leg; the background copy
+    // must land on the peer and the origin's lag drain to zero.
+    let mut ctl = CtlClient::connect(&daemon_a.control_path).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = ctl.status().unwrap();
+        if status.pending_replicas == 0 && status.pending_replica_bytes == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replication lag stuck at {} replicas",
+            status.pending_replicas
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        fs::read(mount_b.join("results/out.dat")).unwrap(),
+        b"checkpoint bytes",
+        "the peer must hold the replicated stage-out"
+    );
+    drop(daemon_a);
+    drop(daemon_b);
+    let _ = fs::remove_dir_all(&root);
+}

@@ -10,6 +10,7 @@ use norns_flow::script::{
     parse, render, JobScript, Mapping, PersistDirective, PersistOp, ScriptError, StageDirective,
     WorkflowPos,
 };
+use norns_proto::Durability;
 
 /// Small deterministic xorshift so each sampled `u64` seed expands
 /// into a whole random script (the shim has no recursive generators).
@@ -93,6 +94,12 @@ impl R {
                     user: self.ident("u"),
                 })
                 .collect(),
+            durability: match self.below(4) {
+                0 => None,
+                1 => Some(Durability::LocalOnly),
+                2 => Some(Durability::LocalPlusOne),
+                _ => Some(Durability::Synchronous),
+            },
         }
     }
 }
@@ -172,11 +179,23 @@ fn noisy_render(script: &JobScript, r: &mut R) -> String {
             format!("#NORNS persist {} {} {}", op, p.location, p.user)
         })
         .collect();
+    let durability: Vec<String> = script
+        .durability
+        .iter()
+        .map(|d| {
+            let mode = match d {
+                Durability::LocalOnly => "local_only",
+                Durability::LocalPlusOne => "local_plus_one",
+                Durability::Synchronous => "synchronous",
+            };
+            format!("#NORNS durability {mode}")
+        })
+        .collect();
     // Random merge of the category queues.
-    let mut queues = [sbatch, stage_in, stage_out, persist];
+    let mut queues = [sbatch, stage_in, stage_out, persist, durability];
     let mut lines: Vec<String> = vec!["#!/bin/bash".into()];
     while queues.iter().any(|q| !q.is_empty()) {
-        let pick = r.below(4) as usize;
+        let pick = r.below(5) as usize;
         if let Some(line) = (!queues[pick].is_empty()).then(|| queues[pick].remove(0)) {
             lines.push(line);
         }

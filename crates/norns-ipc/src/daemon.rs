@@ -93,6 +93,11 @@ pub struct DaemonConfig {
     /// Reactor threads multiplexing the control/user planes (clamped
     /// to `1..=16`). Connection count does not add threads.
     pub reactors: usize,
+    /// Peer copies a `Durability::Synchronous` stage-out must land
+    /// before the task ACKs (clamped to at least 1).
+    /// `Durability::LocalPlusOne` always replicates to exactly one
+    /// peer regardless of this knob.
+    pub target_copies: usize,
 }
 
 impl DaemonConfig {
@@ -107,6 +112,7 @@ impl DaemonConfig {
             peers: Vec::new(),
             remote_window: crate::engine::DEFAULT_REMOTE_WINDOW,
             reactors: DEFAULT_REACTORS,
+            target_copies: 1,
         }
     }
 
@@ -151,6 +157,13 @@ impl DaemonConfig {
         self.reactors = reactors;
         self
     }
+
+    /// Set how many peer copies a `Durability::Synchronous` stage-out
+    /// must land before it ACKs.
+    pub fn with_target_copies(mut self, copies: usize) -> Self {
+        self.target_copies = copies;
+        self
+    }
 }
 
 /// A running daemon; dropping it shuts the listeners down.
@@ -177,6 +190,7 @@ impl UrdDaemon {
                 queue_capacity: config.queue_capacity,
                 chunk_size: config.chunk_size,
                 remote_window: config.remote_window,
+                target_copies: config.target_copies,
                 ..EngineConfig::default()
             },
             config.policy.to_policy(),
@@ -872,6 +886,13 @@ fn service_conn(
                         // Deliver the Ok before the daemon tears down
                         // this connection with everything else.
                         flush_blocking(conn, Duration::from_secs(2));
+                        // Close the submission window on this thread,
+                        // not the join thread below: a client that saw
+                        // the Ok must never get work accepted, even if
+                        // the spawned teardown is still waiting to be
+                        // scheduled when its next frame arrives.
+                        shared.engine.begin_shutdown();
+                        shared.shutdown.store(true, Ordering::SeqCst);
                         std::thread::spawn({
                             let shared = Arc::clone(shared);
                             move || shared.initiate_shutdown()

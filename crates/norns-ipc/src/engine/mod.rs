@@ -42,13 +42,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use norns_proto::{
-    DaemonStatus, DataspaceDesc, ErrorCode, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
-    TaskStats,
+    DaemonStatus, DataspaceDesc, Durability, ErrorCode, JobDesc, ResourceDesc, TaskOp, TaskSpec,
+    TaskState, TaskStats,
 };
 use norns_sched::{
     ArbitrationPolicy, Fcfs, JobFairShare, PendingTask, Scheduler, ShortestFirst, WeightedPriority,
@@ -69,6 +69,18 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 /// are allocated densely from 1), so a sub-unit key can never collide
 /// with — or be mistaken for — a client-visible task.
 const UNIT_ID_BASE: u64 = 1 << 62;
+
+/// Owner / scheduler-job key for daemon-internal replica push tasks
+/// (v8 durability modes). No client scheduler key can ever equal it
+/// (control-path job ids and tagged user pids are both far below), so
+/// user-socket observation and cancellation can never touch a replica.
+const REPLICA_OWNER: u64 = u64::MAX;
+
+/// How long `shutdown` lets the background replication queue drain
+/// before cancelling what is left. Bounded: a dead peer must not wedge
+/// daemon teardown, but an orderly shutdown should not strand
+/// `local_plus_one` copies that are seconds from landing.
+const REPLICATION_DRAIN: Duration = Duration::from_secs(2);
 
 /// Policy trait object over the real daemon's key types: job id, task
 /// id, and microseconds-since-start as the timestamp.
@@ -135,6 +147,10 @@ pub struct EngineConfig {
     /// connection during remote staging; `1` is stop-and-wait, clamped
     /// to `1..=`[`MAX_REMOTE_WINDOW`](crate::MAX_REMOTE_WINDOW).
     pub remote_window: usize,
+    /// Peers a [`Durability::Synchronous`] stage-out replicates to
+    /// before it ACKs (clamped to at least 1; capped by the number of
+    /// registered peers). `local_plus_one` always makes one copy.
+    pub target_copies: usize,
 }
 
 impl Default for EngineConfig {
@@ -145,6 +161,7 @@ impl Default for EngineConfig {
             chunk_size: DEFAULT_CHUNK_SIZE,
             shards: DEFAULT_SHARDS,
             remote_window: DEFAULT_REMOTE_WINDOW,
+            target_copies: 1,
         }
     }
 }
@@ -237,6 +254,51 @@ struct WaitTimer {
     stop: bool,
 }
 
+/// Replication a qualifying stage-out asked for at submission,
+/// held until its local leg lands (v8 durability modes).
+struct ReplRequest {
+    durability: Durability,
+    /// The landed local output (`nsid://path`) — the source every
+    /// replica pushes, and the name it lands under on each peer.
+    nsid: String,
+    path: String,
+    priority: u8,
+}
+
+/// Accounting for one in-flight replica push task.
+struct ReplicaMeta {
+    parent: u64,
+    bytes: u64,
+}
+
+/// A `synchronous`-mode parent whose local leg landed but whose
+/// terminal transition is deferred until every replica resolves. The
+/// parent stays `InProgress` (and keeps its running-count slot) so no
+/// observer can see an ACK before the durability guarantee holds.
+struct SyncParent {
+    remaining: usize,
+    bytes_moved: u64,
+    elapsed_usec: u64,
+    /// First replica failure, if any — a single failed copy fails the
+    /// parent (`synchronous` promises *all* copies).
+    error: Option<(ErrorCode, String)>,
+}
+
+/// Ledger of the background replication queue. Entries are registered
+/// *before* a replica becomes dispatchable and removed at its terminal
+/// transition, so the lag counters and parent resolution can never
+/// race a fast completion.
+#[derive(Default)]
+struct ReplState {
+    /// Submitted-task id → replication request (consumed when the
+    /// local leg reaches `complete_task`).
+    requests: HashMap<u64, ReplRequest>,
+    /// Replica task id → accounting.
+    replicas: HashMap<u64, ReplicaMeta>,
+    /// Deferred `synchronous` parents awaiting their replicas.
+    parents: HashMap<u64, SyncParent>,
+}
+
 /// How a copy task's endpoints route through the data plane.
 enum Route {
     /// Both endpoints on this node.
@@ -272,6 +334,11 @@ pub struct Engine {
     /// listener is bound; empty on engines without a data plane).
     data_addr: Mutex<String>,
     accepting: AtomicBool,
+    /// Set by [`Engine::begin_shutdown`] before the (potentially slow)
+    /// teardown in [`Engine::shutdown`] runs: submissions must be
+    /// refused from the instant shutdown is decided, not from the
+    /// instant the worker pool finishes stopping.
+    shutting_down: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started_at: Instant,
     /// Parked asynchronous waits (v7 pipelined `WaitTask`/`WaitAny`).
@@ -284,6 +351,17 @@ pub struct Engine {
     accept_errors: AtomicU64,
     /// Open control/user connections — ditto.
     open_connections: AtomicU64,
+    /// Background replication ledger (v8 durability modes).
+    repl: Mutex<ReplState>,
+    /// Signalled whenever a replica resolves; `shutdown` waits on it
+    /// to drain the replication lag before stopping the workers.
+    repl_cv: Condvar,
+    /// O(1) replication-lag counters for [`DaemonStatus`] (v8):
+    /// replica tasks still outstanding, and the bytes they move.
+    pending_replicas: AtomicU64,
+    pending_replica_bytes: AtomicU64,
+    /// Copies a `synchronous` stage-out makes before ACKing.
+    target_copies: usize,
 }
 
 impl Engine {
@@ -335,6 +413,7 @@ impl Engine {
             remote_window: config.remote_window.clamp(1, MAX_REMOTE_WINDOW),
             data_addr: Mutex::new(String::new()),
             accepting: AtomicBool::new(true),
+            shutting_down: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
             started_at: Instant::now(),
             wait_subs: Mutex::new(WaitSubs::default()),
@@ -343,6 +422,11 @@ impl Engine {
             wait_timer_thread: Mutex::new(None),
             accept_errors: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
+            repl: Mutex::new(ReplState::default()),
+            repl_cv: Condvar::new(),
+            pending_replicas: AtomicU64::new(0),
+            pending_replica_bytes: AtomicU64::new(0),
+            target_copies: config.target_copies.max(1),
         });
         let mut handles = engine.workers.lock();
         for i in 0..workers {
@@ -362,7 +446,35 @@ impl Engine {
     /// sub-units of half-finished transfers are aborted so their tasks
     /// still reach a terminal state. Idempotent; called by `UrdDaemon`
     /// on drop.
+    /// Refuse all further client submissions with
+    /// [`ErrorCode::SystemError`], ahead of the full teardown in
+    /// [`Engine::shutdown`]. The daemon calls this synchronously from
+    /// the reactor thread that decoded `DaemonCommand::Shutdown`, so a
+    /// pipelined submit behind the shutdown frame can never be
+    /// accepted while the join work runs on another thread. Internal
+    /// replica tasks are exempt: the replication drain below still
+    /// needs them to land.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
     pub fn shutdown(&self) {
+        self.begin_shutdown();
+        // Give the background replication queue a bounded window to
+        // drain (v8): an orderly shutdown should not strand
+        // `local_plus_one` copies that are about to land, but a dead
+        // peer must not wedge teardown — whatever is still pending
+        // after the deadline is cancelled by the drain below, which
+        // also resolves any deferred `synchronous` parents.
+        {
+            let mut rp = self.repl.lock();
+            let deadline = Instant::now() + REPLICATION_DRAIN;
+            while self.pending_replicas.load(Ordering::SeqCst) > 0 {
+                if self.repl_cv.wait_until(&mut rp, deadline).timed_out() {
+                    break;
+                }
+            }
+        }
         let orphaned: Vec<(u64, Work)> = {
             let mut st = self.dispatch.lock();
             if st.stop {
@@ -431,7 +543,25 @@ impl Engine {
             data_addr: self.data_addr.lock().clone(),
             accept_errors: self.accept_errors.load(Ordering::SeqCst),
             open_connections: self.open_connections.load(Ordering::SeqCst),
+            pending_replicas: self.pending_replicas.load(Ordering::SeqCst),
+            pending_replica_bytes: self.pending_replica_bytes.load(Ordering::SeqCst),
         }
+    }
+
+    /// Current replication lag as `(replica tasks, bytes)` — zero/zero
+    /// once every accepted stage-out's durability guarantee is met.
+    pub fn replication_lag(&self) -> (u64, u64) {
+        (
+            self.pending_replicas.load(Ordering::SeqCst),
+            self.pending_replica_bytes.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Whether the lazily-spawned wait-timer thread slot is occupied
+    /// (observability for shutdown-race tests: after `shutdown` the
+    /// slot must stay empty forever).
+    pub fn wait_timer_alive(&self) -> bool {
+        self.wait_timer_thread.lock().is_some()
     }
 
     /// Record a listener `accept(2)` failure (EMFILE and friends) —
@@ -798,11 +928,28 @@ impl Engine {
         spec: TaskSpec,
         payload: Option<Vec<u8>>,
     ) -> Result<u64, (ErrorCode, String)> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err((ErrorCode::SystemError, "daemon shutting down".into()));
+        }
         if !self.accepting.load(Ordering::SeqCst) {
             return Err((ErrorCode::NotRegistered, "daemon paused".into()));
         }
         // Shape validation mirrors the simulated controller.
         let mut bytes_total = 0u64;
+        // Durability modes (v8) only make sense for a local stage-out:
+        // the landed output file is what the background queue pushes.
+        // Everything else must say `local_only` explicitly.
+        if spec.durability != Durability::LocalOnly
+            && !(spec.op == TaskOp::Copy
+                && matches!(Self::route_of(&spec), Ok(Route::Local))
+                && matches!(spec.output, Some(ResourceDesc::PosixPath { .. })))
+        {
+            return Err((
+                ErrorCode::BadArgs,
+                "durability modes apply only to local copy tasks with a dataspace-path output"
+                    .into(),
+            ));
+        }
         match spec.op {
             TaskOp::Remove => {
                 if spec.output.is_some() {
@@ -914,16 +1061,37 @@ impl Engine {
         let task_id = self.next_task.fetch_add(1, Ordering::SeqCst);
         let priority = spec.priority;
         let now_us = self.started_at.elapsed().as_micros() as u64;
+        // Register the replication request before the task can become
+        // dispatchable: a fast worker must find it when the local leg
+        // reaches `complete_task`. Rejected admissions take it back.
+        if spec.durability != Durability::LocalOnly {
+            if let Some(ResourceDesc::PosixPath { nsid, path }) = &spec.output {
+                self.repl.lock().requests.insert(
+                    task_id,
+                    ReplRequest {
+                        durability: spec.durability,
+                        nsid: nsid.clone(),
+                        path: path.clone(),
+                        priority,
+                    },
+                );
+            }
+        }
         {
             // Admission before the task becomes visible: a Busy
             // rejection must leave no trace in the task table.
             let mut st = self.dispatch.lock();
             if st.stop {
+                drop(st);
+                self.repl.lock().requests.remove(&task_id);
                 return Err((ErrorCode::SystemError, "worker pool stopped".into()));
             }
             st.sched
                 .try_enqueue(task_id, job, bytes_total, priority, now_us)
-                .map_err(|full| (ErrorCode::Busy, format!("{full}; retry later (EAGAIN)")))?;
+                .map_err(|full| {
+                    self.repl.lock().requests.remove(&task_id);
+                    (ErrorCode::Busy, format!("{full}; retry later (EAGAIN)"))
+                })?;
             st.work.insert(task_id, Work::Whole { spec, payload });
             self.tasks.insert(
                 task_id,
@@ -1055,7 +1223,13 @@ impl Engine {
             })
             .flatten();
         if let Some(stats) = stats {
+            // A cancelled-before-running stage-out replicates nothing;
+            // a cancelled *replica* must drain the lag counters and
+            // resolve its parent (shutdown cancels pending replicas
+            // through this path).
+            self.repl.lock().requests.remove(&task_id);
             self.notify_task_waiters(task_id, &stats);
+            self.note_replica_done(task_id, &stats);
         }
     }
 
@@ -1196,9 +1370,28 @@ impl Engine {
         self.complete_task(plan.task_id(), plan.finalize(), plan.elapsed_usec());
     }
 
+    /// Funnel for every worker-driven terminal transition. A landed
+    /// stage-out with a replication request spawns its background
+    /// replicas here — and in `synchronous` mode the terminal
+    /// transition itself is deferred until they land, so the caller's
+    /// ACK can never precede the durability guarantee.
+    fn complete_task(&self, task_id: u64, outcome: PlanOutcome, elapsed_usec: u64) {
+        let request = self.repl.lock().requests.remove(&task_id);
+        if let Some(req) = request {
+            if let PlanOutcome::Done(moved) = outcome {
+                if self.begin_replication(task_id, req, moved, elapsed_usec) {
+                    return;
+                }
+            }
+            // Failed or cancelled local leg: nothing landed to
+            // replicate — the task resolves on its own outcome.
+        }
+        self.finish_task(task_id, outcome, elapsed_usec);
+    }
+
     /// Move a task to its terminal state, fix up counters and wake the
     /// task's shard.
-    fn complete_task(&self, task_id: u64, outcome: PlanOutcome, elapsed_usec: u64) {
+    fn finish_task(&self, task_id: u64, outcome: PlanOutcome, elapsed_usec: u64) {
         let stats = self.tasks.update_and_wake(task_id, |t| {
             let mut cancelled = false;
             match outcome {
@@ -1225,16 +1418,271 @@ impl Engine {
             // wake: a waiter unblocked by this completion must already
             // see them updated.
             self.running_count.fetch_sub(1, Ordering::SeqCst);
-            if cancelled {
-                self.cancelled.fetch_add(1, Ordering::SeqCst);
-            } else {
-                self.completed.fetch_add(1, Ordering::SeqCst);
+            // Internal replica tasks never count against the
+            // user-facing totals: `completed + cancelled` accounts
+            // each accepted submission exactly once, and replication
+            // progress is reported through the lag counters instead.
+            if t.owner != REPLICA_OWNER {
+                if cancelled {
+                    self.cancelled.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    self.completed.fetch_add(1, Ordering::SeqCst);
+                }
             }
             t.stats.clone()
         });
         if let Some(stats) = stats {
             self.notify_task_waiters(task_id, &stats);
+            self.note_replica_done(task_id, &stats);
         }
+    }
+
+    /// Kick off replication for a landed stage-out. Returns `true`
+    /// when the parent's terminal transition is deferred (or already
+    /// driven) by the replication machinery — `synchronous` mode —
+    /// and `false` when the caller should ACK now (`local_plus_one`:
+    /// the copies ride behind in the background).
+    fn begin_replication(
+        &self,
+        parent: u64,
+        req: ReplRequest,
+        moved: u64,
+        elapsed_usec: u64,
+    ) -> bool {
+        let want = match req.durability {
+            Durability::LocalOnly => return false,
+            Durability::LocalPlusOne => 1,
+            Durability::Synchronous => self.target_copies,
+        };
+        let peers: Vec<String> = self
+            .peers()
+            .into_iter()
+            .map(|(host, _)| host)
+            .take(want)
+            .collect();
+        match req.durability {
+            Durability::LocalOnly => false,
+            Durability::LocalPlusOne => {
+                // Best-effort by contract: with no registered peers
+                // (or a stopping pool) the mode degrades to
+                // local-only durability. The early ACK stands.
+                for host in &peers {
+                    let _ = self.submit_replica(
+                        parent,
+                        host,
+                        &req.nsid,
+                        &req.path,
+                        req.priority,
+                        moved,
+                    );
+                }
+                false
+            }
+            Durability::Synchronous => {
+                if peers.is_empty() {
+                    // Never false-ACK: a synchronous stage-out with
+                    // nowhere to replicate is a failure, not a silent
+                    // downgrade.
+                    self.finish_task(
+                        parent,
+                        PlanOutcome::Failed(
+                            ErrorCode::NotFound,
+                            "synchronous durability requires at least one registered replication \
+                             peer"
+                                .into(),
+                        ),
+                        elapsed_usec,
+                    );
+                    return true;
+                }
+                // Parent record first: a replica finishing before its
+                // siblings are even submitted must find something to
+                // decrement.
+                self.repl.lock().parents.insert(
+                    parent,
+                    SyncParent {
+                        remaining: peers.len(),
+                        bytes_moved: moved,
+                        elapsed_usec,
+                        error: None,
+                    },
+                );
+                for host in &peers {
+                    if let Err(e) =
+                        self.submit_replica(parent, host, &req.nsid, &req.path, req.priority, moved)
+                    {
+                        self.note_replica_failure(parent, e);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Enqueue one background replica push — an ordinary scheduler
+    /// unit reusing the remote-staging push machinery. The landed
+    /// `nsid://path` is pushed to the same-named dataspace and path on
+    /// `host` (cluster-wide dataspace naming, the convention the peer
+    /// registry already assumes). Ledger entry and lag counters are
+    /// registered *before* the unit becomes dispatchable, so a fast
+    /// completion can never race the bookkeeping.
+    fn submit_replica(
+        &self,
+        parent: u64,
+        host: &str,
+        nsid: &str,
+        path: &str,
+        priority: u8,
+        bytes: u64,
+    ) -> Result<u64, (ErrorCode, String)> {
+        let spec = TaskSpec::new(
+            TaskOp::Copy,
+            ResourceDesc::PosixPath {
+                nsid: nsid.into(),
+                path: path.into(),
+            },
+            Some(ResourceDesc::RemotePath {
+                host: host.into(),
+                nsid: nsid.into(),
+                path: path.into(),
+            }),
+        )
+        .with_priority(priority);
+        let task_id = self.next_task.fetch_add(1, Ordering::SeqCst);
+        let now_us = self.started_at.elapsed().as_micros() as u64;
+        {
+            let mut rp = self.repl.lock();
+            rp.replicas.insert(task_id, ReplicaMeta { parent, bytes });
+            self.pending_replicas.fetch_add(1, Ordering::SeqCst);
+            self.pending_replica_bytes
+                .fetch_add(bytes, Ordering::SeqCst);
+        }
+        {
+            let mut st = self.dispatch.lock();
+            if st.stop {
+                drop(st);
+                let mut rp = self.repl.lock();
+                rp.replicas.remove(&task_id);
+                self.pending_replicas.fetch_sub(1, Ordering::SeqCst);
+                self.pending_replica_bytes
+                    .fetch_sub(bytes, Ordering::SeqCst);
+                return Err((ErrorCode::SystemError, "worker pool stopped".into()));
+            }
+            // Past the capacity bound on purpose: admission control
+            // pushes back on clients, and bouncing a replica would
+            // silently void an accepted task's durability guarantee.
+            st.sched
+                .enqueue_internal(task_id, REPLICA_OWNER, bytes, priority, now_us);
+            st.work.insert(
+                task_id,
+                Work::Whole {
+                    spec,
+                    payload: None,
+                },
+            );
+            self.tasks.insert(
+                task_id,
+                TaskEntry {
+                    stats: TaskStats {
+                        state: TaskState::Pending,
+                        error: ErrorCode::Success,
+                        bytes_total: bytes,
+                        bytes_moved: 0,
+                        wait_usec: 0,
+                        elapsed_usec: 0,
+                    },
+                    submitted_at: Instant::now(),
+                    owner: REPLICA_OWNER,
+                    error_message: None,
+                    progress: Arc::new(AtomicU64::new(0)),
+                    abort: Arc::new(AtomicBool::new(false)),
+                    abortable: false,
+                },
+            );
+            self.pending_count.fetch_add(1, Ordering::SeqCst);
+        }
+        self.dispatch_cv.notify_one();
+        Ok(task_id)
+    }
+
+    /// A replica reached a terminal state (or failed to submit —
+    /// see [`Engine::note_replica_failure`]): drain the lag counters
+    /// and resolve the `synchronous` parent once its last replica is
+    /// in. No-op for ids that are not replicas.
+    fn note_replica_done(&self, task_id: u64, stats: &TaskStats) {
+        // Failure detail fetched before the ledger lock: the shard
+        // lock must never nest inside `repl`.
+        let failure = (stats.state != TaskState::Finished).then(|| {
+            let code = if stats.error == ErrorCode::Success {
+                ErrorCode::SystemError
+            } else {
+                stats.error
+            };
+            let msg = self
+                .error_message(task_id)
+                .unwrap_or_else(|| format!("replica ended {:?}", stats.state));
+            (code, msg)
+        });
+        let resolved = {
+            let mut rp = self.repl.lock();
+            let Some(meta) = rp.replicas.remove(&task_id) else {
+                return;
+            };
+            self.pending_replicas.fetch_sub(1, Ordering::SeqCst);
+            self.pending_replica_bytes
+                .fetch_sub(meta.bytes, Ordering::SeqCst);
+            self.repl_cv.notify_all();
+            Self::settle_parent(&mut rp, meta.parent, failure).map(|p| (meta.parent, p))
+        };
+        if let Some((parent, record)) = resolved {
+            self.resolve_sync_parent(parent, record);
+        }
+    }
+
+    /// A replica could not even be submitted (pool stopping): account
+    /// it against the `synchronous` parent directly.
+    fn note_replica_failure(&self, parent: u64, err: (ErrorCode, String)) {
+        let resolved = {
+            let mut rp = self.repl.lock();
+            Self::settle_parent(&mut rp, parent, Some(err))
+        };
+        if let Some(record) = resolved {
+            self.resolve_sync_parent(parent, record);
+        }
+    }
+
+    /// Decrement a deferred parent's outstanding-replica count,
+    /// recording the first failure; returns the record once the last
+    /// replica is in. `None` parent entries are `local_plus_one`
+    /// (fire-and-forget) — nothing to resolve.
+    fn settle_parent(
+        rp: &mut ReplState,
+        parent: u64,
+        failure: Option<(ErrorCode, String)>,
+    ) -> Option<SyncParent> {
+        let record = rp.parents.get_mut(&parent)?;
+        record.remaining -= 1;
+        if record.error.is_none() {
+            if let Some(err) = failure {
+                record.error = Some(err);
+            }
+        }
+        if record.remaining == 0 {
+            rp.parents.remove(&parent)
+        } else {
+            None
+        }
+    }
+
+    /// Deliver a deferred `synchronous` parent's terminal transition:
+    /// `Finished` only if every replica landed, otherwise the first
+    /// replica failure becomes the task's failure.
+    fn resolve_sync_parent(&self, parent: u64, record: SyncParent) {
+        let outcome = match record.error {
+            None => PlanOutcome::Done(record.bytes_moved),
+            Some((code, msg)) => PlanOutcome::Failed(code, format!("replication failed: {msg}")),
+        };
+        self.finish_task(parent, outcome, record.elapsed_usec);
     }
 
     /// Execute (or plan) one transfer. Large single-file copies and
@@ -1691,18 +2139,25 @@ impl Engine {
                 return;
             }
             tm.heap.push(Reverse((deadline, sub_id)));
+            // The lazy spawn must stay under the `wait_timer` lock —
+            // the same lock `shutdown` holds (nested outside
+            // `wait_timer_thread`, matching its order) while it sets
+            // `stop` and takes the handle. Checking the slot after
+            // releasing `tm` races shutdown: it can join the old
+            // thread between our release and our slot check, and the
+            // respawn here would occupy the slot past shutdown.
+            let mut slot = self.wait_timer_thread.lock();
+            if slot.is_none() {
+                let eng = Arc::clone(self);
+                *slot = Some(
+                    std::thread::Builder::new()
+                        .name("urd-wait-timer".into())
+                        .spawn(move || eng.wait_timer_loop())
+                        .expect("spawn wait-timer thread"),
+                );
+            }
         }
         self.wait_timer_cv.notify_one();
-        let mut slot = self.wait_timer_thread.lock();
-        if slot.is_none() {
-            let eng = Arc::clone(self);
-            *slot = Some(
-                std::thread::Builder::new()
-                    .name("urd-wait-timer".into())
-                    .spawn(move || eng.wait_timer_loop())
-                    .expect("spawn wait-timer thread"),
-            );
-        }
     }
 
     fn wait_timer_loop(self: &Arc<Self>) {
@@ -2404,5 +2859,51 @@ mod tests {
             low_waits
         );
         engine.shutdown();
+    }
+
+    /// Regression: a bounded-wait subscription racing `shutdown` could
+    /// observe the timer-thread slot *after* shutdown joined and
+    /// emptied it, and lazily respawn the timer thread — leaking it
+    /// past shutdown. The spawn must be gated by the same
+    /// `wait_timer` lock that shutdown sets `stop` under, so after
+    /// `shutdown` returns the slot stays empty no matter how the race
+    /// lands.
+    #[test]
+    fn wait_arm_racing_shutdown_cannot_respawn_timer_thread() {
+        use std::sync::atomic::AtomicBool;
+        for round in 0..200u64 {
+            let (engine, root) = engine_with_ds("timer-race");
+            fs::create_dir_all(root.join("tmp0")).unwrap();
+            // A fat copy keeps a worker busy through shutdown's join
+            // phase, so bounded waits on it keep arming deadlines
+            // while shutdown is tearing the timer down.
+            fs::write(root.join("tmp0/blk.dat"), vec![5u8; 16 << 20]).unwrap();
+            let blocker = engine
+                .submit(1, copy_spec("blk.dat", "out.dat"), None)
+                .unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let racers: Vec<_> = (0..3)
+                .map(|_| {
+                    let eng = Arc::clone(&engine);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            let _ = eng.wait_task_async(blocker, 1, None, Box::new(|_| {}));
+                        }
+                    })
+                })
+                .collect();
+            // Vary the collision point across rounds.
+            std::thread::sleep(std::time::Duration::from_micros(50 * (round % 8)));
+            engine.shutdown();
+            stop.store(true, Ordering::SeqCst);
+            for r in racers {
+                r.join().unwrap();
+            }
+            assert!(
+                !engine.wait_timer_alive(),
+                "wait-timer thread respawned after shutdown (round {round})"
+            );
+        }
     }
 }

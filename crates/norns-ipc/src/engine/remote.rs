@@ -94,6 +94,11 @@ const REMOTE_POOL_BUF: usize = 1 << 20;
 /// pin one socket per worker thread forever.
 const CONN_CACHE_CAP: usize = 16;
 
+/// Pause before the second (last-chance) `Discard` attempt in
+/// [`RemoteTransfer::cleanup`] — long enough for a peer daemon
+/// mid-restart to come back up and bind its data listener.
+const DISCARD_RETRY_DELAY: Duration = Duration::from_millis(200);
+
 /// Map a data-plane I/O error onto a wire error code. Timeouts get
 /// their own code so callers can distinguish a dead peer mid-transfer
 /// from a local filesystem failure.
@@ -822,14 +827,26 @@ impl RemoteTransfer {
                 let _ = fs::remove_file(&self.local_path);
             }
             Direction::Push => {
-                let _ = expect_ok(
-                    &self.addr,
-                    &DataRequest::Discard {
-                        nsid: self.nsid.clone(),
-                        path: self.rpath.clone(),
-                    },
-                    None,
-                );
+                let req = DataRequest::Discard {
+                    nsid: self.nsid.clone(),
+                    path: self.rpath.clone(),
+                };
+                if expect_ok(&self.addr, &req, None).is_ok() {
+                    return;
+                }
+                // The first attempt rode this worker's cached
+                // connection (or caught the peer mid-restart and got
+                // a transient error / dead listener). Give the peer a
+                // beat and replay the Discard once on an explicitly
+                // fresh connection — mirroring `transfer_range`'s
+                // stale-connection replay — otherwise the `Prepare`d
+                // remote partial is stranded forever.
+                std::thread::sleep(DISCARD_RETRY_DELAY);
+                if let Ok(mut conn) = DataConn::connect(&self.addr) {
+                    if let Ok((DataResponse::Ok, _)) = conn.call(&req, None) {
+                        store_conn(&self.addr, conn);
+                    }
+                }
             }
         }
     }
@@ -944,5 +961,121 @@ mod tests {
         assert!(!has_first, "oldest entry must be evicted");
         assert!(has_last, "newest entry must survive");
         let _ = server.join();
+    }
+
+    /// Regression: a failed push's `cleanup` used to fire its
+    /// `Discard` best-effort exactly once; a peer mid-restart that
+    /// answers with a transient error (or hangs up) left the
+    /// `Prepare`d remote partial stranded forever. The Discard must be
+    /// replayed once on a fresh connection, like `transfer_range`
+    /// replays ranges.
+    #[test]
+    fn push_cleanup_retries_discard_against_restarting_peer() {
+        use std::sync::atomic::AtomicUsize;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // `partial` models the peer-side `Prepare`d file; `discards`
+        // counts Discard attempts. The scripted peer fails every
+        // Store (so the push fails), then answers the *first* Discard
+        // with a transient error and hangs up — a daemon caught
+        // mid-restart — and honours any later one.
+        let partial = Arc::new(AtomicBool::new(false));
+        let discards = Arc::new(AtomicUsize::new(0));
+        {
+            let partial = Arc::clone(&partial);
+            let discards = Arc::clone(&discards);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(mut stream) = stream else { break };
+                    let partial = Arc::clone(&partial);
+                    let discards = Arc::clone(&discards);
+                    std::thread::spawn(move || {
+                        let mut reader = FrameReader::new();
+                        let mut buf = [0u8; 64 * 1024];
+                        loop {
+                            let mut frame = loop {
+                                match reader.next_frame() {
+                                    Ok(Some(f)) => break f,
+                                    Ok(None) => {}
+                                    Err(_) => return,
+                                }
+                                match stream.read(&mut buf) {
+                                    Ok(0) | Err(_) => return,
+                                    Ok(n) => reader.extend(&buf[..n]),
+                                }
+                            };
+                            let Ok(req) = DataRequest::decode(&mut frame) else {
+                                return;
+                            };
+                            let resp = match req {
+                                DataRequest::Prepare { .. } => {
+                                    partial.store(true, Ordering::SeqCst);
+                                    DataResponse::Ok
+                                }
+                                DataRequest::Store { .. } => DataResponse::Error {
+                                    code: ErrorCode::NoSpace,
+                                    message: "scripted store failure".into(),
+                                },
+                                DataRequest::Discard { .. } => {
+                                    if discards.fetch_add(1, Ordering::SeqCst) == 0 {
+                                        let resp = DataResponse::Error {
+                                            code: ErrorCode::SystemError,
+                                            message: "daemon restarting".into(),
+                                        };
+                                        let _ = stream.write_all(&encode_frame(&resp.to_bytes()));
+                                        return; // hang up
+                                    }
+                                    partial.store(false, Ordering::SeqCst);
+                                    DataResponse::Ok
+                                }
+                                _ => DataResponse::Error {
+                                    code: ErrorCode::BadArgs,
+                                    message: "unexpected request".into(),
+                                },
+                            };
+                            if stream.write_all(&encode_frame(&resp.to_bytes())).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        let dir = std::env::temp_dir().join(format!("norns-discard-retry-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("src.dat");
+        fs::write(&src, vec![3u8; 4096]).unwrap();
+
+        let plan = RemoteTransfer::plan_push(
+            9,
+            &addr,
+            "ds0",
+            "dst.dat",
+            &src,
+            1 << 20,
+            1,
+            Arc::new(AtomicU64::new(0)),
+            Arc::new(AtomicBool::new(false)),
+        )
+        .unwrap();
+        assert!(partial.load(Ordering::SeqCst), "Prepare must have landed");
+        while !plan.run_unit() {}
+        let outcome = plan.finalize();
+        assert!(
+            matches!(outcome, PlanOutcome::Failed(..)),
+            "scripted push must fail"
+        );
+        assert_eq!(
+            discards.load(Ordering::SeqCst),
+            2,
+            "cleanup must replay the Discard once on a fresh connection"
+        );
+        assert!(
+            !partial.load(Ordering::SeqCst),
+            "the Prepare'd remote partial must be gone after cleanup"
+        );
     }
 }

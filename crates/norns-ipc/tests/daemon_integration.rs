@@ -4,8 +4,8 @@ use std::path::{Path, PathBuf};
 
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon, UserClient};
 use norns_proto::{
-    BackendKind, DaemonCommand, DataspaceDesc, ErrorCode, JobDesc, ResourceDesc, TaskOp, TaskSpec,
-    TaskState, DEFAULT_PRIORITY,
+    BackendKind, DaemonCommand, DataspaceDesc, Durability, ErrorCode, JobDesc, ResourceDesc,
+    TaskOp, TaskSpec, TaskState, DEFAULT_PRIORITY,
 };
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -62,6 +62,7 @@ fn listing2_flow_over_real_sockets() {
                     nsid: "tmp0".into(),
                     path: "path/to/output".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             Some(&buffer),
         )
@@ -153,6 +154,7 @@ fn copy_between_paths_via_control_api() {
                     nsid: "tmp0".into(),
                     path: "staged/input.dat".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             None,
         )
@@ -179,6 +181,7 @@ fn errors_propagate_to_clients() {
                 path: "x".into(),
             },
             output: None,
+            durability: Durability::LocalOnly,
         },
         None,
     );
@@ -203,6 +206,7 @@ fn errors_propagate_to_clients() {
                     nsid: "tmp0".into(),
                     path: "y".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             None,
         )
@@ -228,6 +232,7 @@ fn pause_and_resume_via_commands() {
                 path: "x".into(),
             },
             output: None,
+            durability: Durability::LocalOnly,
         },
         None,
     );
@@ -270,6 +275,7 @@ fn status_reports_cancelled_tasks_and_chunk_size_over_wire() {
             nsid: "tmp0".into(),
             path: dst.into(),
         }),
+        durability: Durability::LocalOnly,
     };
     let mut blockers = Vec::new();
     for i in 0..4 {
@@ -362,6 +368,7 @@ fn priority_inversion_resolved_by_weighted_policy() {
             nsid: "tmp0".into(),
             path,
         }),
+        durability: Durability::LocalOnly,
     };
 
     // Occupy the single worker with a large path→path blocker (64 MiB
@@ -382,6 +389,7 @@ fn priority_inversion_resolved_by_weighted_policy() {
                     nsid: "tmp0".into(),
                     path: "blocker-dst".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             None,
         )
@@ -458,6 +466,7 @@ fn cancel_task_over_sockets() {
                     nsid: "tmp0".into(),
                     path: "big".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             Some(&payload),
         )
@@ -473,6 +482,7 @@ fn cancel_task_over_sockets() {
                     nsid: "tmp0".into(),
                     path: "victim".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             Some(b"abc"),
         )
@@ -542,6 +552,7 @@ fn bounded_queue_reports_busy_over_sockets() {
                     nsid: "tmp0".into(),
                     path: "blocker-dst".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             None,
         )
@@ -563,6 +574,7 @@ fn bounded_queue_reports_busy_over_sockets() {
                     nsid: "tmp0".into(),
                     path: format!("f{i}"),
                 }),
+                durability: Durability::LocalOnly,
             },
             Some(&payload),
         );
@@ -605,6 +617,7 @@ fn wire_shutdown_stops_the_daemon() {
                 path: "x".into(),
             },
             output: None,
+            durability: Durability::LocalOnly,
         },
         None,
     );
@@ -644,6 +657,7 @@ fn absolute_paths_cannot_escape_the_dataspace() {
         priority: DEFAULT_PRIORITY,
         input,
         output,
+        durability: Durability::LocalOnly,
     };
     let expect_denied = |r: Result<u64, norns_ipc::ClientError>, what: &str| match r {
         Err(norns_ipc::ClientError::Remote { code, .. }) => {
@@ -715,6 +729,7 @@ fn absolute_paths_cannot_escape_the_dataspace() {
                     path: secret.to_string_lossy().into_owned(),
                 },
                 output: None,
+                durability: Durability::LocalOnly,
             },
             None,
         ),
@@ -787,6 +802,7 @@ fn user_wait_and_query_require_ownership() {
                     nsid: "tmp0".into(),
                     path: "mine".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             Some(b"mine"),
         )
@@ -861,6 +877,7 @@ fn user_cancel_requires_ownership() {
                     nsid: "tmp0".into(),
                     path: "big".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             Some(&payload),
         )
@@ -885,6 +902,7 @@ fn user_cancel_requires_ownership() {
                     nsid: "tmp0".into(),
                     path: "mine".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             Some(b"ok"),
         )

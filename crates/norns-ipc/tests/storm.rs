@@ -13,6 +13,12 @@
 //! submission accounted once as completed or cancelled. After the
 //! daemon drops, the process fd and thread counts return to their
 //! pre-spawn baselines (no leak).
+//!
+//! A slice of the storm's successful submissions carries
+//! `local_plus_one` durability against a live replica peer, so the
+//! quiesce check also proves the background replication queue drains:
+//! the `pending_replicas` / `pending_replica_bytes` lag counters must
+//! reach exactly zero once the storm settles.
 
 use std::fs;
 use std::path::PathBuf;
@@ -21,8 +27,8 @@ use std::sync::{Arc, Barrier};
 
 use norns_ipc::{ClientError, CtlClient, DaemonConfig, PipelinedCtl, PipelinedUser, UrdDaemon};
 use norns_proto::{
-    BackendKind, CtlRequest, DataspaceDesc, ErrorCode, JobDesc, ResourceDesc, Response, TaskOp,
-    TaskSpec,
+    BackendKind, CtlRequest, DataspaceDesc, Durability, ErrorCode, JobDesc, ResourceDesc, Response,
+    TaskOp, TaskSpec,
 };
 
 const DRIVERS: usize = 8;
@@ -142,6 +148,24 @@ fn thousand_client_storm() {
             .with_reactors(4),
     )
     .unwrap();
+    // A replica peer sharing the cluster-wide `storm0` dataspace name:
+    // the durable slice of the storm pushes its stage-outs here.
+    let peer = UrdDaemon::spawn(
+        DaemonConfig::in_dir(root.join("peer/sockets")).with_data_addr("127.0.0.1:0"),
+    )
+    .unwrap();
+    {
+        let mut peer_ctl = CtlClient::connect(&peer.control_path).unwrap();
+        peer_ctl
+            .register_dataspace(DataspaceDesc {
+                nsid: "storm0".into(),
+                kind: BackendKind::PosixFilesystem,
+                mount: root.join("peer/ds").to_string_lossy().into_owned(),
+                quota: 0,
+                tracked: false,
+            })
+            .unwrap();
+    }
     {
         let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
         ctl.register_dataspace(DataspaceDesc {
@@ -152,6 +176,8 @@ fn thousand_client_storm() {
             tracked: false,
         })
         .unwrap();
+        ctl.register_peer("peer0", &peer.data_addr().unwrap().to_string())
+            .unwrap();
         for d in 0..DRIVERS as u64 {
             ctl.register_job(JobDesc {
                 job_id: d + 1,
@@ -186,7 +212,13 @@ fn thousand_client_storm() {
             // source — and a ping) without reading anything back.
             let mut conns: Vec<StormConn> = Vec::with_capacity(my_conns);
             for c in 0..my_conns {
-                let good = copy_spec("seed.dat".into(), format!("out/{d}/{c}.dat"));
+                // Every fourth connection's good submission is a
+                // replicated stage-out: the ACK rides the local leg
+                // and the background queue pushes a copy to `peer0`.
+                let mut good = copy_spec("seed.dat".into(), format!("out/{d}/{c}.dat"));
+                if c % 4 == 0 {
+                    good = good.with_durability(Durability::LocalPlusOne);
+                }
                 let ghost = copy_spec(format!("ghost-{d}-{c}.dat"), format!("bad/{d}/{c}.dat"));
                 if c % 8 == 7 {
                     let mut conn = PipelinedUser::with_pid(&user_path, pid).unwrap();
@@ -351,7 +383,22 @@ fn thousand_client_storm() {
         clients * 2
     );
     let mut ctl = CtlClient::connect(&daemon.control_path).unwrap();
-    let status = ctl.status().unwrap();
+    // Every ACK is in; the background replication queue must drain to
+    // exactly zero lag before the storm counts as quiesced.
+    let drain_deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let status = loop {
+        let status = ctl.status().unwrap();
+        if status.pending_replicas == 0 && status.pending_replica_bytes == 0 {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < drain_deadline,
+            "replication lag stuck at {} replicas / {} bytes",
+            status.pending_replicas,
+            status.pending_replica_bytes
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
     assert_eq!(status.pending_tasks, 0, "quiesced: nothing pending");
     assert_eq!(status.running_tasks, 0, "quiesced: nothing running");
     assert_eq!(
@@ -363,8 +410,30 @@ fn thousand_client_storm() {
         status.accept_errors, 0,
         "a clean storm must not trip the acceptor backoff"
     );
+    // The durable slice actually landed on the peer: spot-check one
+    // replicated stage-out per driver, byte-identical to the seed.
+    let seed = fs::read(root.join("ds/seed.dat")).unwrap();
+    let replicated: usize = (0..DRIVERS)
+        .map(|d| {
+            let path = root.join(format!("peer/ds/out/{d}/0.dat"));
+            match fs::read(&path) {
+                Ok(bytes) => {
+                    assert_eq!(bytes, seed, "replica content for driver {d}");
+                    1
+                }
+                // Legal: that submission was Busy-rejected or its
+                // cancel won the race before the local leg ran.
+                Err(_) => 0,
+            }
+        })
+        .sum();
+    assert!(
+        replicated > 0,
+        "with {accepted} accepted submissions the storm must land at least one replica"
+    );
     drop(ctl);
     drop(daemon);
+    drop(peer);
 
     // Everything the storm opened — client ends, accepted ends, the
     // epoll/eventfd instances, the data-plane listener — must be gone.

@@ -44,8 +44,15 @@ use crate::wire::WireError;
 /// monopolize a connection. `DaemonStatus` gained `accept_errors` and
 /// `open_connections` so connection storms are observable. The
 /// daemon-to-daemon data plane stays untagged (strictly sequential).
-/// Older peers are rejected at the framing layer.
-pub const PROTOCOL_VERSION: u8 = 7;
+/// Older peers are rejected at the framing layer. v8 added durability
+/// modes for stage-outs: `TaskSpec` gained a trailing `durability`
+/// field (`local_only`/`local_plus_one`/`synchronous`) selecting when
+/// a task ACKs relative to background replication to registered
+/// peers, and `DaemonStatus` gained the replication-lag counters
+/// `pending_replicas` and `pending_replica_bytes` (appended after
+/// `open_connections`, the same way `accept_errors` was appended in
+/// v7) so a quiescent daemon can prove its replication queue drained.
+pub const PROTOCOL_VERSION: u8 = 8;
 
 /// Frames larger than this are rejected outright (a corrupt or hostile
 /// peer must not make the daemon allocate gigabytes).

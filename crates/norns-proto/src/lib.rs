@@ -24,7 +24,7 @@ pub use frame::{
 };
 pub use messages::{
     BackendKind, CtlRequest, DaemonCommand, DaemonStatus, DataRequest, DataResponse, DataspaceDesc,
-    ErrorCode, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
+    Durability, ErrorCode, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
     UserRequest, DEFAULT_PRIORITY, MAX_DATA_RANGE, MAX_DIR_ENTRIES, MAX_WAIT_SET,
 };
 pub use wire::{Wire, WireError};

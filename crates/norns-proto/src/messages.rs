@@ -169,6 +169,45 @@ impl TaskOp {
     }
 }
 
+/// Durability policy for a stage-out (v8). Governs when the task ACKs
+/// (reaches a terminal `Finished`) relative to background replication
+/// to the daemon's registered peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// The local leg is the whole task — no replication. Best-effort
+    /// durability: origin loss loses the data. The pre-v8 behaviour,
+    /// and the default.
+    #[default]
+    LocalOnly,
+    /// ACK as soon as the local leg lands, then asynchronously push
+    /// one copy to a peer in the background. Origin loss after the
+    /// replication lag drains leaves a surviving replica.
+    LocalPlusOne,
+    /// Do not ACK until the local leg *and* every replica
+    /// (`target_copies` peers) have landed. Strongest guarantee,
+    /// highest ACK latency.
+    Synchronous,
+}
+
+impl Durability {
+    fn to_u64(self) -> u64 {
+        match self {
+            Durability::LocalOnly => 0,
+            Durability::LocalPlusOne => 1,
+            Durability::Synchronous => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => Durability::LocalOnly,
+            1 => Durability::LocalPlusOne,
+            2 => Durability::Synchronous,
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
 /// A full I/O task description.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
@@ -180,6 +219,10 @@ pub struct TaskSpec {
     pub input: ResourceDesc,
     /// Absent for `Remove`.
     pub output: Option<ResourceDesc>,
+    /// Replication policy for the task's output (v8). Only meaningful
+    /// for local stage-outs (`Copy` to a `PosixPath`); everything else
+    /// must use [`Durability::LocalOnly`].
+    pub durability: Durability,
 }
 
 /// Default task priority (mirrors `norns_sched::DEFAULT_PRIORITY`;
@@ -187,18 +230,24 @@ pub struct TaskSpec {
 pub const DEFAULT_PRIORITY: u8 = 100;
 
 impl TaskSpec {
-    /// Spec with the default priority.
+    /// Spec with the default priority and [`Durability::LocalOnly`].
     pub fn new(op: TaskOp, input: ResourceDesc, output: Option<ResourceDesc>) -> Self {
         TaskSpec {
             op,
             priority: DEFAULT_PRIORITY,
             input,
             output,
+            durability: Durability::LocalOnly,
         }
     }
 
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -215,6 +264,7 @@ impl Wire for TaskSpec {
             }
             None => put_bool(buf, false),
         }
+        put_varint(buf, self.durability.to_u64());
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -229,11 +279,13 @@ impl Wire for TaskSpec {
         } else {
             None
         };
+        let durability = Durability::from_u64(get_varint(buf)?)?;
         Ok(TaskSpec {
             op,
             priority: priority as u8,
             input,
             output,
+            durability,
         })
     }
 }
@@ -846,6 +898,13 @@ pub struct DaemonStatus {
     pub accept_errors: u64,
     /// Control/user connections currently open on the reactor (v7).
     pub open_connections: u64,
+    /// Replica push tasks still outstanding in the background
+    /// replication queue (v8). Zero means every accepted stage-out's
+    /// durability guarantee has been met — the replication lag has
+    /// drained.
+    pub pending_replicas: u64,
+    /// Bytes those outstanding replicas still have to move (v8).
+    pub pending_replica_bytes: u64,
 }
 
 impl Wire for DaemonStatus {
@@ -861,6 +920,8 @@ impl Wire for DaemonStatus {
         put_str(buf, &self.data_addr);
         put_varint(buf, self.accept_errors);
         put_varint(buf, self.open_connections);
+        put_varint(buf, self.pending_replicas);
+        put_varint(buf, self.pending_replica_bytes);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -876,6 +937,8 @@ impl Wire for DaemonStatus {
             data_addr: get_str(buf)?,
             accept_errors: get_varint(buf)?,
             open_connections: get_varint(buf)?,
+            pending_replicas: get_varint(buf)?,
+            pending_replica_bytes: get_varint(buf)?,
         })
     }
 }
@@ -1185,6 +1248,7 @@ mod tests {
                 nsid: "tmp0".into(),
                 path: "o".into(),
             }),
+            durability: Durability::Synchronous,
         });
         roundtrip(TaskSpec {
             op: TaskOp::Remove,
@@ -1194,6 +1258,7 @@ mod tests {
                 path: "x".into(),
             },
             output: None,
+            durability: Durability::LocalOnly,
         });
         let spec = TaskSpec::new(
             TaskOp::Copy,
@@ -1204,7 +1269,11 @@ mod tests {
             None,
         );
         assert_eq!(spec.priority, DEFAULT_PRIORITY);
-        roundtrip(spec.with_priority(7));
+        assert_eq!(spec.durability, Durability::LocalOnly);
+        roundtrip(
+            spec.with_priority(7)
+                .with_durability(Durability::LocalPlusOne),
+        );
     }
 
     #[test]
@@ -1257,6 +1326,7 @@ mod tests {
                         nsid: "lustre".into(),
                         path: "b".into(),
                     }),
+                    durability: Durability::LocalPlusOne,
                 },
             },
             CtlRequest::WaitTask {
@@ -1305,6 +1375,7 @@ mod tests {
                         nsid: "tmp0".into(),
                         path: "ckpt".into(),
                     }),
+                    durability: Durability::Synchronous,
                 },
             },
             UserRequest::WaitTask {
@@ -1352,6 +1423,8 @@ mod tests {
                 data_addr: "127.0.0.1:40971".into(),
                 accept_errors: 9,
                 open_connections: 1024,
+                pending_replicas: 3,
+                pending_replica_bytes: 48 << 20,
             }),
             Response::Dataspaces(vec![DataspaceDesc {
                 nsid: "nvme0".into(),

@@ -9,9 +9,9 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use norns_proto::{
     decode_tagged, encode_frame, encode_tagged, BackendKind, CtlRequest, DaemonCommand,
-    DaemonStatus, DataRequest, DataResponse, DataspaceDesc, ErrorCode, FrameError, FrameReader,
-    JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats, UserRequest, Wire,
-    MAX_DIR_ENTRIES, MAX_FRAME_LEN, MAX_WAIT_SET, PROTOCOL_VERSION,
+    DaemonStatus, DataRequest, DataResponse, DataspaceDesc, Durability, ErrorCode, FrameError,
+    FrameReader, JobDesc, ResourceDesc, Response, TaskOp, TaskSpec, TaskState, TaskStats,
+    UserRequest, Wire, MAX_DIR_ENTRIES, MAX_FRAME_LEN, MAX_WAIT_SET, PROTOCOL_VERSION,
 };
 
 fn sample_spec() -> TaskSpec {
@@ -27,6 +27,7 @@ fn sample_spec() -> TaskSpec {
             nsid: "tmp0".into(),
             path: "mesh.dat".into(),
         }),
+        durability: Durability::LocalOnly,
     }
 }
 
@@ -130,6 +131,26 @@ fn ctl_corpus() -> Vec<CtlRequest> {
                     nsid: "l0".into(),
                     path: "archive/out.dat".into(),
                 }),
+                durability: Durability::LocalPlusOne,
+            },
+        },
+        // v8: every durability mode crosses the wire at least once
+        // (`norns-lint`'s wire-exhaustiveness rule holds this corpus
+        // to the full `Durability` enum).
+        CtlRequest::SubmitTask {
+            job_id: 43,
+            spec: TaskSpec {
+                op: TaskOp::Copy,
+                priority: 100,
+                input: ResourceDesc::PosixPath {
+                    nsid: "tmp0".into(),
+                    path: "stage/ckpt.dat".into(),
+                },
+                output: Some(ResourceDesc::PosixPath {
+                    nsid: "pmdk0".into(),
+                    path: "stage/ckpt.dat".into(),
+                }),
+                durability: Durability::Synchronous,
             },
         },
         CtlRequest::WaitTask {
@@ -184,6 +205,7 @@ fn user_corpus() -> Vec<UserRequest> {
                     size: 4096,
                 },
                 output: None,
+                durability: Durability::LocalOnly,
             },
         },
         UserRequest::WaitTask {
@@ -263,6 +285,8 @@ fn response_corpus() -> Vec<Response> {
             data_addr: "127.0.0.1:40971".into(),
             accept_errors: u64::MAX,
             open_connections: 4096,
+            pending_replicas: 17,
+            pending_replica_bytes: 48 << 20,
         }),
         Response::Dataspaces(vec![]),
         Response::TaskSubmitted { task_id: u64::MAX },

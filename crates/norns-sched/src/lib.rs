@@ -328,6 +328,26 @@ impl<J: Copy, T: Copy + PartialEq, S> Scheduler<J, T, S> {
             .expect("enqueue on a full bounded scheduler");
     }
 
+    /// Admit a daemon-internal task past the capacity bound — same
+    /// bookkeeping as [`Scheduler::try_enqueue`], no admission check.
+    /// The bound exists to push back on *clients*; internal work
+    /// derived from an already-admitted task (background replication
+    /// of a landed stage-out) must not be bounced by it, or a full
+    /// queue would silently void a durability guarantee.
+    pub fn enqueue_internal(&mut self, task: T, job: J, bytes: u64, priority: u8, submitted: S) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.enqueued_total += 1;
+        self.pending.push_back(PendingTask {
+            task,
+            job,
+            bytes,
+            priority,
+            submitted,
+            seq,
+        });
+    }
+
     /// Admit an internal *sub-unit* of an already-dispatched task (a
     /// chunk of a large transfer split across workers). Sub-units keep
     /// the parent's `seq`, `job`, `bytes` and `priority`, so every

@@ -8,7 +8,7 @@
 
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon, UserClient};
 use norns_proto::{
-    BackendKind, DataspaceDesc, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
+    BackendKind, DataspaceDesc, Durability, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
     DEFAULT_PRIORITY,
 };
 
@@ -26,6 +26,7 @@ fn buffer_offloading(user: &mut UserClient, buffer: &[u8]) {
             nsid: "tmp0".into(),
             path: "path/to/output".into(),
         }),
+        durability: Durability::LocalOnly,
     };
     let task_id = user
         .submit(tsk, Some(buffer))

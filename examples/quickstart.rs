@@ -14,7 +14,7 @@
 
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
 use norns_proto::{
-    BackendKind, DataspaceDesc, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
+    BackendKind, DataspaceDesc, Durability, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
     DEFAULT_PRIORITY,
 };
 
@@ -73,6 +73,7 @@ fn main() {
                     nsid: "pmdk0".into(),
                     path: "work/input.dat".into(),
                 }),
+                durability: Durability::LocalOnly,
             },
             None,
         )

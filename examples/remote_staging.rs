@@ -15,7 +15,7 @@
 
 use norns_ipc::{CtlClient, DaemonConfig, UrdDaemon};
 use norns_proto::{
-    BackendKind, DataspaceDesc, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
+    BackendKind, DataspaceDesc, Durability, JobDesc, ResourceDesc, TaskOp, TaskSpec, TaskState,
     DEFAULT_PRIORITY,
 };
 
@@ -60,6 +60,7 @@ fn stage(ctl: &mut CtlClient, what: &str, input: ResourceDesc, output: ResourceD
                 priority: DEFAULT_PRIORITY,
                 input,
                 output: Some(output),
+                durability: Durability::LocalOnly,
             },
             None,
         )

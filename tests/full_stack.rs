@@ -194,6 +194,7 @@ fn wire_protocol_matches_real_daemon_behaviour() {
                     nsid: "tmp0".into(),
                     path: "y".into(),
                 }),
+                durability: norns_proto::Durability::LocalOnly,
             },
             None,
         )
