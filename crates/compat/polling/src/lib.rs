@@ -182,8 +182,10 @@ impl Poller {
             // `EpollEvent`s; the kernel writes at most `maxevents`
             // entries, and only `raw[..n]` (kernel-initialised) is
             // read afterwards.
-            let r =
-                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms) };
+            let r = unsafe {
+                // norns-lint: allow(reactor-blocking): this is the reactor's own parking point — the one place the event loop is supposed to sleep
+                epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms)
+            };
             if r >= 0 {
                 break r as usize;
             }

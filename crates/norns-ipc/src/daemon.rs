@@ -439,6 +439,7 @@ impl Shared {
             return;
         }
         self.shutdown.store(true, Ordering::SeqCst);
+        // norns-lint: allow(lock-across-blocking): engine shutdown joins its worker pool; intentionally serialised under `shutdown_done`
         self.engine.shutdown();
         for reactor in &self.reactors {
             reactor.waker.wake();
@@ -457,6 +458,7 @@ impl Shared {
         }
         // Reactor 0 (the only accept path) is joined: no further
         // data-plane connections can appear, so one pass drains all.
+        // norns-lint: allow(lock-across-blocking): joining data-plane handlers is the point of shutdown; serialised under `shutdown_done`
         self.close_and_join_conns();
         *done = true;
     }
@@ -687,12 +689,14 @@ fn accept_unix_burst(
     control: bool,
 ) {
     loop {
+        // norns-lint: allow(reactor-blocking): the listener is nonblocking; accept returns WouldBlock instead of parking
         match slot.listener.accept() {
             Ok((stream, _)) => {
                 slot.backoff = ACCEPT_BACKOFF_MIN;
                 let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
                 let idx = shared.next_reactor.fetch_add(1, Ordering::SeqCst) as usize
                     % shared.reactors.len();
+                // norns-lint: allow(panic-path): idx is taken modulo reactors.len() on the line above
                 let target = &shared.reactors[idx];
                 target.incoming.lock().push(NewConn {
                     id,
@@ -718,6 +722,7 @@ fn accept_unix_burst(
 /// thread (the data plane moves bulk payloads strictly sequentially).
 fn accept_data_burst(shared: &Arc<Shared>, poller: &Poller, slot: &mut ListenerSlot<TcpListener>) {
     loop {
+        // norns-lint: allow(reactor-blocking): the listener is nonblocking; accept returns WouldBlock instead of parking
         match slot.listener.accept() {
             Ok((stream, _)) => {
                 slot.backoff = ACCEPT_BACKOFF_MIN;
@@ -813,7 +818,11 @@ fn service_event(
     conns: &mut HashMap<u64, Conn>,
     id: u64,
 ) {
-    let conn = conns.get_mut(&id).expect("event for live conn");
+    // A readiness event can race a close from the same epoll batch
+    // (the earlier event closed the conn); nothing left to service.
+    let Some(conn) = conns.get_mut(&id) else {
+        return;
+    };
     match service_conn(shared, reactor, conn, id) {
         ConnFate::Keep => update_interest(reactor, conns, id),
         ConnFate::Closed => close_conn(shared, reactor, conns, id),
@@ -956,6 +965,7 @@ fn flush_blocking(conn: &mut Conn, deadline: Duration) {
             Ok(0) => return,
             Ok(n) => conn.out.advance(n),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // norns-lint: allow(reactor-blocking): bounded 1ms backoff while flushing the final Shutdown Ok; the reactor is already tearing down
                 std::thread::sleep(Duration::from_millis(1));
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -1042,11 +1052,25 @@ fn park_wait(
         );
         return;
     }
+    let task_id = match shape {
+        WaitShape::Task => match task_ids.first() {
+            Some(&id) => id,
+            None => {
+                push_tagged(
+                    &mut conn.out,
+                    tag,
+                    &err_response(ErrorCode::BadArgs, "WaitTask with no task id".to_string()),
+                );
+                return;
+            }
+        },
+        WaitShape::Any => 0,
+    };
     let cb = completion_callback(Arc::clone(reactor), conn_id, tag, shape);
     let sub = match shape {
         WaitShape::Task => shared
             .engine
-            .wait_task_async(task_ids[0], timeout_usec, requester, cb),
+            .wait_task_async(task_id, timeout_usec, requester, cb),
         WaitShape::Any => shared
             .engine
             .wait_any_async(task_ids, timeout_usec, requester, cb),

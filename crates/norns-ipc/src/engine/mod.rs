@@ -878,26 +878,22 @@ impl Engine {
     /// Classify a copy/move task's endpoints. Rejects the remote
     /// combinations the data plane does not speak.
     fn route_of(spec: &TaskSpec) -> Result<Route, (ErrorCode, String)> {
-        let out_remote = matches!(spec.output, Some(ResourceDesc::RemotePath { .. }));
-        match (&spec.input, out_remote) {
-            (ResourceDesc::RemotePath { .. }, true) => Err((
+        let out_host = match &spec.output {
+            Some(ResourceDesc::RemotePath { host, .. }) => Some(host.clone()),
+            _ => None,
+        };
+        match (&spec.input, out_host) {
+            (ResourceDesc::RemotePath { .. }, Some(_)) => Err((
                 ErrorCode::BadArgs,
                 "remote-to-remote relay is not supported; stage through a local dataspace".into(),
             )),
-            (ResourceDesc::RemotePath { host, .. }, false) => {
-                Ok(Route::Pull { host: host.clone() })
-            }
-            (ResourceDesc::MemoryRegion { .. }, true) => Err((
+            (ResourceDesc::RemotePath { host, .. }, None) => Ok(Route::Pull { host: host.clone() }),
+            (ResourceDesc::MemoryRegion { .. }, Some(_)) => Err((
                 ErrorCode::BadArgs,
                 "memory → remote staging is not supported; stage to a local dataspace first".into(),
             )),
-            (_, true) => match spec.output.as_ref() {
-                Some(ResourceDesc::RemotePath { host, .. }) => {
-                    Ok(Route::Push { host: host.clone() })
-                }
-                _ => unreachable!("out_remote implies a RemotePath output"),
-            },
-            _ => Ok(Route::Local),
+            (_, Some(host)) => Ok(Route::Push { host }),
+            (_, None) => Ok(Route::Local),
         }
     }
 
@@ -969,7 +965,7 @@ impl Engine {
                     "copy/move require an output".to_string(),
                 ))?;
                 match Self::route_of(&spec)? {
-                    route @ (Route::Pull { .. } | Route::Push { .. }) => {
+                    ref route @ (Route::Pull { ref host } | Route::Push { ref host }) => {
                         // Remote staging is copy-only: a cross-node
                         // `Move` would need a remote unlink the data
                         // plane does not speak.
@@ -981,10 +977,6 @@ impl Engine {
                                     .into(),
                             ));
                         }
-                        let host = match &route {
-                            Route::Pull { host } | Route::Push { host } => host,
-                            Route::Local => unreachable!(),
-                        };
                         // Unknown peers are a submission error, not a
                         // task failure: fail fast with NotFound.
                         self.peer_addr(host).ok_or_else(|| {
@@ -993,26 +985,22 @@ impl Engine {
                                 format!("unknown peer {host:?}; register it first"),
                             )
                         })?;
-                        match &route {
-                            Route::Pull { .. } => {
-                                // Local destination must resolve; the
-                                // remote size is only known once a
-                                // worker probes the peer, so the
-                                // estimate stays 0 ("unknown" to SJF).
-                                self.resolve(out)?;
+                        if matches!(route, Route::Pull { .. }) {
+                            // Local destination must resolve; the
+                            // remote size is only known once a
+                            // worker probes the peer, so the
+                            // estimate stays 0 ("unknown" to SJF).
+                            self.resolve(out)?;
+                        } else {
+                            let src = self.resolve(&spec.input)?;
+                            let meta = fs::metadata(&src).map_err(map_io)?;
+                            if meta.is_dir() {
+                                return Err((
+                                    ErrorCode::BadArgs,
+                                    "directory trees cannot be staged to a remote node".into(),
+                                ));
                             }
-                            Route::Push { .. } => {
-                                let src = self.resolve(&spec.input)?;
-                                let meta = fs::metadata(&src).map_err(map_io)?;
-                                if meta.is_dir() {
-                                    return Err((
-                                        ErrorCode::BadArgs,
-                                        "directory trees cannot be staged to a remote node".into(),
-                                    ));
-                                }
-                                bytes_total = meta.len();
-                            }
-                            Route::Local => unreachable!(),
+                            bytes_total = meta.len();
                         }
                     }
                     Route::Local => {
@@ -2149,12 +2137,24 @@ impl Engine {
             let mut slot = self.wait_timer_thread.lock();
             if slot.is_none() {
                 let eng = Arc::clone(self);
-                *slot = Some(
-                    std::thread::Builder::new()
-                        .name("urd-wait-timer".into())
-                        .spawn(move || eng.wait_timer_loop())
-                        .expect("spawn wait-timer thread"),
-                );
+                let spawned = std::thread::Builder::new()
+                    .name("urd-wait-timer".into())
+                    .spawn(move || eng.wait_timer_loop());
+                match spawned {
+                    Ok(handle) => *slot = Some(handle),
+                    Err(e) => {
+                        // Out of threads: no timer can ever fire, so
+                        // resolve this wait as an immediate timeout
+                        // instead of parking it forever. The heap
+                        // entry we just pushed goes stale, which
+                        // `fire_wait_timeout` tolerates.
+                        eprintln!("urd: cannot spawn wait-timer thread: {e}; failing wait fast");
+                        drop(slot);
+                        drop(tm);
+                        self.fire_wait_timeout(sub_id);
+                        return;
+                    }
+                }
             }
         }
         self.wait_timer_cv.notify_one();
@@ -2190,13 +2190,16 @@ impl Engine {
         let result = match sub.kind {
             // Blocking `WaitTask` returns the in-flight snapshot on an
             // expired timeout; mirror that.
-            WaitKind::Single => {
-                let id = sub.task_ids[0];
-                match self.tasks.snapshot(id) {
+            WaitKind::Single => match sub.task_ids.first() {
+                Some(&id) => match self.tasks.snapshot(id) {
                     Some(stats) => Ok((id, stats)),
                     None => Err((ErrorCode::NotFound, format!("task {id}"))),
-                }
-            }
+                },
+                None => Err((
+                    ErrorCode::BadArgs,
+                    "wait subscription with no task id".to_string(),
+                )),
+            },
             WaitKind::Any => Err((
                 ErrorCode::Timeout,
                 format!("no task of {} completed in time", sub.task_ids.len()),

@@ -1,0 +1,110 @@
+//! Findings baseline: `--baseline results/lint-baseline.json` makes
+//! `--check` fail only on findings whose [`crate::Finding::key`] is
+//! not already recorded, so a rule upgrade with a known backlog can
+//! gate *new* regressions immediately while the backlog is burned
+//! down. `--write-baseline` snapshots the current unsuppressed
+//! findings. The file is a flat JSON object:
+//!
+//! ```json
+//! { "schema": 1, "keys": ["rule|file|message", ...] }
+//! ```
+//!
+//! The parser below reads exactly that shape (any JSON document's
+//! top-level string array under `"keys"`), with full string-escape
+//! handling — no crates.io JSON dependency, consistent with the rest
+//! of the tool.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+/// Load baseline keys. A missing file is an empty baseline (every
+/// finding is new), so a freshly-added CI flag cannot silently pass.
+pub fn load(path: &Path) -> io::Result<BTreeSet<String>> {
+    if !path.exists() {
+        return Ok(BTreeSet::new());
+    }
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_keys(&text))
+}
+
+/// Serialize `keys` in the baseline format.
+pub fn render(keys: &BTreeSet<String>) -> String {
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"keys\": [");
+    for (i, k) in keys.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    ");
+        s.push_str(&crate::json_str(k));
+    }
+    if !keys.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Every JSON string literal after the `"keys"` marker, unescaped.
+fn parse_keys(text: &str) -> BTreeSet<String> {
+    let Some(start) = text.find("\"keys\"") else {
+        return BTreeSet::new();
+    };
+    let mut out = BTreeSet::new();
+    let chars: Vec<char> = text[start + 6..].chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            ']' => break,
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        s.push(match chars[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            'u' => {
+                                let hex: String = chars[i + 1..].iter().take(4).collect();
+                                i += 4;
+                                char::from_u32(u32::from_str_radix(&hex, 16).unwrap_or(0xfffd))
+                                    .unwrap_or('\u{fffd}')
+                            }
+                            other => other,
+                        });
+                    } else {
+                        s.push(chars[i]);
+                    }
+                    i += 1;
+                }
+                out.insert(s);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let keys: BTreeSet<String> = [
+            "panic-path|a.rs|msg with \"quotes\" and → arrows".to_string(),
+            "reactor-blocking|b.rs|line\ntwo".to_string(),
+        ]
+        .into();
+        assert_eq!(parse_keys(&render(&keys)), keys);
+    }
+
+    #[test]
+    fn empty_and_missing_are_empty() {
+        assert!(parse_keys("{}").is_empty());
+        assert!(parse_keys("{\"schema\":1,\"keys\":[]}").is_empty());
+    }
+}

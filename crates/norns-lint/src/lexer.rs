@@ -295,7 +295,16 @@ fn cooked_string(
     let mut j = start;
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // An escaped character can be a newline (the `\` line
+                // continuation); it must still bump the line counter or
+                // every later token anchors one line short.
+                if chars.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                    *code_on_line = false;
+                }
+                j += 2;
+            }
             '"' => {
                 return (chars[start..j].iter().collect(), j + 1);
             }
@@ -400,6 +409,55 @@ mod tests {
         let lexed = lex("extern \"C\" { fn close(fd: i32) -> i32; }");
         assert!(matches!(&lexed.tokens[0].kind, Tok::Ident(s) if s == "extern"));
         assert!(matches!(&lexed.tokens[1].kind, Tok::Str(s) if s == "C"));
+    }
+
+    fn line_of(src: &str, ident: &str) -> u32 {
+        lex(src)
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, Tok::Ident(s) if s == ident))
+            .unwrap_or_else(|| panic!("ident `{ident}` not lexed"))
+            .line
+    }
+
+    #[test]
+    fn raw_strings_do_not_desynchronize_lines_or_tokens() {
+        // Hash-guarded raw string spanning lines, with an embedded
+        // quote and a `"#`-lookalike that must not terminate early.
+        let src = "let a = r##\"one \"# two\nthree \"quoted\" \\\nfour\"##;\nlet after = 1;\n";
+        assert_eq!(line_of(src, "after"), 4, "raw string spans lines 1-3");
+        // The `\\` before the newline is literal in a raw string — it
+        // must not swallow the line break.
+        let src2 = "let s = r\"tail\\\nnext\";\nlet mark = 2;\n";
+        assert_eq!(line_of(src2, "mark"), 3);
+        // A raw string closing mid-line leaves the rest as code.
+        let ids = idents("let x = r#\"text\"#; unsafe { }");
+        assert!(ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn string_escape_line_continuation_keeps_line_numbers() {
+        // `"...\` + newline is a cooked-string line continuation; the
+        // skipped newline must still count.
+        let src = "let s = \"one\\\n   two\";\nlet after = 1;\n";
+        assert_eq!(line_of(src, "after"), 3);
+        // Double backslash before the newline is NOT a continuation of
+        // the escape — the newline is literal content.
+        let src2 = "let s = \"one\\\\\n two\";\nlet after = 1;\n";
+        assert_eq!(line_of(src2, "after"), 3);
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_desynchronize() {
+        let src = "/* outer /* inner\n /* deeper */ */ still comment\n*/ let after = 1;\n";
+        assert_eq!(line_of(src, "after"), 3);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        // `/*/` does not open-and-close at once, `**/` closes.
+        let ids = idents("/*/ still a comment **/ let real = 1;");
+        assert_eq!(ids, vec!["let", "real"]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! `norns-lint`: a self-contained, offline static-analysis pass for
 //! this workspace. No crates.io dependencies — a hand-rolled lexer
-//! ([`lexer`]) feeds three analyses:
+//! ([`lexer`]) feeds an interprocedural call graph ([`callgraph`]) and
+//! five analyses:
 //!
 //! * [`safety`] — `unsafe-safety-comment`: every `unsafe` block /
 //!   `unsafe fn` / `unsafe impl` and every `extern "C"` declaration
@@ -8,9 +9,15 @@
 //!   on.
 //! * [`locks`] — `lock-across-blocking`: a `Mutex`/`RwLock` guard must
 //!   not be live across a deny-listed blocking call (`write_all`,
-//!   `connect`, `sleep`, `join`, ...) in reactor/engine code paths;
-//!   and `lock-order-cycle`: the per-function nested lock-acquisition
-//!   graph must be acyclic.
+//!   `connect`, `sleep`, `join`, ...) — directly or through a callee
+//!   whose summary says it transitively blocks; and
+//!   `lock-order-cycle`: the nested lock-acquisition graph, including
+//!   locks taken inside callees, must be acyclic.
+//! * [`reactor`] — `reactor-blocking`: no function reachable from a
+//!   reactor entry point may hit the blocking denylist; and
+//!   `panic-path`: no reactor-reachable `norns-ipc` code may
+//!   `unwrap`/`expect`/`panic!`/index unguarded. Findings carry the
+//!   call chain from the entry point.
 //! * [`wire`] — `wire-exhaustiveness`: every variant of every
 //!   `norns-proto` message enum must appear in the wire corpus test
 //!   and every request variant in the daemon dispatch, so a future
@@ -26,10 +33,15 @@
 //!
 //! A marker without a reason is itself a finding
 //! (`bad-allow-marker`). Suppressed findings stay in the machine
-//! -readable report (`results/lint.json`) with their justification.
+//! -readable report (`results/lint.json`, schema v2) with their
+//! justification, next to the call-graph stats and per-function
+//! summaries the interprocedural rules derived.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod locks;
+pub mod reactor;
 pub mod safety;
 pub mod wire;
 
@@ -45,6 +57,8 @@ pub enum Rule {
     UnsafeSafetyComment,
     LockAcrossBlocking,
     LockOrderCycle,
+    ReactorBlocking,
+    PanicPath,
     WireExhaustiveness,
     BadAllowMarker,
 }
@@ -55,6 +69,8 @@ impl Rule {
             Rule::UnsafeSafetyComment => "unsafe-safety-comment",
             Rule::LockAcrossBlocking => "lock-across-blocking",
             Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::ReactorBlocking => "reactor-blocking",
+            Rule::PanicPath => "panic-path",
             Rule::WireExhaustiveness => "wire-exhaustiveness",
             Rule::BadAllowMarker => "bad-allow-marker",
         }
@@ -65,6 +81,8 @@ impl Rule {
             "unsafe-safety-comment" => Rule::UnsafeSafetyComment,
             "lock-across-blocking" => Rule::LockAcrossBlocking,
             "lock-order-cycle" => Rule::LockOrderCycle,
+            "reactor-blocking" => Rule::ReactorBlocking,
+            "panic-path" => Rule::PanicPath,
             "wire-exhaustiveness" => Rule::WireExhaustiveness,
             _ => return None,
         })
@@ -87,6 +105,19 @@ pub struct Finding {
     pub line: u32,
     pub message: String,
     pub allowed: Option<String>,
+    /// For interprocedural findings: the call chain from the entry
+    /// point (or the blocking/locking witness) to the sink. Empty for
+    /// lexical findings.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// Stable identity for baseline comparison. Line numbers are
+    /// deliberately excluded so unrelated edits above a known finding
+    /// do not churn the baseline.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.rule.name(), self.file, self.message)
+    }
 }
 
 /// A parsed `// norns-lint: allow(rule): reason` marker. `target_line`
@@ -127,6 +158,17 @@ pub struct Config {
     /// Lock-discipline scan set (reactor/engine code paths).
     pub lock_files: Vec<PathBuf>,
     pub wire: Option<wire::WireConfig>,
+    /// Call-graph index set (normally: every `.rs` file) plus the
+    /// reactor reachability rules. `None` disables the
+    /// interprocedural layer entirely.
+    pub graph: Option<GraphConfig>,
+}
+
+/// Interprocedural configuration: which files feed the call graph and
+/// where reactor execution starts.
+pub struct GraphConfig {
+    pub files: Vec<PathBuf>,
+    pub reactor: Option<reactor::ReactorConfig>,
 }
 
 impl Config {
@@ -160,11 +202,33 @@ impl Config {
                 },
             ],
         };
+        let graph = GraphConfig {
+            files: safety_files.clone(),
+            reactor: Some(reactor::ReactorConfig {
+                entries: vec![
+                    // The epoll dispatch loop: everything it calls runs
+                    // on a reactor thread.
+                    (
+                        "crates/norns-ipc/src/daemon.rs".into(),
+                        "reactor_loop".into(),
+                    ),
+                    // The WaitCallback constructor: the closure it
+                    // returns is invoked on completion paths and feeds
+                    // reactors; it is indexed inline with its builder.
+                    (
+                        "crates/norns-ipc/src/daemon.rs".into(),
+                        "completion_callback".into(),
+                    ),
+                ],
+                panic_scope: vec!["crates/norns-ipc/src".into()],
+            }),
+        };
         Ok(Config {
             root: root.to_path_buf(),
             safety_files,
             lock_files,
             wire: Some(wire),
+            graph: Some(graph),
         })
     }
 }
@@ -215,6 +279,39 @@ pub struct LockEdge {
     pub file: String,
     pub line: u32,
     pub allowed: bool,
+    /// For interprocedural edges: the call chain through which the
+    /// acquisition happened (`helper → inner → lockname.lock`).
+    pub via: Option<String>,
+}
+
+/// One reactor-reachable function's summary for the JSON inventory.
+#[derive(Debug, Clone)]
+pub struct FnSummary {
+    pub qname: String,
+    pub file: String,
+    pub line: u32,
+    pub may_block: bool,
+    pub may_panic: bool,
+    pub locks: Vec<String>,
+    /// Shortest call chain from a reactor entry point.
+    pub chain: Vec<String>,
+}
+
+/// Call-graph statistics and the reactor-reachable slice of the
+/// per-function summaries.
+#[derive(Debug, Clone, Default)]
+pub struct GraphReport {
+    pub functions_indexed: usize,
+    pub call_sites: usize,
+    pub resolved_unique: usize,
+    pub resolved_multi: usize,
+    pub ambiguous: usize,
+    pub unresolved: usize,
+    pub ambiguity_policy: String,
+    /// Qualified names of the matched reactor entry points.
+    pub reactor_entries: Vec<String>,
+    pub reactor_reachable: usize,
+    pub summaries: Vec<FnSummary>,
 }
 
 /// Wire-rule inventory: every enum and its variants, plus what the
@@ -234,6 +331,7 @@ pub struct Report {
     pub lock_names: Vec<String>,
     pub lock_edges: Vec<LockEdge>,
     pub wire: Option<WireSummary>,
+    pub graph: Option<GraphReport>,
 }
 
 impl Report {
@@ -251,6 +349,8 @@ impl Report {
             Rule::UnsafeSafetyComment,
             Rule::LockAcrossBlocking,
             Rule::LockOrderCycle,
+            Rule::ReactorBlocking,
+            Rule::PanicPath,
             Rule::WireExhaustiveness,
             Rule::BadAllowMarker,
         ] {
@@ -307,12 +407,25 @@ impl Report {
             self.lock_names.len(),
             self.lock_edges.len(),
         ));
+        if let Some(g) = &self.graph {
+            s.push_str(&format!(
+                "call graph: {} fns, {} call sites ({} unique, {} multi, {} ambiguous, \
+                 {} unresolved), reactor-reachable: {}\n",
+                g.functions_indexed,
+                g.call_sites,
+                g.resolved_unique,
+                g.resolved_multi,
+                g.ambiguous,
+                g.unresolved,
+                g.reactor_reachable,
+            ));
+        }
         s
     }
 
     /// The machine-readable inventory written to `results/lint.json`.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema\": 1,\n  \"counts\": {");
+        let mut s = String::from("{\n  \"schema\": 2,\n  \"counts\": {");
         let counts = self.counts();
         let mut first = true;
         for (rule, (fail, waived)) in &counts {
@@ -330,8 +443,20 @@ impl Report {
             if i > 0 {
                 s.push(',');
             }
+            let chain = if f.chain.is_empty() {
+                "null".to_string()
+            } else {
+                format!(
+                    "[{}]",
+                    f.chain
+                        .iter()
+                        .map(|c| json_str(c))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
             s.push_str(&format!(
-                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"allowed\": {}}}",
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"allowed\": {}, \"chain\": {}}}",
                 json_str(f.rule.name()),
                 json_str(&f.file),
                 f.line,
@@ -339,7 +464,8 @@ impl Report {
                 match &f.allowed {
                     Some(reason) => json_str(reason),
                     None => "null".to_string(),
-                }
+                },
+                chain
             ));
         }
         s.push_str("\n  ],\n  \"unsafe_sites\": [");
@@ -369,16 +495,68 @@ impl Report {
                 s.push(',');
             }
             s.push_str(&format!(
-                "\n      {{\"held\": {}, \"acquired\": {}, \"fn\": {}, \"file\": {}, \"line\": {}, \"allowed\": {}}}",
+                "\n      {{\"held\": {}, \"acquired\": {}, \"fn\": {}, \"file\": {}, \"line\": {}, \"allowed\": {}, \"via\": {}}}",
                 json_str(&e.held),
                 json_str(&e.acquired),
                 json_str(&e.func),
                 json_str(&e.file),
                 e.line,
-                e.allowed
+                e.allowed,
+                match &e.via {
+                    Some(v) => json_str(v),
+                    None => "null".to_string(),
+                }
             ));
         }
         s.push_str("\n    ]\n  }");
+        if let Some(g) = &self.graph {
+            s.push_str(&format!(
+                ",\n  \"callgraph\": {{\n    \"functions_indexed\": {},\n    \
+                 \"call_sites\": {},\n    \"resolved_unique\": {},\n    \
+                 \"resolved_multi\": {},\n    \"ambiguous\": {},\n    \
+                 \"unresolved\": {},\n    \"ambiguity_policy\": {},\n    \
+                 \"reactor_entries\": [{}],\n    \"reactor_reachable\": {},\n    \
+                 \"summaries\": [",
+                g.functions_indexed,
+                g.call_sites,
+                g.resolved_unique,
+                g.resolved_multi,
+                g.ambiguous,
+                g.unresolved,
+                json_str(&g.ambiguity_policy),
+                g.reactor_entries
+                    .iter()
+                    .map(|e| json_str(e))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                g.reactor_reachable,
+            ));
+            for (i, f) in g.summaries.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "\n      {{\"fn\": {}, \"file\": {}, \"line\": {}, \"may_block\": {}, \
+                     \"may_panic\": {}, \"locks\": [{}], \"chain\": [{}]}}",
+                    json_str(&f.qname),
+                    json_str(&f.file),
+                    f.line,
+                    f.may_block,
+                    f.may_panic,
+                    f.locks
+                        .iter()
+                        .map(|l| json_str(l))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    f.chain
+                        .iter()
+                        .map(|c| json_str(c))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ));
+            }
+            s.push_str("\n    ]\n  }");
+        }
         if let Some(w) = &self.wire {
             s.push_str(",\n  \"wire\": {\n    \"enums\": {");
             let mut first = true;
@@ -417,7 +595,7 @@ impl Report {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -473,6 +651,7 @@ pub fn load_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) -> io::R
                          `norns-lint: allow(<rule>): <reason>`"
                     ),
                     allowed: None,
+                    chain: Vec::new(),
                 });
                 continue;
             };
@@ -483,6 +662,7 @@ pub fn load_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) -> io::R
                     line: marker_line,
                     message: format!("unknown rule `{rule_name}` in allow marker"),
                     allowed: None,
+                    chain: Vec::new(),
                 });
                 continue;
             };
@@ -496,6 +676,7 @@ pub fn load_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) -> io::R
                          must say why"
                     ),
                     allowed: None,
+                    chain: Vec::new(),
                 });
                 continue;
             }
@@ -542,7 +723,17 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
         Ok(())
     };
 
-    for path in cfg.safety_files.iter().chain(&cfg.lock_files) {
+    let graph_files: &[PathBuf] = cfg
+        .graph
+        .as_ref()
+        .map(|g| g.files.as_slice())
+        .unwrap_or(&[]);
+    for path in cfg
+        .safety_files
+        .iter()
+        .chain(&cfg.lock_files)
+        .chain(graph_files)
+    {
         load(path, &mut report.findings, &mut cache)?;
     }
 
@@ -551,8 +742,37 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
         safety::check(ctx, &mut report);
     }
 
+    // Lock names come first: the call graph folds acquisition sites
+    // into its per-function summaries, which the lock rules then
+    // consult at call sites.
     let lock_ctxs: Vec<&FileCtx> = cfg.lock_files.iter().map(|p| &cache[p]).collect();
-    locks::check(&lock_ctxs, &mut report);
+    let lock_names = locks::collect_names(&lock_ctxs);
+    let lock_scope: std::collections::BTreeSet<String> =
+        lock_ctxs.iter().map(|c| c.rel.clone()).collect();
+
+    let graph = cfg.graph.as_ref().map(|gcfg| {
+        let ctxs: Vec<&FileCtx> = gcfg.files.iter().map(|p| &cache[p]).collect();
+        callgraph::build(&ctxs, &lock_names, &lock_scope)
+    });
+
+    let effects = graph
+        .as_ref()
+        .map(|g| g.effects_for(&lock_scope))
+        .unwrap_or_default();
+    locks::check(&lock_ctxs, &lock_names, &effects, &mut report);
+
+    if let (Some(g), Some(rcfg)) = (
+        &graph,
+        cfg.graph.as_ref().and_then(|gc| gc.reactor.as_ref()),
+    ) {
+        let by_rel: BTreeMap<String, &FileCtx> =
+            cache.values().map(|c| (c.rel.clone(), c)).collect();
+        let reach = reactor::check(g, rcfg, &by_rel, &mut report);
+        report.graph = Some(graph_report(g, &reach));
+    } else if let Some(g) = &graph {
+        let reach = g.reach(&[]);
+        report.graph = Some(graph_report(g, &reach));
+    }
 
     if let Some(wire_cfg) = &cfg.wire {
         wire::check(&cfg.root, wire_cfg, &mut report)?;
@@ -562,4 +782,43 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
         .findings
         .sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
     Ok(report)
+}
+
+/// Condense a built call graph into the JSON-facing stats + the
+/// reactor-reachable summaries.
+fn graph_report(g: &callgraph::CallGraph, reach: &callgraph::Reach) -> GraphReport {
+    let mut summaries = Vec::new();
+    for &f in &reach.reachable {
+        let def = &g.fns[f];
+        summaries.push(FnSummary {
+            qname: def.qname.clone(),
+            file: def.file.clone(),
+            line: def.line,
+            may_block: g.may_block(f),
+            may_panic: g.may_panic(f),
+            locks: g.locks_acquired(f),
+            chain: reach
+                .chain_to(f)
+                .iter()
+                .map(|&i| g.fns[i].name.clone())
+                .collect(),
+        });
+    }
+    summaries.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    GraphReport {
+        functions_indexed: g.stats.functions_indexed,
+        call_sites: g.stats.call_sites,
+        resolved_unique: g.stats.resolved_unique,
+        resolved_multi: g.stats.resolved_multi,
+        ambiguous: g.stats.ambiguous,
+        unresolved: g.stats.unresolved,
+        ambiguity_policy: callgraph::AMBIGUITY_POLICY.to_string(),
+        reactor_entries: reach
+            .entries
+            .iter()
+            .map(|&i| g.fns[i].qname.clone())
+            .collect(),
+        reactor_reachable: reach.reachable.len(),
+        summaries,
+    }
 }

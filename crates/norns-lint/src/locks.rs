@@ -24,15 +24,22 @@
 //! `lock-across-blocking` finding, and acquiring a lock adds a
 //! `held → acquired` edge to the global lock graph; a cycle in that
 //! graph (including a self-edge: re-acquiring a lock you hold) is a
-//! `lock-order-cycle` finding. The analysis is per-function and does
-//! not chase calls, so a callee that blocks or locks internally is
-//! invisible — the denylist names the parking primitives directly.
-//! Condvar waits (`wait`, `wait_until`, `wait_timeout`) are not
-//! denied: they atomically release the guard they park on.
+//! `lock-order-cycle` finding. The scope tracking is per-function and
+//! lexical, but call sites additionally consult the call-graph
+//! summaries ([`crate::callgraph`]): a guard live across a call to a
+//! helper that *transitively* blocks is a finding too, and locks a
+//! callee acquires internally contribute `held → acquired` edges
+//! (tagged with the witness chain) to the cycle check. Condvar waits
+//! (`wait`, `wait_until`, `wait_timeout`) are not denied: they
+//! atomically release the guard they park on.
 
+use crate::callgraph::CallEffects;
 use crate::lexer::Tok;
 use crate::{FileCtx, Finding, LockEdge, Report, Rule};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Transitive call-site effects, keyed by `(file, line, callee name)`.
+pub type EffectMap = BTreeMap<(String, u32, String), CallEffects>;
 
 /// Calls that park the calling thread (or stream to a peer). `join`
 /// only counts in its zero-argument thread form — `path.join(x)` and
@@ -87,18 +94,27 @@ struct Frame {
     guards: Vec<Guard>,
 }
 
-pub fn check(files: &[&FileCtx], report: &mut Report) {
-    // Pass A: collect lock names across the whole scan set.
+/// Pass A: collect lock names across the whole scan set.
+pub fn collect_names(files: &[&FileCtx]) -> BTreeSet<String> {
     let mut lock_names: BTreeSet<String> = BTreeSet::new();
     for ctx in files {
         collect_lock_names(ctx, &mut lock_names);
     }
+    lock_names
+}
+
+pub fn check(
+    files: &[&FileCtx],
+    lock_names: &BTreeSet<String>,
+    effects: &EffectMap,
+    report: &mut Report,
+) {
     report.lock_names = lock_names.iter().cloned().collect();
 
     // Pass B: per-file scope tracking.
     let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
     for ctx in files {
-        track_file(ctx, &lock_names, &mut edges, report);
+        track_file(ctx, lock_names, effects, &mut edges, report);
     }
 
     // Cycle detection over the unwaived edges.
@@ -164,6 +180,7 @@ fn dfs<'a>(
                     line: site.line,
                     message: msg,
                     allowed: None,
+                    chain: cycle.iter().map(|e| e.held.clone()).collect(),
                 });
             }
             continue;
@@ -286,6 +303,7 @@ fn binds_guard(toks: &[crate::lexer::Token], mut j: usize) -> bool {
 fn track_file(
     ctx: &FileCtx,
     lock_names: &BTreeSet<String>,
+    effects: &EffectMap,
     edges: &mut BTreeMap<(String, String), LockEdge>,
     report: &mut Report,
 ) {
@@ -469,6 +487,7 @@ fn track_file(
                                     file: ctx.rel.clone(),
                                     line,
                                     allowed: allow.is_some(),
+                                    via: None,
                                 });
                             }
                             // Named binding only when the acquisition
@@ -514,7 +533,53 @@ fn track_file(
                                     g.lock, g.line, f.func
                                 ),
                                 allowed: allow.map(str::to_string),
+                                chain: Vec::new(),
                             });
+                        }
+                    }
+                }
+                // Interprocedural: does the callee's summary say it
+                // blocks or takes locks? (Sites whose name is itself
+                // on the denylist were handled lexically above and are
+                // absent from the effect map.)
+                if is_call {
+                    let key = (ctx.rel.clone(), line, name.clone());
+                    if let Some(eff) = effects.get(&key) {
+                        if let Some(f) = frames.last() {
+                            if let Some(g) = f.guards.first() {
+                                if let Some(chain) = &eff.blocks {
+                                    let allow = ctx.allow_for(Rule::LockAcrossBlocking, line);
+                                    report.findings.push(Finding {
+                                        rule: Rule::LockAcrossBlocking,
+                                        file: ctx.rel.clone(),
+                                        line,
+                                        message: format!(
+                                            "call to `{name}` may block (`{chain}`) while \
+                                             guard on `{}` (acquired line {}) is live, in `{}`",
+                                            g.lock, g.line, f.func
+                                        ),
+                                        allowed: allow.map(str::to_string),
+                                        chain: chain.split(" → ").map(str::to_string).collect(),
+                                    });
+                                }
+                            }
+                            if !f.guards.is_empty() && !eff.locks.is_empty() {
+                                let allow = ctx.allow_for(Rule::LockOrderCycle, line);
+                                for (acquired, via) in &eff.locks {
+                                    for held in &f.guards {
+                                        let key = (held.lock.clone(), acquired.clone());
+                                        edges.entry(key).or_insert_with(|| LockEdge {
+                                            held: held.lock.clone(),
+                                            acquired: acquired.clone(),
+                                            func: frames.last().unwrap().func.clone(),
+                                            file: ctx.rel.clone(),
+                                            line,
+                                            allowed: allow.is_some(),
+                                            via: Some(via.clone()),
+                                        });
+                                    }
+                                }
+                            }
                         }
                     }
                 }

@@ -87,6 +87,7 @@ pub fn check(ctx: &FileCtx, report: &mut Report) {
                 line: site_line,
                 message: format!("{kind} without a `// SAFETY:` comment"),
                 allowed: allow.map(str::to_string),
+                chain: Vec::new(),
             });
         }
     };

@@ -71,6 +71,7 @@ pub fn check(root: &Path, cfg: &WireConfig, report: &mut Report) -> io::Result<(
                         e.name, variant, corpus.rel
                     ),
                     allowed: allow.map(str::to_string),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -96,6 +97,7 @@ pub fn check(root: &Path, cfg: &WireConfig, report: &mut Report) -> io::Result<(
                             e.name, variant, dispatch.rel
                         ),
                         allowed: allow.map(str::to_string),
+                        chain: Vec::new(),
                     });
                 }
             }

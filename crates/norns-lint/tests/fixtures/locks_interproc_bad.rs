@@ -1,0 +1,23 @@
+// Fixture: the guard is held across a helper whose *callee* blocks —
+// the lexical pass sees no blocking name, only the call graph does.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+struct Registry {
+    peers: Mutex<Vec<String>>,
+}
+
+impl Registry {
+    fn broadcast(&self, sock: &mut TcpStream) {
+        let guard = self.peers.lock().unwrap();
+        send_all(sock, &guard);
+    }
+}
+
+fn send_all(sock: &mut TcpStream, lines: &[String]) {
+    for l in lines {
+        let _ = sock.write_all(l.as_bytes());
+    }
+}

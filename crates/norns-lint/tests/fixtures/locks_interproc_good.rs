@@ -1,0 +1,23 @@
+// Fixture: same helper, but the guard is a same-statement temporary —
+// the snapshot is taken and the lock released before the send.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+struct Registry {
+    peers: Mutex<Vec<String>>,
+}
+
+impl Registry {
+    fn broadcast(&self, sock: &mut TcpStream) {
+        let snapshot = self.peers.lock().unwrap().clone();
+        send_all(sock, &snapshot);
+    }
+}
+
+fn send_all(sock: &mut TcpStream, lines: &[String]) {
+    for l in lines {
+        let _ = sock.write_all(l.as_bytes());
+    }
+}

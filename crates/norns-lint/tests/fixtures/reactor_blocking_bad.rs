@@ -1,0 +1,19 @@
+// Fixture: a reactor entry reaching a blocking call two hops away.
+// Only the call graph can see it: `reactor_loop` has no blocking call
+// of its own — the sink is `reactor_loop` → `dispatch` → `flush_reply`
+// → `write_all`.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+fn reactor_loop(sock: &mut TcpStream) {
+    dispatch(sock);
+}
+
+fn dispatch(sock: &mut TcpStream) {
+    flush_reply(sock);
+}
+
+fn flush_reply(sock: &mut TcpStream) {
+    let _ = sock.write_all(b"ok");
+}

@@ -1,0 +1,22 @@
+// Fixture: the same shape kept clean — the reactor path only buffers,
+// and the blocking write lives in a helper the reactor never reaches
+// (a dedicated flusher thread would own it).
+
+use std::io::Write;
+use std::net::TcpStream;
+
+fn reactor_loop(out: &mut Vec<u8>) {
+    dispatch(out);
+}
+
+fn dispatch(out: &mut Vec<u8>) {
+    enqueue_reply(out);
+}
+
+fn enqueue_reply(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"ok");
+}
+
+fn blocking_flusher(sock: &mut TcpStream, out: &[u8]) {
+    let _ = sock.write_all(out);
+}

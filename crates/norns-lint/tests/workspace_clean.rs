@@ -49,4 +49,69 @@ fn live_workspace_has_no_unsuppressed_findings() {
         "protocol enum parse shrank suspiciously: {:?}",
         wire.enums.keys().collect::<Vec<_>>()
     );
+
+    // The interprocedural layer must have indexed the whole workspace,
+    // matched both reactor entry points, and produced witness chains —
+    // a degenerate call graph would silently gut the reachability
+    // rules while everything still "passes".
+    let graph = report.graph.as_ref().expect("call-graph report present");
+    assert!(
+        graph.functions_indexed >= 300,
+        "call-graph index shrank suspiciously: {} fns",
+        graph.functions_indexed
+    );
+    assert_eq!(
+        graph.reactor_entries.len(),
+        2,
+        "both reactor entry points must match: {:?}",
+        graph.reactor_entries
+    );
+    assert!(
+        graph.reactor_reachable >= 50,
+        "reactor-reachable set shrank suspiciously: {}",
+        graph.reactor_reachable
+    );
+    assert!(
+        graph.resolved_unique > 0 && graph.ambiguous > 0 && graph.unresolved > 0,
+        "resolution tiers look degenerate: {graph:?}"
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.allowed.is_some())
+            .count()
+            >= 8,
+        "the deliberate waivers must stay inventoried"
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .filter(|f| matches!(f.rule, norns_lint::Rule::ReactorBlocking))
+            .all(|f| f.chain.len() >= 2),
+        "reactor findings must carry their call chains"
+    );
+}
+
+/// The full-workspace analysis must stay cheap enough for CI's lint
+/// step (budget: well under 30 s even on a cold cache).
+#[test]
+fn full_workspace_lint_stays_inside_the_time_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let start = std::time::Instant::now();
+    let cfg = Config::workspace(&root).expect("scan workspace");
+    let report = norns_lint::run(&cfg).expect("lint workspace");
+    let elapsed = start.elapsed();
+    assert!(
+        report.graph.is_some(),
+        "budget run must include the interprocedural layer"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "full workspace lint took {elapsed:?}, budget is 30s"
+    );
 }
